@@ -1,0 +1,43 @@
+//! Ablation bench: where does the proposed kernel's speedup come from?
+//!
+//! Four kernels, each adding one optimisation (see
+//! `ct_bp::ablation`): standard (Alg. 2) -> +layouts -> +column reuse
+//! (Theorems 2/3) -> +mirror symmetry (Theorem 1, the full Alg. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bp::ablation::{backproject_full_recompute, backproject_no_symmetry};
+use ct_bp::{backproject_standard, backproject_warp};
+use ct_core::problem::{Dims2, Dims3, ReconProblem};
+use ct_par::Pool;
+use ifdk_bench::{geometry_for, synthetic_stack};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let pool = Pool::auto();
+    let problem = ReconProblem::new(Dims2::new(128, 128), 64, Dims3::cube(64)).unwrap();
+    let geo = geometry_for(&problem);
+    let mats = geo.projection_matrices();
+    let stack = synthetic_stack(problem.detector, problem.num_projections);
+
+    let mut group = c.benchmark_group("ablation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(problem.updates() as u64));
+    group.bench_function("1_standard_alg2", |b| {
+        b.iter(|| backproject_standard(&pool, &mats, &stack, problem.volume));
+    });
+    group.bench_function("2_plus_layouts", |b| {
+        b.iter(|| backproject_full_recompute(&pool, &mats, &stack, problem.volume));
+    });
+    group.bench_function("3_plus_column_reuse", |b| {
+        b.iter(|| backproject_no_symmetry(&pool, &mats, &stack, problem.volume));
+    });
+    group.bench_function("4_plus_symmetry_full_alg4", |b| {
+        b.iter(|| backproject_warp(&pool, &mats, &stack, problem.volume));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the back-projection kernels — the Table 4
+//! measurement core (the `table4` binary sweeps all 15 problems; this
+//! bench gives high-precision numbers for a representative subset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_bp::{backproject, BpConfig, KernelVariant};
+use ct_core::problem::{Dims2, Dims3, ReconProblem};
+use ct_par::Pool;
+use ifdk_bench::{geometry_for, synthetic_stack};
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let pool = Pool::auto();
+    let mut group = c.benchmark_group("backprojection");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    // Three alpha classes: shallow (alpha >> 1), balanced, deep.
+    let problems = [
+        ReconProblem::new(Dims2::new(128, 128), 64, Dims3::cube(16)).unwrap(),
+        ReconProblem::new(Dims2::new(64, 64), 64, Dims3::cube(32)).unwrap(),
+        ReconProblem::new(Dims2::new(64, 64), 64, Dims3::new(32, 32, 64)).unwrap(),
+    ];
+    for problem in problems {
+        let geo = geometry_for(&problem);
+        let mats = geo.projection_matrices();
+        let stack = synthetic_stack(problem.detector, problem.num_projections);
+        group.throughput(Throughput::Elements(problem.updates() as u64));
+        for variant in KernelVariant::ALL {
+            let cfg = BpConfig {
+                variant,
+                ..BpConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), problem.label()),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| backproject(&pool, *cfg, &mats, &stack, problem.volume));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    // Ablation: the Listing 1 batch size (in-register accumulation).
+    let pool = Pool::auto();
+    let mut group = c.benchmark_group("bp_batch_ablation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    let problem = ReconProblem::new(Dims2::new(64, 64), 64, Dims3::cube(32)).unwrap();
+    let geo = geometry_for(&problem);
+    let mats = geo.projection_matrices();
+    let stack = synthetic_stack(problem.detector, problem.num_projections);
+    for batch in [1usize, 4, 16, 32] {
+        let cfg = BpConfig {
+            variant: KernelVariant::L1Tran,
+            batch,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &cfg, |b, cfg| {
+            b.iter(|| backproject(&pool, *cfg, &mats, &stack, problem.volume));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_batch_sizes);
+criterion_main!(benches);

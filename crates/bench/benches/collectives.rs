@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the communication substrate: the two
+//! collectives iFDK leans on (per-projection AllGather, one sub-volume
+//! Reduce), across rank counts and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_comm::Universe;
+use std::time::Duration;
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        for &len in &[1024usize, 65536] {
+            group.throughput(Throughput::Bytes((ranks * len * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &(ranks, len),
+                |b, &(ranks, len)| {
+                    b.iter(|| {
+                        Universe::run(ranks, |comm| {
+                            let block = vec![comm.rank() as f32; len];
+                            comm.all_gather(&block).len()
+                        })
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_sum");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        let len = 65536usize;
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(ranks, |comm| {
+                    let data = vec![1.0f32; len];
+                    comm.reduce_sum_f32(0, &data).map(|v| v.len())
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier_and_bcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_collectives");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("barrier_8", |b| {
+        b.iter(|| {
+            Universe::run(8, |comm| {
+                for _ in 0..10 {
+                    comm.barrier();
+                }
+            })
+            .unwrap()
+        });
+    });
+    group.bench_function("bcast_8x64k", |b| {
+        b.iter(|| {
+            Universe::run(8, |comm| {
+                let v = if comm.rank() == 0 {
+                    Some(vec![7u8; 65536])
+                } else {
+                    None
+                };
+                comm.broadcast(0, v).len()
+            })
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allgather,
+    bench_reduce,
+    bench_barrier_and_bcast
+);
+criterion_main!(benches);

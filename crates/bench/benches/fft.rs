@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the FFT substrate: plan reuse (the filtering
+//! stage's hot path), arbitrary-size Bluestein overhead, and FFT-vs-direct
+//! convolution crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_fft::conv::RowConvolver;
+use ct_fft::{convolve_direct, convolve_fft, Complex, FftPlan};
+use std::time::Duration;
+
+fn bench_fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_pow2");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), 0.0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bluestein(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_bluestein");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    for &n in &[255usize, 1000] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).cos(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| ct_fft::fft_any(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolution_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    for &n in &[64usize, 512] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let k: Vec<f64> = (0..2 * n + 1).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("direct", n), &(), |b, _| {
+            b.iter(|| convolve_direct(&a, &k));
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &(), |b, _| {
+            b.iter(|| convolve_fft(&a, &k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_convolver(c: &mut Criterion) {
+    // The exact per-row hot loop of the filtering stage.
+    let mut group = c.benchmark_group("row_convolver");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let n = 2048usize;
+    let kernel: Vec<f64> = (0..2 * n + 1).map(|i| (i as f64 * 1e-4).cos()).collect();
+    let conv = RowConvolver::new(n, &kernel);
+    let mut scratch = conv.make_scratch();
+    let row: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("2048_row", |b| {
+        b.iter(|| {
+            let mut r = row.clone();
+            conv.convolve_row_f32(&mut r, &mut scratch);
+            r
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft_sizes,
+    bench_bluestein,
+    bench_convolution_crossover,
+    bench_row_convolver
+);
+criterion_main!(benches);

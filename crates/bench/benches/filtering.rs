@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the filtering stage (`TH_flt` of the model):
+//! per-projection cost, scaling with threads, and ramp-window cost parity
+//! (the paper: the window "has no effect on the compute intensity").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::CbctGeometry;
+use ct_filter::{FilterConfig, Filterer, RampKind};
+use ct_par::Pool;
+use ifdk_bench::synthetic_stack;
+use std::time::Duration;
+
+fn bench_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filtering");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for det in [128usize, 256] {
+        let geo = CbctGeometry::standard(Dims2::new(det, det), 16, Dims3::cube(det / 2));
+        let filterer = Filterer::new(&geo, FilterConfig::default());
+        let stack = synthetic_stack(geo.detector, 16);
+        group.throughput(Throughput::Elements((det * det * 16) as u64));
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{det}x{det}"), threads),
+                &pool,
+                |b, pool| {
+                    b.iter(|| filterer.filter_stack(pool, &stack));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ramp_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ramp_window_parity");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    let geo = CbctGeometry::standard(Dims2::new(256, 256), 8, Dims3::cube(64));
+    let stack = synthetic_stack(geo.detector, 8);
+    let pool = Pool::new(2);
+    for ramp in RampKind::ALL {
+        let filterer = Filterer::new(
+            &geo,
+            FilterConfig {
+                ramp,
+                kernel_half_width: None,
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ramp.name()),
+            &filterer,
+            |b, f| {
+                b.iter(|| f.filter_stack(&pool, &stack));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering, bench_ramp_windows);
+criterion_main!(benches);

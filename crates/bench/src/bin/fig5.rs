@@ -1,0 +1,136 @@
+//! Regenerates the paper's **Figure 5**: strong and weak scaling of iFDK
+//! on up to 2,048 GPUs, as stacked `T_compute` / `T_D2H` / `T_store` /
+//! `T_reduce` bars, with both the measured-equivalent (pipeline
+//! simulation) and theoretical-peak (analytic model) series.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin fig5            # all four panels
+//! cargo run --release -p ifdk-bench --bin fig5 -- a       # one panel
+//! ```
+
+use ct_perfmodel::des::{simulate_pipeline, Overheads};
+use ct_perfmodel::{ModelBreakdown, ModelInput};
+use ifdk::report::RunReport;
+use ifdk_bench::{maybe_write_json, print_table};
+
+fn panel(
+    name: &str,
+    title: &str,
+    gpus: &[usize],
+    make: impl Fn(usize) -> ModelInput,
+    reports: &mut Vec<RunReport>,
+) {
+    println!("\nFigure 5{name}: {title}");
+    let ov = Overheads::default();
+    let mut rows = Vec::new();
+    for &g in gpus {
+        let input = make(g);
+        let model = ModelBreakdown::evaluate(&input);
+        let sim = simulate_pipeline(&input, &ov);
+        let fmt = |x: f64| {
+            if x == 0.0 {
+                "N/A".to_string()
+            } else {
+                format!("{x:.1}")
+            }
+        };
+        rows.push(vec![
+            g.to_string(),
+            format!("{:.1}", sim.t_compute),
+            format!("{:.1}", sim.t_d2h),
+            format!("{:.1}", sim.t_store),
+            fmt(sim.t_reduce),
+            format!("{:.1}", model.t_compute),
+            format!("{:.1}", model.t_d2h),
+            format!("{:.1}", model.t_store),
+            fmt(model.t_reduce),
+            format!("{:.1}", sim.t_runtime),
+        ]);
+        let mut r = RunReport::new(&format!("fig5{name}"), &format!("{g} gpus"));
+        for (k, v) in [
+            ("sim_t_compute", sim.t_compute),
+            ("sim_t_d2h", sim.t_d2h),
+            ("sim_t_store", sim.t_store),
+            ("sim_t_reduce", sim.t_reduce),
+            ("model_t_compute", model.t_compute),
+            ("model_t_d2h", model.t_d2h),
+            ("model_t_store", model.t_store),
+            ("model_t_reduce", model.t_reduce),
+            ("sim_t_runtime", sim.t_runtime),
+        ] {
+            r.set(k, v);
+        }
+        reports.push(r);
+    }
+    print_table(
+        &[
+            "GPUs",
+            "Tc(sim)",
+            "D2H(sim)",
+            "store(sim)",
+            "reduce(sim)",
+            "Tc(peak)",
+            "D2H(peak)",
+            "store(peak)",
+            "reduce(peak)",
+            "total(sim)",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let mut reports = Vec::new();
+
+    if matches!(which, "all" | "a") {
+        panel(
+            "a",
+            "strong scaling 2048^2x4096 -> 4096^3 (R=32)",
+            &[32, 64, 128, 256, 512, 1024, 2048],
+            ModelInput::paper_4k,
+            &mut reports,
+        );
+    }
+    if matches!(which, "all" | "b") {
+        panel(
+            "b",
+            "strong scaling 2048^2x4096 -> 8192^3 (R=256)",
+            &[256, 512, 1024, 2048],
+            ModelInput::paper_8k,
+            &mut reports,
+        );
+    }
+    if matches!(which, "all" | "c") {
+        panel(
+            "c",
+            "weak scaling 2048^2 x Np -> 4096^3 (Np = 16*gpus, R=32)",
+            &[32, 64, 128, 256, 512, 1024, 2048],
+            |g| {
+                let mut i = ModelInput::paper_4k(g);
+                i.np = 16 * g;
+                i
+            },
+            &mut reports,
+        );
+    }
+    if matches!(which, "all" | "d") {
+        panel(
+            "d",
+            "weak scaling 2048^2 x Np -> 8192^3 (Np = 4*gpus, R=256)",
+            &[256, 512, 1024, 2048],
+            |g| {
+                let mut i = ModelInput::paper_8k(g);
+                i.np = 4 * g;
+                i
+            },
+            &mut reports,
+        );
+    }
+    println!(
+        "\npaper anchors — 5a measured Tc: 70.2/35.6/18.9/10.2/5.6/3.3/2.1; \
+         5b: 101.3/53.1/29.7/17.2; 5c Tc ~ 9.9-11.0 flat; 5d Tc ~ 28.9-30.6 flat"
+    );
+    maybe_write_json(&args, &reports);
+}

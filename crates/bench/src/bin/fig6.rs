@@ -1,0 +1,86 @@
+//! Regenerates the paper's **Figure 6**: end-to-end GUPS versus GPU count
+//! for output volumes 2048^3, 4096^3 and 8192^3 (input 2048^2 x 4096).
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin fig6 [-- --json fig6.json]
+//! ```
+
+use ct_perfmodel::des::{simulate_pipeline, Overheads};
+use ct_perfmodel::{KernelModel, MachineConfig, ModelInput};
+use ifdk::report::RunReport;
+use ifdk_bench::{maybe_write_json, print_table};
+
+/// Paper Figure 6 anchor points (GUPS).
+const PAPER_4096: [(usize, f64); 7] = [
+    (32, 3495.0),
+    (64, 5851.0),
+    (128, 9134.0),
+    (256, 13240.0),
+    (512, 17361.0),
+    (1024, 20480.0),
+    (2048, 22599.0),
+];
+
+fn input_for(nx: usize, gpus: usize) -> ModelInput {
+    // R per the Section 4.1.5 planner: 8 GB sub-volumes.
+    let r = match nx {
+        2048 => 4,
+        4096 => 32,
+        _ => 256,
+    };
+    ModelInput {
+        nu: 2048,
+        nv: 2048,
+        np: 4096,
+        nx,
+        ny: nx,
+        nz: nx,
+        r,
+        c: gpus / r,
+        machine: MachineConfig::abci(),
+        kernel: KernelModel::v100_proposed(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ov = Overheads::default();
+    println!("Figure 6: end-to-end GUPS vs GPUs (sim; paper anchors in parentheses)\n");
+
+    let gpu_counts = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for &g in &gpu_counts {
+        let mut row = vec![g.to_string()];
+        for nx in [2048usize, 4096, 8192] {
+            let input = input_for(nx, g);
+            if input.c == 0 || input.validate().is_err() {
+                row.push("-".into());
+                continue;
+            }
+            let sim = simulate_pipeline(&input, &ov);
+            let anchor = if nx == 4096 {
+                PAPER_4096
+                    .iter()
+                    .find(|&&(pg, _)| pg == g)
+                    .map(|&(_, v)| format!(" ({v:.0})"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            row.push(format!("{:.0}{anchor}", sim.gups));
+            let mut r = RunReport::new("fig6", &format!("{nx}^3 @ {g} gpus"));
+            r.set("sim_gups", sim.gups);
+            r.set("sim_runtime", sim.t_runtime);
+            reports.push(r);
+        }
+        rows.push(row);
+    }
+    print_table(&["GPUs", "2048^3", "4096^3", "8192^3"], &rows);
+    println!(
+        "\nshape checks: GUPS grows with GPUs; at fixed GPUs larger outputs \
+         reach higher GUPS (the paper's better-device-utilisation point);\n\
+         4K @ 2048 GPUs stays under 30 s end-to-end, 8K under 2 min."
+    );
+    maybe_write_json(&args, &reports);
+}

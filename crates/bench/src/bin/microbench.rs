@@ -1,0 +1,136 @@
+//! The Section 4.2.1 micro-benchmarks, run against *this* machine's
+//! substrates: filtering throughput (`TH_flt`), back-projection
+//! throughput (`TH_bp`), AllGather and Reduce throughput, and PFS
+//! bandwidth — the constants a `MachineConfig` for this host would use.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin microbench [-- --size 64]
+//! ```
+
+use ct_bp::{backproject, BpConfig};
+use ct_core::metrics::gups;
+use ct_core::problem::{Dims2, Dims3, ReconProblem};
+use ct_filter::{FilterConfig, Filterer};
+use ct_par::Pool;
+use ct_pfs::PfsStore;
+use ifdk::report::RunReport;
+use ifdk_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "size", 64);
+    let pool = Pool::auto();
+    println!(
+        "micro-benchmarks on this host ({} threads) — the paper's Section 4.2.1 table\n",
+        pool.threads()
+    );
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+
+    // TH_flt: projections filtered per second (detector 2n x 2n).
+    let det = Dims2::new(2 * n, 2 * n);
+    let np = 64;
+    let geo = ct_core::CbctGeometry::standard(det, np, Dims3::cube(n));
+    let stack = synthetic_stack(det, np);
+    let filterer = Filterer::new(&geo, FilterConfig::default());
+    let t = Instant::now();
+    let filtered = filterer.filter_stack(&pool, &stack);
+    let secs = t.elapsed().as_secs_f64();
+    let th_flt = np as f64 / secs;
+    rows.push(vec![
+        "TH_flt".into(),
+        format!("{th_flt:.1} proj/s"),
+        format!("{}x{} detector", det.nu, det.nv),
+    ]);
+    reports.push(RunReport::new("microbench", "th_flt").with("value", th_flt));
+
+    // TH_bp: kernel GUPS on an n^3 volume (the paper's ~200 GUPS row).
+    let problem = ReconProblem::new(det, np, Dims3::cube(n)).unwrap();
+    let mats = geo.projection_matrices();
+    let t = Instant::now();
+    let _vol = backproject(&pool, BpConfig::default(), &mats, &filtered, problem.volume);
+    let secs = t.elapsed().as_secs_f64();
+    let th_bp = gups(problem.updates(), secs);
+    rows.push(vec![
+        "TH_bp".into(),
+        format!("{th_bp:.2} GUPS"),
+        format!("{} (L1-Tran)", problem.label()),
+    ]);
+    reports.push(RunReport::new("microbench", "th_bp").with("value", th_bp));
+
+    // AllGather throughput: one projection circulating an 8-rank ring.
+    let block = vec![0.5f32; det.len()];
+    let reps = 20;
+    let out = ct_comm::Universe::run(8, |c| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = c.all_gather(&block);
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    })
+    .unwrap();
+    let per_op = out.iter().cloned().fold(0.0f64, f64::max);
+    let ag_bw = 7.0 * det.len() as f64 * 4.0 / per_op;
+    rows.push(vec![
+        "TH_AllGather".into(),
+        format!("{:.2} GB/s ring", ag_bw / 1e9),
+        "8 ranks, 1 projection/op".into(),
+    ]);
+    reports.push(RunReport::new("microbench", "allgather_bw").with("value", ag_bw));
+
+    // Reduce throughput: an n^3/8-float buffer over 8 ranks.
+    let buf = vec![1.0f32; n * n * n / 8];
+    let out = ct_comm::Universe::run(8, |c| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = c.reduce_sum_f32(0, &buf);
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    })
+    .unwrap();
+    let per_op = out.iter().cloned().fold(0.0f64, f64::max);
+    let red_bw = buf.len() as f64 * 4.0 / per_op;
+    rows.push(vec![
+        "TH_Reduce".into(),
+        format!("{:.2} GB/s", red_bw / 1e9),
+        format!("{} floats, 8 ranks", buf.len()),
+    ]);
+    reports.push(RunReport::new("microbench", "reduce_bw").with("value", red_bw));
+
+    // PFS bandwidth (memory backend: upper bound of the substrate).
+    let store = PfsStore::memory();
+    let payload = vec![0.25f32; det.len()];
+    let t = Instant::now();
+    for i in 0..np {
+        store
+            .write_f32(&PfsStore::projection_name(i), &payload)
+            .unwrap();
+    }
+    let w_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for i in 0..np {
+        let _ = store.read_f32(&PfsStore::projection_name(i)).unwrap();
+    }
+    let r_secs = t.elapsed().as_secs_f64();
+    let bytes = (np * det.len() * 4) as f64;
+    rows.push(vec![
+        "BW_store".into(),
+        format!("{:.2} GB/s", bytes / w_secs / 1e9),
+        "memory-backend PFS".into(),
+    ]);
+    rows.push(vec![
+        "BW_load".into(),
+        format!("{:.2} GB/s", bytes / r_secs / 1e9),
+        "memory-backend PFS".into(),
+    ]);
+    reports.push(RunReport::new("microbench", "bw_store").with("value", bytes / w_secs));
+    reports.push(RunReport::new("microbench", "bw_load").with("value", bytes / r_secs));
+
+    print_table(&["constant", "measured", "workload"], &rows);
+    println!(
+        "\npaper's ABCI values: TH_flt 366 proj/s/node, TH_bp ~200 GUPS (V100),\n\
+         AllGather ring ~2.1 GB/s, TH_Reduce ~3.2 GB/s, GPFS 28.5 GB/s"
+    );
+    maybe_write_json(&args, &reports);
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's **Table 3**: back-projection kernel
+//! characteristics (texture/L1 access path, projection/volume transposes).
+
+use ct_bp::KernelVariant;
+use ifdk_bench::print_table;
+
+fn main() {
+    println!("Table 3: back-projection kernel characteristics\n");
+    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = KernelVariant::ALL
+        .iter()
+        .map(|v| {
+            let (tex, l1, tp, tv) = v.characteristics();
+            vec![
+                v.name().to_string(),
+                yes_no(tex),
+                yes_no(l1),
+                yes_no(tp),
+                yes_no(tv),
+                format!("{:?}", v.output_layout()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "kernel",
+            "texture cache",
+            "L1 cache",
+            "transpose projection",
+            "transpose volume",
+            "volume layout",
+        ],
+        &rows,
+    );
+    println!(
+        "\nCPU mapping: \"texture\" = 8x8 blocked layout, \"L1\" = contiguous\n\
+         transposed access; see DESIGN.md (Table 3 row of the experiment index)."
+    );
+}

@@ -1,0 +1,109 @@
+//! Regenerates the paper's **Table 4**: back-projection kernel
+//! performance (GUPS) across 15 problem shapes x 5 kernel variants.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin table4 [-- --scale 8 --reps 3 --json table4.json]
+//! ```
+//!
+//! The paper's problems are scaled down by `--scale` (default 8), which
+//! preserves every `alpha` (input/output ratio) class; absolute GUPS are
+//! CPU numbers, but the *shape* under test is the paper's: the proposed
+//! `L1-Tran` kernel wins at small alpha (large outputs) and the advantage
+//! shrinks/reverses at very large alpha, and RTK-32 cannot run the
+//! largest outputs (its dual-buffer 8 GB limit, scaled accordingly).
+
+use ct_bp::{backproject, BpConfig, KernelVariant};
+use ct_core::metrics::{gups, nrmse};
+use ct_core::volume::VolumeLayout;
+use ct_par::Pool;
+use ifdk::report::RunReport;
+use ifdk_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_usize(&args, "scale", 8);
+    let reps = arg_usize(&args, "reps", 1);
+    let pool = Pool::auto();
+    println!(
+        "Table 4: back-projection kernel GUPS (paper problems / {scale}, {} threads, best of {reps})\n",
+        pool.threads()
+    );
+
+    // The paper's RTK dual-buffer limit: outputs over 8 GB are N/A. Scaled
+    // by scale^3 that is 8 GB / scale^3.
+    let rtk_limit_bytes = (8u64 << 30) / (scale as u64).pow(3);
+
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    let mut wins_small_alpha = 0usize;
+    let mut small_alpha_rows = 0usize;
+
+    for problem in table4_problems(scale) {
+        let geo = geometry_for(&problem);
+        let mats = geo.projection_matrices();
+        let stack = synthetic_stack(problem.detector, problem.num_projections);
+        let alpha = problem.alpha();
+        let alpha_str = if alpha >= 1.0 {
+            format!("{alpha:.0}")
+        } else {
+            format!("1/{:.0}", 1.0 / alpha)
+        };
+        let mut row = vec![problem.label(), alpha_str];
+        let mut report = RunReport::new("table4", &problem.label());
+        report.set("alpha", problem.alpha());
+
+        let mut best: Option<(KernelVariant, f64)> = None;
+        for variant in KernelVariant::ALL {
+            if variant == KernelVariant::Rtk32
+                && problem.volume.bytes_f32() as u64 > rtk_limit_bytes
+            {
+                row.push("N/A".into());
+                continue;
+            }
+            let cfg = BpConfig {
+                variant,
+                ..BpConfig::default()
+            };
+            let mut best_secs = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..reps.max(1) {
+                let t = Instant::now();
+                let vol = backproject(&pool, cfg, &mats, &stack, problem.volume);
+                best_secs = best_secs.min(t.elapsed().as_secs_f64());
+                out = Some(vol);
+            }
+            // Verify each variant against the reference on the fly (the
+            // paper's RMSE < 1e-5 bar) for the smallest problems.
+            if problem.output_len() <= 32 * 32 * 32 {
+                let reference = ct_bp::backproject_standard(&pool, &mats, &stack, problem.volume);
+                let v = out.unwrap().into_layout(VolumeLayout::IMajor);
+                let e = nrmse(reference.data(), v.data()).unwrap();
+                assert!(e < 1e-5, "{}: NRMSE {e}", variant.name());
+            }
+            let g = gups(problem.updates(), best_secs);
+            row.push(format!("{g:.2}"));
+            report.set(variant.name(), g);
+            if best.map(|(_, bg)| g > bg).unwrap_or(true) {
+                best = Some((variant, g));
+            }
+        }
+        if problem.alpha() <= 1.0 {
+            small_alpha_rows += 1;
+            if matches!(best, Some((KernelVariant::L1Tran, _))) {
+                wins_small_alpha += 1;
+            }
+        }
+        rows.push(row);
+        reports.push(report);
+    }
+
+    let mut headers = vec!["problem (pixel -> voxel)", "alpha"];
+    headers.extend(KernelVariant::ALL.iter().map(|v| v.name()));
+    print_table(&headers, &rows);
+    println!(
+        "\nshape check: L1-Tran is fastest on {wins_small_alpha}/{small_alpha_rows} problems with alpha <= 1 \
+         (paper: L1-Tran dominates small alpha)"
+    );
+    maybe_write_json(&args, &reports);
+}

@@ -1,0 +1,74 @@
+//! Regenerates the paper's **Table 5**: breakdown of `T_compute`
+//! (`T_flt`, `T_AllGather`, `T_bp`, `delta`) for the 4K and 8K strong
+//! scaling, from the calibrated performance model + pipeline simulator.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin table5 [-- --json table5.json]
+//! ```
+
+use ct_perfmodel::des::{simulate_pipeline, Overheads};
+use ct_perfmodel::ModelInput;
+use ifdk::report::RunReport;
+use ifdk_bench::{maybe_write_json, print_table};
+
+// Paper Table 5, measured on ABCI (volume, gpus, t_flt, t_ag, t_bp, t_compute, delta).
+const PAPER: [(&str, usize, f64, f64, f64, f64, f64); 8] = [
+    ("4096^3", 32, 1.4, 31.4, 54.8, 70.2, 1.2),
+    ("4096^3", 64, 0.8, 20.7, 27.5, 35.6, 1.4),
+    ("4096^3", 128, 0.7, 15.2, 14.0, 18.9, 1.6),
+    ("4096^3", 256, 0.7, 7.4, 7.0, 10.2, 1.5),
+    ("8192^3", 256, 0.7, 46.9, 83.0, 101.3, 1.3),
+    ("8192^3", 512, 0.7, 26.9, 41.5, 53.1, 1.3),
+    ("8192^3", 1024, 0.7, 17.0, 20.8, 29.7, 1.3),
+    ("8192^3", 2048, 0.7, 8.6, 10.4, 17.2, 1.2),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ov = Overheads::default();
+    println!("Table 5: T_compute breakdown — paper (measured) vs this reproduction (simulated)\n");
+
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for (vol, gpus, p_flt, p_ag, p_bp, p_tc, p_delta) in PAPER {
+        let input = if vol == "4096^3" {
+            ModelInput::paper_4k(gpus)
+        } else {
+            ModelInput::paper_8k(gpus)
+        };
+        let sim = simulate_pipeline(&input, &ov);
+        rows.push(vec![
+            vol.to_string(),
+            gpus.to_string(),
+            format!("{p_flt:.1} / {:.1}", sim.t_flt),
+            format!("{p_ag:.1} / {:.1}", sim.t_allgather),
+            format!("{p_bp:.1} / {:.1}", sim.t_bp),
+            format!("{p_tc:.1} / {:.1}", sim.t_compute),
+            format!("{p_delta:.1} / {:.1}", sim.delta),
+        ]);
+        let mut r = RunReport::new("table5", &format!("{vol}@{gpus}"));
+        r.set("paper_t_compute", p_tc);
+        r.set("sim_t_compute", sim.t_compute);
+        r.set("paper_t_bp", p_bp);
+        r.set("sim_t_bp", sim.t_bp);
+        r.set("paper_t_allgather", p_ag);
+        r.set("sim_t_allgather", sim.t_allgather);
+        r.set("paper_delta", p_delta);
+        r.set("sim_delta", sim.delta);
+        reports.push(r);
+    }
+    print_table(
+        &[
+            "volume",
+            "GPUs",
+            "T_flt (p/s)",
+            "T_AllGather (p/s)",
+            "T_bp (p/s)",
+            "T_compute (p/s)",
+            "delta (p/s)",
+        ],
+        &rows,
+    );
+    println!("\n(p = paper measured, s = this simulator; delta > 1 means the overlap pays off)");
+    maybe_write_json(&args, &reports);
+}

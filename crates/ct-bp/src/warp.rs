@@ -1,0 +1,242 @@
+//! The `shflBP` kernel structure — paper Listing 1 on CPU.
+//!
+//! The CUDA kernel assigns one projection of a 32-wide batch to each warp
+//! lane: lane `s` computes `U = u` and `Z = 1/z` for its projection once,
+//! and every lane reads all 32 values back through `__shfl_sync` while
+//! accumulating its voxel. On the CPU the warp becomes two small stack
+//! arrays (`u_batch`, `f_batch`) computed once per voxel *column* and
+//! reused across the whole column — the same op-count saving, plus the
+//! Theorem 2/3 column reuse of Algorithm 4.
+//!
+//! Batching also means each voxel is read-modified-written **once per
+//! 32 projections** instead of once per projection ("decreasing the access
+//! count of the volume data which is stored in the global memory",
+//! Section 3.3.1).
+
+use ct_core::geometry::ProjectionMatrix;
+use ct_core::problem::Dims3;
+use ct_core::projection::{ProjectionStack, TransposedProjection};
+use ct_core::volume::{Volume, VolumeLayout};
+use ct_par::Pool;
+
+/// The paper's projection batch size (`Nbatch = 32`, Listing 1).
+pub const WARP_BATCH: usize = 32;
+
+/// Abstraction over the projection fetch path, letting the same kernel
+/// body run against the Table 3 access variants (row-major "L1",
+/// transposed, blocked "texture", nearest-fetch RTK).
+pub trait Sampler: Sync {
+    /// Bilinear (or variant-defined) sample at detector coordinates
+    /// `(u, v)` of the *original* projection orientation.
+    fn sample(&self, u: f32, v: f32) -> f32;
+}
+
+impl<S: Sampler> Sampler for &S {
+    #[inline]
+    fn sample(&self, u: f32, v: f32) -> f32 {
+        (**self).sample(u, v)
+    }
+}
+
+impl Sampler for ct_core::projection::ProjectionImage {
+    #[inline]
+    fn sample(&self, u: f32, v: f32) -> f32 {
+        ct_core::projection::ProjectionImage::sample(self, u, v)
+    }
+}
+
+impl Sampler for TransposedProjection {
+    #[inline]
+    fn sample(&self, u: f32, v: f32) -> f32 {
+        TransposedProjection::sample(self, u, v)
+    }
+}
+
+impl Sampler for ct_core::projection::BlockedProjection {
+    #[inline]
+    fn sample(&self, u: f32, v: f32) -> f32 {
+        ct_core::projection::BlockedProjection::sample(self, u, v)
+    }
+}
+
+/// Generic batched kernel: Algorithm 4 loop structure with Listing 1's
+/// 32-projection batching, over any projection access path.
+///
+/// Output is k-major; `dims.nz` must be even.
+pub fn backproject_warp_with<S: Sampler>(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    samplers: &[S],
+    nv: usize,
+    dims: Dims3,
+    batch: usize,
+) -> Volume {
+    assert_eq!(mats.len(), samplers.len(), "one matrix per projection");
+    assert!(dims.nz.is_multiple_of(2), "warp kernel needs even Nz");
+    assert!((1..=WARP_BATCH).contains(&batch), "batch must be in 1..=32");
+    let (ny, nz) = (dims.ny, dims.nz);
+    let half = nz / 2;
+    let np = mats.len();
+    let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
+
+    let mut vol = Volume::zeros(dims, VolumeLayout::KMajor);
+    let chunk = ny * nz;
+    pool.parallel_chunks_mut(vol.data_mut(), chunk, |start, slice| {
+        let i = start / chunk;
+        let ifl = i as f32;
+        let mut u_batch = [0.0f32; WARP_BATCH];
+        let mut f_batch = [0.0f32; WARP_BATCH];
+        let mut w_batch = [0.0f32; WARP_BATCH];
+        let mut y0_batch = [0.0f32; WARP_BATCH];
+        let mut yk_batch = [0.0f32; WARP_BATCH];
+        for s0 in (0..np).step_by(batch) {
+            let s1 = (s0 + batch).min(np);
+            let width = s1 - s0;
+            for j in 0..ny {
+                let jf = j as f32;
+                // "Lane" setup: per projection of the batch, the constants
+                // of the voxel column (Listing 1 lines 11-14).
+                for (lane, mat) in rows[s0..s1].iter().enumerate() {
+                    let x = mat[0][0] * ifl + mat[0][1] * jf + mat[0][3];
+                    let z = mat[2][0] * ifl + mat[2][1] * jf + mat[2][3];
+                    let f = 1.0 / z;
+                    u_batch[lane] = x * f;
+                    f_batch[lane] = f;
+                    w_batch[lane] = f * f;
+                    // y(k) is affine in k: y0 + k * dy (the "1 inner
+                    // product" of Algorithm 4 line 12, hoisted).
+                    y0_batch[lane] = mat[1][0] * ifl + mat[1][1] * jf + mat[1][3];
+                    yk_batch[lane] = mat[1][2];
+                }
+                let col = &mut slice[j * nz..(j + 1) * nz];
+                for k in 0..half {
+                    let kf = k as f32;
+                    // Listing 1 lines 15-27: in-register accumulation over
+                    // the batch for the voxel and its Theorem-1 mirror.
+                    let mut sum = 0.0f32;
+                    let mut sum_m = 0.0f32;
+                    for lane in 0..width {
+                        let y = y0_batch[lane] + yk_batch[lane] * kf;
+                        let v = y * f_batch[lane];
+                        let w = w_batch[lane];
+                        let u = u_batch[lane];
+                        let q = &samplers[s0 + lane];
+                        sum += w * q.sample(u, v);
+                        let v_m = (nv as f32 - 1.0) - v;
+                        sum_m += w * q.sample(u, v_m);
+                    }
+                    // Lines 29-30: one volume update per batch.
+                    col[k] += sum;
+                    col[nz - 1 - k] += sum_m;
+                }
+            }
+        }
+    });
+    vol
+}
+
+/// The paper's best configuration (`L1-Tran`): transposed projections,
+/// k-major volume, 32-projection batches.
+pub fn backproject_warp(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    projs: &ProjectionStack,
+    dims: Dims3,
+) -> Volume {
+    let transposed: Vec<TransposedProjection> = projs.iter().map(|p| p.transposed()).collect();
+    backproject_warp_with(pool, mats, &transposed, projs.dims().nv, dims, WARP_BATCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::backproject_standard;
+    use ct_core::geometry::CbctGeometry;
+    use ct_core::metrics::nrmse;
+    use ct_core::problem::Dims2;
+    use ct_core::projection::ProjectionImage;
+
+    fn setup(np: usize, n: usize) -> (CbctGeometry, Vec<ProjectionMatrix>, ProjectionStack) {
+        let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+        let mats = geo.projection_matrices();
+        let mut stack = ProjectionStack::new(geo.detector);
+        for s in 0..np {
+            let mut img = ProjectionImage::zeros(geo.detector);
+            for v in 0..geo.detector.nv {
+                for u in 0..geo.detector.nu {
+                    img.set(u, v, (((u * 5 + v * 11 + s) % 23) as f32) * 0.5 - 3.0);
+                }
+            }
+            stack.push(img).unwrap();
+        }
+        (geo, mats, stack)
+    }
+
+    #[test]
+    fn warp_matches_standard_at_paper_tolerance() {
+        // More projections than one batch, and not a multiple of 32,
+        // so the tail-batch path is exercised too.
+        let (geo, mats, stack) = setup(40, 16);
+        let reference = backproject_standard(&Pool::serial(), &mats, &stack, geo.volume);
+        let warp = backproject_warp(&Pool::serial(), &mats, &stack, geo.volume)
+            .into_layout(VolumeLayout::IMajor);
+        let ne = nrmse(reference.data(), warp.data()).unwrap();
+        assert!(ne < 1e-5, "normalised RMSE {ne}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result_materially() {
+        let (geo, mats, stack) = setup(33, 8);
+        let full = backproject_warp(&Pool::serial(), &mats, &stack, geo.volume);
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        for b in [1usize, 4, 32] {
+            let v = backproject_warp_with(
+                &Pool::serial(),
+                &mats,
+                &transposed,
+                stack.dims().nv,
+                geo.volume,
+                b,
+            );
+            let ne = nrmse(full.data(), v.data()).unwrap();
+            assert!(ne < 1e-6, "batch {b}: {ne}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let (geo, mats, stack) = setup(16, 8);
+        let a = backproject_warp(&Pool::serial(), &mats, &stack, geo.volume);
+        let b = backproject_warp(&Pool::new(3), &mats, &stack, geo.volume);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn different_samplers_agree() {
+        let (geo, mats, stack) = setup(8, 8);
+        let nv = stack.dims().nv;
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        let blocked: Vec<_> = stack.iter().map(|p| p.blocked()).collect();
+        let rowmajor: Vec<_> = stack.iter().cloned().collect();
+        let a = backproject_warp_with(&Pool::serial(), &mats, &transposed, nv, geo.volume, 32);
+        let b = backproject_warp_with(&Pool::serial(), &mats, &blocked, nv, geo.volume, 32);
+        let c = backproject_warp_with(&Pool::serial(), &mats, &rowmajor, nv, geo.volume, 32);
+        assert!(nrmse(a.data(), b.data()).unwrap() < 1e-6);
+        assert!(nrmse(a.data(), c.data()).unwrap() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be in 1..=32")]
+    fn oversized_batch_rejected() {
+        let (geo, mats, stack) = setup(4, 8);
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        backproject_warp_with(
+            &Pool::serial(),
+            &mats,
+            &transposed,
+            stack.dims().nv,
+            geo.volume,
+            64,
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Alternative collective algorithms.
+//!
+//! MPI libraries switch collective algorithms by message size and rank
+//! count; iFDK's two collectives sit at opposite corners (AllGather:
+//! many medium messages, latency-tolerant; Reduce: one huge message,
+//! bandwidth-bound), so the substrate carries the textbook alternatives
+//! and the benchmarks compare them:
+//!
+//! * AllGather: **ring** (default; `p-1` steps, bandwidth-optimal) vs
+//!   **Bruck** (`ceil(log2 p)` steps, latency-optimal, doubling block
+//!   sizes) vs **gather+broadcast** (naive baseline).
+//! * Reduce: **binomial tree** (default) vs **flat** (all-to-root, the
+//!   naive baseline).
+
+use crate::Comm;
+
+const TAG_BRUCK: u64 = 7 << 60;
+const TAG_FLAT: u64 = 8 << 60;
+
+/// AllGather algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllGatherAlgorithm {
+    /// Ring: `p-1` steps of one block (bandwidth optimal).
+    Ring,
+    /// Bruck: `ceil(log2 p)` steps of doubling block counts.
+    Bruck,
+    /// Gather to rank 0 then broadcast (naive).
+    GatherBroadcast,
+}
+
+/// Reduce algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceAlgorithm {
+    /// Binomial tree (log depth).
+    Binomial,
+    /// Every rank sends to the root directly (flat).
+    Flat,
+}
+
+impl Comm {
+    /// AllGather with an explicit algorithm (the default [`Comm::all_gather`]
+    /// is the ring).
+    pub fn all_gather_with<T: Clone + Send + 'static>(
+        &self,
+        algo: AllGatherAlgorithm,
+        block: &[T],
+    ) -> Vec<T> {
+        match algo {
+            AllGatherAlgorithm::Ring => self.all_gather(block),
+            AllGatherAlgorithm::Bruck => self.all_gather_bruck(block),
+            AllGatherAlgorithm::GatherBroadcast => {
+                let gathered = self.gather(0, block);
+                let flat: Option<Vec<T>> =
+                    gathered.map(|blocks| blocks.into_iter().flatten().collect());
+                self.broadcast(0, flat)
+            }
+        }
+    }
+
+    /// Bruck's AllGather: in round `k` send the `min(2^k, p - 2^k)` blocks
+    /// you hold to `(rank - 2^k) mod p` and receive as many from
+    /// `(rank + 2^k) mod p`; finish by rotating into rank order.
+    fn all_gather_bruck<T: Clone + Send + 'static>(&self, block: &[T]) -> Vec<T> {
+        let p = self.size();
+        let me = self.rank();
+        let blen = block.len();
+        if p == 1 {
+            return block.to_vec();
+        }
+        // Working set starts with our own block; after round k it holds
+        // blocks of origins me, me+1, ..., me+2^k-1 (mod p), concatenated.
+        let mut have: Vec<T> = block.to_vec();
+        let mut count = 1usize; // blocks held
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while count < p {
+            let send_blocks = count.min(p - count);
+            let dst = (me + p - step) % p;
+            let src = (me + step) % p;
+            let payload: Vec<T> = have[..send_blocks * blen].to_vec();
+            self.send_vec(dst, TAG_BRUCK + round, payload);
+            let incoming: Vec<T> = self.recv(src, TAG_BRUCK + round);
+            assert_eq!(
+                incoming.len(),
+                send_blocks * blen,
+                "Bruck requires equal block sizes"
+            );
+            have.extend(incoming);
+            count += send_blocks;
+            step *= 2;
+            round += 1;
+        }
+        // `have` holds blocks of origins me, me+1, ..., me+p-1 (mod p);
+        // origin 0 sits at block (p - me) % p. Rotate left to rank order.
+        let split = (p - me) % p * blen;
+        let mut out = Vec::with_capacity(p * blen);
+        out.extend_from_slice(&have[split..]);
+        out.extend_from_slice(&have[..split]);
+        out
+    }
+
+    /// Reduce with an explicit algorithm (the default [`Comm::reduce`] is
+    /// the binomial tree).
+    pub fn reduce_sum_f32_with(
+        &self,
+        algo: ReduceAlgorithm,
+        root: usize,
+        data: &[f32],
+    ) -> Option<Vec<f32>> {
+        match algo {
+            ReduceAlgorithm::Binomial => self.reduce_sum_f32(root, data),
+            ReduceAlgorithm::Flat => {
+                let p = self.size();
+                assert!(root < p, "root out of range");
+                if self.rank() == root {
+                    let mut acc = data.to_vec();
+                    // Deterministic: combine in rank order.
+                    for r in 0..p {
+                        if r == root {
+                            continue;
+                        }
+                        let inc: Vec<f32> = self.recv(r, TAG_FLAT + r as u64);
+                        assert_eq!(inc.len(), acc.len(), "reduce length mismatch");
+                        for (a, b) in acc.iter_mut().zip(inc.iter()) {
+                            *a += *b;
+                        }
+                    }
+                    Some(acc)
+                } else {
+                    self.send_vec(root, TAG_FLAT + self.rank() as u64, data.to_vec());
+                    None
+                }
+            }
+        }
+    }
+}
+
+const TAG_RS: u64 = 9 << 60;
+
+impl Comm {
+    /// Ring reduce-scatter (sum): every member contributes `data`, split
+    /// into `counts[r]` elements per member (must sum to `data.len()`);
+    /// member `r` returns its fully reduced block `r`.
+    ///
+    /// Bandwidth-optimal: `p - 1` steps, each moving one block — the same
+    /// total traffic as a Reduce but with the result (and any follow-up
+    /// work, like storing volume slices) spread across the group.
+    pub fn reduce_scatter_sum_f32(&self, data: &[f32], counts: &[usize]) -> Vec<f32> {
+        let p = self.size();
+        assert_eq!(counts.len(), p, "one count per member");
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            data.len(),
+            "counts must partition the buffer"
+        );
+        let me = self.rank();
+        if p == 1 {
+            return data.to_vec();
+        }
+        // Block offsets.
+        let mut offsets = Vec::with_capacity(p + 1);
+        let mut acc = 0;
+        for &c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        offsets.push(acc);
+        let block = |buf: &[f32], b: usize| buf[offsets[b]..offsets[b + 1]].to_vec();
+
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut work = data.to_vec();
+        // Step s: send block (me - 1 - s), receive and accumulate block
+        // (me - 2 - s); after p-1 steps block `me` is complete here.
+        for s in 0..p - 1 {
+            let send_b = (me + 2 * p - 1 - s) % p;
+            let recv_b = (me + 2 * p - 2 - s) % p;
+            self.send_vec(right, TAG_RS + s as u64, block(&work, send_b));
+            let incoming: Vec<f32> = self.recv(left, TAG_RS + s as u64);
+            let dst = &mut work[offsets[recv_b]..offsets[recv_b + 1]];
+            assert_eq!(incoming.len(), dst.len(), "reduce-scatter block mismatch");
+            for (a, b) in dst.iter_mut().zip(incoming.iter()) {
+                *a += *b;
+            }
+        }
+        block(&work, me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn bruck_matches_ring_at_many_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let out = Universe::run(p, |c| {
+                let block = vec![c.rank() as u32 * 100, c.rank() as u32 * 100 + 1];
+                let ring = c.all_gather_with(AllGatherAlgorithm::Ring, &block);
+                let bruck = c.all_gather_with(AllGatherAlgorithm::Bruck, &block);
+                let naive = c.all_gather_with(AllGatherAlgorithm::GatherBroadcast, &block);
+                (ring, bruck, naive)
+            })
+            .unwrap();
+            let expect: Vec<u32> = (0..p as u32).flat_map(|r| [r * 100, r * 100 + 1]).collect();
+            for (rank, (ring, bruck, naive)) in out.into_iter().enumerate() {
+                assert_eq!(ring, expect, "ring p={p} rank={rank}");
+                assert_eq!(bruck, expect, "bruck p={p} rank={rank}");
+                assert_eq!(naive, expect, "naive p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_uses_logarithmic_rounds() {
+        // 8 ranks: Bruck needs 3 rounds (one message per rank per round)
+        // = 24 messages; the ring needs 7 steps = 56. Totals are sampled
+        // after every rank has terminated (no in-flight races).
+        let p = 8;
+        let uni = Universe::default();
+        let (_, bruck) = uni
+            .launch_with_stats(p, |c| {
+                let _ = c.all_gather_with(AllGatherAlgorithm::Bruck, &[0u8; 4]);
+            })
+            .unwrap();
+        assert_eq!(bruck.messages_sent, (p * 3) as u64);
+        let (_, ring) = uni
+            .launch_with_stats(p, |c| {
+                let _ = c.all_gather_with(AllGatherAlgorithm::Ring, &[0u8; 4]);
+            })
+            .unwrap();
+        assert_eq!(ring.messages_sent, (p * (p - 1)) as u64);
+        assert!(bruck.messages_sent < ring.messages_sent);
+    }
+
+    #[test]
+    fn reduce_scatter_matches_serial_sum() {
+        for p in [1usize, 2, 3, 5, 8] {
+            // Uneven blocks: rank r owns r+1 elements.
+            let counts: Vec<usize> = (0..p).map(|r| r + 1).collect();
+            let total: usize = counts.iter().sum();
+            let out = Universe::run(p, |c| {
+                let data: Vec<f32> = (0..total).map(|i| (i * (c.rank() + 1)) as f32).collect();
+                c.reduce_scatter_sum_f32(&data, &counts)
+            })
+            .unwrap();
+            // Expected full sum: sum over ranks of i*(r+1) = i * p(p+1)/2.
+            let factor = (p * (p + 1) / 2) as f32;
+            let mut offset = 0;
+            for (r, blockv) in out.iter().enumerate() {
+                assert_eq!(blockv.len(), counts[r], "p={p} rank {r}");
+                for (j, &x) in blockv.iter().enumerate() {
+                    let expect = ((offset + j) as f32) * factor;
+                    assert_eq!(x, expect, "p={p} rank {r} elem {j}");
+                }
+                offset += counts[r];
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_traffic_is_p_minus_1_blocks() {
+        let p = 4;
+        let (_, stats) = Universe::default()
+            .launch_with_stats(p, |c| {
+                let data = vec![1.0f32; 64];
+                c.reduce_scatter_sum_f32(&data, &[16; 4])
+            })
+            .unwrap();
+        assert_eq!(stats.messages_sent, (p * (p - 1)) as u64);
+        assert_eq!(stats.bytes_sent, (p * (p - 1) * 16 * 4) as u64);
+    }
+
+    #[test]
+    fn flat_reduce_matches_binomial() {
+        for p in [1usize, 2, 5, 8] {
+            let out = Universe::run(p, |c| {
+                let data = vec![c.rank() as f32 + 1.0; 3];
+                let a = c.reduce_sum_f32_with(ReduceAlgorithm::Binomial, 0, &data);
+                c.barrier();
+                let b = c.reduce_sum_f32_with(ReduceAlgorithm::Flat, 0, &data);
+                (a, b)
+            })
+            .unwrap();
+            let total: f32 = (1..=p).map(|r| r as f32).sum();
+            assert_eq!(out[0].0.as_deref(), Some(&[total, total, total][..]));
+            assert_eq!(out[0].1.as_deref(), Some(&[total, total, total][..]));
+            for (a, b) in out.iter().skip(1) {
+                assert!(a.is_none() && b.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_reduce_non_zero_root() {
+        let out = Universe::run(4, |c| {
+            c.reduce_sum_f32_with(ReduceAlgorithm::Flat, 2, &[c.rank() as f32])
+        })
+        .unwrap();
+        assert_eq!(out[2].as_deref(), Some(&[6.0f32][..]));
+        assert!(out[0].is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! The message fabric: per-rank mailboxes with MPI-style matching.
+//!
+//! Every rank owns an unbounded inbox. A receive matches on
+//! `(communicator, source, tag)`; non-matching arrivals park in the rank's
+//! *unexpected-message queue* (exactly how MPI implementations handle
+//! early arrivals), preserving per-(src, tag) FIFO order.
+
+use crate::stats::{StatsCell, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::time::{Duration, Instant};
+
+/// Type-erased message payload.
+pub type Payload = Box<dyn Any + Send>;
+
+/// An in-flight message.
+struct Envelope {
+    src: usize,
+    comm: u64,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Receive failure modes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the timeout.
+    Timeout,
+}
+
+struct Mailbox {
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+    /// Early arrivals that did not match an outstanding receive.
+    pending: Mutex<Vec<Envelope>>,
+}
+
+/// The shared routing fabric for one universe of ranks.
+pub struct Fabric {
+    boxes: Vec<Mailbox>,
+    stats: StatsCell,
+}
+
+impl Fabric {
+    /// Create a fabric for `size` global ranks.
+    pub fn new(size: usize) -> Self {
+        let boxes = (0..size)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                Mailbox {
+                    tx,
+                    rx,
+                    pending: Mutex::new(Vec::new()),
+                }
+            })
+            .collect();
+        Self {
+            boxes,
+            stats: StatsCell::new(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.snapshot()
+    }
+
+    /// Deliver a message (never blocks; inboxes are unbounded).
+    pub fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        comm: u64,
+        tag: u64,
+        payload: Payload,
+        bytes: usize,
+    ) {
+        self.stats.record_send(bytes);
+        self.boxes[dst]
+            .tx
+            .send(Envelope {
+                src,
+                comm,
+                tag,
+                payload,
+            })
+            .expect("inbox receiver lives as long as the fabric");
+    }
+
+    /// Blocking matched receive for global rank `me`.
+    pub fn recv(
+        &self,
+        me: usize,
+        src: usize,
+        comm: u64,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, RecvError> {
+        let mbox = &self.boxes[me];
+        // First, search the unexpected-message queue.
+        {
+            let mut pending = mbox.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.src == src && e.comm == comm && e.tag == tag)
+            {
+                return Ok(pending.remove(pos).payload);
+            }
+        }
+        // Then drain the inbox until a match arrives or time runs out.
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match mbox.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.src == src && env.comm == comm && env.tag == tag {
+                        return Ok(env.payload);
+                    }
+                    mbox.pending.lock().push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("fabric owns a sender for every inbox")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn direct_delivery() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 0, 42, Box::new(5u8), 1);
+        let p = f.recv(1, 0, 0, 42, T).unwrap();
+        assert_eq!(*p.downcast::<u8>().unwrap(), 5);
+    }
+
+    #[test]
+    fn matching_skips_unrelated_messages() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 0, 1, Box::new("a"), 1);
+        f.send(0, 1, 0, 2, Box::new("b"), 1);
+        f.send(0, 1, 9, 1, Box::new("other comm"), 1);
+        let p = f.recv(1, 0, 0, 2, T).unwrap();
+        assert_eq!(*p.downcast::<&str>().unwrap(), "b");
+        // The skipped messages are still retrievable.
+        let p = f.recv(1, 0, 0, 1, T).unwrap();
+        assert_eq!(*p.downcast::<&str>().unwrap(), "a");
+        let p = f.recv(1, 0, 9, 1, T).unwrap();
+        assert_eq!(*p.downcast::<&str>().unwrap(), "other comm");
+    }
+
+    #[test]
+    fn fifo_order_per_src_tag() {
+        let f = Fabric::new(2);
+        for i in 0..10u32 {
+            f.send(0, 1, 0, 7, Box::new(i), 4);
+        }
+        for i in 0..10u32 {
+            let p = f.recv(1, 0, 0, 7, T).unwrap();
+            assert_eq!(*p.downcast::<u32>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn timeout_when_no_message() {
+        let f = Fabric::new(1);
+        let r = f.recv(0, 0, 0, 0, Duration::from_millis(20));
+        assert_eq!(r.unwrap_err(), RecvError::Timeout);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 0, 0, Box::new(0u64), 100);
+        f.send(1, 0, 0, 0, Box::new(0u64), 28);
+        let s = f.stats();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 128);
+    }
+}

@@ -1,0 +1,76 @@
+//! Traffic accounting for the fabric.
+//!
+//! The paper's performance model needs communication volumes
+//! (`T_AllGather`, `T_reduce`, Eqs. 10 and 15); these counters let tests
+//! and benchmarks verify that the collective algorithms move exactly the
+//! traffic the model assumes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interior-mutable counters shared by a fabric.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl StatsCell {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sent message of `bytes` payload bytes.
+    #[inline]
+    pub fn record_send(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot.
+    pub fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            messages_sent: self.messages.load(Ordering::Relaxed),
+            bytes_sent: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of fabric traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Total messages sent through the fabric.
+    pub messages_sent: u64,
+    /// Total payload bytes sent through the fabric.
+    pub bytes_sent: u64,
+}
+
+impl TrafficStats {
+    /// Difference of two snapshots (`self` later than `earlier`).
+    pub fn since(&self, earlier: TrafficStats) -> TrafficStats {
+        TrafficStats {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let c = StatsCell::new();
+        c.record_send(10);
+        let a = c.snapshot();
+        c.record_send(20);
+        c.record_send(30);
+        let b = c.snapshot();
+        assert_eq!(a.messages_sent, 1);
+        assert_eq!(b.bytes_sent, 60);
+        let d = b.since(a);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.bytes_sent, 50);
+    }
+}

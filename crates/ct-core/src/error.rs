@@ -1,0 +1,93 @@
+//! Error type shared by the iFDK-rs crates that build on `ct-core`.
+
+use std::fmt;
+
+/// Errors produced while setting up or running a reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtError {
+    /// A dimension was zero or otherwise unusable.
+    InvalidDimension {
+        /// Name of the offending parameter (e.g. `"Nx"`).
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Two containers that must agree in shape do not.
+    ShapeMismatch {
+        /// Expected shape, formatted.
+        expected: String,
+        /// Actual shape, formatted.
+        actual: String,
+    },
+    /// A geometry parameter is physically meaningless (e.g. `d <= 0`).
+    InvalidGeometry(String),
+    /// A configuration value is out of its allowed range.
+    InvalidConfig(String),
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for CtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtError::InvalidDimension { what, detail } => {
+                write!(f, "invalid dimension {what}: {detail}")
+            }
+            CtError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            CtError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            CtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CtError::OutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CtError::InvalidDimension {
+            what: "Nx",
+            detail: "must be nonzero".into(),
+        };
+        assert!(e.to_string().contains("Nx"));
+
+        let e = CtError::ShapeMismatch {
+            expected: "512x512".into(),
+            actual: "256x256".into(),
+        };
+        assert!(e.to_string().contains("512x512"));
+        assert!(e.to_string().contains("256x256"));
+
+        let e = CtError::OutOfBounds {
+            what: "projection",
+            index: 9,
+            bound: 8,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CtError>();
+    }
+}

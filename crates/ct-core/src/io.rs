@@ -1,0 +1,188 @@
+//! Image and volume export — the inspection path of the paper's
+//! evaluation ("we use the image processing tool ImageJ to render the
+//! generated 3D volumes", Section 5.1).
+//!
+//! * [`write_pgm`] — 8-bit PGM slice images (openable anywhere).
+//! * [`write_mhd_volume`] — ITK MetaImage (`.mhd` header + `.raw` f32
+//!   payload), the interchange format RTK/ImageJ read directly.
+//! * [`read_raw_volume`] — load the `.raw` payload back.
+
+use crate::error::{CtError, Result};
+use crate::problem::Dims3;
+use crate::volume::{Volume, VolumeLayout};
+use std::io::Write;
+use std::path::Path;
+
+/// Write a 2D buffer (row-major, `width` columns) as an 8-bit binary PGM,
+/// windowed to `[lo, hi]` (pass `None` to auto-window to the data range).
+pub fn write_pgm(
+    path: &Path,
+    data: &[f32],
+    width: usize,
+    window: Option<(f32, f32)>,
+) -> Result<()> {
+    if width == 0 || !data.len().is_multiple_of(width) {
+        return Err(CtError::InvalidDimension {
+            what: "width",
+            detail: format!("{} pixels don't form rows of {width}", data.len()),
+        });
+    }
+    let height = data.len() / width;
+    let (lo, hi) = window.unwrap_or_else(|| {
+        data.iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            })
+    });
+    let range = (hi - lo).max(1e-12);
+    let mut out = Vec::with_capacity(data.len() + 64);
+    out.extend_from_slice(format!("P5\n{width} {height}\n255\n").as_bytes());
+    for &v in data {
+        let t = ((v - lo) / range).clamp(0.0, 1.0);
+        out.push((t * 255.0).round() as u8);
+    }
+    write_file(path, &out)
+}
+
+/// Write a volume as an ITK MetaImage: `<stem>.mhd` text header plus
+/// `<stem>.raw` little-endian f32 payload in i-major (x-fastest) order.
+pub fn write_mhd_volume(stem: &Path, vol: &Volume, spacing: [f64; 3]) -> Result<()> {
+    let dims = vol.dims();
+    let raw_name = stem
+        .file_name()
+        .map(|n| format!("{}.raw", n.to_string_lossy()))
+        .ok_or_else(|| CtError::InvalidConfig("stem has no file name".into()))?;
+    let header = format!(
+        "ObjectType = Image\n\
+         NDims = 3\n\
+         BinaryData = True\n\
+         BinaryDataByteOrderMSB = False\n\
+         CompressedData = False\n\
+         TransformMatrix = 1 0 0 0 1 0 0 0 1\n\
+         Offset = 0 0 0\n\
+         ElementSpacing = {} {} {}\n\
+         DimSize = {} {} {}\n\
+         ElementType = MET_FLOAT\n\
+         ElementDataFile = {raw_name}\n",
+        spacing[0], spacing[1], spacing[2], dims.nx, dims.ny, dims.nz,
+    );
+    write_file(&stem.with_extension("mhd"), header.as_bytes())?;
+
+    // MetaImage expects x-fastest: the i-major layout verbatim.
+    let imajor;
+    let data: &[f32] = match vol.layout() {
+        VolumeLayout::IMajor => vol.data(),
+        VolumeLayout::KMajor => {
+            imajor = vol.clone().into_layout(VolumeLayout::IMajor);
+            imajor.data()
+        }
+    };
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    write_file(&stem.with_extension("raw"), &bytes)
+}
+
+/// Read a `.raw` f32 payload written by [`write_mhd_volume`] back into an
+/// i-major volume of the given dims.
+pub fn read_raw_volume(path: &Path, dims: Dims3) -> Result<Volume> {
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    if bytes.len() != dims.len() * 4 {
+        return Err(CtError::ShapeMismatch {
+            expected: format!("{} bytes", dims.len() * 4),
+            actual: format!("{}", bytes.len()),
+        });
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Volume::from_vec(dims, VolumeLayout::IMajor, data)
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+    }
+    let mut f = std::fs::File::create(path).map_err(io_err)?;
+    f.write_all(bytes).map_err(io_err)
+}
+
+fn io_err(e: std::io::Error) -> CtError {
+    CtError::InvalidConfig(format!("io error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ct_io_{}_{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let p = tmp("a.pgm");
+        write_pgm(&p, &[0.0, 0.5, 1.0, 0.25], 2, Some((0.0, 1.0))).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        let pix = &bytes[bytes.len() - 4..];
+        assert_eq!(pix[0], 0);
+        assert_eq!(pix[1], 128);
+        assert_eq!(pix[2], 255);
+        assert_eq!(pix[3], 64);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn pgm_auto_window() {
+        let p = tmp("b.pgm");
+        write_pgm(&p, &[10.0, 20.0], 2, None).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert_eq!(bytes[bytes.len() - 2], 0);
+        assert_eq!(bytes[bytes.len() - 1], 255);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn pgm_rejects_ragged() {
+        assert!(write_pgm(&tmp("c.pgm"), &[0.0; 5], 2, None).is_err());
+        assert!(write_pgm(&tmp("d.pgm"), &[0.0; 4], 0, None).is_err());
+    }
+
+    #[test]
+    fn mhd_round_trip_both_layouts() {
+        for layout in [VolumeLayout::IMajor, VolumeLayout::KMajor] {
+            let dims = Dims3::new(3, 4, 2);
+            let mut vol = Volume::zeros(dims, layout);
+            for i in 0..3 {
+                for j in 0..4 {
+                    for k in 0..2 {
+                        vol.set(i, j, k, (i * 100 + j * 10 + k) as f32);
+                    }
+                }
+            }
+            let stem = tmp(&format!("vol_{layout:?}"));
+            write_mhd_volume(&stem, &vol, [1.0, 1.0, 2.0]).unwrap();
+            let header = std::fs::read_to_string(stem.with_extension("mhd")).unwrap();
+            assert!(header.contains("DimSize = 3 4 2"));
+            assert!(header.contains("ElementSpacing = 1 1 2"));
+            let back = read_raw_volume(&stem.with_extension("raw"), dims).unwrap();
+            let want = vol.clone().into_layout(VolumeLayout::IMajor);
+            assert_eq!(back, want);
+            std::fs::remove_file(stem.with_extension("mhd")).unwrap();
+            std::fs::remove_file(stem.with_extension("raw")).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_raw_checks_size() {
+        let stem = tmp("short");
+        std::fs::write(stem.with_extension("raw"), [0u8; 8]).unwrap();
+        assert!(read_raw_volume(&stem.with_extension("raw"), Dims3::cube(4)).is_err());
+        std::fs::remove_file(stem.with_extension("raw")).unwrap();
+    }
+}

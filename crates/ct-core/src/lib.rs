@@ -1,0 +1,52 @@
+//! # ct-core — CBCT geometry, containers and phantoms
+//!
+//! Foundation crate of the iFDK-rs workspace, a reproduction of
+//! *"iFDK: A Scalable Framework for Instant High-resolution Image
+//! Reconstruction"* (Chen et al., SC '19).
+//!
+//! This crate provides everything the filtering and back-projection stages
+//! share:
+//!
+//! * [`geometry`] — the cone-beam CT (CBCT) acquisition geometry of the
+//!   paper's Table 1 and Section 3.2.1, including the `M0`/`Mrot`/`M1`
+//!   projection-matrix factorisation and the three theorems the proposed
+//!   back-projection algorithm exploits.
+//! * [`projection`] — 2D projection images and stacks of them, in the
+//!   row-major, transposed and blocked ("texture-like") layouts examined by
+//!   the paper's Table 3.
+//! * [`volume`] — 3D volumes in the i-major (standard) and k-major
+//!   (proposed, Section 3.2.3) memory layouts.
+//! * [`interp`] — bilinear sub-pixel interpolation (paper Algorithm 3).
+//! * [`phantom`] — analytic ellipsoid phantoms (3D Shepp-Logan) used to
+//!   generate synthetic projections, standing in for the RTK
+//!   forward-projection tool used by the paper's evaluation (Section 5.1).
+//! * [`forward`] — exact (closed-form) and numeric (ray-marching) cone-beam
+//!   forward projectors.
+//! * [`metrics`] — RMSE/GUPS/PSNR, matching the paper's Section 2.3
+//!   definitions.
+//!
+//! Data is `f32` end-to-end (the paper uses single precision throughout,
+//! Section 5.1); geometric computations are `f64` and cast late.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod forward;
+pub mod geometry;
+pub mod interp;
+pub mod io;
+pub mod math;
+pub mod metrics;
+pub mod noise;
+pub mod phantom;
+pub mod problem;
+pub mod projection;
+pub mod stats;
+pub mod volume;
+
+pub use error::{CtError, Result};
+pub use geometry::{CbctGeometry, ProjectionMatrix};
+pub use problem::{Dims2, Dims3, ReconProblem};
+pub use projection::{ProjectionImage, ProjectionStack};
+pub use volume::{Volume, VolumeLayout};

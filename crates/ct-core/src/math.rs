@@ -1,0 +1,420 @@
+//! Small dense linear-algebra types used by the geometry module.
+//!
+//! The projection-matrix pipeline of the paper (Section 3.2.1) is a chain of
+//! 4x4 homogeneous transforms truncated to a 3x4 matrix. We implement exactly
+//! the types that chain needs — nothing more — in `f64`, casting to `f32`
+//! only at the kernel boundary.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-component vector of `f64` (world/voxel coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the vector is (near) zero.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalise the zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Component-wise scaling by another vector.
+    #[inline]
+    pub fn scale(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 4-component homogeneous vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+    /// Homogeneous (w) component.
+    pub w: f64,
+}
+
+impl Vec4 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64, w: f64) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Promote a point to homogeneous coordinates (`w = 1`).
+    #[inline]
+    pub fn from_point(p: Vec3) -> Self {
+        Self::new(p.x, p.y, p.z, 1.0)
+    }
+
+    /// Dot product with another 4-vector.
+    #[inline]
+    pub fn dot(self, o: Vec4) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+
+    /// Drop the homogeneous component (no perspective divide).
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+}
+
+/// A row-major 4x4 matrix of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 4]; 4],
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat4 = Mat4 {
+        rows: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Construct from rows.
+    #[inline]
+    pub const fn from_rows(rows: [[f64; 4]; 4]) -> Self {
+        Self { rows }
+    }
+
+    /// A diagonal matrix.
+    #[inline]
+    pub fn diagonal(d0: f64, d1: f64, d2: f64, d3: f64) -> Self {
+        let mut m = Mat4::IDENTITY;
+        m.rows[0][0] = d0;
+        m.rows[1][1] = d1;
+        m.rows[2][2] = d2;
+        m.rows[3][3] = d3;
+        m
+    }
+
+    /// Rotation about the Z axis by `beta` radians (right-handed).
+    #[inline]
+    pub fn rot_z(beta: f64) -> Self {
+        let (s, c) = beta.sin_cos();
+        Mat4::from_rows([
+            [c, -s, 0.0, 0.0],
+            [s, c, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        let r = &self.rows;
+        Vec4::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z + r[0][3] * v.w,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z + r[1][3] * v.w,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z + r[2][3] * v.w,
+            r[3][0] * v.x + r[3][1] * v.y + r[3][2] * v.z + r[3][3] * v.w,
+        )
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transposed(&self) -> Mat4 {
+        let r = &self.rows;
+        Mat4::from_rows([
+            [r[0][0], r[1][0], r[2][0], r[3][0]],
+            [r[0][1], r[1][1], r[2][1], r[3][1]],
+            [r[0][2], r[1][2], r[2][2], r[3][2]],
+            [r[0][3], r[1][3], r[2][3], r[3][3]],
+        ])
+    }
+
+    /// Extract the upper three rows as a 3x4 matrix (the paper's
+    /// `P = P_hat[0:3]` truncation, Eq. 2).
+    #[inline]
+    pub fn top3(&self) -> Mat3x4 {
+        Mat3x4 {
+            rows: [self.rows[0], self.rows[1], self.rows[2]],
+        }
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, o: Mat4) -> Mat4 {
+        let mut out = [[0.0f64; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.rows[i][k] * o.rows[k][j];
+                }
+                *cell = acc;
+            }
+        }
+        Mat4::from_rows(out)
+    }
+}
+
+/// A row-major 3x4 matrix — the projection matrix shape of the paper
+/// (Table 1, `P_i`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3x4 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 4]; 3],
+}
+
+impl Mat3x4 {
+    /// Construct from rows.
+    #[inline]
+    pub const fn from_rows(rows: [[f64; 4]; 3]) -> Self {
+        Self { rows }
+    }
+
+    /// Apply to a homogeneous point, producing the paper's `[x, y, z]^T`
+    /// (Eq. 1, before the perspective divide).
+    #[inline]
+    pub fn mul_point(&self, p: Vec4) -> Vec3 {
+        Vec3::new(self.row_dot(0, p), self.row_dot(1, p), self.row_dot(2, p))
+    }
+
+    /// Inner product of row `r` with a homogeneous point — the single
+    /// 1x4-vector inner product of the paper's Algorithm 4 line 12.
+    #[inline]
+    pub fn row_dot(&self, r: usize, p: Vec4) -> f64 {
+        let row = &self.rows[r];
+        row[0] * p.x + row[1] * p.y + row[2] * p.z + row[3] * p.w
+    }
+
+    /// Cast every entry to `f32` in row-major order, the shape stored in the
+    /// (simulated) constant memory of the paper's Listing 1 (`ProjMat`).
+    pub fn to_f32_rows(&self) -> [[f32; 4]; 3] {
+        let mut out = [[0.0f32; 4]; 3];
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[i][j] = v as f32;
+            }
+        }
+        out
+    }
+}
+
+/// Smallest power of two `>= n` (used for FFT padding and grid sizing).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// True if `n` is a power of two.
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Integer ceiling division.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn vec3_dot_cross_orthogonality() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < EPS);
+        assert!(c.dot(b).abs() < EPS);
+    }
+
+    #[test]
+    fn vec3_norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.norm() - 5.0).abs() < EPS);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mat4_identity_is_neutral() {
+        let v = Vec4::new(1.0, -2.0, 3.5, 1.0);
+        assert_eq!(Mat4::IDENTITY.mul_vec4(v), v);
+        let m = Mat4::rot_z(0.7);
+        let id = m * Mat4::IDENTITY;
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((id.rows[i][j] - m.rows[i][j]).abs() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn rot_z_rotates_x_to_y() {
+        let m = Mat4::rot_z(std::f64::consts::FRAC_PI_2);
+        let v = m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0));
+        assert!(v.x.abs() < EPS);
+        assert!((v.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rot_z_composition_adds_angles() {
+        let a = Mat4::rot_z(0.3);
+        let b = Mat4::rot_z(0.5);
+        let ab = a * b;
+        let direct = Mat4::rot_z(0.8);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((ab.rows[i][j] - direct.rows[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mat4_mul_associative() {
+        let a = Mat4::rot_z(0.2);
+        let b = Mat4::diagonal(2.0, 3.0, 4.0, 1.0);
+        let c = Mat4::rot_z(-0.9);
+        let l = (a * b) * c;
+        let r = a * (b * c);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((l.rows[i][j] - r.rows[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat4::rot_z(1.1) * Mat4::diagonal(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn mat3x4_matches_mat4_truncation() {
+        let m = Mat4::rot_z(0.4) * Mat4::diagonal(2.0, 1.0, 0.5, 1.0);
+        let p = m.top3();
+        let v = Vec4::new(1.0, 2.0, 3.0, 1.0);
+        let full = m.mul_vec4(v);
+        let trunc = p.mul_point(v);
+        assert!((full.x - trunc.x).abs() < EPS);
+        assert!((full.y - trunc.y).abs() < EPS);
+        assert!((full.z - trunc.z).abs() < EPS);
+    }
+
+    #[test]
+    fn row_dot_agrees_with_mul_point() {
+        let m = Mat4::rot_z(0.4).top3();
+        let v = Vec4::new(0.5, -1.5, 2.0, 1.0);
+        let p = m.mul_point(v);
+        assert_eq!(p.x, m.row_dot(0, v));
+        assert_eq!(p.y, m.row_dot(1, v));
+        assert_eq!(p.z, m.row_dot(2, v));
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+        assert!(is_pow2(1));
+        assert!(is_pow2(64));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(96));
+        assert_eq!(div_ceil(7, 3), 3);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Transmission noise model for synthetic projections.
+//!
+//! Real detectors count photons: for incident flux `I0` and line integral
+//! `p`, the detected count is Poisson with mean `I0 * exp(-p)`, and the
+//! measured line integral is `-ln(N / I0)`. The filtering stage's window
+//! choice (Section 2.2.2: "the shape of the Framp filter deeply affects
+//! the final image quality") only becomes *visible* under this noise —
+//! the soft windows buy noise suppression with resolution — so the test
+//! suite and the examples use this model to make the trade-off
+//! measurable.
+
+use crate::projection::{ProjectionImage, ProjectionStack};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Photon-counting noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Incident photons per detector pixel (`I0`); larger = cleaner.
+    pub i0: f64,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// A typical micro-CT exposure.
+    pub fn typical() -> Self {
+        Self {
+            i0: 1.0e5,
+            seed: 0x1FDC_0FFE,
+        }
+    }
+
+    /// Apply the model to one projection of line integrals, in place.
+    pub fn apply_image(&self, img: &mut ProjectionImage, rng: &mut StdRng) {
+        for p in img.data_mut() {
+            let mean = self.i0 * (-(*p as f64)).exp();
+            let n = sample_poisson(rng, mean).max(1.0);
+            *p = -(n / self.i0).ln() as f32;
+        }
+    }
+
+    /// Apply the model to a whole stack, returning the noisy copy.
+    pub fn apply(&self, stack: &ProjectionStack) -> ProjectionStack {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = stack.clone();
+        for img in out.iter_mut() {
+            self.apply_image(img, &mut rng);
+        }
+        out
+    }
+}
+
+/// Poisson sampling: Knuth's product method for small means, normal
+/// approximation above 50 (detector counts are typically 1e3-1e6, where
+/// the approximation error is far below the quantisation).
+fn sample_poisson(rng: &mut StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if mean < 50.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+    // Box-Muller normal approximation N(mean, mean).
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + z * mean.sqrt()).round().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Dims2;
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &mean in &[3.0f64, 20.0, 500.0] {
+            let n = 4000;
+            let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, mean)).collect();
+            let m: f64 = samples.iter().sum::<f64>() / n as f64;
+            let var: f64 = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (n - 1) as f64;
+            assert!((m - mean).abs() < 0.1 * mean, "mean {m} vs {mean}");
+            assert!((var - mean).abs() < 0.2 * mean, "var {var} vs {mean}");
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let mut img = ProjectionImage::zeros(Dims2::new(16, 16));
+        img.data_mut().iter_mut().for_each(|p| *p = 1.0);
+        let stack = ProjectionStack::from_images(Dims2::new(16, 16), vec![img]).unwrap();
+        let model = NoiseModel::typical();
+        assert_eq!(model.apply(&stack), model.apply(&stack));
+    }
+
+    #[test]
+    fn noise_is_unbiased_and_scales_with_exposure() {
+        let mut img = ProjectionImage::zeros(Dims2::new(64, 64));
+        img.data_mut().iter_mut().for_each(|p| *p = 2.0);
+        let stack = ProjectionStack::from_images(Dims2::new(64, 64), vec![img]).unwrap();
+
+        let spread = |i0: f64| -> (f64, f64) {
+            let noisy = NoiseModel { i0, seed: 7 }.apply(&stack);
+            let data = noisy.get(0).data();
+            let m = data.iter().map(|&x| x as f64).sum::<f64>() / data.len() as f64;
+            let v = data
+                .iter()
+                .map(|&x| (x as f64 - m) * (x as f64 - m))
+                .sum::<f64>()
+                / data.len() as f64;
+            (m, v)
+        };
+        let (m_hi, v_hi) = spread(1.0e6);
+        let (m_lo, v_lo) = spread(1.0e3);
+        // Unbiased around the true integral 2.0.
+        assert!((m_hi - 2.0).abs() < 0.01, "{m_hi}");
+        assert!((m_lo - 2.0).abs() < 0.1, "{m_lo}");
+        // More photons, less variance.
+        assert!(v_hi < v_lo / 10.0, "v_hi {v_hi} v_lo {v_lo}");
+    }
+
+    #[test]
+    fn zero_counts_are_clamped() {
+        // A huge line integral drives the expected count to ~0; the
+        // clamped measurement stays finite.
+        let mut img = ProjectionImage::zeros(Dims2::new(4, 4));
+        img.data_mut().iter_mut().for_each(|p| *p = 50.0);
+        let stack = ProjectionStack::from_images(Dims2::new(4, 4), vec![img]).unwrap();
+        let noisy = NoiseModel { i0: 100.0, seed: 1 }.apply(&stack);
+        assert!(noisy.get(0).data().iter().all(|p| p.is_finite()));
+    }
+}

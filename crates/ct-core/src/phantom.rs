@@ -1,0 +1,342 @@
+//! Analytic ellipsoid phantoms.
+//!
+//! The paper's evaluation generates projections of the standard Shepp-Logan
+//! phantom with RTK's forward-projection tool (Section 5.1). We carry the
+//! phantom analytically — as a sum of ellipsoids — which gives us *exact*
+//! line integrals (see [`crate::forward`]) and an exact voxelisation to
+//! verify reconstructions against.
+
+use crate::math::Vec3;
+use crate::problem::Dims3;
+use crate::volume::{Volume, VolumeLayout};
+
+/// A single ellipsoid: semi-axes `(a, b, c)`, centre, rotation `phi` about
+/// the Z axis, and an *additive* density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipsoid {
+    /// Additive density (Hounsfield-like arbitrary units).
+    pub density: f64,
+    /// Semi-axis along (rotated) X.
+    pub a: f64,
+    /// Semi-axis along (rotated) Y.
+    pub b: f64,
+    /// Semi-axis along Z.
+    pub c: f64,
+    /// Centre in world coordinates.
+    pub center: Vec3,
+    /// Rotation about Z (radians).
+    pub phi: f64,
+}
+
+impl Ellipsoid {
+    /// True if the world point lies strictly inside the ellipsoid.
+    pub fn contains(&self, p: Vec3) -> bool {
+        let q = self.to_local(p);
+        q.norm_sq() < 1.0
+    }
+
+    /// Transform a world point into the ellipsoid's unit-sphere frame.
+    #[inline]
+    pub fn to_local(&self, p: Vec3) -> Vec3 {
+        let d = p - self.center;
+        let (s, c) = self.phi.sin_cos();
+        // Rotate by -phi about Z, then scale to the unit sphere.
+        let x = c * d.x + s * d.y;
+        let y = -s * d.x + c * d.y;
+        Vec3::new(x / self.a, y / self.b, d.z / self.c)
+    }
+
+    /// Transform a world *direction* into the unit-sphere frame (no
+    /// translation).
+    #[inline]
+    pub fn dir_local(&self, d: Vec3) -> Vec3 {
+        let (s, c) = self.phi.sin_cos();
+        let x = c * d.x + s * d.y;
+        let y = -s * d.x + c * d.y;
+        Vec3::new(x / self.a, y / self.b, d.z / self.c)
+    }
+
+    /// Exact chord length of the ray `origin + t*dir` (with `dir` a *unit*
+    /// world vector) through this ellipsoid, in world units.
+    pub fn chord_length(&self, origin: Vec3, dir: Vec3) -> f64 {
+        let o = self.to_local(origin);
+        let d = self.dir_local(dir);
+        // |o + t d|^2 = 1  =>  (d.d) t^2 + 2 (o.d) t + (o.o - 1) = 0
+        let a = d.norm_sq();
+        let b = 2.0 * o.dot(d);
+        let c = o.norm_sq() - 1.0;
+        let disc = b * b - 4.0 * a * c;
+        if disc <= 0.0 || a == 0.0 {
+            return 0.0;
+        }
+        // Roots differ by sqrt(disc)/a; t is world arc length because dir
+        // is unit length in world space and the map is linear.
+        disc.sqrt() / a
+    }
+}
+
+/// A phantom: a list of additive ellipsoids.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Phantom {
+    /// The ellipsoids, summed where they overlap.
+    pub ellipsoids: Vec<Ellipsoid>,
+}
+
+impl Phantom {
+    /// The classic 10-ellipsoid 3D Shepp-Logan head phantom (Kak & Slaney
+    /// parameterisation), scaled so the outer skull ellipsoid has semi-axis
+    /// `scale` along its largest direction. `scale` is in world (mm) units
+    /// and should be at most the half-extent of the reconstructed volume.
+    pub fn shepp_logan(scale: f64) -> Self {
+        // Rows: density, a, b, c, x0, y0, z0, phi_degrees — normalised to
+        // the unit sphere.
+        const ROWS: [[f64; 8]; 10] = [
+            [2.00, 0.6900, 0.920, 0.810, 0.00, 0.0000, 0.00, 0.0],
+            [-0.98, 0.6624, 0.874, 0.780, 0.00, -0.0184, 0.00, 0.0],
+            [-0.02, 0.1100, 0.310, 0.220, 0.22, 0.0000, 0.00, -18.0],
+            [-0.02, 0.1600, 0.410, 0.280, -0.22, 0.0000, 0.00, 18.0],
+            [0.01, 0.2100, 0.250, 0.410, 0.00, 0.3500, -0.15, 0.0],
+            [0.01, 0.0460, 0.046, 0.050, 0.00, 0.1000, 0.25, 0.0],
+            [0.01, 0.0460, 0.046, 0.050, 0.00, -0.1000, 0.25, 0.0],
+            [0.01, 0.0460, 0.023, 0.050, -0.08, -0.6050, 0.00, 0.0],
+            [0.01, 0.0230, 0.023, 0.020, 0.00, -0.6060, 0.00, 0.0],
+            [0.01, 0.0230, 0.046, 0.020, 0.06, -0.6050, 0.00, 0.0],
+        ];
+        let ellipsoids = ROWS
+            .iter()
+            .map(|r| Ellipsoid {
+                density: r[0],
+                a: r[1] * scale,
+                b: r[2] * scale,
+                c: r[3] * scale,
+                center: Vec3::new(r[4] * scale, r[5] * scale, r[6] * scale),
+                phi: r[7].to_radians(),
+            })
+            .collect();
+        Self { ellipsoids }
+    }
+
+    /// A single uniform sphere of radius `r` and density 1 at the origin —
+    /// the simplest possible calibration phantom.
+    pub fn uniform_sphere(r: f64) -> Self {
+        Self {
+            ellipsoids: vec![Ellipsoid {
+                density: 1.0,
+                a: r,
+                b: r,
+                c: r,
+                center: Vec3::ZERO,
+                phi: 0.0,
+            }],
+        }
+    }
+
+    /// An industrial-inspection style phantom: a solid cylinder-ish block
+    /// (modelled as a flat ellipsoid) with `n_defects` small low-density
+    /// "pores" placed on a helix — the kind of object the paper's
+    /// discussion (Section 6.1) targets with micro-CT.
+    pub fn casting_with_defects(scale: f64, n_defects: usize) -> Self {
+        let mut ellipsoids = vec![Ellipsoid {
+            density: 1.0,
+            a: 0.8 * scale,
+            b: 0.8 * scale,
+            c: 0.7 * scale,
+            center: Vec3::ZERO,
+            phi: 0.0,
+        }];
+        for t in 0..n_defects {
+            let frac = t as f64 / n_defects.max(1) as f64;
+            let ang = frac * std::f64::consts::TAU * 2.0;
+            let r = 0.45 * scale;
+            ellipsoids.push(Ellipsoid {
+                // Negative density: a void in the casting. Sized a few
+                // voxels across at the default geometries so finite
+                // angular sampling cannot blur it away.
+                density: -0.8,
+                a: 0.11 * scale,
+                b: 0.09 * scale,
+                c: 0.12 * scale,
+                // The helix stays safely inside the body ellipsoid: at
+                // radius 0.45*scale, z must remain well below the local
+                // surface height.
+                center: Vec3::new(r * ang.cos(), r * ang.sin(), (frac - 0.5) * 0.6 * scale),
+                phi: ang,
+            });
+        }
+        Self { ellipsoids }
+    }
+
+    /// Density at a world point (sum of containing ellipsoids).
+    pub fn density_at(&self, p: Vec3) -> f64 {
+        self.ellipsoids
+            .iter()
+            .filter(|e| e.contains(p))
+            .map(|e| e.density)
+            .sum()
+    }
+
+    /// Exact line integral along the ray `origin + t*dir` (`dir` unit).
+    pub fn line_integral(&self, origin: Vec3, dir: Vec3) -> f64 {
+        self.ellipsoids
+            .iter()
+            .map(|e| e.density * e.chord_length(origin, dir))
+            .sum()
+    }
+
+    /// Voxelise into a volume using the geometry's voxel-centre positions.
+    ///
+    /// `voxel_pos` maps `(i, j, k)` to world coordinates; pass
+    /// [`crate::geometry::CbctGeometry::voxel_position`].
+    pub fn voxelize<F>(&self, dims: Dims3, layout: VolumeLayout, voxel_pos: F) -> Volume
+    where
+        F: Fn(usize, usize, usize) -> Vec3,
+    {
+        let mut vol = Volume::zeros(dims, layout);
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    vol.set(i, j, k, self.density_at(voxel_pos(i, j, k)) as f32);
+                }
+            }
+        }
+        vol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_chord_through_center_is_diameter() {
+        let e = Ellipsoid {
+            density: 1.0,
+            a: 2.0,
+            b: 2.0,
+            c: 2.0,
+            center: Vec3::ZERO,
+            phi: 0.0,
+        };
+        let l = e.chord_length(Vec3::new(-10.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!((l - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chord_misses_return_zero() {
+        let e = Ellipsoid {
+            density: 1.0,
+            a: 1.0,
+            b: 1.0,
+            c: 1.0,
+            center: Vec3::ZERO,
+            phi: 0.0,
+        };
+        let l = e.chord_length(Vec3::new(-10.0, 5.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(l, 0.0);
+        // Tangent ray also integrates to ~zero.
+        let l = e.chord_length(Vec3::new(-10.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn off_center_chord_matches_analytic() {
+        // Sphere radius 2, ray at impact parameter 1: half-chord =
+        // sqrt(4 - 1), chord = 2*sqrt(3).
+        let e = Ellipsoid {
+            density: 1.0,
+            a: 2.0,
+            b: 2.0,
+            c: 2.0,
+            center: Vec3::ZERO,
+            phi: 0.0,
+        };
+        let l = e.chord_length(Vec3::new(-10.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!((l - 2.0 * 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_ellipsoid_chord_is_rotation_invariant() {
+        // Rotating both the ellipsoid and the ray about Z must not change
+        // the chord.
+        let base = Ellipsoid {
+            density: 1.0,
+            a: 3.0,
+            b: 1.0,
+            c: 1.0,
+            center: Vec3::new(0.5, -0.25, 0.1),
+            phi: 0.0,
+        };
+        let l0 = base.chord_length(Vec3::new(-10.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let ang = 0.7f64;
+        let (s, c) = ang.sin_cos();
+        let rot = |p: Vec3| Vec3::new(c * p.x - s * p.y, s * p.x + c * p.y, p.z);
+        let rotated = Ellipsoid {
+            phi: ang,
+            center: rot(base.center),
+            ..base
+        };
+        let l1 = rotated.chord_length(
+            rot(Vec3::new(-10.0, 0.0, 0.0)),
+            rot(Vec3::new(1.0, 0.0, 0.0)),
+        );
+        assert!((l0 - l1).abs() < 1e-10, "{l0} vs {l1}");
+    }
+
+    #[test]
+    fn shepp_logan_density_ranges() {
+        let p = Phantom::shepp_logan(1.0);
+        assert_eq!(p.ellipsoids.len(), 10);
+        // Centre of the head: skull (2.0) + brain (-0.98) + left/right
+        // ventricles do not cover the exact centre... density there is
+        // 2.0 - 0.98 = 1.02.
+        let c = p.density_at(Vec3::ZERO);
+        assert!((c - 1.02).abs() < 1e-12, "centre density {c}");
+        // Outside the skull: zero.
+        assert_eq!(p.density_at(Vec3::new(2.0, 0.0, 0.0)), 0.0);
+        // Inside the skull shell only: 2.0.
+        let shell = p.density_at(Vec3::new(0.0, 0.90 * 0.999, 0.0));
+        assert!((shell - 2.0).abs() < 1e-12, "shell density {shell}");
+    }
+
+    #[test]
+    fn line_integral_is_additive() {
+        let p = Phantom::uniform_sphere(1.0);
+        let two = Phantom {
+            ellipsoids: vec![p.ellipsoids[0], p.ellipsoids[0]],
+        };
+        let o = Vec3::new(-5.0, 0.3, 0.1);
+        let d = Vec3::new(1.0, 0.0, 0.0);
+        assert!((two.line_integral(o, d) - 2.0 * p.line_integral(o, d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voxelize_matches_density_at() {
+        let p = Phantom::uniform_sphere(1.5);
+        let dims = Dims3::cube(8);
+        let pos = |i: usize, j: usize, k: usize| {
+            Vec3::new(i as f64 - 3.5, j as f64 - 3.5, k as f64 - 3.5)
+        };
+        let vol = p.voxelize(dims, VolumeLayout::IMajor, pos);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    assert_eq!(vol.get(i, j, k), p.density_at(pos(i, j, k)) as f32);
+                }
+            }
+        }
+        // The centre voxels are inside.
+        assert_eq!(vol.get(3, 3, 3), 1.0);
+        assert_eq!(vol.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn casting_phantom_has_defects() {
+        let p = Phantom::casting_with_defects(10.0, 5);
+        assert_eq!(p.ellipsoids.len(), 6);
+        // Bulk density inside the block away from defects.
+        assert!((p.density_at(Vec3::new(0.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        // A defect centre has reduced density.
+        let defect = p.ellipsoids[1].center;
+        assert!(p.density_at(defect) < 0.5);
+    }
+}

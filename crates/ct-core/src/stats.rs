@@ -1,0 +1,230 @@
+//! Volume statistics: histograms, line profiles and summary measures —
+//! the "profiled runs to investigate the density value of each voxel"
+//! of the paper's verification methodology (Section 5.1), plus the
+//! primitives the inspection examples build on.
+
+use crate::error::{CtError, Result};
+use crate::volume::Volume;
+
+/// Summary statistics of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Compute summary statistics (error on empty input).
+pub fn summarize(data: &[f32]) -> Result<Summary> {
+    if data.is_empty() {
+        return Err(CtError::InvalidConfig("cannot summarise empty data".into()));
+    }
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v as f64;
+    }
+    let mean = sum / data.len() as f64;
+    let var = data
+        .iter()
+        .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+        .sum::<f64>()
+        / data.len() as f64;
+    Ok(Summary {
+        min,
+        max,
+        mean,
+        std: var.sqrt(),
+    })
+}
+
+/// A fixed-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge.
+    pub lo: f32,
+    /// Inclusive upper edge.
+    pub hi: f32,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Samples outside `[lo, hi]`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` bins.
+    // `!(hi > lo)` deliberately rejects NaN edges along with empty ranges.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(data: &[f32], lo: f32, hi: f32, bins: usize) -> Result<Self> {
+        if bins == 0 || !(hi > lo) {
+            return Err(CtError::InvalidConfig(format!(
+                "bad histogram spec: [{lo}, {hi}] with {bins} bins"
+            )));
+        }
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0u64;
+        let w = (hi - lo) / bins as f32;
+        for &v in data {
+            if v < lo || v > hi {
+                outliers += 1;
+            } else {
+                let b = (((v - lo) / w) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts,
+            outliers,
+        })
+    }
+
+    /// Centre value of bin `b`.
+    pub fn bin_center(&self, b: usize) -> f32 {
+        let w = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + (b as f32 + 0.5) * w
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(b, _)| b)
+            .unwrap_or(0)
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Density profile along the X axis through `(j, k)` — the line plots
+/// used to judge edge sharpness between ramp windows.
+pub fn profile_x(vol: &Volume, j: usize, k: usize) -> Result<Vec<f32>> {
+    let d = vol.dims();
+    if j >= d.ny || k >= d.nz {
+        return Err(CtError::OutOfBounds {
+            what: "profile",
+            index: j.max(k),
+            bound: d.ny.max(d.nz),
+        });
+    }
+    Ok((0..d.nx).map(|i| vol.get(i, j, k)).collect())
+}
+
+/// Full width at half maximum of a single-peaked profile, in samples
+/// (linear interpolation at the half-height crossings). `None` when the
+/// profile has no clear peak above its baseline.
+// `!(peak > base)` rejects NaN peaks too, unlike `peak <= base`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn fwhm(profile: &[f32]) -> Option<f64> {
+    if profile.len() < 3 {
+        return None;
+    }
+    let (peak_idx, &peak) = profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))?;
+    let base = profile.iter().cloned().fold(f32::INFINITY, f32::min);
+    let half = base + (peak - base) / 2.0;
+    if !(peak > base) {
+        return None;
+    }
+    // Walk left from the peak to the crossing.
+    let mut left = None;
+    for i in (0..peak_idx).rev() {
+        if profile[i] <= half {
+            let t = (half - profile[i]) / (profile[i + 1] - profile[i]);
+            left = Some(i as f64 + t as f64);
+            break;
+        }
+    }
+    let mut right = None;
+    for i in peak_idx + 1..profile.len() {
+        if profile[i] <= half {
+            let t = (profile[i - 1] - half) / (profile[i - 1] - profile[i]);
+            right = Some((i - 1) as f64 + t as f64);
+            break;
+        }
+    }
+    match (left, right) {
+        (Some(l), Some(r)) if r > l => Some(r - l),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Dims3;
+    use crate::volume::VolumeLayout;
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(summarize(&[]).is_err());
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let data = [0.0f32, 0.1, 0.9, 1.0, 0.5, -1.0, 2.0];
+        let h = Histogram::new(&data, 0.0, 1.0, 2).unwrap();
+        // bin 0 = [0, 0.5): {0.0, 0.1}; bin 1 = [0.5, 1.0]: {0.5, 0.9, 1.0}.
+        assert_eq!(h.counts, vec![2, 3]);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 5);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-6);
+        assert!(Histogram::new(&data, 0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(&data, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_mode_finds_bulk_density() {
+        // 100 samples near 1.0, 10 near 0.
+        let mut data = vec![1.0f32; 100];
+        data.extend(vec![0.02f32; 10]);
+        let h = Histogram::new(&data, 0.0, 1.2, 12).unwrap();
+        let mode = h.bin_center(h.mode_bin());
+        assert!((mode - 1.0).abs() < 0.1, "mode {mode}");
+    }
+
+    #[test]
+    fn profile_and_fwhm() {
+        let mut vol = Volume::zeros(Dims3::new(21, 3, 3), VolumeLayout::IMajor);
+        // A triangular peak centred at i = 10 with half-width 5.
+        for i in 0..21 {
+            let x = (i as f32 - 10.0).abs();
+            vol.set(i, 1, 1, (5.0 - x / 2.0).max(0.0));
+        }
+        let p = profile_x(&vol, 1, 1).unwrap();
+        assert_eq!(p.len(), 21);
+        let w = fwhm(&p).unwrap();
+        // Triangle peak 5, base 0 -> half height 2.5 at x = +-5: width 10.
+        assert!((w - 10.0).abs() < 0.2, "fwhm {w}");
+        assert!(profile_x(&vol, 5, 0).is_err());
+    }
+
+    #[test]
+    fn fwhm_degenerate_cases() {
+        assert!(fwhm(&[1.0, 1.0]).is_none());
+        assert!(fwhm(&[0.0, 0.0, 0.0]).is_none());
+        // Peak at the boundary: no left crossing.
+        assert!(fwhm(&[5.0, 1.0, 0.0, 0.0]).is_none());
+    }
+}

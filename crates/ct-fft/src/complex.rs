@@ -1,0 +1,174 @@
+//! Minimal complex arithmetic for the FFT kernels.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Construct from a real value.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `r * e^{i*theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::new(r * c, r * s)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, o: Complex) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        self.scale(s)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a * Complex::ZERO, Complex::ZERO);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn multiplication_matches_polar() {
+        let a = Complex::from_polar(2.0, 0.3);
+        let b = Complex::from_polar(0.5, 1.2);
+        let p = a * b;
+        let expect = Complex::from_polar(1.0, 1.5);
+        assert!((p.re - expect.re).abs() < 1e-12);
+        assert!((p.im - expect.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        let prod = a * a.conj();
+        assert!((prod.re - 25.0).abs() < 1e-12);
+        assert!(prod.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_mul_assign() {
+        let mut a = Complex::new(1.0, 1.0);
+        a += Complex::new(0.5, -0.5);
+        assert_eq!(a, Complex::new(1.5, 0.5));
+        a *= Complex::new(2.0, 0.0);
+        assert_eq!(a, Complex::new(3.0, 1.0));
+        assert_eq!(a * 2.0, Complex::new(6.0, 2.0));
+    }
+}

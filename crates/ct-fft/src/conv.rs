@@ -1,0 +1,292 @@
+//! Convolution through the frequency domain (the paper's Section 2.2.3).
+//!
+//! The ramp filtering of Algorithm 1 convolves each detector row with a
+//! fixed 1-D kernel. We provide:
+//!
+//! * [`convolve_direct`] — the O(N*M) time-domain oracle,
+//! * [`convolve_fft`] — full linear convolution via zero-padded FFT,
+//! * [`convolve_same_fft`] — the "same-size centre" slice used by the
+//!   filtering stage, and a [`RowConvolver`] that amortises the kernel
+//!   spectrum and plan across the thousands of rows in a projection stack.
+
+use crate::complex::Complex;
+use crate::plan::FftPlan;
+
+/// Direct (time-domain) linear convolution: output length `a + b - 1`.
+pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Linear convolution via zero-padded FFT: output length `a + b - 1`.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = out_len.next_power_of_two();
+    let plan = FftPlan::new(m);
+    let mut fa = vec![Complex::ZERO; m];
+    for (i, &x) in a.iter().enumerate() {
+        fa[i] = Complex::from_real(x);
+    }
+    let mut fb = vec![Complex::ZERO; m];
+    for (i, &x) in b.iter().enumerate() {
+        fb[i] = Complex::from_real(x);
+    }
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x *= *y;
+    }
+    plan.inverse(&mut fa);
+    fa.truncate(out_len);
+    fa.into_iter().map(|c| c.re).collect()
+}
+
+/// "Same" convolution: the centre `a.len()` samples of the linear
+/// convolution, aligned so that a symmetric kernel centred at index
+/// `b.len()/2` leaves a delta unchanged.
+pub fn convolve_same_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let full = convolve_fft(a, b);
+    let offset = b.len() / 2;
+    full[offset..offset + a.len()].to_vec()
+}
+
+/// A reusable convolver: FFT plan + kernel spectrum computed once, then
+/// applied to many equal-length rows. This is the exact usage pattern of
+/// the filtering stage (one ramp kernel, `Nv * Np` rows).
+#[derive(Debug, Clone)]
+pub struct RowConvolver {
+    row_len: usize,
+    kernel_len: usize,
+    plan: FftPlan,
+    kernel_spectrum: Vec<Complex>,
+}
+
+impl RowConvolver {
+    /// Prepare for convolving rows of length `row_len` with `kernel`.
+    pub fn new(row_len: usize, kernel: &[f64]) -> Self {
+        assert!(row_len > 0, "row length must be nonzero");
+        assert!(!kernel.is_empty(), "kernel must be nonempty");
+        let m = (row_len + kernel.len() - 1).next_power_of_two();
+        let plan = FftPlan::new(m);
+        let mut spec = vec![Complex::ZERO; m];
+        for (i, &x) in kernel.iter().enumerate() {
+            spec[i] = Complex::from_real(x);
+        }
+        plan.forward(&mut spec);
+        Self {
+            row_len,
+            kernel_len: kernel.len(),
+            plan,
+            kernel_spectrum: spec,
+        }
+    }
+
+    /// Length of rows this convolver accepts.
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// FFT size in use (diagnostics).
+    #[inline]
+    pub fn fft_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Convolve one `f32` row in "same" mode, writing the result back into
+    /// `row`. `scratch` must have length [`Self::fft_len`]; it is supplied
+    /// by the caller so per-row processing allocates nothing.
+    pub fn convolve_row_f32(&self, row: &mut [f32], scratch: &mut [Complex]) {
+        assert_eq!(row.len(), self.row_len, "row length mismatch");
+        assert_eq!(scratch.len(), self.plan.len(), "scratch length mismatch");
+        for c in scratch.iter_mut() {
+            *c = Complex::ZERO;
+        }
+        for (i, &x) in row.iter().enumerate() {
+            scratch[i] = Complex::from_real(x as f64);
+        }
+        self.plan.forward(scratch);
+        for (x, y) in scratch.iter_mut().zip(self.kernel_spectrum.iter()) {
+            *x *= *y;
+        }
+        self.plan.inverse(scratch);
+        let offset = self.kernel_len / 2;
+        for (i, r) in row.iter_mut().enumerate() {
+            *r = scratch[offset + i].re as f32;
+        }
+    }
+
+    /// Convolve two rows with ONE complex FFT (the two-for-one trick):
+    /// with a real kernel the whole transform chain is C-linear, so
+    /// `conv(a + i*b) = conv(a) + i*conv(b)` exactly — the filtering
+    /// stage pairs adjacent detector rows to halve its FFT count.
+    pub fn convolve_row_pair_f32(
+        &self,
+        row_a: &mut [f32],
+        row_b: &mut [f32],
+        scratch: &mut [Complex],
+    ) {
+        assert_eq!(row_a.len(), self.row_len, "row length mismatch");
+        assert_eq!(row_b.len(), self.row_len, "row length mismatch");
+        assert_eq!(scratch.len(), self.plan.len(), "scratch length mismatch");
+        for c in scratch.iter_mut() {
+            *c = Complex::ZERO;
+        }
+        for (i, (&a, &b)) in row_a.iter().zip(row_b.iter()).enumerate() {
+            scratch[i] = Complex::new(a as f64, b as f64);
+        }
+        self.plan.forward(scratch);
+        for (x, y) in scratch.iter_mut().zip(self.kernel_spectrum.iter()) {
+            *x *= *y;
+        }
+        self.plan.inverse(scratch);
+        let offset = self.kernel_len / 2;
+        for i in 0..self.row_len {
+            row_a[i] = scratch[offset + i].re as f32;
+            row_b[i] = scratch[offset + i].im as f32;
+        }
+    }
+
+    /// Allocate a scratch buffer of the right size for
+    /// [`Self::convolve_row_f32`].
+    pub fn make_scratch(&self) -> Vec<Complex> {
+        vec![Complex::ZERO; self.plan.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn direct_known_example() {
+        // [1,2,3] * [1,1] = [1,3,5,3]
+        let c = convolve_direct(&[1.0, 2.0, 3.0], &[1.0, 1.0]);
+        assert_close(&c, &[1.0, 3.0, 5.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let a: Vec<f64> = (0..57).map(|i| (i as f64 * 0.4).sin()).collect();
+        let b: Vec<f64> = (0..13).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        assert_close(&convolve_fft(&a, &b), &convolve_direct(&a, &b), 1e-9);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = vec![1.0, -2.0, 0.5, 3.0];
+        let b = vec![0.25, 4.0, -1.0];
+        assert_close(&convolve_fft(&a, &b), &convolve_fft(&b, &a), 1e-10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve_direct(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn same_mode_identity_kernel() {
+        // Odd-length delta kernel centred at len/2 must be the identity.
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut delta = vec![0.0; 7];
+        delta[3] = 1.0;
+        assert_close(&convolve_same_fft(&a, &delta), &a, 1e-9);
+    }
+
+    #[test]
+    fn same_mode_shift_kernel() {
+        // A delta shifted one right of centre delays the signal by one.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut k = vec![0.0; 5];
+        k[3] = 1.0; // centre is index 2
+        let c = convolve_same_fft(&a, &k);
+        assert_close(&c, &[0.0, 1.0, 2.0, 3.0, 4.0], 1e-9);
+    }
+
+    #[test]
+    fn row_convolver_matches_same_mode() {
+        let kernel: Vec<f64> = (0..9)
+            .map(|i| ((i as f64) - 4.0).abs() * -0.1 + 0.5)
+            .collect();
+        let conv = RowConvolver::new(33, &kernel);
+        let row_f64: Vec<f64> = (0..33).map(|i| (i as f64 * 0.77).cos()).collect();
+        let want = convolve_same_fft(&row_f64, &kernel);
+        let mut row: Vec<f32> = row_f64.iter().map(|&x| x as f32).collect();
+        let mut scratch = conv.make_scratch();
+        conv.convolve_row_f32(&mut row, &mut scratch);
+        for (i, (&got, &w)) in row.iter().zip(want.iter()).enumerate() {
+            assert!((got as f64 - w).abs() < 1e-4, "index {i}: {got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn row_convolver_is_reusable() {
+        let conv = RowConvolver::new(16, &[0.0, 1.0, 0.0]);
+        let mut scratch = conv.make_scratch();
+        for trial in 0..3 {
+            let mut row: Vec<f32> = (0..16).map(|i| (i * (trial + 1)) as f32).collect();
+            let orig = row.clone();
+            conv.convolve_row_f32(&mut row, &mut scratch);
+            for (a, b) in row.iter().zip(orig.iter()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn row_pair_matches_single_rows() {
+        let kernel: Vec<f64> = (0..15).map(|i| ((i as f64) - 7.0) * 0.1).collect();
+        let conv = RowConvolver::new(40, &kernel);
+        let mut scratch = conv.make_scratch();
+        let base_a: Vec<f32> = (0..40).map(|i| (i as f32 * 0.3).sin()).collect();
+        let base_b: Vec<f32> = (0..40).map(|i| (i as f32 * 0.9).cos() * 2.0).collect();
+
+        let mut single_a = base_a.clone();
+        let mut single_b = base_b.clone();
+        conv.convolve_row_f32(&mut single_a, &mut scratch);
+        conv.convolve_row_f32(&mut single_b, &mut scratch);
+
+        let mut pair_a = base_a;
+        let mut pair_b = base_b;
+        conv.convolve_row_pair_f32(&mut pair_a, &mut pair_b, &mut scratch);
+        for i in 0..40 {
+            assert!((single_a[i] - pair_a[i]).abs() < 1e-4, "a[{i}]");
+            assert!((single_b[i] - pair_b[i]).abs() < 1e-4, "b[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_pair_rejects_bad_rows() {
+        let conv = RowConvolver::new(8, &[1.0]);
+        let mut scratch = conv.make_scratch();
+        conv.convolve_row_pair_f32(&mut [0.0; 8], &mut [0.0; 4], &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_convolver_rejects_bad_row() {
+        let conv = RowConvolver::new(8, &[1.0]);
+        let mut scratch = conv.make_scratch();
+        conv.convolve_row_f32(&mut [0.0; 4], &mut scratch);
+    }
+}

@@ -1,0 +1,122 @@
+//! # ct-fft — from-scratch FFT and convolution substrate
+//!
+//! The FDK filtering stage performs one 1-D convolution per detector row
+//! (paper Algorithm 1 line 4), and "for large problem sizes, FFT is
+//! typically the choice for the convolution computation" (Section 2.2.3).
+//! The paper uses Intel IPP on the CPU; this crate is our in-tree
+//! replacement:
+//!
+//! * [`FftPlan`] — iterative radix-2 decimation-in-time FFT with
+//!   precomputed twiddle factors and bit-reversal permutation.
+//! * [`fft_any`]/[`ifft_any`] — arbitrary-length transforms via
+//!   Bluestein's chirp-z algorithm layered on the radix-2 plan.
+//! * [`conv`] — linear and circular convolution through the frequency
+//!   domain (the Convolution Theorem route of Section 2.2.3), with a
+//!   direct time-domain oracle for testing.
+//! * [`dft_naive`] — an O(N^2) reference transform used by the test suite.
+//!
+//! Numerics are `f64` internally; the filtering stage feeds `f32` detector
+//! rows in and casts back after the inverse transform, which keeps the
+//! pipeline single-precision end-to-end (as the paper's is) while the
+//! transform itself adds no measurable rounding noise.
+//!
+//! ```
+//! use ct_fft::{convolve_fft, convolve_direct};
+//!
+//! let signal = vec![1.0, 2.0, 3.0];
+//! let kernel = vec![1.0, 1.0];
+//! let fast = convolve_fft(&signal, &kernel);
+//! let slow = convolve_direct(&signal, &kernel);
+//! for (a, b) in fast.iter().zip(slow.iter()) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complex;
+pub mod conv;
+pub mod plan;
+
+pub use complex::Complex;
+pub use conv::{convolve_direct, convolve_fft, convolve_same_fft};
+pub use plan::{fft_any, ifft_any, FftPlan};
+
+/// Naive O(N^2) discrete Fourier transform — the test oracle.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            acc += x * Complex::from_polar(1.0, ang);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Naive inverse DFT (unitary pairing with [`dft_naive`]: scales by 1/N).
+pub fn idft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let ang = 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            acc += x * Complex::from_polar(1.0, ang);
+        }
+        *o = acc * (1.0 / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        let y = dft_naive(&x);
+        for c in y {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn naive_dft_round_trip() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let y = idft_naive(&dft_naive(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a.re - b.re).abs() < 1e-10);
+            assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn naive_dft_of_single_tone() {
+        // x[t] = exp(2*pi*i*3t/8) concentrates all energy in bin 3.
+        let n = 8;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64)
+            })
+            .collect();
+        let y = dft_naive(&x);
+        for (k, c) in y.iter().enumerate() {
+            let mag = c.abs();
+            if k == 3 {
+                assert!((mag - n as f64).abs() < 1e-9);
+            } else {
+                assert!(mag < 1e-9, "bin {k} has magnitude {mag}");
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! FFT plans: radix-2 for power-of-two lengths, Bluestein for the rest.
+
+use crate::complex::Complex;
+
+/// A reusable power-of-two FFT plan (precomputed twiddles and bit-reversal
+/// permutation), mirroring how IPP/cuFFT amortise setup cost across the
+/// thousands of rows the filtering stage transforms.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    // Twiddles for the forward transform, one per butterfly span level,
+    // flattened: level with span s contributes s entries.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for length `n`, which must be a power of two.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FftPlan requires a power of two, got {n}"
+        );
+        // Bit-reversal permutation.
+        let bits = n.trailing_zeros();
+        let mut bitrev = vec![0u32; n];
+        for (i, r) in bitrev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+        // Twiddles: for span s in {1, 2, 4, ..., n/2}, store w_s^j = exp(-i*pi*j/s).
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut span = 1;
+        while span < n {
+            for j in 0..span {
+                let ang = -std::f64::consts::PI * j as f64 / span as f64;
+                twiddles.push(Complex::from_polar(1.0, ang));
+            }
+            span *= 2;
+        }
+        Self {
+            n,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-0 plan (never constructed; a plan is
+    /// always at least length 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT (no normalisation).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut span = 1;
+        let mut tw_base = 0;
+        while span < n {
+            let step = span * 2;
+            for start in (0..n).step_by(step) {
+                for j in 0..span {
+                    let w = self.twiddles[tw_base + j];
+                    let a = data[start + j];
+                    let b = data[start + j + span] * w;
+                    data[start + j] = a + b;
+                    data[start + j + span] = a - b;
+                }
+            }
+            tw_base += span;
+            span = step;
+        }
+    }
+
+    /// In-place inverse FFT, scaled by `1/N` so `inverse(forward(x)) == x`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        // IFFT(x) = conj(FFT(conj(x))) / N
+        for c in data.iter_mut() {
+            *c = c.conj();
+        }
+        self.forward(data);
+        let s = 1.0 / self.n as f64;
+        for c in data.iter_mut() {
+            *c = c.conj().scale(s);
+        }
+    }
+}
+
+/// Forward FFT of arbitrary length. Power-of-two inputs use the radix-2
+/// plan directly; other lengths go through Bluestein's chirp-z transform.
+pub fn fft_any(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        FftPlan::new(n).forward(&mut buf);
+        return buf;
+    }
+    bluestein(input, false)
+}
+
+/// Inverse FFT of arbitrary length (scaled by `1/N`).
+pub fn ifft_any(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        FftPlan::new(n).inverse(&mut buf);
+        return buf;
+    }
+    bluestein(input, true)
+}
+
+/// Bluestein's algorithm: express the length-N DFT as a circular
+/// convolution of chirp-modulated sequences, evaluated with a
+/// power-of-two FFT of length >= 2N-1.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let m = (2 * n - 1).next_power_of_two();
+    let sign = if inverse { 1.0 } else { -1.0 };
+
+    // Chirp c[k] = exp(sign * i * pi * k^2 / n). Use k^2 mod 2n to keep the
+    // angle argument small and exact.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::from_polar(1.0, sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    let plan = FftPlan::new(m);
+    plan.forward(&mut a);
+    plan.forward(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= *y;
+    }
+    plan.inverse(&mut a);
+
+    let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect()
+}
+
+/// Transform a real signal: convenience wrapper packing into complex.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    fft_any(&buf)
+}
+
+/// Two real transforms for the price of one complex transform: pack
+/// `a + i*b`, transform once, and split the spectra with the Hermitian
+/// symmetry of real inputs — the classic "two-for-one" trick the
+/// filtering stage can use to halve its per-row FFT cost.
+///
+/// # Panics
+/// Panics if the inputs differ in length.
+pub fn fft_real_pair(a: &[f64], b: &[f64]) -> (Vec<Complex>, Vec<Complex>) {
+    assert_eq!(a.len(), b.len(), "paired signals must share a length");
+    let n = a.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let packed: Vec<Complex> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| Complex::new(x, y))
+        .collect();
+    let z = fft_any(&packed);
+    let mut fa = Vec::with_capacity(n);
+    let mut fb = Vec::with_capacity(n);
+    for k in 0..n {
+        let zk = z[k];
+        let zmk = z[(n - k) % n].conj();
+        // A[k] = (Z[k] + conj(Z[-k])) / 2
+        fa.push((zk + zmk).scale(0.5));
+        // B[k] = (Z[k] - conj(Z[-k])) / (2i) = -i/2 * (Z[k] - conj(Z[-k]))
+        let d = zk - zmk;
+        fb.push(Complex::new(d.im * 0.5, -d.re * 0.5));
+    }
+    (fa, fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dft_naive, idft_naive};
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.7).sin() + 0.2 * i as f64,
+                    (i as f64 * 1.3).cos(),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = signal(n);
+            let mut got = x.clone();
+            FftPlan::new(n).forward(&mut got);
+            let want = dft_naive(&x);
+            assert_close(&got, &want, 1e-9);
+        }
+    }
+
+    #[test]
+    fn radix2_round_trip() {
+        for n in [2usize, 16, 256, 1024] {
+            let x = signal(n);
+            let plan = FftPlan::new(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            assert_close(&buf, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn radix2_rejects_non_pow2() {
+        FftPlan::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn radix2_rejects_wrong_buffer() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 100, 129] {
+            let x = signal(n);
+            let got = fft_any(&x);
+            let want = dft_naive(&x);
+            assert_close(&got, &want, 1e-8);
+        }
+    }
+
+    #[test]
+    fn bluestein_round_trip() {
+        for n in [3usize, 10, 37, 250] {
+            let x = signal(n);
+            let back = ifft_any(&fft_any(&x));
+            assert_close(&back, &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn ifft_any_matches_naive_idft() {
+        for n in [5usize, 8, 27] {
+            let x = signal(n);
+            let got = ifft_any(&x);
+            let want = idft_naive(&x);
+            assert_close(&got, &want, 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let n = 64;
+        let a = signal(n);
+        let b: Vec<Complex> = signal(n).iter().map(|c| c.conj() * 0.5).collect();
+        let sum: Vec<Complex> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        let fa = fft_any(&a);
+        let fb = fft_any(&b);
+        let fsum = fft_any(&sum);
+        let fab: Vec<Complex> = fa.iter().zip(fb.iter()).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &fab, 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let x = signal(n);
+        let y = fft_any(&x);
+        let ex: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let ey: f64 = y.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-6 * ex.max(1.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft_any(&[]).is_empty());
+        assert!(ifft_any(&[]).is_empty());
+    }
+
+    #[test]
+    fn fft_real_matches_complex_path() {
+        let xs: Vec<f64> = (0..48).map(|i| (i as f64 * 0.31).sin()).collect();
+        let a = fft_real(&xs);
+        let b = fft_any(
+            &xs.iter()
+                .map(|&x| Complex::from_real(x))
+                .collect::<Vec<_>>(),
+        );
+        assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn real_pair_matches_individual_transforms() {
+        for n in [1usize, 2, 15, 64] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.9).cos() - 0.3).collect();
+            let (fa, fb) = fft_real_pair(&a, &b);
+            assert_close(&fa, &fft_real(&a), 1e-8);
+            assert_close(&fb, &fft_real(&b), 1e-8);
+        }
+        let (fa, fb) = fft_real_pair(&[], &[]);
+        assert!(fa.is_empty() && fb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn real_pair_rejects_mismatched() {
+        fft_real_pair(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian() {
+        let xs: Vec<f64> = (0..32).map(|i| (i as f64).cos()).collect();
+        let y = fft_real(&xs);
+        let n = y.len();
+        for k in 1..n {
+            let a = y[k];
+            let b = y[n - k].conj();
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The 2-D cosine weighting table (`Fcos` of paper Algorithm 1).
+//!
+//! Each detector pixel is weighted by the cosine of the angle between its
+//! ray and the central ray (Feldkamp's pre-weighting, Kak & Slaney
+//! Eq. 3.84):
+//!
+//! ```text
+//! Fcos(u, v) = d / sqrt(d^2 + a^2 + b^2)
+//! ```
+//!
+//! where `(a, b)` are the pixel's physical coordinates on the *virtual
+//! detector* through the isocentre (real detector coordinates scaled by
+//! `d/D`). The table depends only on the geometry, so it is computed once
+//! and shared across all projections — exactly the `Fcos` table of size
+//! `(Nv, Nu)` in the paper's Table 1.
+
+use ct_core::geometry::CbctGeometry;
+use ct_core::problem::Dims2;
+
+/// Precomputed cosine weighting table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosineTable {
+    dims: Dims2,
+    weights: Vec<f32>,
+}
+
+impl CosineTable {
+    /// Build the table for a geometry.
+    pub fn new(geo: &CbctGeometry) -> Self {
+        let dims = geo.detector;
+        let (cu, cv) = ((dims.nu as f64 - 1.0) / 2.0, (dims.nv as f64 - 1.0) / 2.0);
+        let (pu, pv) = (geo.virtual_pitch_u(), geo.virtual_pitch_v());
+        let d2 = geo.d * geo.d;
+        let mut weights = Vec::with_capacity(dims.len());
+        for v in 0..dims.nv {
+            let b = (v as f64 - cv) * pv;
+            for u in 0..dims.nu {
+                let a = (u as f64 - cu) * pu;
+                weights.push((geo.d / (d2 + a * a + b * b).sqrt()) as f32);
+            }
+        }
+        Self { dims, weights }
+    }
+
+    /// Detector dimensions the table was built for.
+    #[inline]
+    pub fn dims(&self) -> Dims2 {
+        self.dims
+    }
+
+    /// Weight at pixel `(u, v)`.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> f32 {
+        self.weights[v * self.dims.nu + u]
+    }
+
+    /// The raw row-major table.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Apply the table point-wise to a row-major projection buffer
+    /// (Algorithm 1 line 2: `E~_i <- E_i . Fcos`).
+    pub fn apply(&self, pixels: &mut [f32]) {
+        assert_eq!(
+            pixels.len(),
+            self.weights.len(),
+            "projection shape mismatch"
+        );
+        for (p, &w) in pixels.iter_mut().zip(self.weights.iter()) {
+            *p *= w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::problem::Dims3;
+
+    fn geo() -> CbctGeometry {
+        CbctGeometry::standard(Dims2::new(33, 17), 8, Dims3::cube(16))
+    }
+
+    #[test]
+    fn center_weight_is_one() {
+        let t = CosineTable::new(&geo());
+        // Odd-sized detector: the exact centre pixel exists.
+        assert!((t.get(16, 8) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weights_decrease_away_from_center() {
+        let t = CosineTable::new(&geo());
+        let c = t.get(16, 8);
+        assert!(t.get(0, 8) < c);
+        assert!(t.get(16, 0) < c);
+        assert!(t.get(0, 0) < t.get(0, 8));
+        // All weights are in (0, 1].
+        assert!(t.data().iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn table_is_symmetric() {
+        let t = CosineTable::new(&geo());
+        for v in 0..17 {
+            for u in 0..33 {
+                let mu = 32 - u;
+                let mv = 16 - v;
+                assert!((t.get(u, v) - t.get(mu, v)).abs() < 1e-7);
+                assert!((t.get(u, v) - t.get(u, mv)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_multiplies_pointwise() {
+        let t = CosineTable::new(&geo());
+        let mut px = vec![2.0f32; 33 * 17];
+        t.apply(&mut px);
+        for (i, &p) in px.iter().enumerate() {
+            assert!((p - 2.0 * t.data()[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matches_explicit_angle_cosine() {
+        // The weight must equal the cosine of the angle between the pixel
+        // ray and the central ray, which is independent of the
+        // virtual-vs-real detector scaling.
+        let g = geo();
+        let t = CosineTable::new(&g);
+        let beta = 0.0;
+        let src = g.source_position(beta);
+        let center = g.detector_pixel_position(beta, 16.0, 8.0);
+        for (u, v) in [(0usize, 0usize), (5, 12), (30, 3)] {
+            let pix = g.detector_pixel_position(beta, u as f64, v as f64);
+            let a = (pix - src).normalized();
+            let b = (center - src).normalized();
+            let cosang = a.dot(b);
+            assert!(
+                (t.get(u, v) as f64 - cosang).abs() < 1e-6,
+                "({u},{v}): {} vs {cosang}",
+                t.get(u, v)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn apply_checks_shape() {
+        let t = CosineTable::new(&geo());
+        t.apply(&mut [0.0f32; 10]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Parker weighting for short scans.
+//!
+//! The paper's trajectory is a full circle, where every ray family is
+//! measured twice and the redundancy folds into a global constant 1/2.
+//! Practical gantries often stop after the minimal short scan
+//! `pi + 2*delta` (`delta` = half fan angle); there the redundancy is
+//! *partial* — some ray families appear twice, some once — and must be
+//! fixed per ray with Parker's smooth weights (Parker, Med. Phys. 1982):
+//!
+//! ```text
+//! beta in [0, 2(delta + gamma))            w = sin^2( pi/4 * beta / (delta + gamma) )
+//! beta in [2(delta + gamma), pi + 2 gamma) w = 1
+//! beta in [pi + 2 gamma, pi + 2 delta]     w = sin^2( pi/4 * (pi + 2 delta - beta) / (delta - gamma) )
+//! ```
+//!
+//! where `gamma` is the signed fan angle of the ray's detector column in
+//! the convention where the conjugate of `(beta, gamma)` is
+//! `(beta + pi - 2 gamma, -gamma)`; our geometry's rotation sense pairs
+//! `(beta, gamma_ours)` with `(beta + pi + 2 gamma_ours, -gamma_ours)`,
+//! so the table is built with `gamma = -gamma_ours`.
+//! The weights depend on `(beta, u)` only, so they are precomputed as one
+//! `Np x Nu` table and applied row-wise after the cosine weighting.
+
+use ct_core::error::{CtError, Result};
+use ct_core::geometry::CbctGeometry;
+use ct_core::projection::ProjectionImage;
+
+/// Precomputed Parker weight table for a short-scan geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParkerWeights {
+    nu: usize,
+    np: usize,
+    /// `np` rows of `nu` weights.
+    table: Vec<f32>,
+}
+
+impl ParkerWeights {
+    /// Build the table. Fails on full-circle geometries (no partial
+    /// redundancy to correct — use the global 1/2 instead).
+    pub fn new(geo: &CbctGeometry) -> Result<Self> {
+        geo.validate()?;
+        if geo.is_full_scan() {
+            return Err(CtError::InvalidConfig(
+                "Parker weights apply to short scans; full scans use the global 1/2".into(),
+            ));
+        }
+        let delta = geo.fan_half_angle();
+        let nu = geo.detector.nu;
+        let np = geo.num_projections;
+        let mut table = Vec::with_capacity(np * nu);
+        for i in 0..np {
+            let beta = geo.angle(i);
+            for u in 0..nu {
+                // Sign flip: see the module docs on conventions.
+                let gamma = -geo.fan_angle_of_column(u as f64);
+                table.push(parker_weight(beta, gamma, delta) as f32);
+            }
+        }
+        Ok(Self { nu, np, table })
+    }
+
+    /// Weight of detector column `u` in projection `i`.
+    #[inline]
+    pub fn get(&self, i: usize, u: usize) -> f32 {
+        debug_assert!(i < self.np && u < self.nu);
+        self.table[i * self.nu + u]
+    }
+
+    /// Apply the weights of projection `i` to a row-major image in place.
+    pub fn apply(&self, i: usize, img: &mut ProjectionImage) {
+        assert!(i < self.np, "projection index {i} out of range");
+        assert_eq!(img.dims().nu, self.nu, "detector width mismatch");
+        let row_w = &self.table[i * self.nu..(i + 1) * self.nu];
+        for v in 0..img.dims().nv {
+            for (p, &w) in img.row_mut(v).iter_mut().zip(row_w.iter()) {
+                *p *= w;
+            }
+        }
+    }
+}
+
+/// The Parker weight for gantry angle `beta`, ray fan angle `gamma`,
+/// half fan angle `delta` (all radians; `beta` in `[0, pi + 2*delta]`).
+pub fn parker_weight(beta: f64, gamma: f64, delta: f64) -> f64 {
+    use std::f64::consts::{FRAC_PI_4, PI};
+    let first_end = 2.0 * (delta + gamma);
+    let plateau_end = PI + 2.0 * gamma;
+    let scan_end = PI + 2.0 * delta;
+    if beta < 0.0 || beta > scan_end {
+        0.0
+    } else if beta < first_end {
+        let denom = delta + gamma;
+        if denom <= 1e-12 {
+            1.0
+        } else {
+            (FRAC_PI_4 * beta / denom).sin().powi(2)
+        }
+    } else if beta < plateau_end {
+        1.0
+    } else {
+        let denom = delta - gamma;
+        if denom <= 1e-12 {
+            1.0
+        } else {
+            (FRAC_PI_4 * (scan_end - beta) / denom).sin().powi(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::problem::{Dims2, Dims3};
+
+    fn short_geo() -> CbctGeometry {
+        CbctGeometry::standard_short_scan(Dims2::new(64, 32), 180, Dims3::cube(24))
+    }
+
+    #[test]
+    fn rejects_full_scan() {
+        let full = CbctGeometry::standard(Dims2::new(32, 32), 16, Dims3::cube(16));
+        assert!(ParkerWeights::new(&full).is_err());
+        assert!(ParkerWeights::new(&short_geo()).is_ok());
+    }
+
+    #[test]
+    fn weights_bounded_and_continuous_in_beta() {
+        let delta = 0.3;
+        for &gamma in &[-0.29, -0.1, 0.0, 0.1, 0.29] {
+            let mut prev = parker_weight(0.0, gamma, delta);
+            let steps = 40_000;
+            let end = std::f64::consts::PI + 2.0 * delta;
+            for t in 1..=steps {
+                let beta = end * t as f64 / steps as f64;
+                let w = parker_weight(beta, gamma, delta);
+                assert!((0.0..=1.0 + 1e-12).contains(&w), "w({beta},{gamma}) = {w}");
+                // The steepest ramp has slope ~ (pi/4)/(delta -+ gamma);
+                // at 40k steps that bounds per-step change by ~0.008.
+                assert!(
+                    (w - prev).abs() < 0.01,
+                    "discontinuity at beta {beta}, gamma {gamma}: {prev} -> {w}"
+                );
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn weight_starts_and_ends_at_zero() {
+        let delta = 0.25;
+        for &gamma in &[-0.2, 0.0, 0.2] {
+            assert!(parker_weight(0.0, gamma, delta) < 1e-12);
+            let end = std::f64::consts::PI + 2.0 * delta;
+            assert!(parker_weight(end, gamma, delta) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn integral_over_beta_is_pi_for_every_ray_family() {
+        // The defining property of the Parker weights: for each gamma the
+        // weighted angular coverage integrates to exactly pi.
+        let delta = 0.3;
+        let end = std::f64::consts::PI + 2.0 * delta;
+        let n = 200_000;
+        let h = end / n as f64;
+        for &gamma in &[-0.29, -0.15, 0.0, 0.07, 0.28] {
+            let mut acc = 0.0;
+            for t in 0..n {
+                let beta = (t as f64 + 0.5) * h;
+                acc += parker_weight(beta, gamma, delta) * h;
+            }
+            assert!(
+                (acc - std::f64::consts::PI).abs() < 1e-3,
+                "gamma {gamma}: integral {acc}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjugate_rays_share_unit_weight() {
+        // Rays (beta, gamma) and (beta + pi - 2*gamma, -gamma) measure the
+        // same line; their weights must sum to 1 wherever both exist.
+        let delta = 0.3;
+        let end = std::f64::consts::PI + 2.0 * delta;
+        for &gamma in &[-0.2, -0.05, 0.1, 0.25] {
+            for t in 0..500 {
+                let beta = end * t as f64 / 500.0;
+                let beta2 = beta + std::f64::consts::PI - 2.0 * gamma;
+                if !(0.0..=end).contains(&beta2) {
+                    continue;
+                }
+                let w1 = parker_weight(beta, gamma, delta);
+                let w2 = parker_weight(beta2, -gamma, delta);
+                assert!(
+                    (w1 + w2 - 1.0).abs() < 1e-9,
+                    "gamma {gamma}, beta {beta}: {w1} + {w2} != 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_pointwise_formula() {
+        let geo = short_geo();
+        let w = ParkerWeights::new(&geo).unwrap();
+        let delta = geo.fan_half_angle();
+        for &(i, u) in &[(0usize, 0usize), (30, 10), (90, 32), (179, 63)] {
+            let expect = parker_weight(geo.angle(i), -geo.fan_angle_of_column(u as f64), delta);
+            assert!((w.get(i, u) as f64 - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn apply_scales_rows_uniformly_in_v() {
+        let geo = short_geo();
+        let w = ParkerWeights::new(&geo).unwrap();
+        let mut img = ProjectionImage::zeros(geo.detector);
+        img.data_mut().iter_mut().for_each(|p| *p = 1.0);
+        w.apply(40, &mut img);
+        for v in 0..geo.detector.nv {
+            for u in 0..geo.detector.nu {
+                assert_eq!(img.get(u, v), w.get(40, u));
+            }
+        }
+    }
+}

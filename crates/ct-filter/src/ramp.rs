@@ -1,0 +1,257 @@
+//! Ramp-filter construction (the `Framp` of paper Algorithm 1).
+//!
+//! The band-limited ramp (Ram-Lak) filter has the classic closed-form
+//! spatial taps (Kak & Slaney Eq. 3.29, tap spacing `tau`):
+//!
+//! ```text
+//! h[0]      = 1 / (4 tau^2)
+//! h[n even] = 0
+//! h[n odd]  = -1 / (pi^2 n^2 tau^2)
+//! ```
+//!
+//! Softer variants are produced by windowing the ramp's frequency response
+//! (Shepp-Logan has its own closed form; Hann/Hamming/Cosine are applied in
+//! the frequency domain). The filter's shape trades resolution against
+//! noise; it does not change the compute cost (paper Section 2.2.2).
+
+use ct_fft::{fft_any, ifft_any, Complex};
+
+/// The classic ramp-filter window choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RampKind {
+    /// Pure band-limited ramp (Ram-Lak), sharpest and noisiest.
+    RamLak,
+    /// Shepp-Logan window (`sinc`-weighted ramp) — the paper's namesake
+    /// phantom authors' filter.
+    SheppLogan,
+    /// Cosine window.
+    Cosine,
+    /// Hamming window.
+    Hamming,
+    /// Hann window.
+    Hann,
+}
+
+impl RampKind {
+    /// All variants (for sweeps and tests).
+    pub const ALL: [RampKind; 5] = [
+        RampKind::RamLak,
+        RampKind::SheppLogan,
+        RampKind::Cosine,
+        RampKind::Hamming,
+        RampKind::Hann,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RampKind::RamLak => "ram-lak",
+            RampKind::SheppLogan => "shepp-logan",
+            RampKind::Cosine => "cosine",
+            RampKind::Hamming => "hamming",
+            RampKind::Hann => "hann",
+        }
+    }
+}
+
+/// Build the spatial-domain ramp kernel with `half` taps on each side of
+/// the centre (total length `2*half + 1`) for detector tap spacing `tau`.
+///
+/// The returned kernel is symmetric and already includes the `1/tau^2`
+/// scaling; the filtering stage multiplies the convolution by `tau` to
+/// complete the discrete approximation of the continuous filter integral.
+pub fn ramp_kernel(kind: RampKind, half: usize, tau: f64) -> Vec<f64> {
+    assert!(tau > 0.0, "tap spacing must be positive");
+    let len = 2 * half + 1;
+    match kind {
+        RampKind::RamLak => {
+            let mut h = vec![0.0; len];
+            let t2 = tau * tau;
+            for (idx, tap) in h.iter_mut().enumerate() {
+                let n = idx as isize - half as isize;
+                *tap = if n == 0 {
+                    1.0 / (4.0 * t2)
+                } else if n % 2 == 0 {
+                    0.0
+                } else {
+                    -1.0 / (std::f64::consts::PI * std::f64::consts::PI * (n * n) as f64 * t2)
+                };
+            }
+            h
+        }
+        RampKind::SheppLogan => {
+            // h[n] = -2 / (pi^2 tau^2 (4 n^2 - 1))  (Shepp & Logan 1974)
+            let mut h = vec![0.0; len];
+            let c = -2.0 / (std::f64::consts::PI * std::f64::consts::PI * tau * tau);
+            for (idx, tap) in h.iter_mut().enumerate() {
+                let n = (idx as isize - half as isize) as f64;
+                *tap = c / (4.0 * n * n - 1.0);
+            }
+            h
+        }
+        RampKind::Cosine | RampKind::Hamming | RampKind::Hann => windowed_ramp(kind, half, tau),
+    }
+}
+
+/// Window the Ram-Lak frequency response, returning spatial taps.
+fn windowed_ramp(kind: RampKind, half: usize, tau: f64) -> Vec<f64> {
+    let base = ramp_kernel(RampKind::RamLak, half, tau);
+    let n = base.len().next_power_of_two() * 2;
+    let mut buf = vec![Complex::ZERO; n];
+    // Centre the kernel at index 0 (wrap negative taps) so the spectrum is
+    // real and the windowing does not shift the filter.
+    for (idx, &v) in base.iter().enumerate() {
+        let shift = (idx + n - half) % n;
+        buf[shift] = Complex::from_real(v);
+    }
+    let mut spec = fft_any(&buf);
+    for (k, c) in spec.iter_mut().enumerate() {
+        // Normalised frequency in [0, 1], mirrored above Nyquist.
+        let f = k.min(n - k) as f64 / (n as f64 / 2.0);
+        let w = match kind {
+            RampKind::Cosine => (std::f64::consts::FRAC_PI_2 * f).cos(),
+            RampKind::Hamming => 0.54 + 0.46 * (std::f64::consts::PI * f).cos(),
+            RampKind::Hann => 0.5 * (1.0 + (std::f64::consts::PI * f).cos()),
+            _ => 1.0,
+        };
+        *c = c.scale(w);
+    }
+    let time = ifft_any(&spec);
+    let mut out = vec![0.0; base.len()];
+    for (idx, o) in out.iter_mut().enumerate() {
+        let shift = (idx + n - half) % n;
+        *o = time[shift].re;
+    }
+    out
+}
+
+/// DC gain of a kernel (sum of taps). The ideal ramp suppresses DC
+/// entirely; the band-limited versions leave a small positive residual.
+pub fn dc_gain(kernel: &[f64]) -> f64 {
+    kernel.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramlak_closed_form_values() {
+        let tau = 1.0;
+        let h = ramp_kernel(RampKind::RamLak, 4, tau);
+        assert_eq!(h.len(), 9);
+        assert!((h[4] - 0.25).abs() < 1e-15); // centre = 1/4
+        assert_eq!(h[3], h[5]); // symmetric
+        assert!((h[5] + 1.0 / (std::f64::consts::PI.powi(2))).abs() < 1e-15);
+        assert_eq!(h[2], 0.0); // even taps vanish
+        assert_eq!(h[6], 0.0);
+    }
+
+    #[test]
+    fn tau_scaling_is_inverse_square() {
+        let h1 = ramp_kernel(RampKind::RamLak, 8, 1.0);
+        let h2 = ramp_kernel(RampKind::RamLak, 8, 2.0);
+        for (a, b) in h1.iter().zip(h2.iter()) {
+            assert!((a - b * 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_kernels_are_symmetric() {
+        for kind in RampKind::ALL {
+            let h = ramp_kernel(kind, 16, 0.5);
+            let n = h.len();
+            for i in 0..n / 2 {
+                assert!(
+                    (h[i] - h[n - 1 - i]).abs() < 1e-9,
+                    "{:?} asymmetric at {i}",
+                    kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shepp_logan_closed_form() {
+        let h = ramp_kernel(RampKind::SheppLogan, 3, 1.0);
+        let pi2 = std::f64::consts::PI * std::f64::consts::PI;
+        assert!((h[3] - 2.0 / pi2).abs() < 1e-15); // n=0: -2/(pi^2 * -1)
+        assert!((h[2] + 2.0 / (3.0 * pi2)).abs() < 1e-15); // n=1: -2/(pi^2*3)
+    }
+
+    #[test]
+    fn dc_suppression_ordering() {
+        // Every ramp variant strongly suppresses DC relative to its peak.
+        for kind in RampKind::ALL {
+            let h = ramp_kernel(kind, 64, 1.0);
+            let peak = h.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            assert!(
+                dc_gain(&h).abs() < 0.05 * peak,
+                "{:?}: dc {} vs peak {}",
+                kind,
+                dc_gain(&h),
+                peak
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_kernels_are_softer_than_ramlak() {
+        // Window functions reduce the centre tap (high-frequency gain).
+        let ramlak = ramp_kernel(RampKind::RamLak, 32, 1.0);
+        for kind in [RampKind::Cosine, RampKind::Hamming, RampKind::Hann] {
+            let h = ramp_kernel(kind, 32, 1.0);
+            assert!(
+                h[32] < ramlak[32],
+                "{:?} centre {} !< ramlak {}",
+                kind,
+                h[32],
+                ramlak[32]
+            );
+            assert!(h[32] > 0.0);
+        }
+        // Hann is the softest of the three.
+        let hann = ramp_kernel(RampKind::Hann, 32, 1.0);
+        let hamming = ramp_kernel(RampKind::Hamming, 32, 1.0);
+        assert!(hann[32] < hamming[32]);
+    }
+
+    #[test]
+    fn frequency_response_approximates_abs_omega() {
+        // The DFT of the Ram-Lak taps should approximate |f| up to Nyquist.
+        let half = 256;
+        let tau = 1.0;
+        let h = ramp_kernel(RampKind::RamLak, half, tau);
+        let n = 1024;
+        let mut buf = vec![Complex::ZERO; n];
+        for (idx, &v) in h.iter().enumerate() {
+            let shift = (idx + n - half) % n;
+            buf[shift] = Complex::from_real(v);
+        }
+        let spec = fft_any(&buf);
+        // At normalised frequency f (cycles/sample), |H| ~ f for f << 0.5.
+        for &k in &[16usize, 32, 64, 128] {
+            let f = k as f64 / n as f64;
+            let mag = spec[k].abs();
+            let expect = f; // ramp |omega|/(2*pi) in cycles-per-tau units
+            assert!(
+                (mag - expect).abs() < 0.05 * expect.max(0.02),
+                "bin {k}: {mag} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = RampKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RampKind::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_tau() {
+        ramp_kernel(RampKind::RamLak, 4, 0.0);
+    }
+}

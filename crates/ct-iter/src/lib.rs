@@ -1,0 +1,27 @@
+//! # ct-iter — iterative CT reconstruction on the iFDK operators
+//!
+//! The paper positions its back-projection algorithm as "general and thus
+//! can be adopted by iterative reconstruction methods, in which the
+//! back-projection is required to be repeated dozens of times, e.g. ART,
+//! SART, MLEM, MBIR" (Section 1; again in Section 6.2 for low-dose
+//! medical imaging). This crate delivers that adoption: the classic
+//! algebraic and statistical solvers built on
+//!
+//! * a **forward operator** `A` — ray-driven projection of the current
+//!   estimate (trilinear sampling along source-to-pixel rays), and
+//! * a **back operator** `A^T` (unmatched, as in RTK/ASTRA practice) —
+//!   the paper's proposed voxel-driven kernel applied to one projection
+//!   or a subset.
+//!
+//! Solvers: [`sart`] (ordered-subsets algebraic), [`sirt`]
+//! (simultaneous), [`art`] (single-ray... projection-at-a-time Kaczmarz
+//! variant), and [`mlem`] (multiplicative, for emission-style data).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod operators;
+pub mod solvers;
+
+pub use operators::Operators;
+pub use solvers::{art, mlem, sart, sirt, IterConfig, IterReport};

@@ -1,0 +1,365 @@
+//! # ct-par — scoped data-parallelism substrate
+//!
+//! The iFDK paper runs its filtering stage with OpenMP threads inside each
+//! MPI rank ("The Filtering-thread launches OpenMP threads ... to load
+//! projections and execute the filtering in parallel", Section 4.1.3).
+//! This crate is that substrate: a small, dependency-light parallel-for
+//! built on `std::thread::scope`, with work distributed by atomic
+//! chunk-stealing so irregular iterations balance automatically.
+//!
+//! Design notes (per the workspace DESIGN.md):
+//!
+//! * No `unsafe`: scoped threads borrow the data directly, so there is no
+//!   lifetime erasure and the compiler proves data-race freedom.
+//! * Work-stealing granularity is explicit (`grain`), because callers in
+//!   this workspace know their iteration cost precisely (a projection row,
+//!   a voxel slab, ...).
+//! * The pool is a *configuration*, not a set of live threads: scoped
+//!   spawning costs microseconds, invisible next to the millisecond-scale
+//!   work items of the FDK pipeline, and it keeps every API safe.
+//!
+//! ```
+//! use ct_par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! // Square 0..100 in parallel, results in index order.
+//! let squares = pool.parallel_map(100, 8, |i| i * i);
+//! assert_eq!(squares[9], 81);
+//! // Parallel reduction.
+//! let sum = pool.parallel_reduce(100, 8, 0usize, |i| i, |a, b| a + b);
+//! assert_eq!(sum, 4950);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod stats;
+
+/// Parallel execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: NonZeroUsize,
+}
+
+impl Pool {
+    /// A pool using `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero"),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// A serial pool (useful to A/B the parallel code paths in tests).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of worker threads this pool will use.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Run `f(i)` for every `i` in `0..n`, in parallel, stealing work in
+    /// chunks of `grain` iterations.
+    ///
+    /// `f` runs concurrently from multiple threads and therefore must be
+    /// `Sync`; each index is executed exactly once.
+    pub fn parallel_for<F>(&self, n: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let grain = grain.max(1);
+        let workers = self.threads.get().min(n.div_ceil(grain)).max(1);
+        if workers == 1 || n <= grain {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + grain).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Run `f(start, chunk)` over disjoint mutable chunks of `data`, each of
+    /// at most `chunk_len` elements. `start` is the offset of the chunk in
+    /// `data`. The chunks partition `data` exactly.
+    pub fn parallel_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.get().min(n.div_ceil(chunk_len)).max(1);
+        if workers == 1 {
+            for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(ci * chunk_len, chunk);
+            }
+            return;
+        }
+        // Pre-split the buffer into disjoint chunks, then let workers claim
+        // them through a shared atomic cursor. The Option-in-Mutex is only
+        // there to move the &mut slice out; it is uncontended (each index is
+        // claimed exactly once).
+        type ChunkSlot<'a, T> = parking_lot::Mutex<Option<(usize, &'a mut [T])>>;
+        let chunks: Vec<ChunkSlot<'_, T>> = {
+            let mut out = Vec::with_capacity(n.div_ceil(chunk_len));
+            let mut offset = 0;
+            let mut rest = data;
+            while !rest.is_empty() {
+                let take = chunk_len.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push(parking_lot::Mutex::new(Some((offset, head))));
+                offset += take;
+                rest = tail;
+            }
+            out
+        };
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= chunks.len() {
+                        break;
+                    }
+                    if let Some((start, chunk)) = chunks[idx].lock().take() {
+                        f(start, chunk);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Map `f` over `0..n` in parallel, collecting results in index order.
+    pub fn parallel_map<R, F>(&self, n: usize, grain: usize, f: F) -> Vec<R>
+    where
+        R: Send + Default + Clone,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out = vec![R::default(); n];
+        self.parallel_chunks_mut(&mut out, grain.max(1), |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = f(start + off);
+            }
+        });
+        out
+    }
+
+    /// Parallel fold: compute `f(i)` for `0..n`, combining per-thread
+    /// partials with `combine`, starting from `init` on each thread.
+    pub fn parallel_reduce<R, F, C>(&self, n: usize, grain: usize, init: R, f: F, combine: C) -> R
+    where
+        R: Send + Clone,
+        F: Fn(usize) -> R + Sync,
+        C: Fn(R, R) -> R + Sync + Send + Copy,
+    {
+        let grain = grain.max(1);
+        let workers = self.threads.get().min(n.div_ceil(grain)).max(1);
+        if workers == 1 {
+            let mut acc = init;
+            for i in 0..n {
+                acc = combine(acc, f(i));
+            }
+            return acc;
+        }
+        let cursor = AtomicUsize::new(0);
+        let partials = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let init = init.clone();
+                    s.spawn({
+                        let cursor = &cursor;
+                        let f = &f;
+                        move || {
+                            let mut acc = init;
+                            loop {
+                                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                let end = (start + grain).min(n);
+                                for i in start..end {
+                                    acc = combine(acc, f(i));
+                                }
+                            }
+                            acc
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        partials.into_iter().fold(init, combine)
+    }
+
+    /// Run two closures in parallel and return both results (fork-join).
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads.get() == 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("joined task panicked"))
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_sizes() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(7).threads(), 7);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert!(Pool::auto().threads() >= 1);
+        assert_eq!(Pool::default().threads(), Pool::auto().threads());
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let n = 1000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(n, 7, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_and_tiny() {
+        let pool = Pool::new(4);
+        pool.parallel_for(0, 1, |_| panic!("must not run"));
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(1, 100, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn chunks_mut_partitions_exactly() {
+        for threads in [1, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u64; 1003];
+            pool.parallel_chunks_mut(&mut data, 64, |start, chunk| {
+                for (off, x) in chunk.iter_mut().enumerate() {
+                    *x = (start + off) as u64;
+                }
+            });
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_handles_empty() {
+        let pool = Pool::new(4);
+        let mut data: Vec<u8> = vec![];
+        pool.parallel_chunks_mut(&mut data, 8, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn chunks_mut_chunk_len_larger_than_data() {
+        let pool = Pool::new(4);
+        let mut data = vec![1u32; 5];
+        pool.parallel_chunks_mut(&mut data, 100, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 5);
+            chunk.iter_mut().for_each(|x| *x += 1);
+        });
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.parallel_map(257, 16, |i| i * i);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let n = 10_000usize;
+            let sum = pool.parallel_reduce(n, 128, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+        let pool = Pool::serial();
+        let (a, b) = pool.join(|| "x", || "y");
+        assert_eq!((a, b), ("x", "y"));
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let n = 5000;
+        let total = AtomicU64::new(0);
+        Pool::new(6).parallel_for(n, 13, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+}

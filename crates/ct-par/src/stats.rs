@@ -1,0 +1,158 @@
+//! Lightweight timing statistics for pipeline instrumentation.
+//!
+//! The iFDK framework reports per-stage execution times (paper Table 5,
+//! Figure 4c). [`StageTimer`] collects wall-clock samples per named stage
+//! from any thread; [`TimingReport`] summarises them.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Thread-safe accumulator of named stage timings.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    samples: Mutex<BTreeMap<String, Vec<Duration>>>,
+}
+
+impl StageTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample for `stage`.
+    pub fn record(&self, stage: &str, d: Duration) {
+        self.samples
+            .lock()
+            .entry(stage.to_string())
+            .or_default()
+            .push(d);
+    }
+
+    /// Time the closure and record the elapsed duration under `stage`,
+    /// returning the closure's result.
+    pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.record(stage, t0.elapsed());
+        r
+    }
+
+    /// Produce a summary of everything recorded so far.
+    pub fn report(&self) -> TimingReport {
+        let samples = self.samples.lock();
+        let stages = samples
+            .iter()
+            .map(|(name, ds)| {
+                let total: Duration = ds.iter().sum();
+                StageSummary {
+                    name: name.clone(),
+                    count: ds.len(),
+                    total,
+                    max: ds.iter().max().copied().unwrap_or_default(),
+                }
+            })
+            .collect();
+        TimingReport { stages }
+    }
+}
+
+/// Summary of one stage's samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage name.
+    pub name: String,
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Largest single sample.
+    pub max: Duration,
+}
+
+impl StageSummary {
+    /// Mean sample duration.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Summaries for all stages, ordered by stage name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimingReport {
+    /// Per-stage summaries.
+    pub stages: Vec<StageSummary>,
+}
+
+impl TimingReport {
+    /// Look up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total time of a stage in seconds (0 if absent).
+    pub fn total_secs(&self, name: &str) -> f64 {
+        self.stage(name)
+            .map(|s| s.total.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let t = StageTimer::new();
+        t.record("filter", Duration::from_millis(10));
+        t.record("filter", Duration::from_millis(30));
+        t.record("bp", Duration::from_millis(5));
+        let r = t.report();
+        let f = r.stage("filter").unwrap();
+        assert_eq!(f.count, 2);
+        assert_eq!(f.total, Duration::from_millis(40));
+        assert_eq!(f.max, Duration::from_millis(30));
+        assert_eq!(f.mean(), Duration::from_millis(20));
+        assert!(r.stage("missing").is_none());
+        assert_eq!(r.total_secs("bp"), 0.005);
+    }
+
+    #[test]
+    fn time_wraps_closure() {
+        let t = StageTimer::new();
+        let x = t.time("work", || 41 + 1);
+        assert_eq!(x, 42);
+        assert_eq!(t.report().stage("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t = StageTimer::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        t.record("x", Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.report().stage("x").unwrap().count, 800);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        let s = StageSummary {
+            name: "s".into(),
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        };
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ct-perfmodel — the iFDK performance model and pipeline simulator
+//!
+//! The paper validates iFDK against an analytic performance model
+//! (Section 4.2, Eqs. 8-19) whose constants come from micro-benchmarks of
+//! the ABCI machine (IOR for the PFS, Intel MPI benchmarks for the
+//! collectives, `bandwidthTest` for PCIe, the kernel itself for
+//! back-projection). This crate carries:
+//!
+//! * [`machine`] — the machine-constant bundle, with defaults calibrated
+//!   to the published ABCI values (PCIe 11.9 GB/s, GPFS 28.5 GB/s
+//!   sequential write, ~200 GUPS kernel, ...).
+//! * [`kernel`] — a two-parameter cost model of the proposed
+//!   back-projection kernel (per-column setup + per-voxel cost) fitted to
+//!   the paper's Table 4/Figure 5 throughputs, reproducing the
+//!   shape-dependence that makes 8K slabs slower per update than 4K
+//!   slabs.
+//! * [`model`] — Eqs. 8-19 verbatim: per-stage times, `T_compute` as the
+//!   max of the overlapped stages, `T_post` and the end-to-end runtime +
+//!   GUPS, plus the `R`/`C` planner of Section 4.1.5.
+//! * [`des`] — a discrete-event simulation of one rank's three-thread
+//!   pipeline (Figure 4) with finite circular buffers and documented
+//!   overhead factors, producing the "measured" series of Figures 5-6 /
+//!   Table 5 and the timeline of Figure 4c.
+//!
+//! Everything is pure arithmetic — no threads, no clock — so the model
+//! runs at any scale (the paper's 2,048 GPUs included) in microseconds.
+//!
+//! ```
+//! use ct_perfmodel::{ModelBreakdown, ModelInput};
+//!
+//! // The paper's 4K problem on 2,048 V100s: "within 30 seconds".
+//! let breakdown = ModelBreakdown::evaluate(&ModelInput::paper_4k(2048));
+//! assert!(breakdown.t_runtime < 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cloud;
+pub mod des;
+pub mod kernel;
+pub mod machine;
+pub mod model;
+
+pub use cloud::{estimate_cost, CloudPricing, CostEstimate};
+pub use des::{simulate_pipeline, PipelineSim, ThreadSegment, TimelineTrace};
+pub use kernel::KernelModel;
+pub use machine::MachineConfig;
+pub use model::{plan_grid, GridPlan, ModelBreakdown, ModelInput};

@@ -1,0 +1,485 @@
+//! # ct-pfs — striped parallel-file-system substrate
+//!
+//! iFDK's end-to-end time includes loading projections from, and storing
+//! the volume to, a GPFS parallel file system (paper Sections 4.1.3 and
+//! 5.3: "the volume of size Nx x Ny x Nz is stored as slices of number
+//! Nz"; slice size should be tuned "to optimize for the throughput of
+//! storing to the PFS (i.e. tune slice size to optimize for file
+//! striping)"). This crate reproduces that I/O layer without a cluster
+//! file system:
+//!
+//! * objects are striped round-robin across `n_osts` object storage
+//!   targets in `stripe_size` chunks, exactly like Lustre/GPFS striping;
+//! * per-OST byte counters expose the stripe balance, and
+//!   [`PfsStore::modeled_seconds`] converts a transfer into the time the
+//!   paper's bandwidth constants predict (`T_load`/`T_store`, Eqs. 8/16);
+//! * two backends: in-memory (tests, benchmarks) and on-disk (examples
+//!   that want real files).
+//!
+//! Concurrent access from many ranks is safe; each object is written
+//! atomically under a store-wide lock (the lock covers metadata only —
+//! payload copies happen outside it where possible).
+//!
+//! ```
+//! use ct_pfs::PfsStore;
+//!
+//! let pfs = PfsStore::memory();
+//! pfs.write_f32(&PfsStore::projection_name(0), &[1.0, 2.0]).unwrap();
+//! assert_eq!(pfs.read_f32("proj_000000.f32").unwrap(), vec![1.0, 2.0]);
+//! assert_eq!(pfs.stats().bytes_written, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Errors from the PFS substrate.
+#[derive(Debug)]
+pub enum PfsError {
+    /// The named object does not exist.
+    NotFound(String),
+    /// Underlying disk I/O failed.
+    Io(std::io::Error),
+    /// The store was configured inconsistently.
+    InvalidConfig(String),
+    /// Fault injection tripped (see [`PfsConfig::fail_after_bytes`]).
+    InjectedFailure(String),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound(n) => write!(f, "object not found: {n}"),
+            PfsError::Io(e) => write!(f, "pfs io error: {e}"),
+            PfsError::InvalidConfig(m) => write!(f, "pfs config error: {m}"),
+            PfsError::InjectedFailure(m) => write!(f, "pfs injected failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+impl From<std::io::Error> for PfsError {
+    fn from(e: std::io::Error) -> Self {
+        PfsError::Io(e)
+    }
+}
+
+/// Result alias for PFS operations.
+pub type Result<T> = std::result::Result<T, PfsError>;
+
+/// Storage backend selection.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Objects held in memory (fast; used by tests and benchmarks).
+    Memory,
+    /// Objects stored as files under a directory.
+    Disk(PathBuf),
+}
+
+/// Store configuration: striping geometry and modeled bandwidths.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Number of object storage targets data is striped over.
+    pub n_osts: usize,
+    /// Stripe chunk size in bytes.
+    pub stripe_size: usize,
+    /// Aggregate read bandwidth for the time model (bytes/s). The paper
+    /// measures GPFS on ABCI with IOR (Section 4.2.1).
+    pub read_bw: f64,
+    /// Aggregate write bandwidth for the time model (bytes/s); 28.5 GB/s
+    /// sequential write in the paper's testbed (Section 5.3.3).
+    pub write_bw: f64,
+    /// Fault injection: error any write once this many total bytes have
+    /// been written (`None` disables).
+    pub fail_after_bytes: Option<u64>,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        Self {
+            n_osts: 8,
+            stripe_size: 1 << 20, // 1 MiB, a typical Lustre/GPFS default
+            read_bw: 28.5e9,
+            write_bw: 28.5e9,
+            fail_after_bytes: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    bytes_written: u64,
+    bytes_read: u64,
+    objects_written: u64,
+    objects_read: u64,
+    per_ost_bytes: Vec<u64>,
+}
+
+/// A point-in-time snapshot of I/O statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Objects (files/slices) written.
+    pub objects_written: u64,
+    /// Objects read.
+    pub objects_read: u64,
+    /// Bytes landed on each OST (stripe balance).
+    pub per_ost_bytes: Vec<u64>,
+}
+
+/// The striped object store.
+#[derive(Debug, Clone)]
+pub struct PfsStore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: PfsConfig,
+    backend: Backend,
+    objects: Mutex<BTreeMap<String, Vec<u8>>>,
+    counters: Mutex<Counters>,
+}
+
+impl PfsStore {
+    /// Create a store.
+    pub fn new(backend: Backend, config: PfsConfig) -> Result<Self> {
+        if config.n_osts == 0 {
+            return Err(PfsError::InvalidConfig("n_osts must be >= 1".into()));
+        }
+        if config.stripe_size == 0 {
+            return Err(PfsError::InvalidConfig("stripe_size must be >= 1".into()));
+        }
+        if let Backend::Disk(dir) = &backend {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(Self {
+            inner: Arc::new(Inner {
+                counters: Mutex::new(Counters {
+                    per_ost_bytes: vec![0; config.n_osts],
+                    ..Counters::default()
+                }),
+                config,
+                backend,
+                objects: Mutex::new(BTreeMap::new()),
+            }),
+        })
+    }
+
+    /// In-memory store with default striping.
+    pub fn memory() -> Self {
+        Self::new(Backend::Memory, PfsConfig::default()).expect("default config is valid")
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PfsConfig {
+        &self.inner.config
+    }
+
+    fn account_write(&self, len: usize) -> Result<()> {
+        let mut c = self.inner.counters.lock();
+        if let Some(limit) = self.inner.config.fail_after_bytes {
+            if c.bytes_written + len as u64 > limit {
+                return Err(PfsError::InjectedFailure(format!(
+                    "write budget {limit} B exhausted"
+                )));
+            }
+        }
+        // Round-robin striping over OSTs, continuing from the global
+        // stripe cursor implied by total bytes written.
+        let stripe = self.inner.config.stripe_size as u64;
+        let n = self.inner.config.n_osts as u64;
+        let mut offset = c.bytes_written;
+        let end = offset + len as u64;
+        while offset < end {
+            let stripe_idx = offset / stripe;
+            let ost = (stripe_idx % n) as usize;
+            let stripe_end = (stripe_idx + 1) * stripe;
+            let take = stripe_end.min(end) - offset;
+            c.per_ost_bytes[ost] += take;
+            offset += take;
+        }
+        c.bytes_written = end;
+        c.objects_written += 1;
+        Ok(())
+    }
+
+    /// Write a named object (raw bytes).
+    pub fn write_bytes(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.account_write(data.len())?;
+        match &self.inner.backend {
+            Backend::Memory => {
+                self.inner
+                    .objects
+                    .lock()
+                    .insert(name.to_string(), data.to_vec());
+            }
+            Backend::Disk(dir) => {
+                let path = dir.join(sanitize(name));
+                let mut f = std::fs::File::create(path)?;
+                f.write_all(data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a named object (raw bytes).
+    pub fn read_bytes(&self, name: &str) -> Result<Vec<u8>> {
+        let data = match &self.inner.backend {
+            Backend::Memory => self
+                .inner
+                .objects
+                .lock()
+                .get(name)
+                .cloned()
+                .ok_or_else(|| PfsError::NotFound(name.to_string()))?,
+            Backend::Disk(dir) => {
+                let path = dir.join(sanitize(name));
+                let mut f =
+                    std::fs::File::open(&path).map_err(|_| PfsError::NotFound(name.to_string()))?;
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        let mut c = self.inner.counters.lock();
+        c.bytes_read += data.len() as u64;
+        c.objects_read += 1;
+        Ok(data)
+    }
+
+    /// Write an `f32` buffer (little-endian), the element type of every
+    /// projection and volume slice in the pipeline.
+    pub fn write_f32(&self, name: &str, data: &[f32]) -> Result<()> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for &x in data {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        self.write_bytes(name, &bytes)
+    }
+
+    /// Read an `f32` buffer written by [`Self::write_f32`].
+    pub fn read_f32(&self, name: &str) -> Result<Vec<f32>> {
+        let bytes = self.read_bytes(name)?;
+        if bytes.len() % 4 != 0 {
+            return Err(PfsError::InvalidConfig(format!(
+                "object {name} has {} bytes, not a multiple of 4",
+                bytes.len()
+            )));
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// True if the object exists.
+    pub fn exists(&self, name: &str) -> bool {
+        match &self.inner.backend {
+            Backend::Memory => self.inner.objects.lock().contains_key(name),
+            Backend::Disk(dir) => dir.join(sanitize(name)).exists(),
+        }
+    }
+
+    /// Names of all stored objects (memory backend) or files (disk).
+    pub fn list(&self) -> Vec<String> {
+        match &self.inner.backend {
+            Backend::Memory => self.inner.objects.lock().keys().cloned().collect(),
+            Backend::Disk(dir) => {
+                let mut out: Vec<String> = std::fs::read_dir(dir)
+                    .map(|rd| {
+                        rd.filter_map(|e| e.ok())
+                            .filter_map(|e| e.file_name().into_string().ok())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.sort();
+                out
+            }
+        }
+    }
+
+    /// I/O statistics snapshot.
+    pub fn stats(&self) -> IoStats {
+        let c = self.inner.counters.lock();
+        IoStats {
+            bytes_written: c.bytes_written,
+            bytes_read: c.bytes_read,
+            objects_written: c.objects_written,
+            objects_read: c.objects_read,
+            per_ost_bytes: c.per_ost_bytes.clone(),
+        }
+    }
+
+    /// Time the paper's bandwidth model assigns to the traffic recorded so
+    /// far: `(bytes_read / read_bw, bytes_written / write_bw)` seconds.
+    pub fn modeled_seconds(&self) -> (f64, f64) {
+        let s = self.stats();
+        (
+            s.bytes_read as f64 / self.inner.config.read_bw,
+            s.bytes_written as f64 / self.inner.config.write_bw,
+        )
+    }
+
+    /// Canonical object name for projection `i`.
+    pub fn projection_name(i: usize) -> String {
+        format!("proj_{i:06}.f32")
+    }
+
+    /// Canonical object name for volume slice `k`.
+    pub fn slice_name(k: usize) -> String {
+        format!("slice_{k:06}.f32")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip() {
+        let s = PfsStore::memory();
+        s.write_f32("a", &[1.0, -2.5, 3.25]).unwrap();
+        assert_eq!(s.read_f32("a").unwrap(), vec![1.0, -2.5, 3.25]);
+        assert!(s.exists("a"));
+        assert!(!s.exists("b"));
+        assert!(matches!(s.read_f32("b"), Err(PfsError::NotFound(_))));
+        assert_eq!(s.list(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ct_pfs_test_{}", std::process::id()));
+        let s = PfsStore::new(Backend::Disk(dir.clone()), PfsConfig::default()).unwrap();
+        s.write_f32("vol/slice 1", &[9.0; 7]).unwrap();
+        assert_eq!(s.read_f32("vol/slice 1").unwrap(), vec![9.0; 7]);
+        assert!(s.exists("vol/slice 1"));
+        assert_eq!(s.list().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let s = PfsStore::memory();
+        s.write_f32("x", &[0.0; 100]).unwrap();
+        s.read_f32("x").unwrap();
+        s.read_f32("x").unwrap();
+        let st = s.stats();
+        assert_eq!(st.bytes_written, 400);
+        assert_eq!(st.bytes_read, 800);
+        assert_eq!(st.objects_written, 1);
+        assert_eq!(st.objects_read, 2);
+    }
+
+    #[test]
+    fn striping_balances_across_osts() {
+        let cfg = PfsConfig {
+            n_osts: 4,
+            stripe_size: 10,
+            ..PfsConfig::default()
+        };
+        let s = PfsStore::new(Backend::Memory, cfg).unwrap();
+        // 80 bytes = 8 stripes of 10 -> 2 per OST.
+        s.write_bytes("x", &[0u8; 80]).unwrap();
+        assert_eq!(s.stats().per_ost_bytes, vec![20, 20, 20, 20]);
+        // 15 more bytes continue the cursor: stripe 8 (ost 0) gets 10,
+        // stripe 9 (ost 1) gets 5.
+        s.write_bytes("y", &[0u8; 15]).unwrap();
+        assert_eq!(s.stats().per_ost_bytes, vec![30, 25, 20, 20]);
+    }
+
+    #[test]
+    fn modeled_seconds_use_configured_bandwidth() {
+        let cfg = PfsConfig {
+            read_bw: 100.0,
+            write_bw: 50.0,
+            ..PfsConfig::default()
+        };
+        let s = PfsStore::new(Backend::Memory, cfg).unwrap();
+        s.write_bytes("x", &[0u8; 500]).unwrap();
+        s.read_bytes("x").unwrap();
+        let (r, w) = s.modeled_seconds();
+        assert!((w - 10.0).abs() < 1e-12);
+        assert!((r - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_injection_trips() {
+        let cfg = PfsConfig {
+            fail_after_bytes: Some(100),
+            ..PfsConfig::default()
+        };
+        let s = PfsStore::new(Backend::Memory, cfg).unwrap();
+        s.write_bytes("ok", &[0u8; 100]).unwrap();
+        let err = s.write_bytes("fail", &[0u8; 1]).unwrap_err();
+        assert!(matches!(err, PfsError::InjectedFailure(_)));
+        // The failed object must not exist.
+        assert!(!s.exists("fail"));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = PfsConfig {
+            n_osts: 0,
+            ..PfsConfig::default()
+        };
+        assert!(PfsStore::new(Backend::Memory, bad).is_err());
+        let bad = PfsConfig {
+            stripe_size: 0,
+            ..PfsConfig::default()
+        };
+        assert!(PfsStore::new(Backend::Memory, bad).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_are_safe() {
+        let s = PfsStore::memory();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        s.write_f32(&format!("obj_{t}_{i}"), &[t as f32; 16])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.stats().objects_written, 400);
+        assert_eq!(s.list().len(), 400);
+        assert_eq!(s.read_f32("obj_3_7").unwrap(), vec![3.0; 16]);
+    }
+
+    #[test]
+    fn canonical_names_are_sortable() {
+        assert_eq!(PfsStore::projection_name(5), "proj_000005.f32");
+        assert_eq!(PfsStore::slice_name(123), "slice_000123.f32");
+        assert!(PfsStore::slice_name(2) < PfsStore::slice_name(10));
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize("a/b c.f32"), "a_b_c.f32");
+        assert_eq!(sanitize("ok-name_1.bin"), "ok-name_1.bin");
+    }
+}

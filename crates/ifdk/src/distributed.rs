@@ -1,0 +1,599 @@
+//! The distributed iFDK framework (paper Section 4).
+//!
+//! Every rank of the `R x C` grid runs the three-thread pipeline of
+//! Figure 4:
+//!
+//! * the **Filtering thread** loads this rank's `Np/(C*R)` projections
+//!   from the PFS and filters them on a worker pool (the OpenMP threads of
+//!   Section 4.1.3), streaming results into a circular buffer;
+//! * the **Main thread** performs one AllGather per projection across its
+//!   *column* communicator — after `Np/(C*R)` operations every rank of the
+//!   column holds the column's full `Np/C` filtered projections — and
+//!   streams them into the back-projection buffer; at the end it reduces
+//!   the partial sub-volume across its *row* communicator and, at the row
+//!   root, stores the finished slices to the PFS;
+//! * the **Back-projection thread** consumes fixed 32-projection batches
+//!   and accumulates them into this row's symmetric slab pair with the
+//!   proposed kernel (`L1-Tran` configuration).
+//!
+//! The run is deterministic for a fixed configuration: batches are fixed
+//! chunks of a deterministic stream and the reduction tree is fixed by
+//! `(R, C)`.
+
+use crate::grid::RankGrid;
+use crate::ring::RingBuffer;
+use ct_bp::fdk_scale;
+use ct_bp::pair::backproject_pair_with;
+use ct_comm::{AllGatherAlgorithm, Comm, Universe};
+use ct_core::error::{CtError, Result};
+use ct_core::geometry::{CbctGeometry, ProjectionMatrix};
+use ct_core::problem::Dims3;
+use ct_core::projection::{ProjectionImage, TransposedProjection};
+use ct_core::volume::{Volume, VolumeLayout};
+use ct_filter::{FilterConfig, Filterer};
+use ct_par::stats::{StageTimer, TimingReport};
+use ct_par::Pool;
+use ct_pfs::PfsStore;
+use std::time::{Duration, Instant};
+
+/// How the partial sub-volumes of a row are combined and stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostMode {
+    /// The paper's scheme: one Reduce to the row root, which stores every
+    /// slice of the pair (Figure 4b).
+    #[default]
+    RootReduce,
+    /// Ring reduce-scatter: every rank of the row ends up with a fully
+    /// reduced share of the slices and stores them itself — same traffic
+    /// as the Reduce, `C`-way parallel storing (the post-back-projection
+    /// overlap the paper leaves as future work, Section 4.1.4).
+    ReduceScatter,
+}
+
+/// Distributed-run configuration.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Acquisition geometry (defines `Np` and the volume).
+    pub geo: CbctGeometry,
+    /// The rank grid (`R` rows x `C` columns).
+    pub grid: RankGrid,
+    /// Filtering-stage configuration.
+    pub filter: FilterConfig,
+    /// Back-projection batch size (the paper uses 32).
+    pub batch: usize,
+    /// Worker threads per rank for filtering and the kernel.
+    pub threads_per_rank: usize,
+    /// Circular-buffer capacity (projections).
+    pub ring_capacity: usize,
+    /// AllGather algorithm for the per-projection column collective.
+    pub allgather: AllGatherAlgorithm,
+    /// Reduction/storage strategy for the row collective.
+    pub post: PostMode,
+    /// Apply the global FDK constant before storing.
+    pub apply_scale: bool,
+    /// Receive timeout for the communication fabric.
+    pub timeout: Duration,
+}
+
+impl DistConfig {
+    /// A reasonable configuration for a geometry and grid.
+    pub fn new(geo: CbctGeometry, grid: RankGrid) -> Self {
+        Self {
+            geo,
+            grid,
+            filter: FilterConfig::default(),
+            batch: 32,
+            threads_per_rank: 1,
+            ring_capacity: 64,
+            allgather: AllGatherAlgorithm::Ring,
+            post: PostMode::default(),
+            apply_scale: true,
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.geo.validate()?;
+        let np = self.geo.num_projections;
+        let n = self.grid.n_ranks();
+        if !np.is_multiple_of(n) {
+            return Err(CtError::InvalidConfig(format!(
+                "Np = {np} must divide by Nranks = {n}"
+            )));
+        }
+        if !self.geo.volume.nz.is_multiple_of(2 * self.grid.rows) {
+            return Err(CtError::InvalidConfig(format!(
+                "Nz = {} must divide into 2*R = {} half-slabs",
+                self.geo.volume.nz,
+                2 * self.grid.rows
+            )));
+        }
+        if self.batch == 0 || self.batch > 32 {
+            return Err(CtError::InvalidConfig("batch must be in 1..=32".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a distributed reconstruction.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Wall-clock end-to-end runtime (load -> store), seconds.
+    pub runtime_secs: f64,
+    /// End-to-end GUPS (Section 2.3 definition).
+    pub gups: f64,
+    /// Per-rank stage timing reports (rank order).
+    pub per_rank: Vec<TimingReport>,
+    /// Fabric traffic totals.
+    pub comm_messages: u64,
+    /// Fabric traffic totals.
+    pub comm_bytes: u64,
+}
+
+impl DistReport {
+    /// Maximum over ranks of a stage's total seconds.
+    pub fn max_stage_secs(&self, stage: &str) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.total_secs(stage))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run the distributed reconstruction: read projections from `input`,
+/// write the volume's `Nz` slices to `output`.
+///
+/// Projections must be stored as `PfsStore::projection_name(i)` objects of
+/// `Nu * Nv` floats (row-major). Slices are written as
+/// `PfsStore::slice_name(k)` objects of `Nx * Ny` floats.
+pub fn reconstruct_distributed(
+    cfg: &DistConfig,
+    input: &PfsStore,
+    output: &PfsStore,
+) -> Result<DistReport> {
+    cfg.validate()?;
+    let n_ranks = cfg.grid.n_ranks();
+    let universe = Universe::with_timeout(cfg.timeout);
+    let t0 = Instant::now();
+
+    let mats = cfg.geo.projection_matrices();
+    let (results, traffic) = universe
+        .launch_with_stats(n_ranks, |comm| run_rank(cfg, input, output, &mats, comm))
+        .map_err(|e| CtError::InvalidConfig(format!("distributed run failed: {e}")))?;
+
+    let runtime = t0.elapsed().as_secs_f64();
+    let mut per_rank = Vec::with_capacity(n_ranks);
+    for r in results {
+        per_rank.push(r?);
+    }
+    let (comm_messages, comm_bytes) = (traffic.messages_sent, traffic.bytes_sent);
+    let updates = (cfg.geo.volume.len() as u128) * (cfg.geo.num_projections as u128);
+    Ok(DistReport {
+        runtime_secs: runtime,
+        gups: ct_core::metrics::gups(updates, runtime),
+        per_rank,
+        comm_messages,
+        comm_bytes,
+    })
+}
+
+type RankOutput = Result<TimingReport>;
+
+fn run_rank(
+    cfg: &DistConfig,
+    input: &PfsStore,
+    output: &PfsStore,
+    mats: &[ProjectionMatrix],
+    comm: &Comm,
+) -> RankOutput {
+    let rank = comm.rank();
+    let grid = cfg.grid;
+    let row = grid.row_of(rank);
+    let col = grid.col_of(rank);
+    let geo = &cfg.geo;
+    let np = geo.num_projections;
+    let timer = StageTimer::new();
+    let pool = Pool::new(cfg.threads_per_rank);
+
+    // Column communicator: color = col, ordered by row (Figure 3b left).
+    let col_comm = comm.split(col as u64, row as u64);
+    // Row communicator: color = row, ordered by col (Figure 3b right).
+    let row_comm = comm.split(row as u64, col as u64);
+    debug_assert_eq!(col_comm.rank(), row);
+    debug_assert_eq!(row_comm.rank(), col);
+
+    let my_range = grid.projections_of_rank(rank, np)?;
+    let col_range = grid.projections_of_column(col, np)?;
+    let ops = my_range.len();
+    let pair = grid.slab_pair_of_row(row, geo.volume.nz)?;
+    let filterer = Filterer::new(geo, cfg.filter);
+
+    // Buffers: filtered (local) projections, then gathered (column-wide).
+    let to_gather: RingBuffer<Vec<f32>> = RingBuffer::new(cfg.ring_capacity);
+    let to_bp: RingBuffer<(usize, TransposedProjection)> =
+        RingBuffer::new(cfg.ring_capacity.max(2 * grid.rows));
+
+    let pair_volume = std::thread::scope(|s| -> Result<Volume> {
+        // ------------------------------------------------ Filtering thread
+        let flt_ring = to_gather.clone();
+        let flt_timer = &timer;
+        let flt_pool = pool;
+        let flt_range = my_range.clone();
+        let filterer_ref = &filterer;
+        let flt = s.spawn(move || -> Result<()> {
+            let body = || -> Result<()> {
+                for i in flt_range {
+                    let data =
+                        flt_timer.time("load", || input.read_f32(&PfsStore::projection_name(i)));
+                    let data = data.map_err(|e| {
+                        CtError::InvalidConfig(format!("loading projection {i}: {e}"))
+                    })?;
+                    let img = ProjectionImage::from_vec(geo.detector, data)?;
+                    let q = flt_timer.time("filter", || {
+                        let _ = &flt_pool; // reserved for multi-projection batching
+                        filterer_ref.filter_indexed(i, &img)
+                    });
+                    if flt_ring.push(q.into_vec()).is_err() {
+                        break; // pipeline shut down early
+                    }
+                }
+                Ok(())
+            };
+            let result = body();
+            // Close on every exit path or the main thread blocks forever.
+            flt_ring.close();
+            result
+        });
+
+        // ------------------------------------------- Back-projection thread
+        let bp_ring = to_bp.clone();
+        let bp_timer = &timer;
+        let bp_pool = pool;
+        let batch = cfg.batch;
+        let dims = geo.volume;
+        let nv = geo.detector.nv;
+        let bp = s.spawn(move || -> Result<Volume> {
+            // Close the inbound ring on every exit path so a failing
+            // consumer unblocks the producer (its push returns Err).
+            struct CloseOnDrop<T>(RingBuffer<T>);
+            impl<T> Drop for CloseOnDrop<T> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _closer = CloseOnDrop(bp_ring.clone());
+            let mut acc = Volume::zeros(
+                Dims3::new(dims.nx, dims.ny, pair.local_nz()),
+                VolumeLayout::KMajor,
+            );
+            loop {
+                let mut items: Vec<(usize, TransposedProjection)> = Vec::with_capacity(batch);
+                while items.len() < batch {
+                    match bp_ring.pop() {
+                        Some(x) => items.push(x),
+                        None => break,
+                    }
+                }
+                if items.is_empty() {
+                    break;
+                }
+                let batch_mats: Vec<ProjectionMatrix> =
+                    items.iter().map(|(i, _)| mats[*i]).collect();
+                let samplers: Vec<&TransposedProjection> = items.iter().map(|(_, q)| q).collect();
+                bp_timer.time("backprojection", || {
+                    let part = backproject_pair_with(
+                        &bp_pool,
+                        &batch_mats,
+                        &samplers,
+                        nv,
+                        dims,
+                        pair,
+                        batch,
+                    );
+                    acc.accumulate(&part)
+                })?;
+            }
+            Ok(acc)
+        });
+
+        // ------------------------------------------------------ Main thread
+        // One AllGather per local projection: op o moves projection
+        // (my_range.start + o) from every rank of the column.
+        let mut gather_err = None;
+        for o in 0..ops {
+            let Some(block) = to_gather.pop() else {
+                break; // filter thread ended early (its error is joined below)
+            };
+            let gathered = timer.time("allgather", || {
+                col_comm.all_gather_with(cfg.allgather, &block)
+            });
+            // Rank r' of the column contributed projection
+            // col_range.start + r' * ops + o.
+            let per = geo.detector.len();
+            for (rp, chunk) in gathered.chunks_exact(per).enumerate() {
+                let idx = col_range.start + rp * ops + o;
+                let img = ProjectionImage::from_vec(geo.detector, chunk.to_vec())?;
+                if to_bp.push((idx, img.transposed())).is_err() {
+                    gather_err = Some(CtError::InvalidConfig(
+                        "back-projection pipeline closed early".into(),
+                    ));
+                    break;
+                }
+            }
+            if gather_err.is_some() {
+                break;
+            }
+        }
+        to_bp.close();
+
+        let flt_result = flt.join().expect("filtering thread panicked");
+        let bp_result = bp.join().expect("back-projection thread panicked");
+        flt_result?;
+        if let Some(e) = gather_err {
+            return Err(e);
+        }
+        bp_result
+    })?;
+
+    // ------------------------------------------------------- Reduce + store
+    let scale = if cfg.apply_scale { fdk_scale(geo) } else { 1.0 };
+    let (nx, ny) = (geo.volume.nx, geo.volume.ny);
+    let slice_len = nx * ny;
+    match cfg.post {
+        PostMode::RootReduce => {
+            let reduced = timer.time("reduce", || row_comm.reduce_sum_f32(0, pair_volume.data()));
+            if let Some(data) = reduced {
+                let mut vol = Volume::from_vec(
+                    Dims3::new(nx, ny, pair.local_nz()),
+                    VolumeLayout::KMajor,
+                    data,
+                )?;
+                vol.scale(scale);
+                timer.time("store", || -> Result<()> {
+                    for local in 0..pair.local_nz() {
+                        let k = pair.global_k(local);
+                        let slice = vol.slice_xy(local)?;
+                        output
+                            .write_f32(&PfsStore::slice_name(k), &slice)
+                            .map_err(|e| {
+                                CtError::InvalidConfig(format!("storing slice {k}: {e}"))
+                            })?;
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+        PostMode::ReduceScatter => {
+            // Slices are contiguous in the i-major layout; partition them
+            // across the row so every rank reduces and stores a share.
+            let vol_im = pair_volume.into_layout(VolumeLayout::IMajor);
+            let c_ranks = row_comm.size();
+            let local_nz = pair.local_nz();
+            let base = local_nz / c_ranks;
+            let rem = local_nz % c_ranks;
+            let slices_of = |c: usize| base + usize::from(c < rem);
+            let counts: Vec<usize> = (0..c_ranks).map(|c| slices_of(c) * slice_len).collect();
+            let my_first: usize = (0..row_comm.rank()).map(&slices_of).sum();
+            let mut mine = timer.time("reduce", || {
+                row_comm.reduce_scatter_sum_f32(vol_im.data(), &counts)
+            });
+            for x in &mut mine {
+                *x *= scale;
+            }
+            timer.time("store", || -> Result<()> {
+                for (ls, slice) in mine.chunks_exact(slice_len).enumerate() {
+                    let k = pair.global_k(my_first + ls);
+                    output
+                        .write_f32(&PfsStore::slice_name(k), slice)
+                        .map_err(|e| CtError::InvalidConfig(format!("storing slice {k}: {e}")))?;
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    Ok(timer.report())
+}
+
+/// Helper used by examples/tests: write a projection stack into a store
+/// in the canonical layout.
+pub fn upload_projections(
+    store: &PfsStore,
+    stack: &ct_core::projection::ProjectionStack,
+) -> Result<()> {
+    for (i, img) in stack.iter().enumerate() {
+        store
+            .write_f32(&PfsStore::projection_name(i), img.data())
+            .map_err(|e| CtError::InvalidConfig(format!("uploading projection {i}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Helper: read the stored volume back as a single i-major volume.
+pub fn download_volume(store: &PfsStore, dims: Dims3) -> Result<Volume> {
+    let mut vol = Volume::zeros(dims, VolumeLayout::IMajor);
+    for k in 0..dims.nz {
+        let slice = store
+            .read_f32(&PfsStore::slice_name(k))
+            .map_err(|e| CtError::InvalidConfig(format!("reading slice {k}: {e}")))?;
+        if slice.len() != dims.nx * dims.ny {
+            return Err(CtError::ShapeMismatch {
+                expected: format!("{} floats", dims.nx * dims.ny),
+                actual: format!("{}", slice.len()),
+            });
+        }
+        for j in 0..dims.ny {
+            for i in 0..dims.nx {
+                vol.set(i, j, k, slice[j * dims.nx + i]);
+            }
+        }
+    }
+    Ok(vol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::{reconstruct, ReconOptions};
+    use ct_core::forward::project_all_analytic;
+    use ct_core::metrics::nrmse;
+    use ct_core::phantom::Phantom;
+    use ct_core::problem::Dims2;
+
+    fn setup(n: usize, np: usize) -> (CbctGeometry, PfsStore) {
+        let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+        let stack = project_all_analytic(&geo, &Phantom::shepp_logan(n as f64 * 0.45));
+        let store = PfsStore::memory();
+        upload_projections(&store, &stack).unwrap();
+        (geo, store)
+    }
+
+    fn run(geo: &CbctGeometry, input: &PfsStore, r: usize, c: usize) -> (Volume, DistReport) {
+        let grid = RankGrid::new(r, c).unwrap();
+        let cfg = DistConfig::new(geo.clone(), grid);
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, input, &output).unwrap();
+        let vol = download_volume(&output, geo.volume).unwrap();
+        (vol, report)
+    }
+
+    #[test]
+    fn distributed_matches_single_node() {
+        let (geo, store) = setup(16, 32);
+        let stack = {
+            // Rebuild the stack from the store to reconstruct locally.
+            let mut s = ct_core::projection::ProjectionStack::new(geo.detector);
+            for i in 0..geo.num_projections {
+                let d = store.read_f32(&PfsStore::projection_name(i)).unwrap();
+                s.push(ProjectionImage::from_vec(geo.detector, d).unwrap())
+                    .unwrap();
+            }
+            s
+        };
+        let single = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+        for (r, c) in [(1, 1), (2, 1), (1, 2), (2, 2), (4, 2)] {
+            let (vol, _) = run(&geo, &store, r, c);
+            let e = nrmse(single.data(), vol.data()).unwrap();
+            assert!(e < 1e-5, "grid {r}x{c}: nrmse {e}");
+        }
+    }
+
+    #[test]
+    fn paper_figure7_grid_4x4() {
+        // Figure 7's configuration (R=4, C=4, 16 ranks), scaled down.
+        let (geo, store) = setup(16, 32);
+        let (vol, report) = run(&geo, &store, 4, 4);
+        // The reconstruction must show the phantom: centre brighter than
+        // the corner background.
+        let c = vol.get(8, 8, 8);
+        let bg = vol.get(0, 0, 8);
+        assert!(c > bg, "centre {c} vs background {bg}");
+        assert_eq!(report.per_rank.len(), 16);
+        assert!(report.gups > 0.0);
+        assert!(report.comm_messages > 0);
+    }
+
+    #[test]
+    fn allgather_algorithms_give_identical_volumes() {
+        let (geo, store) = setup(8, 16);
+        let output_of = |algo: AllGatherAlgorithm| {
+            let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+            cfg.allgather = algo;
+            let output = PfsStore::memory();
+            reconstruct_distributed(&cfg, &store, &output).unwrap();
+            download_volume(&output, geo.volume).unwrap()
+        };
+        let ring = output_of(AllGatherAlgorithm::Ring);
+        let bruck = output_of(AllGatherAlgorithm::Bruck);
+        let naive = output_of(AllGatherAlgorithm::GatherBroadcast);
+        assert_eq!(ring.data(), bruck.data());
+        assert_eq!(ring.data(), naive.data());
+    }
+
+    #[test]
+    fn reduce_scatter_post_mode_matches_root_reduce() {
+        let (geo, store) = setup(16, 32);
+        let output_of = |post: PostMode, r: usize, c: usize| {
+            let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(r, c).unwrap());
+            cfg.post = post;
+            let output = PfsStore::memory();
+            let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+            (download_volume(&output, geo.volume).unwrap(), report)
+        };
+        for (r, c) in [(1, 1), (2, 2), (4, 4), (2, 4)] {
+            let (root, _) = output_of(PostMode::RootReduce, r, c);
+            let (scat, _) = output_of(PostMode::ReduceScatter, r, c);
+            // Reduction tree order differs, so compare at fp tolerance.
+            let e = ct_core::metrics::nrmse(root.data(), scat.data()).unwrap();
+            assert!(e < 1e-6, "{r}x{c}: {e}");
+        }
+        // With C > 1 the scattered mode spreads storing across ranks:
+        // every rank records a nonzero store stage.
+        let (_, report) = output_of(PostMode::ReduceScatter, 2, 4);
+        let storing_ranks = report
+            .per_rank
+            .iter()
+            .filter(|t| t.total_secs("store") > 0.0)
+            .count();
+        assert!(storing_ranks > 2, "only {storing_ranks} ranks stored");
+    }
+
+    #[test]
+    fn distributed_is_deterministic() {
+        let (geo, store) = setup(8, 16);
+        let (a, _) = run(&geo, &store, 2, 2);
+        let (b, _) = run(&geo, &store, 2, 2);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn report_contains_all_stages() {
+        let (geo, store) = setup(8, 16);
+        let (_, report) = run(&geo, &store, 2, 2);
+        for stage in ["load", "filter", "allgather", "backprojection", "reduce"] {
+            assert!(
+                report.max_stage_secs(stage) > 0.0,
+                "stage {stage} missing from report"
+            );
+        }
+        // Only row roots store, but some rank must have.
+        assert!(report.max_stage_secs("store") > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let geo = CbctGeometry::standard(Dims2::new(16, 16), 10, Dims3::cube(8));
+        // Np = 10 doesn't divide by 4 ranks.
+        let cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        let store = PfsStore::memory();
+        assert!(reconstruct_distributed(&cfg, &store, &PfsStore::memory()).is_err());
+        // Nz = 8 can't split into 2*8 half-slabs.
+        let geo2 = CbctGeometry::standard(Dims2::new(16, 16), 16, Dims3::cube(8));
+        let cfg = DistConfig::new(geo2, RankGrid::new(8, 2).unwrap());
+        assert!(reconstruct_distributed(&cfg, &store, &PfsStore::memory()).is_err());
+    }
+
+    #[test]
+    fn missing_projection_fails_cleanly() {
+        let geo = CbctGeometry::standard(Dims2::new(16, 16), 8, Dims3::cube(8));
+        let cfg = DistConfig::new(geo, RankGrid::new(2, 2).unwrap());
+        let empty = PfsStore::memory();
+        let err = reconstruct_distributed(&cfg, &empty, &PfsStore::memory());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn store_failure_surfaces() {
+        let (geo, store) = setup(8, 16);
+        let cfg = DistConfig::new(geo, RankGrid::new(2, 2).unwrap());
+        let output = PfsStore::new(
+            ct_pfs::Backend::Memory,
+            ct_pfs::PfsConfig {
+                fail_after_bytes: Some(64),
+                ..ct_pfs::PfsConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(reconstruct_distributed(&cfg, &store, &output).is_err());
+    }
+}

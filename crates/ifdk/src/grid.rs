@@ -1,0 +1,177 @@
+//! The 2D rank-grid decomposition (paper Section 4.1.1, Figure 3).
+//!
+//! `Nranks = C * R` ranks are arranged as `R` rows by `C` columns:
+//!
+//! * ranks in one **column** together hold all `Np` projections — each
+//!   column loads `Np / C`, each rank `Np / (C*R)` of them — and share
+//!   their filtered projections by AllGather;
+//! * ranks in one **row** all back-project the *same* symmetric slab pair
+//!   of the output volume (from different projection subsets) and combine
+//!   by a single Reduce.
+//!
+//! Rank numbering follows the paper's Figure 3a: rank = `col * R + row`
+//! (column-major), so column `C0` is ranks `0..R`.
+
+use ct_bp::SlabPair;
+use ct_core::error::{CtError, Result};
+
+/// An `R x C` rank grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankGrid {
+    /// Rows (`R` in the paper): output decomposition factor.
+    pub rows: usize,
+    /// Columns (`C` in the paper): input decomposition factor.
+    pub cols: usize,
+}
+
+impl RankGrid {
+    /// Construct a grid, validating both factors.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(CtError::InvalidConfig(format!(
+                "grid {rows}x{cols} must be nonempty"
+            )));
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Total ranks (`Nranks = C * R`, Eq. 4).
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Row of a rank (the slab pair it computes).
+    #[inline]
+    pub fn row_of(&self, rank: usize) -> usize {
+        rank % self.rows
+    }
+
+    /// Column of a rank (the projection group it loads).
+    #[inline]
+    pub fn col_of(&self, rank: usize) -> usize {
+        rank / self.rows
+    }
+
+    /// Rank at `(row, col)`.
+    #[inline]
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        col * self.rows + row
+    }
+
+    /// The contiguous projection range loaded and filtered by `rank`
+    /// (Eq. 5: `Nproj_per_rank = Np / (C*R)`).
+    pub fn projections_of_rank(&self, rank: usize, np: usize) -> Result<std::ops::Range<usize>> {
+        if !np.is_multiple_of(self.n_ranks()) {
+            return Err(CtError::InvalidConfig(format!(
+                "Np = {np} must divide by Nranks = {}",
+                self.n_ranks()
+            )));
+        }
+        let per_rank = np / self.n_ranks();
+        let col = self.col_of(rank);
+        let row = self.row_of(rank);
+        // Column c owns the contiguous block [c*Np/C, (c+1)*Np/C); within
+        // it, row r owns the r-th per-rank sub-block.
+        let col_start = col * (np / self.cols);
+        let start = col_start + row * per_rank;
+        Ok(start..start + per_rank)
+    }
+
+    /// The full projection range of `rank`'s column (what it back-projects
+    /// after the AllGather).
+    pub fn projections_of_column(&self, col: usize, np: usize) -> Result<std::ops::Range<usize>> {
+        if !np.is_multiple_of(self.cols) {
+            return Err(CtError::InvalidConfig(format!(
+                "Np = {np} must divide by C = {}",
+                self.cols
+            )));
+        }
+        let per_col = np / self.cols;
+        Ok(col * per_col..(col + 1) * per_col)
+    }
+
+    /// The symmetric slab pair computed by every rank of `row`
+    /// (the `2*R` sub-volumes of Figure 3).
+    pub fn slab_pair_of_row(&self, row: usize, nz: usize) -> Result<SlabPair> {
+        let pairs = SlabPair::decompose(nz, self.rows)?;
+        Ok(pairs[row])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(RankGrid::new(0, 4).is_err());
+        assert!(RankGrid::new(4, 0).is_err());
+        let g = RankGrid::new(8, 4).unwrap();
+        assert_eq!(g.n_ranks(), 32);
+    }
+
+    #[test]
+    fn paper_figure3_numbering() {
+        // Figure 3a: R=8, C=4; column C0 is ranks 0..8, row R0 is ranks
+        // {0, 8, 16, 24}.
+        let g = RankGrid::new(8, 4).unwrap();
+        assert_eq!(g.rank_at(0, 0), 0);
+        assert_eq!(g.rank_at(1, 1), 9);
+        assert_eq!(g.rank_at(7, 3), 31);
+        assert_eq!(g.row_of(9), 1);
+        assert_eq!(g.col_of(9), 1);
+        for rank in 0..32 {
+            assert_eq!(g.rank_at(g.row_of(rank), g.col_of(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn projection_assignment_partitions_np() {
+        let g = RankGrid::new(4, 2).unwrap();
+        let np = 32;
+        let mut seen = vec![false; np];
+        for rank in 0..g.n_ranks() {
+            let r = g.projections_of_rank(rank, np).unwrap();
+            assert_eq!(r.len(), np / 8);
+            for s in r {
+                assert!(!seen[s], "projection {s} assigned twice");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn rank_block_is_inside_its_column_block() {
+        let g = RankGrid::new(4, 2).unwrap();
+        let np = 32;
+        for rank in 0..8 {
+            let col = g.col_of(rank);
+            let cr = g.projections_of_column(col, np).unwrap();
+            let rr = g.projections_of_rank(rank, np).unwrap();
+            assert!(cr.start <= rr.start && rr.end <= cr.end);
+        }
+    }
+
+    #[test]
+    fn divisibility_errors() {
+        let g = RankGrid::new(4, 2).unwrap();
+        assert!(g.projections_of_rank(0, 30).is_err());
+        assert!(g.projections_of_column(0, 31).is_err());
+    }
+
+    #[test]
+    fn slab_pairs_by_row() {
+        let g = RankGrid::new(4, 2).unwrap();
+        let nz = 32;
+        for row in 0..4 {
+            let p = g.slab_pair_of_row(row, nz).unwrap();
+            assert_eq!(p.len, 4);
+            assert_eq!(p.k0, row * 4);
+        }
+        // nz must split into 2*R half-slabs.
+        assert!(g.slab_pair_of_row(0, 20).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # iFDK — instant high-resolution FDK image reconstruction
+//!
+//! A Rust reproduction of *"iFDK: A Scalable Framework for Instant
+//! High-resolution Image Reconstruction"* (Chen, Wahib, Takizawa, Takano,
+//! Matsuoka — SC '19): cone-beam CT reconstruction with the FDK algorithm,
+//! from a single in-memory call up to a fully distributed pipeline over a
+//! 2D grid of ranks with MPI-style collectives and PFS-style I/O.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ct_core::{CbctGeometry, Dims2, Dims3};
+//! use ct_core::phantom::Phantom;
+//! use ct_core::forward::project_all_analytic;
+//! use ifdk::{reconstruct, ReconOptions};
+//!
+//! // Scan a Shepp-Logan phantom (32 projections of 64x64) ...
+//! let geo = CbctGeometry::standard(Dims2::new(64, 64), 32, Dims3::cube(32));
+//! let projections = project_all_analytic(&geo, &Phantom::shepp_logan(10.0));
+//!
+//! // ... and reconstruct a 32^3 volume.
+//! let volume = reconstruct(&geo, &projections, &ReconOptions::default()).unwrap();
+//! assert_eq!(volume.dims(), Dims3::cube(32));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`reconstruct`] / [`reconstruct_pipelined`] — single-node FDK
+//!   (filtering on a [`ct_par::Pool`], back-projection with the paper's
+//!   proposed kernel; the pipelined variant overlaps the two stages
+//!   through a circular buffer exactly like one iFDK rank does).
+//! * [`grid`] — the 2D rank-grid decomposition (paper Section 4.1.1).
+//! * [`ring`] — the bounded circular buffers connecting pipeline threads
+//!   (Section 4.1.3, Figure 4a).
+//! * [`distributed`] — the full framework: per-rank
+//!   Filter/Main/Back-projection threads, per-projection AllGather within
+//!   columns, one Reduce per row, PFS in/out (Sections 4.1.1-4.1.4).
+//! * [`report`] — machine-readable run reports shared by the examples,
+//!   benchmarks and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distributed;
+pub mod grid;
+pub mod plan;
+pub mod report;
+pub mod ring;
+pub mod single;
+pub mod streaming;
+
+pub use distributed::{reconstruct_distributed, DistConfig, DistReport};
+pub use grid::RankGrid;
+pub use plan::{plan_rank_grid, GridChoice};
+pub use ring::RingBuffer;
+pub use single::{reconstruct, reconstruct_pipelined, ReconOptions};
+pub use streaming::StreamingReconstructor;

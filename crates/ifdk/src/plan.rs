@@ -1,0 +1,137 @@
+//! Grid planning — the paper's Section 4.1.5 policy applied to runnable
+//! configurations: *minimise `R`, maximise `C`* subject to the per-rank
+//! memory budget and the divisibility constraints of the decomposition.
+//!
+//! The paper's Eq. 7 sizes `R` from the sub-volume budget
+//! (`R = sizeof(float) * Nx*Ny*Nz / N_sub_vol`, rounded to a power of
+//! two); `C = Nranks / R` then scales the per-rank projection load down,
+//! which is where the runtime lives (Section 4.1.5's three reasons).
+
+use crate::grid::RankGrid;
+use ct_core::error::{CtError, Result};
+use ct_core::geometry::CbctGeometry;
+
+/// A planned grid plus the budget arithmetic behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridChoice {
+    /// The chosen grid.
+    pub grid: RankGrid,
+    /// Bytes of sub-volume each rank holds (`2 * len` slices).
+    pub sub_volume_bytes: u64,
+    /// Projections each rank loads and filters (Eq. 5).
+    pub projections_per_rank: usize,
+}
+
+/// Choose `R x C` for `n_ranks` following the paper's policy.
+///
+/// `mem_per_rank` is the budget for one rank's sub-volume (the paper uses
+/// 8 GiB on 16 GiB GPUs); pass `u64::MAX` when memory is no object (the
+/// in-process substrate).
+pub fn plan_rank_grid(geo: &CbctGeometry, n_ranks: usize, mem_per_rank: u64) -> Result<GridChoice> {
+    geo.validate()?;
+    if n_ranks == 0 {
+        return Err(CtError::InvalidConfig("need at least one rank".into()));
+    }
+    let vol_bytes = geo.volume.bytes_f32() as u64;
+    let np = geo.num_projections;
+    let nz = geo.volume.nz;
+
+    // Candidate R values: divisors of n_ranks, smallest first (minimise
+    // R / maximise C), subject to:
+    //   * nz splits into 2*R half-slabs,
+    //   * Np divides by R*C = n_ranks (independent of R, checked once),
+    //   * the sub-volume fits the per-rank budget.
+    if !np.is_multiple_of(n_ranks) {
+        return Err(CtError::InvalidConfig(format!(
+            "Np = {np} must divide by Nranks = {n_ranks}"
+        )));
+    }
+    for r in 1..=n_ranks {
+        if !n_ranks.is_multiple_of(r) {
+            continue;
+        }
+        if !nz.is_multiple_of(2 * r) {
+            continue;
+        }
+        let sub = vol_bytes / r as u64;
+        if sub > mem_per_rank {
+            continue;
+        }
+        let grid = RankGrid::new(r, n_ranks / r)?;
+        return Ok(GridChoice {
+            grid,
+            sub_volume_bytes: sub,
+            projections_per_rank: np / n_ranks,
+        });
+    }
+    Err(CtError::InvalidConfig(format!(
+        "no feasible R for Nz = {nz}, Nranks = {n_ranks}, budget {mem_per_rank} B"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::problem::{Dims2, Dims3};
+
+    fn geo(nz: usize, np: usize) -> CbctGeometry {
+        CbctGeometry::standard(Dims2::new(64, 64), np, Dims3::new(32, 32, nz))
+    }
+
+    #[test]
+    fn unlimited_memory_minimises_r() {
+        let g = geo(32, 64);
+        let c = plan_rank_grid(&g, 8, u64::MAX).unwrap();
+        assert_eq!(c.grid.rows, 1);
+        assert_eq!(c.grid.cols, 8);
+        assert_eq!(c.projections_per_rank, 8);
+        assert_eq!(c.sub_volume_bytes, (32 * 32 * 32 * 4) as u64);
+    }
+
+    #[test]
+    fn memory_budget_forces_larger_r() {
+        let g = geo(32, 64);
+        let vol = (32 * 32 * 32 * 4) as u64;
+        // Budget for a quarter volume -> R = 4.
+        let c = plan_rank_grid(&g, 8, vol / 4).unwrap();
+        assert_eq!(c.grid.rows, 4);
+        assert_eq!(c.grid.cols, 2);
+        assert_eq!(c.sub_volume_bytes, vol / 4);
+    }
+
+    #[test]
+    fn r_respects_half_slab_divisibility() {
+        // nz = 8 cannot split into 2*8 half-slabs, so R = 8 is skipped
+        // even when memory would demand it -> error.
+        let g = geo(8, 64);
+        let vol = (32 * 32 * 8 * 4) as u64;
+        assert!(plan_rank_grid(&g, 8, vol / 8).is_err());
+        // But R = 4 splits fine when the budget allows it.
+        let c = plan_rank_grid(&g, 8, vol / 4).unwrap();
+        assert_eq!(c.grid.rows, 4);
+    }
+
+    #[test]
+    fn projection_divisibility_enforced() {
+        let g = geo(32, 60); // 60 doesn't divide by 8
+        assert!(plan_rank_grid(&g, 8, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn planned_grid_runs() {
+        use crate::distributed::{reconstruct_distributed, upload_projections, DistConfig};
+        use ct_core::forward::project_all_analytic;
+        use ct_core::phantom::Phantom;
+        use ct_pfs::PfsStore;
+
+        let g = geo(16, 16);
+        let choice = plan_rank_grid(&g, 4, u64::MAX).unwrap();
+        let stack = project_all_analytic(&g, &Phantom::uniform_sphere(6.0));
+        let input = PfsStore::memory();
+        upload_projections(&input, &stack).unwrap();
+        let cfg = DistConfig::new(g.clone(), choice.grid);
+        let out = PfsStore::memory();
+        reconstruct_distributed(&cfg, &input, &out).unwrap();
+        assert_eq!(out.list().len(), g.volume.nz);
+    }
+}

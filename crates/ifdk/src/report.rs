@@ -1,0 +1,71 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment regenerator (the `bench` crate's table/figure
+//! binaries) and the examples emit the same report shape, so
+//! EXPERIMENTS.md rows are generated rather than hand-copied.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One measured (or modelled) experiment datapoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunReport {
+    /// Which experiment this belongs to (e.g. `"table4"`, `"fig5a"`).
+    pub experiment: String,
+    /// Configuration label (e.g. the problem string, GPU count, kernel).
+    pub label: String,
+    /// Named scalar results (seconds, GUPS, RMSE, ...).
+    pub values: BTreeMap<String, f64>,
+    /// Free-form notes (substitutions, tolerances, deviations).
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// Start a report.
+    pub fn new(experiment: &str, label: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            label: label.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Record a named value (builder style).
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.values.insert(key.to_string(), value);
+        self
+    }
+
+    /// Record a value in place.
+    pub fn set(&mut self, key: &str, value: f64) {
+        self.values.insert(key.to_string(), value);
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Look a value up.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let mut r = RunReport::new("table4", "512x512x1024->256^3")
+            .with("gups", 188.6)
+            .with("seconds", 0.35);
+        r.note("scaled 8x from the paper's problem");
+        assert_eq!(r.get("gups"), Some(188.6));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.notes.len(), 1);
+        r.set("gups", 190.0);
+        assert_eq!(r.get("gups"), Some(190.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Bounded circular buffers — the inter-thread queues of an iFDK rank.
+//!
+//! "Those threads ... execute independently and exchange data with each
+//! other using circular buffers" (paper Section 4.1.3, Figure 4a). The
+//! buffer is a classic bounded MPMC queue: producers block when it is
+//! full (back-pressure keeps the filtering stage from racing ahead of the
+//! GPU), consumers block when it is empty, and closing it wakes everyone
+//! so pipelines drain cleanly.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// A bounded blocking FIFO. Clones share the same buffer.
+pub struct RingBuffer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for RingBuffer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> RingBuffer<T> {
+    /// Create a buffer holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    queue: VecDeque::with_capacity(capacity),
+                    closed: false,
+                }),
+                not_full: Condvar::new(),
+                not_empty: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Capacity the buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Current queue length (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// True when currently empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking push. Returns `Err(item)` if the buffer is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(item);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Blocking pop. Returns `None` once the buffer is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.shared.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Pop up to `max` items in one call (at least one unless the stream
+    /// is finished) — how the BP thread assembles projection batches.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        match self.pop() {
+            Some(first) => out.push(first),
+            None => return out,
+        }
+        // Opportunistically take whatever else is already queued.
+        let mut st = self.shared.state.lock();
+        while out.len() < max {
+            match st.queue.pop_front() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        drop(st);
+        self.shared.not_full.notify_all();
+        out
+    }
+
+    /// Close the buffer: producers fail, consumers drain then see `None`.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let rb = RingBuffer::new(4);
+        rb.push(1).unwrap();
+        rb.push(2).unwrap();
+        rb.push(3).unwrap();
+        assert_eq!(rb.pop(), Some(1));
+        assert_eq!(rb.pop(), Some(2));
+        assert_eq!(rb.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let rb = RingBuffer::new(4);
+        rb.push("a").unwrap();
+        rb.close();
+        assert_eq!(rb.push("b"), Err("b"));
+        assert_eq!(rb.pop(), Some("a"));
+        assert_eq!(rb.pop(), None);
+    }
+
+    #[test]
+    fn producer_blocks_until_consumed() {
+        let rb = RingBuffer::new(1);
+        rb.push(0u32).unwrap();
+        let rb2 = rb.clone();
+        let handle = std::thread::spawn(move || {
+            // This push must block until the main thread pops.
+            rb2.push(1).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rb.len(), 1, "producer should still be blocked");
+        assert_eq!(rb.pop(), Some(0));
+        handle.join().unwrap();
+        assert_eq!(rb.pop(), Some(1));
+    }
+
+    #[test]
+    fn consumer_blocks_until_produced() {
+        let rb = RingBuffer::<u64>::new(2);
+        let rb2 = rb.clone();
+        let handle = std::thread::spawn(move || rb2.pop());
+        std::thread::sleep(Duration::from_millis(30));
+        rb.push(99).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn pop_batch_takes_available() {
+        let rb = RingBuffer::new(8);
+        for i in 0..5 {
+            rb.push(i).unwrap();
+        }
+        let batch = rb.pop_batch(3);
+        assert_eq!(batch, vec![0, 1, 2]);
+        let batch = rb.pop_batch(10);
+        assert_eq!(batch, vec![3, 4]);
+        rb.close();
+        assert!(rb.pop_batch(4).is_empty());
+        assert!(rb.pop_batch(0).is_empty());
+    }
+
+    #[test]
+    fn pipeline_transfers_everything() {
+        let rb = RingBuffer::new(3);
+        let producer = rb.clone();
+        let n = 1000u32;
+        let handle = std::thread::spawn(move || {
+            for i in 0..n {
+                producer.push(i).unwrap();
+            }
+            producer.close();
+        });
+        let mut got = Vec::new();
+        while let Some(x) = rb.pop() {
+            got.push(x);
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer() {
+        let rb = RingBuffer::new(4);
+        let total: u64 = std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rb = rb.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        rb.push(t * 1000 + i).unwrap();
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rb = rb.clone();
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        let mut count = 0;
+                        while count < 200 {
+                            if let Some(x) = rb.pop() {
+                                sum += x;
+                                count += 1;
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            consumers.into_iter().map(|c| c.join().unwrap()).sum()
+        });
+        let expect: u64 = (0..4u64)
+            .map(|t| (0..100).map(|i| t * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Capacity planning with the iFDK performance model — "how many GPUs for
+//! instant 4K/8K?", plus the paper's Section 6.2 platform discussion
+//! (AWS p3 cluster, Nvidia DGX-2) reproduced with the same model.
+//!
+//! ```text
+//! cargo run --release -p ifdk-examples --bin capacity_planning
+//! ```
+
+use ct_perfmodel::des::Overheads;
+use ct_perfmodel::{plan_grid, simulate_pipeline, MachineConfig, ModelBreakdown, ModelInput};
+use ifdk_examples::print_table;
+
+fn sweep(label: &str, make: impl Fn(usize) -> ModelInput, gpus: &[usize]) {
+    println!("\n{label}");
+    let ov = Overheads::default();
+    let mut rows = Vec::new();
+    for &g in gpus {
+        let input = make(g);
+        if input.validate().is_err() {
+            continue;
+        }
+        let model = ModelBreakdown::evaluate(&input);
+        let sim = simulate_pipeline(&input, &ov);
+        rows.push(vec![
+            g.to_string(),
+            format!("{}x{}", input.r, input.c),
+            format!("{:.1}", model.t_compute),
+            format!("{:.1}", sim.t_compute),
+            format!("{:.1}", model.t_runtime),
+            format!("{:.1}", sim.t_runtime),
+            format!("{:.0}", sim.gups),
+        ]);
+    }
+    print_table(
+        &[
+            "GPUs",
+            "R x C",
+            "model Tc",
+            "sim Tc",
+            "model total",
+            "sim total",
+            "sim GUPS",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("iFDK capacity planning (paper performance model, Eqs. 8-19)");
+
+    sweep(
+        "4K problem (2048^2 x 4096 -> 4096^3) on ABCI:",
+        ModelInput::paper_4k,
+        &[32, 64, 128, 256, 512, 1024, 2048],
+    );
+    sweep(
+        "8K problem (2048^2 x 4096 -> 8192^3) on ABCI:",
+        ModelInput::paper_8k,
+        &[256, 512, 1024, 2048],
+    );
+
+    // Section 6.2.1: the 4K problem on an AWS-class cluster.
+    sweep(
+        "4K problem on an AWS p3-class cluster (10 Gb/s network):",
+        |g| {
+            let mut i = ModelInput::paper_4k(g);
+            i.machine = MachineConfig::aws_p3();
+            i
+        },
+        &[256, 512, 1024],
+    );
+
+    // Section 6.2.2: a 2K problem on one DGX-2 (16 GPUs, all on-node).
+    sweep(
+        "2K problem (2048^2 x 2048 -> 2048^3) on one DGX-2:",
+        |g| ModelInput {
+            nu: 2048,
+            nv: 2048,
+            np: 2048,
+            nx: 2048,
+            ny: 2048,
+            nz: 2048,
+            r: 4,
+            c: g / 4,
+            machine: MachineConfig::dgx2(),
+            kernel: ct_perfmodel::KernelModel::v100_proposed(),
+        },
+        &[16],
+    );
+
+    // Planner demo (Section 4.1.5): what grid would iFDK pick?
+    println!("\nplanner (Section 4.1.5) on ABCI:");
+    let m = MachineConfig::abci();
+    let mut rows = Vec::new();
+    for (label, nx, gpus) in [
+        ("2048^3", 2048usize, 64usize),
+        ("4096^3", 4096, 128),
+        ("8192^3", 8192, 2048),
+    ] {
+        match plan_grid(2048, 2048, nx, nx, nx, gpus, &m) {
+            Ok(p) => rows.push(vec![
+                label.to_string(),
+                gpus.to_string(),
+                format!("R={} C={}", p.r, p.c),
+                format!("{:.1} GiB", p.sub_volume_bytes as f64 / (1u64 << 30) as f64),
+            ]),
+            Err(e) => rows.push(vec![label.to_string(), gpus.to_string(), e, "-".into()]),
+        }
+    }
+    print_table(&["volume", "GPUs", "plan", "sub-volume"], &rows);
+
+    println!("\nAWS cost estimate (Section 6.2.1): 256 p3.8xlarge at $12.24/h");
+    let input = {
+        let mut i = ModelInput::paper_4k(1024);
+        i.machine = MachineConfig::aws_p3();
+        i
+    };
+    let sim = simulate_pipeline(&input, &Overheads::default());
+    let hours = sim.t_runtime / 3600.0;
+    let cost = 256.0 * 12.24 * hours;
+    println!(
+        "  one 4K reconstruction: {:.0} s of 256 instances -> ~${:.2} (paper: < $100)",
+        sim.t_runtime, cost
+    );
+}

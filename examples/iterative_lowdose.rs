@@ -1,0 +1,104 @@
+//! Low-dose / sparse-view reconstruction with iterative solvers — the
+//! paper's Section 6.2 motivation ("the proposed back-projection
+//! algorithm and CUDA implementation can be applied in a number of
+//! iterative solvers (i.e. ART, MLEM, MBIR), which are popular
+//! methodologies in medical imaging for low dose image reconstruction").
+//!
+//! ```text
+//! cargo run --release -p ifdk-examples --bin iterative_lowdose -- --size 24 --np 12
+//! ```
+//!
+//! With very few projections, plain FDK shows streak artefacts; SART on
+//! the same operators (the proposed back-projection kernel doing the
+//! heavy lifting every iteration) recovers a cleaner volume.
+
+use ct_core::forward::project_all_analytic;
+use ct_core::metrics::nrmse;
+use ct_core::phantom::Phantom;
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::volume::VolumeLayout;
+use ct_core::CbctGeometry;
+use ct_iter::{sart, sirt, IterConfig, Operators};
+use ct_par::Pool;
+use ifdk::{reconstruct, ReconOptions};
+use ifdk_examples::{arg_usize, ascii_slice, print_table};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "size", 24);
+    let np = arg_usize(&args, "np", 12);
+    let iterations = arg_usize(&args, "iterations", 8);
+
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let phantom = Phantom::shepp_logan(0.45 * n as f64);
+    let stack = project_all_analytic(&geo, &phantom);
+    let truth = phantom.voxelize(geo.volume, VolumeLayout::IMajor, |i, j, k| {
+        geo.voxel_position(i, j, k)
+    });
+    println!("sparse-view study: {np} projections of a {n}^3 Shepp-Logan\n");
+
+    // FDK baseline.
+    let t = Instant::now();
+    let fdk = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    let fdk_time = t.elapsed().as_secs_f64();
+    let fdk_err = nrmse(truth.data(), fdk.data()).unwrap();
+
+    // Iterative solvers on the same operators.
+    let ops = Operators::new(geo.clone(), Pool::auto(), 0.5).unwrap();
+    let cfg = IterConfig {
+        iterations,
+        subsets: np.min(6),
+        ..IterConfig::default()
+    };
+    let t = Instant::now();
+    let (sart_vol, sart_rep) = sart(&ops, &stack, &cfg).unwrap();
+    let sart_time = t.elapsed().as_secs_f64();
+    let sart_err = nrmse(truth.data(), sart_vol.data()).unwrap();
+
+    let t = Instant::now();
+    let (sirt_vol, _) = sirt(&ops, &stack, &cfg).unwrap();
+    let sirt_time = t.elapsed().as_secs_f64();
+    let sirt_err = nrmse(truth.data(), sirt_vol.data()).unwrap();
+
+    print_table(
+        &["method", "NRMSE vs phantom", "time"],
+        &[
+            vec![
+                "FDK".into(),
+                format!("{fdk_err:.4}"),
+                format!("{fdk_time:.2}s"),
+            ],
+            vec![
+                format!("SART x{iterations}"),
+                format!("{sart_err:.4}"),
+                format!("{sart_time:.2}s"),
+            ],
+            vec![
+                format!("SIRT x{iterations}"),
+                format!("{sirt_err:.4}"),
+                format!("{sirt_time:.2}s"),
+            ],
+        ],
+    );
+    println!(
+        "\nSART residual per iteration: {}",
+        sart_rep
+            .residuals
+            .iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    println!("\nFDK slice:");
+    print!("{}", ascii_slice(&fdk, n / 2, 48));
+    println!("SART slice:");
+    print!("{}", ascii_slice(&sart_vol, n / 2, 48));
+
+    assert!(
+        sart_err < fdk_err,
+        "SART ({sart_err}) should beat FDK ({fdk_err}) at {np} views"
+    );
+    println!("OK: iterative reconstruction beats FDK in the sparse-view regime");
+}

@@ -1,0 +1,95 @@
+//! Shared helpers for the iFDK-rs examples: terminal rendering of slices
+//! and small argument parsing without external dependencies.
+
+use ct_core::volume::Volume;
+
+/// Render the XY slice at height `k` as ASCII art (darker character =
+/// denser voxel), downsampled to at most `max_cols` columns.
+pub fn ascii_slice(vol: &Volume, k: usize, max_cols: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let dims = vol.dims();
+    let step = (dims.nx / max_cols.max(1)).max(1);
+    // Character cells are ~2x taller than wide; sample rows twice as
+    // sparsely so the aspect ratio survives.
+    let vstep = step * 2;
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for j in (0..dims.ny).step_by(step) {
+        for i in (0..dims.nx).step_by(step) {
+            let v = vol.get(i, j, k);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let range = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    for j in (0..dims.ny).step_by(vstep) {
+        for i in (0..dims.nx).step_by(step) {
+            let v = vol.get(i, j, k);
+            let t = ((v - lo) / range).clamp(0.0, 1.0);
+            let idx = (t * (SHADES.len() - 1) as f32).round() as usize;
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse `--key value` style arguments with a default.
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == format!("--{key}"))
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// Simple column-aligned table printer.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::problem::Dims3;
+    use ct_core::volume::VolumeLayout;
+
+    #[test]
+    fn ascii_slice_shapes_output() {
+        let mut v = Volume::zeros(Dims3::cube(16), VolumeLayout::IMajor);
+        v.set(8, 8, 8, 1.0);
+        let art = ascii_slice(&v, 8, 16);
+        assert!(art.contains('@'));
+        assert!(art.lines().count() >= 4);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--size", "32", "--np", "64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "size", 8), 32);
+        assert_eq!(arg_usize(&args, "np", 8), 64);
+        assert_eq!(arg_usize(&args, "missing", 7), 7);
+    }
+}

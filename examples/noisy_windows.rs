@@ -1,0 +1,100 @@
+//! Ramp-window study under photon noise — making the paper's Section
+//! 2.2.2 remark ("the shape of the Framp filter deeply affects the final
+//! image quality, yet it has no effect on the compute intensity")
+//! quantitative.
+//!
+//! ```text
+//! cargo run --release -p ifdk-examples --bin noisy_windows -- --size 32 --i0 50
+//! ```
+//!
+//! Reconstructs the same noisy scan with all five ramp windows and
+//! reports reconstruction error (soft windows win at low dose) and
+//! filtering time (identical across windows).
+
+use ct_core::forward::project_all_analytic;
+use ct_core::metrics::nrmse;
+use ct_core::noise::NoiseModel;
+use ct_core::phantom::Phantom;
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::volume::VolumeLayout;
+use ct_core::CbctGeometry;
+use ct_filter::{FilterConfig, RampKind};
+use ifdk::{reconstruct, ReconOptions};
+use ifdk_examples::{arg_usize, print_table};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "size", 32);
+    let np = arg_usize(&args, "np", 96);
+    let i0 = arg_usize(&args, "i0", 50) as f64;
+
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let phantom = Phantom::shepp_logan(0.45 * n as f64);
+    let mut clean = project_all_analytic(&geo, &phantom);
+    // Rescale to a realistic attenuation regime (peak line integral ~ 4,
+    // i.e. ~2 % transmission): the synthetic phantom's "densities" are in
+    // arbitrary units, while Poisson statistics care about absolute
+    // optical depth.
+    let peak = clean
+        .iter()
+        .flat_map(|img| img.data().iter().copied())
+        .fold(0.0f32, f32::max);
+    let atten = 4.0 / peak;
+    for img in clean.iter_mut() {
+        for p in img.data_mut() {
+            *p *= atten;
+        }
+    }
+    let noisy = NoiseModel { i0, seed: 2024 }.apply(&clean);
+    let mut truth = phantom.voxelize(geo.volume, VolumeLayout::IMajor, |i, j, k| {
+        geo.voxel_position(i, j, k)
+    });
+    truth.scale(atten);
+
+    println!("ramp windows at I0 = {i0} photons/pixel ({np} views, {n}^3):\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for ramp in RampKind::ALL {
+        let opts = ReconOptions {
+            filter: FilterConfig {
+                ramp,
+                kernel_half_width: None,
+            },
+            ..ReconOptions::default()
+        };
+        let t = Instant::now();
+        let noisy_rec = reconstruct(&geo, &noisy, &opts).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        let clean_rec = reconstruct(&geo, &clean, &opts).unwrap();
+        let e_noisy = nrmse(truth.data(), noisy_rec.data()).unwrap();
+        let e_clean = nrmse(truth.data(), clean_rec.data()).unwrap();
+        rows.push(vec![
+            ramp.name().to_string(),
+            format!("{e_clean:.4}"),
+            format!("{e_noisy:.4}"),
+            format!("{secs:.2}s"),
+        ]);
+        results.push((ramp, e_noisy));
+    }
+    print_table(
+        &["window", "NRMSE (clean)", "NRMSE (noisy)", "recon time"],
+        &rows,
+    );
+
+    let ramlak = results
+        .iter()
+        .find(|(r, _)| *r == RampKind::RamLak)
+        .unwrap()
+        .1;
+    let best_soft = results
+        .iter()
+        .filter(|(r, _)| matches!(r, RampKind::Hann | RampKind::Hamming | RampKind::Cosine))
+        .map(|&(_, e)| e)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nat this dose, the best soft window improves on Ram-Lak by {:.1}% \
+         (compute cost identical, as the paper states)",
+        (1.0 - best_soft / ramlak) * 100.0
+    );
+}

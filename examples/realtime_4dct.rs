@@ -1,0 +1,126 @@
+//! 4D-CT: a time-resolved sequence of reconstructions — the paper's
+//! Section 6.2 pointer ("it can provide benefits for real-time CT
+//! systems, e.g. 4D-CT").
+//!
+//! ```text
+//! cargo run --release -p ifdk-examples --bin realtime_4dct -- --size 32 --frames 6
+//! ```
+//!
+//! A pore drifts through a casting over `--frames` time steps; every
+//! frame is scanned and reconstructed with the *pipelined* single-rank
+//! iFDK path (filter thread overlapping the back-projection thread), and
+//! the defect is tracked across the reconstructed frames.
+
+use ct_core::forward::project_all_analytic;
+use ct_core::math::Vec3;
+use ct_core::phantom::{Ellipsoid, Phantom};
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::CbctGeometry;
+use ifdk::{reconstruct_pipelined, ReconOptions};
+use ifdk_examples::{arg_usize, print_table};
+use std::time::Instant;
+
+/// Phantom at time-fraction `t` in [0, 1]: a block with one moving pore.
+fn frame_phantom(scale: f64, t: f64) -> (Phantom, Vec3) {
+    let ang = t * std::f64::consts::TAU;
+    let center = Vec3::new(
+        0.45 * scale * ang.cos(),
+        0.45 * scale * ang.sin(),
+        (t - 0.5) * 0.5 * scale,
+    );
+    let phantom = Phantom {
+        ellipsoids: vec![
+            Ellipsoid {
+                density: 1.0,
+                a: 0.8 * scale,
+                b: 0.8 * scale,
+                c: 0.75 * scale,
+                center: Vec3::ZERO,
+                phi: 0.0,
+            },
+            Ellipsoid {
+                density: -0.9,
+                a: 0.07 * scale,
+                b: 0.07 * scale,
+                c: 0.07 * scale,
+                center,
+                phi: 0.0,
+            },
+        ],
+    };
+    (phantom, center)
+}
+
+/// Locate the darkest voxel *inside the block* (the pore): outside the
+/// casting the density is ~0, so the search is restricted to the known
+/// body ellipsoid.
+fn find_pore(vol: &ct_core::volume::Volume, geo: &CbctGeometry, scale: f64) -> Vec3 {
+    let d = vol.dims();
+    let mut best = (f32::INFINITY, Vec3::ZERO);
+    for k in 0..d.nz {
+        for j in 0..d.ny {
+            for i in 0..d.nx {
+                let p = geo.voxel_position(i, j, k);
+                let qx = p.x / (0.8 * scale);
+                let qy = p.y / (0.8 * scale);
+                let qz = p.z / (0.75 * scale);
+                if qx * qx + qy * qy + qz * qz > 0.8 * 0.8 {
+                    continue;
+                }
+                let v = vol.get(i, j, k);
+                if v < best.0 {
+                    best = (v, p);
+                }
+            }
+        }
+    }
+    best.1
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "size", 32);
+    let np = arg_usize(&args, "np", 64);
+    let frames = arg_usize(&args, "frames", 6);
+
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let scale = 0.5 * n as f64;
+    println!("4D-CT: {frames} frames of {np} views -> {n}^3 each (pipelined path)\n");
+
+    let mut rows = Vec::new();
+    let mut max_err = 0.0f64;
+    for f in 0..frames {
+        let t = f as f64 / frames as f64;
+        let (phantom, true_pos) = frame_phantom(scale, t);
+        let stack = project_all_analytic(&geo, &phantom);
+        let t0 = Instant::now();
+        let vol = reconstruct_pipelined(&geo, &stack, &ReconOptions::default()).unwrap();
+        let latency = t0.elapsed().as_secs_f64();
+        let found = find_pore(&vol, &geo, scale);
+        let err = (found - true_pos).norm();
+        max_err = max_err.max(err);
+        rows.push(vec![
+            format!("{f}"),
+            format!(
+                "({:+.1}, {:+.1}, {:+.1})",
+                true_pos.x, true_pos.y, true_pos.z
+            ),
+            format!("({:+.1}, {:+.1}, {:+.1})", found.x, found.y, found.z),
+            format!("{err:.2}"),
+            format!("{latency:.2}s"),
+        ]);
+    }
+    print_table(
+        &[
+            "frame",
+            "true pore (mm)",
+            "tracked (mm)",
+            "error",
+            "latency",
+        ],
+        &rows,
+    );
+    println!("\nmax tracking error: {max_err:.2} mm (voxel pitch = 1 mm)");
+    assert!(max_err < 3.0, "pore tracking drifted: {max_err} mm");
+    println!("OK: the moving defect is tracked across all frames");
+}

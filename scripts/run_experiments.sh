@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and collect outputs under results/.
+# Usage: scripts/run_experiments.sh [scale]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-8}"
+OUT=results
+mkdir -p "$OUT"
+
+run() {
+    local name="$1"; shift
+    echo "=== $name ==="
+    cargo run --release -q -p ifdk-bench --bin "$name" -- "$@" \
+        | tee "$OUT/$name.txt"
+}
+
+run table3
+run table4 --scale "$SCALE" --reps 2 --json "$OUT/table4.json"
+run table5 --json "$OUT/table5.json"
+run fig4c
+run fig5 all --json "$OUT/fig5.json"
+run fig6 --json "$OUT/fig6.json"
+run fig7 --size 64 --np 64 --json "$OUT/fig7.json"
+run microbench --json "$OUT/microbench.json"
+
+echo "all experiment outputs in $OUT/"

@@ -1,0 +1,151 @@
+//! Distributed-framework integration tests: the 2D rank grid, collectives
+//! and PFS I/O working together (paper Section 4 / Figure 7).
+
+use ct_core::metrics::nrmse;
+use ct_core::problem::Dims3;
+use ct_pfs::{Backend, PfsConfig, PfsStore};
+use ifdk::distributed::{download_volume, upload_projections};
+use ifdk::{reconstruct, reconstruct_distributed, DistConfig, RankGrid, ReconOptions};
+use ifdk_integration_tests::scene;
+
+fn run_grid(
+    geo: &ct_core::CbctGeometry,
+    input: &PfsStore,
+    rows: usize,
+    cols: usize,
+) -> (ct_core::volume::Volume, ifdk::DistReport) {
+    let cfg = DistConfig::new(geo.clone(), RankGrid::new(rows, cols).unwrap());
+    let output = PfsStore::memory();
+    let report = reconstruct_distributed(&cfg, input, &output).unwrap();
+    (download_volume(&output, geo.volume).unwrap(), report)
+}
+
+#[test]
+fn grid_shape_sweep_all_match_single_node() {
+    let (geo, _, stack) = scene(16, 32);
+    let single = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    // Every viable R x C factorisation of up to 8 ranks.
+    for (r, c) in [
+        (1, 1),
+        (1, 2),
+        (2, 1),
+        (2, 2),
+        (4, 1),
+        (1, 4),
+        (4, 2),
+        (2, 4),
+        (8, 1),
+    ] {
+        let (vol, report) = run_grid(&geo, &input, r, c);
+        let e = nrmse(single.data(), vol.data()).unwrap();
+        assert!(e < 1e-5, "{r}x{c}: NRMSE {e}");
+        assert_eq!(report.per_rank.len(), r * c);
+    }
+}
+
+#[test]
+fn more_columns_means_more_reduce_traffic() {
+    let (geo, _, stack) = scene(16, 32);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let (_, rep_c1) = run_grid(&geo, &input, 4, 1);
+    let (_, rep_c4) = run_grid(&geo, &input, 4, 4);
+    // C = 1 does no reduction at all; C = 4 must move strictly more bytes.
+    assert!(
+        rep_c4.comm_bytes > rep_c1.comm_bytes,
+        "c4 {} vs c1 {}",
+        rep_c4.comm_bytes,
+        rep_c1.comm_bytes
+    );
+}
+
+#[test]
+fn figure7_16_ranks_4x4() {
+    // The paper's Figure 7: R=4, C=4, 16 ranks, with MPI_Reduce within
+    // each row producing the final sub-volumes.
+    let (geo, phantom, stack) = scene(16, 32);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let (vol, report) = run_grid(&geo, &input, 4, 4);
+    assert_eq!(report.per_rank.len(), 16);
+    // Reduce happened on every rank (C > 1).
+    assert!(report.max_stage_secs("reduce") > 0.0);
+    // Structure present.
+    let truth = phantom.voxelize(
+        geo.volume,
+        ct_core::volume::VolumeLayout::IMajor,
+        |i, j, k| geo.voxel_position(i, j, k),
+    );
+    let e = nrmse(truth.data(), vol.data()).unwrap();
+    assert!(e < 0.3, "NRMSE vs phantom {e}");
+}
+
+#[test]
+fn disk_backed_pfs_round_trip() {
+    let (geo, _, stack) = scene(8, 16);
+    let dir = std::env::temp_dir().join(format!("ifdk_disk_test_{}", std::process::id()));
+    let cfg = PfsConfig::default();
+    let input = PfsStore::new(Backend::Disk(dir.join("in")), cfg.clone()).unwrap();
+    let output = PfsStore::new(Backend::Disk(dir.join("out")), cfg).unwrap();
+    upload_projections(&input, &stack).unwrap();
+
+    let dist_cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+    reconstruct_distributed(&dist_cfg, &input, &output).unwrap();
+    // All Nz slices exist on disk.
+    assert_eq!(output.list().len(), geo.volume.nz);
+    let vol = download_volume(&output, geo.volume).unwrap();
+    let single = { reconstruct(&geo, &stack, &ReconOptions::default()).unwrap() };
+    assert!(nrmse(single.data(), vol.data()).unwrap() < 1e-5);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn output_slices_cover_all_z() {
+    let (geo, _, stack) = scene(16, 32);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let cfg = DistConfig::new(geo.clone(), RankGrid::new(4, 2).unwrap());
+    let output = PfsStore::memory();
+    reconstruct_distributed(&cfg, &input, &output).unwrap();
+    let names = output.list();
+    assert_eq!(names.len(), geo.volume.nz);
+    for k in 0..geo.volume.nz {
+        assert!(
+            names.contains(&PfsStore::slice_name(k)),
+            "slice {k} missing"
+        );
+    }
+}
+
+#[test]
+fn io_accounting_matches_data_volumes() {
+    let (geo, _, stack) = scene(16, 32);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let in_bytes_before = input.stats().bytes_read;
+    let cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+    let output = PfsStore::memory();
+    reconstruct_distributed(&cfg, &input, &output).unwrap();
+    // Each projection is read exactly once across all ranks.
+    let expected_read = (geo.detector.len() * geo.num_projections * 4) as u64;
+    assert_eq!(input.stats().bytes_read - in_bytes_before, expected_read);
+    // The volume is written exactly once.
+    let expected_written = (geo.volume.len() * 4) as u64;
+    assert_eq!(output.stats().bytes_written, expected_written);
+}
+
+#[test]
+fn rectangular_volume_distributes() {
+    // Non-cubic output exercises the slab bookkeeping.
+    let geo =
+        ct_core::CbctGeometry::standard(ct_core::Dims2::new(48, 32), 24, Dims3::new(24, 20, 16));
+    let phantom = ct_core::phantom::Phantom::uniform_sphere(5.0);
+    let stack = ct_core::forward::project_all_analytic(&geo, &phantom);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let single = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    let (vol, _) = run_grid(&geo, &input, 4, 2);
+    assert!(nrmse(single.data(), vol.data()).unwrap() < 1e-5);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate property-based tests (proptest): the geometric theorems,
+//! transform invariants and collective semantics hold for *arbitrary*
+//! valid inputs, not just the fixtures.
+
+use ct_core::geometry::{theorems, CbctGeometry};
+use ct_core::interp::interp2;
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::projection::ProjectionImage;
+use ct_fft::{dft_naive, fft_any, ifft_any, Complex};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = CbctGeometry> {
+    (4usize..32, 4usize..32, 2usize..24, 1usize..40).prop_map(|(nu2, nv2, n2, np)| {
+        CbctGeometry::standard(
+            Dims2::new(2 * nu2, 2 * nv2),
+            np,
+            Dims3::new(2 * n2, 2 * n2, 2 * n2),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_symmetry_everywhere(
+        geo in arb_geometry(),
+        pi_frac in 0.0f64..1.0,
+        i_frac in 0.0f64..1.0,
+        j_frac in 0.0f64..1.0,
+        k_frac in 0.0f64..1.0,
+    ) {
+        let pi = ((pi_frac * geo.num_projections as f64) as usize).min(geo.num_projections - 1);
+        let p = geo.projection_matrix(pi);
+        let i = ((i_frac * geo.volume.nx as f64) as usize).min(geo.volume.nx - 1);
+        let j = ((j_frac * geo.volume.ny as f64) as usize).min(geo.volume.ny - 1);
+        let k = ((k_frac * geo.volume.nz as f64) as usize).min(geo.volume.nz - 1);
+        let (du, dv) = theorems::theorem1_residual(&geo, &p, i, j, k);
+        prop_assert!(du < 1e-7, "u symmetry residual {du}");
+        prop_assert!(dv < 1e-7, "v symmetry residual {dv}");
+    }
+
+    #[test]
+    fn theorems_2_and_3_every_column(
+        geo in arb_geometry(),
+        pi_frac in 0.0f64..1.0,
+        i_frac in 0.0f64..1.0,
+        j_frac in 0.0f64..1.0,
+    ) {
+        let pi = ((pi_frac * geo.num_projections as f64) as usize).min(geo.num_projections - 1);
+        let p = geo.projection_matrix(pi);
+        let i = ((i_frac * geo.volume.nx as f64) as usize).min(geo.volume.nx - 1);
+        let j = ((j_frac * geo.volume.ny as f64) as usize).min(geo.volume.ny - 1);
+        prop_assert!(theorems::theorem2_residual(&geo, &p, i, j) < 1e-7);
+        prop_assert!(theorems::theorem3_residual(&geo, &p, i, j) < 1e-7);
+    }
+
+    #[test]
+    fn fft_round_trip_any_length(xs in prop::collection::vec(-100.0f64..100.0, 1..260)) {
+        let input: Vec<Complex> = xs.iter().map(|&x| Complex::from_real(x)).collect();
+        let back = ifft_any(&fft_any(&input));
+        for (a, b) in input.iter().zip(back.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!(b.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_small(xs in prop::collection::vec(-10.0f64..10.0, 1..40)) {
+        let input: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, -x * 0.5)).collect();
+        let fast = fft_any(&input);
+        let slow = dft_naive(&input);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(xs in prop::collection::vec(-10.0f64..10.0, 1..128)) {
+        let input: Vec<Complex> = xs.iter().map(|&x| Complex::from_real(x)).collect();
+        let spec = fft_any(&input);
+        let e_time: f64 = input.iter().map(|c| c.norm_sq()).sum();
+        let e_freq: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / input.len() as f64;
+        prop_assert!((e_time - e_freq).abs() < 1e-6 * e_time.max(1.0));
+    }
+
+    #[test]
+    fn transpose_round_trip_any_shape(
+        nu in 1usize..50,
+        nv in 1usize..50,
+        seed in any::<u32>(),
+    ) {
+        let mut img = ProjectionImage::zeros(Dims2::new(nu, nv));
+        let mut state = seed as u64 | 1;
+        for v in 0..nv {
+            for u in 0..nu {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                img.set(u, v, (state >> 33) as f32 / 1e6);
+            }
+        }
+        let back = img.transposed().untransposed();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn interp2_within_convex_hull(
+        u in -1.0f32..10.0,
+        v in -1.0f32..10.0,
+        pixels in prop::collection::vec(0.0f32..100.0, 64..=64),
+    ) {
+        let val = interp2(&pixels, 8, 8, u, v);
+        // With non-negative pixels and a zero border, any sample is
+        // within [0, max].
+        let hi = pixels.iter().fold(0.0f32, |m, &x| m.max(x));
+        prop_assert!(val >= -1e-4 && val <= hi + 1e-4, "{val} not in [0, {hi}]");
+    }
+
+    #[test]
+    fn allgather_equals_concatenation(
+        p in 1usize..7,
+        blocklen in 1usize..9,
+        seed in any::<u32>(),
+    ) {
+        let blocks: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                (0..blocklen)
+                    .map(|i| ((seed as usize + r * 31 + i * 7) % 1000) as f32)
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<f32> = blocks.iter().flatten().copied().collect();
+        let blocks_ref = &blocks;
+        let out = ct_comm::Universe::run(p, move |c| {
+            c.all_gather(&blocks_ref[c.rank()])
+        })
+        .unwrap();
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn reduce_equals_serial_sum(
+        p in 1usize..7,
+        len in 1usize..16,
+        seed in any::<u32>(),
+    ) {
+        let data: Vec<Vec<f32>> = (0..p)
+            .map(|r| (0..len).map(|i| ((seed as usize + r * 13 + i) % 97) as f32).collect())
+            .collect();
+        let mut expect = vec![0.0f32; len];
+        for d in &data {
+            for (e, x) in expect.iter_mut().zip(d.iter()) {
+                *e += x;
+            }
+        }
+        let data_ref = &data;
+        let out = ct_comm::Universe::run(p, move |c| {
+            c.reduce_sum_f32(0, &data_ref[c.rank()])
+        })
+        .unwrap();
+        // Integer-valued f32 sums are exact regardless of tree order.
+        prop_assert_eq!(out[0].as_deref(), Some(&expect[..]));
+    }
+
+    #[test]
+    fn gups_metric_scaling(updates in 1u128..1_000_000_000, secs in 0.001f64..1000.0) {
+        let g = ct_core::metrics::gups(updates, secs);
+        let g2 = ct_core::metrics::gups(updates, secs * 2.0);
+        prop_assert!(g > 0.0);
+        prop_assert!((g / g2 - 2.0).abs() < 1e-9);
+    }
+}

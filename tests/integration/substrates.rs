@@ -1,0 +1,149 @@
+//! Cross-substrate integration: the pieces below the framework working
+//! together (I/O round trips through reconstruction, iterative solvers on
+//! framework outputs, streaming previews, export formats).
+
+use ct_core::forward::project_all_analytic;
+use ct_core::io::{read_raw_volume, write_mhd_volume, write_pgm};
+use ct_core::metrics::nrmse;
+use ct_core::noise::NoiseModel;
+use ct_core::phantom::Phantom;
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::stats::{fwhm, profile_x, summarize, Histogram};
+use ct_core::CbctGeometry;
+use ifdk::{reconstruct, ReconOptions, StreamingReconstructor};
+
+fn scene(n: usize, np: usize) -> (CbctGeometry, ct_core::projection::ProjectionStack, Phantom) {
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let phantom = Phantom::uniform_sphere(0.3 * n as f64);
+    let stack = project_all_analytic(&geo, &phantom);
+    (geo, stack, phantom)
+}
+
+#[test]
+fn reconstruction_exports_and_reimports_losslessly() {
+    let (geo, stack, _) = scene(12, 24);
+    let vol = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    let dir = std::env::temp_dir().join(format!("ifdk_export_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // MHD + raw round trip is bit-exact.
+    let stem = dir.join("recon");
+    write_mhd_volume(&stem, &vol, geo.voxel_pitch).unwrap();
+    let back = read_raw_volume(&stem.with_extension("raw"), geo.volume).unwrap();
+    assert_eq!(back.data(), vol.data());
+
+    // PGM slice export produces a plausible image file.
+    let slice = vol.slice_xy(geo.volume.nz / 2).unwrap();
+    let pgm = dir.join("slice.pgm");
+    write_pgm(&pgm, &slice, geo.volume.nx, None).unwrap();
+    let bytes = std::fs::read(&pgm).unwrap();
+    assert!(bytes.starts_with(b"P5\n"));
+    assert_eq!(
+        bytes.len(),
+        slice.len() + format!("P5\n{} {}\n255\n", geo.volume.nx, geo.volume.ny).len()
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn volume_statistics_identify_the_sphere() {
+    let (geo, stack, _) = scene(16, 48);
+    let vol = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    let n = geo.volume.nx;
+
+    // Histogram: background near 0 dominates, sphere near 1 present.
+    let h = Histogram::new(vol.data(), -0.25, 1.25, 30).unwrap();
+    assert!((h.bin_center(h.mode_bin())).abs() < 0.15, "background mode");
+    let near_one: u64 = (0..30)
+        .filter(|&b| (h.bin_center(b) - 1.0).abs() < 0.2)
+        .map(|b| h.counts[b])
+        .sum();
+    assert!(near_one > 50, "sphere voxels visible in histogram");
+
+    // Profile through the centre has a plateau whose FWHM matches the
+    // sphere diameter (2 * 0.3 * n voxels) within a voxel or two.
+    let p = profile_x(&vol, n / 2, n / 2).unwrap();
+    let width = fwhm(&p).expect("clear peak");
+    let expect = 2.0 * 0.3 * n as f64;
+    assert!(
+        (width - expect).abs() < 2.5,
+        "FWHM {width} vs sphere diameter {expect}"
+    );
+
+    let s = summarize(vol.data()).unwrap();
+    assert!(s.max > 0.8 && s.min < 0.2);
+}
+
+#[test]
+fn noisy_scan_still_reconstructs() {
+    let (geo, stack, _) = scene(12, 36);
+    // Scale to a sane optical depth before applying photon noise.
+    let mut scaled = stack.clone();
+    let peak = scaled
+        .iter()
+        .flat_map(|i| i.data().iter().copied())
+        .fold(0.0f32, f32::max);
+    let atten = 3.0 / peak;
+    for img in scaled.iter_mut() {
+        img.data_mut().iter_mut().for_each(|p| *p *= atten);
+    }
+    let noisy = NoiseModel {
+        i0: 5000.0,
+        seed: 99,
+    }
+    .apply(&scaled);
+    let clean_rec = reconstruct(&geo, &scaled, &ReconOptions::default()).unwrap();
+    let noisy_rec = reconstruct(&geo, &noisy, &ReconOptions::default()).unwrap();
+    // Noise perturbs but does not destroy the reconstruction.
+    let e = nrmse(clean_rec.data(), noisy_rec.data()).unwrap();
+    assert!(e > 0.0 && e < 0.2, "noise-induced NRMSE {e}");
+}
+
+#[test]
+fn streaming_preview_mid_scan_shows_partial_data() {
+    let (geo, stack, _) = scene(12, 32);
+    let mut s = StreamingReconstructor::new(
+        geo.clone(),
+        Default::default(),
+        Default::default(),
+        ct_par::Pool::new(2),
+        true,
+    )
+    .unwrap();
+    for img in stack.iter().take(16) {
+        s.feed(img).unwrap();
+    }
+    let half = s.preview().unwrap();
+    // Half the projections -> roughly half the accumulated density.
+    let c = geo.volume.nx / 2;
+    let mid = half.get(c, c, c);
+    assert!(mid > 0.2 && mid < 0.9, "halfway density {mid}");
+    for img in stack.iter().skip(16) {
+        s.feed(img).unwrap();
+    }
+    let done = s.finish().unwrap();
+    let full = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
+    assert!(nrmse(full.data(), done.data()).unwrap() < 1e-5);
+}
+
+#[test]
+fn iterative_solver_consumes_framework_outputs() {
+    // ct-iter operators built from the same geometry reconstruct data
+    // produced by the core pipeline's forward model.
+    let (geo, stack, phantom) = scene(10, 20);
+    let ops = ct_iter::Operators::new(geo.clone(), ct_par::Pool::new(2), 0.5).unwrap();
+    let cfg = ct_iter::IterConfig {
+        iterations: 4,
+        subsets: 5,
+        ..Default::default()
+    };
+    let (vol, report) = ct_iter::sart(&ops, &stack, &cfg).unwrap();
+    assert_eq!(report.residuals.len(), 4);
+    let truth = phantom.voxelize(
+        geo.volume,
+        ct_core::volume::VolumeLayout::IMajor,
+        |i, j, k| geo.voxel_position(i, j, k),
+    );
+    let e = nrmse(truth.data(), vol.data()).unwrap();
+    assert!(e < 0.4, "SART NRMSE {e}");
+}

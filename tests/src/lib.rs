@@ -1,0 +1,24 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use ct_core::forward::project_all_analytic;
+use ct_core::geometry::CbctGeometry;
+use ct_core::phantom::Phantom;
+use ct_core::problem::{Dims2, Dims3};
+use ct_core::projection::ProjectionStack;
+
+/// A standard small test scene: geometry, Shepp-Logan phantom, exact
+/// projections. `n` is the cubic volume side; the detector is `2n x 2n`.
+pub fn scene(n: usize, np: usize) -> (CbctGeometry, Phantom, ProjectionStack) {
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let phantom = Phantom::shepp_logan(0.45 * n as f64);
+    let stack = project_all_analytic(&geo, &phantom);
+    (geo, phantom, stack)
+}
+
+/// A sphere scene for absolute-density checks.
+pub fn sphere_scene(n: usize, np: usize, r: f64) -> (CbctGeometry, Phantom, ProjectionStack) {
+    let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+    let phantom = Phantom::uniform_sphere(r);
+    let stack = project_all_analytic(&geo, &phantom);
+    (geo, phantom, stack)
+}
