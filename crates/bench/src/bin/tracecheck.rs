@@ -1,0 +1,81 @@
+//! Validate a Chrome trace-event capture produced by `ct-obs`.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin tracecheck -- trace.json \
+//!     [--threads filter,main,backprojection] [--spans load,allgather]
+//! ```
+//!
+//! Parses the file with `ct_obs`'s own JSON reader, checks the
+//! trace-event invariants (every `X` event carries `ph`/`ts`/`dur`/
+//! `pid`/`tid`/`name`), and optionally requires named thread lanes and
+//! span names to be present. Exits nonzero on any violation, so CI can
+//! smoke-test the distributed example's `--trace` output.
+
+use std::process::ExitCode;
+
+fn csv_arg(args: &[String], key: &str) -> Vec<String> {
+    args.windows(2)
+        .find(|w| w[0] == format!("--{key}"))
+        .map(|w| w[1].split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || !args[i - 1].starts_with("--")))
+        .map(|(_, a)| a.clone())
+    else {
+        eprintln!("usage: tracecheck <trace.json> [--threads a,b] [--spans x,y]");
+        return ExitCode::from(2);
+    };
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let check = match ct_obs::chrome::validate(&json) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tracecheck: {path} is not a valid trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{path}: {} span events, {} ranks, thread lanes [{}], {} span names",
+        check.span_events,
+        check.ranks.len(),
+        check.thread_names.join(", "),
+        check.span_names.len()
+    );
+
+    let mut ok = true;
+    for t in csv_arg(&args, "threads") {
+        if !check.has_thread(&t) {
+            eprintln!("tracecheck: required thread lane {t:?} missing");
+            ok = false;
+        }
+    }
+    for s in csv_arg(&args, "spans") {
+        if !check.has_span(&s) {
+            eprintln!("tracecheck: required span {s:?} missing");
+            ok = false;
+        }
+    }
+    if check.span_events == 0 {
+        eprintln!("tracecheck: trace contains no span events");
+        ok = false;
+    }
+    if ok {
+        println!("OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

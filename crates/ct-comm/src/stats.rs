@@ -46,11 +46,15 @@ pub struct TrafficStats {
 }
 
 impl TrafficStats {
-    /// Difference of two snapshots (`self` later than `earlier`).
+    /// Difference of two snapshots, conventionally with `self` the later
+    /// one. Saturating: if the snapshots were taken out of order (or from
+    /// different cells), each component clamps to zero instead of
+    /// underflowing — a misordered diff reads as "no traffic", never as a
+    /// near-`u64::MAX` garbage value.
     pub fn since(&self, earlier: TrafficStats) -> TrafficStats {
         TrafficStats {
-            messages_sent: self.messages_sent - earlier.messages_sent,
-            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
         }
     }
 }
@@ -72,5 +76,30 @@ mod tests {
         let d = b.since(a);
         assert_eq!(d.messages_sent, 2);
         assert_eq!(d.bytes_sent, 50);
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_snapshots() {
+        let c = StatsCell::new();
+        c.record_send(10);
+        let earlier = c.snapshot();
+        c.record_send(20);
+        let later = c.snapshot();
+        // Arguments swapped: the "earlier" snapshot is actually ahead.
+        let d = earlier.since(later);
+        assert_eq!(d, TrafficStats::default(), "must clamp, not underflow");
+        // Partial misordering (messages ahead, bytes behind) clamps
+        // componentwise.
+        let a = TrafficStats {
+            messages_sent: 5,
+            bytes_sent: 100,
+        };
+        let b = TrafficStats {
+            messages_sent: 3,
+            bytes_sent: 200,
+        };
+        let d = a.since(b);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.bytes_sent, 0);
     }
 }

@@ -1,0 +1,714 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`to_chrome_json`] renders a [`TraceData`] capture as the trace-event
+//! format understood by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`: one *process* per distributed rank, one named
+//! *thread* per pipeline role, complete (`"ph":"X"`) events for spans and
+//! counter (`"ph":"C"`) samples for the final counter/gauge values. The
+//! format reference is the "Trace Event Format" document; only the subset
+//! below is emitted:
+//!
+//! * `M` metadata events naming each rank's process and each role's
+//!   thread lane;
+//! * `X` complete events with microsecond `ts`/`dur` (fractional, so
+//!   sub-microsecond stages survive the export);
+//! * `C` counter events carrying the end-of-run counters and high-water
+//!   gauges.
+//!
+//! The writer is hand-rolled: the vocabulary is tiny, the crate stays
+//! dependency-free, and the output is deterministic (events are emitted
+//! in the capture's sorted order).
+
+use crate::recorder::ThreadRole;
+use crate::trace::TraceData;
+use std::fmt::Write as _;
+
+/// All roles, in lane order.
+const ROLES: [ThreadRole; 5] = [
+    ThreadRole::Filter,
+    ThreadRole::Main,
+    ThreadRole::Backprojection,
+    ThreadRole::Io,
+    ThreadRole::Other,
+];
+
+/// Escape a string for a JSON string literal (quotes not included).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format nanoseconds as fractional microseconds (the unit `ts`/`dur`
+/// use). Three decimals keep full nanosecond resolution.
+fn micros(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e3)
+}
+
+/// Render a capture as Chrome trace-event JSON.
+///
+/// The result is a single JSON object `{"traceEvents": [...],
+/// "displayTimeUnit": "ms"}` — load it directly in Perfetto or
+/// `chrome://tracing`.
+pub fn to_chrome_json(data: &TraceData) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // Metadata: name one process per rank, one thread lane per role that
+    // actually recorded something on that rank.
+    let ranks = data.ranks();
+    let seen_role = |rank: u32, role: ThreadRole| -> bool {
+        data.events.iter().any(|e| e.rank == rank && e.role == role)
+            || data.stages.iter().any(|s| s.rank == rank && s.role == role)
+            || data
+                .counters
+                .iter()
+                .chain(data.gauges.iter())
+                .any(|m| m.rank == rank && m.role == role)
+    };
+    for &rank in &ranks {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        ));
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\"name\":\"process_sort_index\",\
+             \"args\":{{\"sort_index\":{rank}}}}}"
+        ));
+        for role in ROLES {
+            if !seen_role(rank, role) {
+                continue;
+            }
+            let tid = role.tid();
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{rank},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                role.as_str()
+            ));
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{rank},\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ));
+        }
+    }
+
+    // Spans as complete events.
+    for e in &data.events {
+        let mut ev = String::with_capacity(128);
+        ev.push_str("{\"ph\":\"X\",\"pid\":");
+        let _ = write!(ev, "{}", e.rank);
+        let _ = write!(ev, ",\"tid\":{}", e.role.tid());
+        let _ = write!(ev, ",\"ts\":{}", micros(e.start_ns));
+        let _ = write!(ev, ",\"dur\":{}", micros(e.dur_ns));
+        ev.push_str(",\"cat\":\"stage\",\"name\":\"");
+        escape_into(&mut ev, e.name);
+        ev.push('"');
+        if e.index.is_some() || e.bytes.is_some() {
+            ev.push_str(",\"args\":{");
+            let mut first = true;
+            if let Some(i) = e.index {
+                let _ = write!(ev, "\"index\":{i}");
+                first = false;
+            }
+            if let Some(b) = e.bytes {
+                if !first {
+                    ev.push(',');
+                }
+                let _ = write!(ev, "\"bytes\":{b}");
+            }
+            ev.push('}');
+        }
+        ev.push('}');
+        events.push(ev);
+    }
+
+    // Counters and gauges as counter samples at the end of the capture,
+    // so the tracks render next to the span timeline.
+    let end_ns = data
+        .events
+        .iter()
+        .map(|e| e.end_ns())
+        .max()
+        .unwrap_or_default();
+    for (kind, metrics) in [("counter", &data.counters), ("gauge", &data.gauges)] {
+        for m in metrics.iter() {
+            let mut ev = String::with_capacity(96);
+            ev.push_str("{\"ph\":\"C\",\"pid\":");
+            let _ = write!(ev, "{}", m.rank);
+            let _ = write!(ev, ",\"tid\":{}", m.role.tid());
+            let _ = write!(ev, ",\"ts\":{}", micros(end_ns));
+            let _ = write!(ev, ",\"cat\":\"{kind}\",\"name\":\"");
+            escape_into(&mut ev, m.name);
+            let _ = write!(ev, "\",\"args\":{{\"value\":{}}}", m.value);
+            ev.push('}');
+            events.push(ev);
+        }
+    }
+
+    let mut out = String::with_capacity(events.iter().map(|e| e.len() + 2).sum::<usize>() + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(ev);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// What [`validate`] extracts from a trace-event JSON document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceCheck {
+    /// Number of `"ph":"X"` complete (span) events.
+    pub span_events: usize,
+    /// Distinct `pid`s (ranks) observed on span events.
+    pub ranks: Vec<u64>,
+    /// Thread names announced by `thread_name` metadata events.
+    pub thread_names: Vec<String>,
+    /// Distinct span names observed.
+    pub span_names: Vec<String>,
+}
+
+impl TraceCheck {
+    /// True when a thread lane with this name was announced.
+    pub fn has_thread(&self, name: &str) -> bool {
+        self.thread_names.iter().any(|n| n == name)
+    }
+
+    /// True when at least one span with this name was recorded.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.span_names.iter().any(|n| n == name)
+    }
+}
+
+/// Parse a trace-event JSON document and check the invariants the
+/// exporter promises: a `traceEvents` array whose `X` entries all carry
+/// `ph`, `ts`, `dur`, `pid`, `tid` and `name`. Returns a summary of what
+/// the trace contains, or a description of the first violation.
+///
+/// This uses the crate's own minimal JSON parser, so CI smoke tests and
+/// the `tracecheck` tool can validate captures without further
+/// dependencies.
+pub fn validate(json: &str) -> Result<TraceCheck, String> {
+    let doc = json::parse(json)?;
+    let obj = doc.as_object().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut check = TraceCheck::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ev = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |name: &str| -> Result<&json::Value, String> {
+            ev.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("event {i} missing field {name}"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: ph is not a string"))?;
+        // Every event kind carries pid, tid and name.
+        let pid = field("pid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: pid is not a number"))?;
+        field("tid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: tid is not a number"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: name is not a string"))?;
+        match ph {
+            "X" => {
+                field("ts")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: ts is not a number"))?;
+                let dur = field("dur")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: dur is not a number"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                check.span_events += 1;
+                if !check.ranks.contains(&(pid as u64)) {
+                    check.ranks.push(pid as u64);
+                }
+                if !check.span_names.iter().any(|n| n == name) {
+                    check.span_names.push(name.to_string());
+                }
+            }
+            "M" if name == "thread_name" => {
+                let args = field("args")?
+                    .as_object()
+                    .ok_or_else(|| format!("event {i}: args is not an object"))?;
+                let tname = args
+                    .iter()
+                    .find(|(k, _)| k == "name")
+                    .and_then(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("event {i}: thread_name missing args.name"))?;
+                if !check.thread_names.iter().any(|n| n == tname) {
+                    check.thread_names.push(tname.to_string());
+                }
+            }
+            "M" | "C" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    check.ranks.sort_unstable();
+    check.span_names.sort_unstable();
+    check.thread_names.sort_unstable();
+    Ok(check)
+}
+
+/// A minimal JSON reader, sufficient to validate trace-event documents.
+///
+/// Deliberately small: objects keep insertion order as `(key, value)`
+/// pairs, numbers are `f64`, and no serialization is offered (the
+/// exporter writes its own JSON). Public so downstream smoke tools can
+/// validate captures without pulling a JSON dependency into this crate.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, as ordered key/value pairs.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The `f64` if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The `&str` if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The key/value pairs if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Look a key up in an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                if self.pos + 5 > self.bytes.len() {
+                                    return Err("truncated \\u escape".into());
+                                }
+                                let hex =
+                                    std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                        .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                // Surrogate pairs are not needed for the
+                                // exporter's vocabulary; map them to the
+                                // replacement character.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 character verbatim.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected , or ] at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(items));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                items.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(items));
+                    }
+                    _ => return Err(format!("expected , or }} at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn synthetic_capture() -> TraceData {
+        let rec = Recorder::trace();
+        for rank in 0..2u32 {
+            let filter = rec.track(rank, ThreadRole::Filter);
+            for i in 0..3u64 {
+                let mut sp = filter.span("load").with_index(i);
+                sp.set_bytes(1024);
+                drop(sp);
+                let _f = filter.span("filter").with_index(i);
+            }
+            drop(filter);
+            let main = rec.track(rank, ThreadRole::Main);
+            {
+                let _outer = main.span("allgather").with_index(0);
+                let _inner = main.span("send");
+            }
+            main.counter_add("ring.push_stalls", 4);
+            main.gauge_max("ring.high_water", 7);
+        }
+        rec.collect()
+    }
+
+    #[test]
+    fn json_parser_roundtrips_basic_values() {
+        let v =
+            json::parse(r#"{"a": [1, -2.5e1, "x\n\"yA"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-25.0)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\n\"yA")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
+        assert!(json::parse("[1, 2,]").is_err());
+        assert!(json::parse("{\"a\" 1}").is_err());
+        assert!(json::parse("123 45").is_err());
+    }
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let data = synthetic_capture();
+        let out = to_chrome_json(&data);
+        let doc = json::parse(&out).expect("exporter emits parseable JSON");
+        assert!(doc.get("traceEvents").is_some());
+        let check = validate(&out).expect("trace-event invariants hold");
+        // 2 ranks x (3 load + 3 filter + allgather + send) spans.
+        assert_eq!(check.span_events, 16);
+        assert_eq!(check.ranks, vec![0, 1]);
+        assert!(check.has_thread("filter"));
+        assert!(check.has_thread("main"));
+        assert!(!check.has_thread("backprojection"));
+        for name in ["load", "filter", "allgather", "send"] {
+            assert!(check.has_span(name), "missing span {name}");
+        }
+    }
+
+    #[test]
+    fn required_fields_present_on_every_span_event() {
+        let data = synthetic_capture();
+        let doc = json::parse(&to_chrome_json(&data)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let mut spans = 0;
+        for ev in events {
+            for f in ["ph", "pid", "tid", "name"] {
+                assert!(ev.get(f).is_some(), "event missing {f}: {ev:?}");
+            }
+            if ev.get("ph").unwrap().as_str() == Some("X") {
+                spans += 1;
+                assert!(ev.get("ts").unwrap().as_f64().is_some());
+                assert!(ev.get("dur").unwrap().as_f64().is_some());
+            }
+        }
+        assert_eq!(spans, data.events.len());
+    }
+
+    #[test]
+    fn span_args_carry_index_and_bytes() {
+        let data = synthetic_capture();
+        let doc = json::parse(&to_chrome_json(&data)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let load = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("name").and_then(Value::as_str) == Some("load")
+            })
+            .unwrap();
+        let args = load.get("args").unwrap();
+        assert_eq!(args.get("bytes").unwrap().as_f64(), Some(1024.0));
+        assert!(args.get("index").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn counters_and_gauges_become_counter_events() {
+        let data = synthetic_capture();
+        let doc = json::parse(&to_chrome_json(&data)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        // Per rank: one counter + one gauge.
+        assert_eq!(counters.len(), 4);
+        let stall = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("ring.push_stalls"))
+            .unwrap();
+        assert_eq!(
+            stall.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn thread_metadata_announces_one_lane_per_role() {
+        let data = synthetic_capture();
+        let doc = json::parse(&to_chrome_json(&data)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let lanes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_f64().unwrap() as u32,
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        // 2 ranks x (filter + main) lanes, each announced exactly once.
+        assert_eq!(lanes.len(), 4);
+        for rank in 0..2 {
+            assert!(lanes.contains(&(rank, "filter".to_string())));
+            assert!(lanes.contains(&(rank, "main".to_string())));
+        }
+    }
+
+    #[test]
+    fn empty_capture_exports_cleanly() {
+        let out = to_chrome_json(&TraceData::default());
+        let check = validate(&out).unwrap();
+        assert_eq!(check.span_events, 0);
+        assert!(check.ranks.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate(r#"{"traceEvents": 3}"#).is_err());
+        assert!(validate(r#"{"traceEvents": [{"ph":"X"}]}"#).is_err());
+        assert!(
+            validate(r#"{"traceEvents": [{"ph":"X","pid":0,"tid":1,"name":"a","ts":0}]}"#).is_err(),
+            "missing dur must be rejected"
+        );
+    }
+
+    #[test]
+    fn micros_keeps_nanosecond_resolution() {
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(0), "0.000");
+    }
+}

@@ -1,0 +1,174 @@
+//! Thread-bound ambient track.
+//!
+//! Leaf substrates — `ct-pfs` above all — sit several call layers below
+//! the pipeline threads that own a [`Track`], and threading a recording
+//! handle through every `read_bytes`/`write_bytes` signature would bleed
+//! observability into APIs that have nothing to do with it. Instead, a
+//! pipeline thread installs its track as the thread's *current* track for
+//! a scope, and leaf code records against whatever is current:
+//!
+//! ```
+//! use ct_obs::{current, Recorder, ThreadRole};
+//!
+//! let rec = Recorder::trace();
+//! let track = rec.track(0, ThreadRole::Filter);
+//! {
+//!     let _guard = current::set_current(&track);
+//!     // ... deep inside a substrate call:
+//!     let mut sp = current::span("pfs.read");
+//!     sp.set_bytes(4096);
+//! }
+//! drop(track);
+//! assert_eq!(rec.collect().events.len(), 1);
+//! ```
+//!
+//! With no current track installed (or a disabled one), every function
+//! here is a no-op: one thread-local lookup, no locks, no allocation.
+
+use crate::recorder::{Span, Track};
+use std::cell::RefCell;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Track>> = const { RefCell::new(None) };
+}
+
+/// Install `track` as this thread's current track for the guard's
+/// lifetime; the previously current track (if any) is restored on drop,
+/// so scopes nest. Installing a disabled track clears the slot for the
+/// scope — leaf spans then record nothing.
+#[must_use = "the track is only current while the guard lives"]
+pub fn set_current(track: &Track) -> CurrentGuard {
+    let install = track.is_enabled().then(|| track.clone());
+    let prev = CURRENT.with(|c| c.replace(install));
+    CurrentGuard { prev }
+}
+
+/// Restores the previously current track when dropped.
+#[derive(Debug)]
+pub struct CurrentGuard {
+    prev: Option<Track>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// True when an enabled track is current on this thread.
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Open a span on the current track, or a disabled span when none is
+/// installed.
+pub fn span(name: &'static str) -> Span {
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some(track) => track.span(name),
+        None => Span::disabled(),
+    })
+}
+
+/// Add to a counter on the current track (no-op without one).
+pub fn counter_add(name: &'static str, delta: u64) {
+    CURRENT.with(|c| {
+        if let Some(track) = c.borrow().as_ref() {
+            track.counter_add(name, delta);
+        }
+    });
+}
+
+/// Raise a high-water gauge on the current track (no-op without one).
+pub fn gauge_max(name: &'static str, value: u64) {
+    CURRENT.with(|c| {
+        if let Some(track) = c.borrow().as_ref() {
+            track.gauge_max(name, value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, ThreadRole};
+
+    #[test]
+    fn no_current_track_is_inert() {
+        assert!(!is_active());
+        let sp = span("x");
+        assert!(!sp.is_recording());
+        counter_add("c", 1);
+        gauge_max("g", 1);
+    }
+
+    #[test]
+    fn spans_record_against_the_installed_track() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(3, ThreadRole::Io);
+            let _guard = set_current(&track);
+            assert!(is_active());
+            let mut sp = span("pfs.write");
+            sp.set_bytes(256);
+            drop(sp);
+            counter_add("objects", 1);
+        }
+        assert!(!is_active());
+        let data = rec.collect();
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].rank, 3);
+        assert_eq!(data.events[0].role, ThreadRole::Io);
+        assert_eq!(data.events[0].bytes, Some(256));
+        assert_eq!(data.counter(3, "objects"), Some(1));
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let rec = Recorder::summary();
+        let outer = rec.track(0, ThreadRole::Main);
+        let inner = rec.track(1, ThreadRole::Io);
+        {
+            let _g1 = set_current(&outer);
+            {
+                let _g2 = set_current(&inner);
+                let _sp = span("inner");
+            }
+            let _sp = span("outer");
+        }
+        drop((outer, inner));
+        let data = rec.collect();
+        assert!(data.stage(1, ThreadRole::Io, "inner").is_some());
+        assert!(data.stage(0, ThreadRole::Main, "outer").is_some());
+    }
+
+    #[test]
+    fn disabled_track_clears_the_scope() {
+        let rec = Recorder::summary();
+        let track = rec.track(0, ThreadRole::Main);
+        let _g1 = set_current(&track);
+        {
+            let off = Track::disabled();
+            let _g2 = set_current(&off);
+            assert!(!is_active());
+            let _sp = span("hidden");
+        }
+        assert!(is_active());
+        drop(_g1);
+        drop(track);
+        assert!(rec.collect().stages.is_empty());
+    }
+
+    #[test]
+    fn current_is_per_thread() {
+        let rec = Recorder::summary();
+        let track = rec.track(0, ThreadRole::Main);
+        let _guard = set_current(&track);
+        std::thread::spawn(|| {
+            assert!(!is_active());
+        })
+        .join()
+        .unwrap();
+        assert!(is_active());
+    }
+}

@@ -1,0 +1,209 @@
+//! Model-vs-measured divergence reporting.
+//!
+//! The paper validates its performance model by putting predicted and
+//! measured per-stage times side by side (Table 5, Figure 5 "theoretical"
+//! vs "measured" series). [`DivergenceReport`] is that methodology as a
+//! data structure: one row per pipeline stage with the model's prediction,
+//! the observed time and their ratio. The crate stays model-agnostic —
+//! whoever owns the analytic model (in this repo, `ifdk` feeding
+//! `ct-perfmodel`) pushes rows; this module only holds and formats them.
+
+use std::fmt;
+
+/// Predicted vs observed seconds for one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDivergence {
+    /// Stage name (matches the recorder's span vocabulary).
+    pub stage: String,
+    /// The model's prediction, seconds.
+    pub predicted_secs: f64,
+    /// The recorder's observation, seconds.
+    pub observed_secs: f64,
+}
+
+impl StageDivergence {
+    /// `observed / predicted`. A ratio above 1 means the stage ran slower
+    /// than the model claims; below 1, faster. Degenerate predictions are
+    /// handled explicitly: if the model predicts (essentially) zero, the
+    /// ratio is 1 when the observation is also zero and infinite
+    /// otherwise.
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_secs <= f64::EPSILON {
+            if self.observed_secs <= f64::EPSILON {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.observed_secs / self.predicted_secs
+        }
+    }
+}
+
+/// Per-stage predicted-vs-observed rows for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DivergenceReport {
+    /// The rows, in push order (conventionally pipeline order).
+    pub stages: Vec<StageDivergence>,
+}
+
+impl DivergenceReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one stage row.
+    pub fn push(&mut self, stage: impl Into<String>, predicted_secs: f64, observed_secs: f64) {
+        self.stages.push(StageDivergence {
+            stage: stage.into(),
+            predicted_secs,
+            observed_secs,
+        });
+    }
+
+    /// Look a stage up by name.
+    pub fn stage(&self, name: &str) -> Option<&StageDivergence> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// True when no stages were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The row with the largest divergence from 1 (in either direction,
+    /// measured on the log scale, so 2x slow and 2x fast are equally
+    /// divergent). `None` when empty.
+    pub fn worst(&self) -> Option<&StageDivergence> {
+        self.stages.iter().max_by(|a, b| {
+            let da = a.ratio().ln().abs();
+            let db = b.ratio().ln().abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Render as an aligned text table (what the Display impl prints).
+    pub fn to_table(&self) -> String {
+        let mut rows: Vec<[String; 4]> = vec![[
+            "stage".into(),
+            "predicted".into(),
+            "observed".into(),
+            "obs/pred".into(),
+        ]];
+        for s in &self.stages {
+            let ratio = s.ratio();
+            let ratio_txt = if ratio.is_finite() {
+                format!("{ratio:.2}x")
+            } else {
+                "inf".to_string()
+            };
+            rows.push([
+                s.stage.clone(),
+                format!("{:.6} s", s.predicted_secs),
+                format!("{:.6} s", s.observed_secs),
+                ratio_txt,
+            ]);
+        }
+        let mut widths = [0usize; 4];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>w$}", cell, w = widths[c]))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if i == 0 {
+                let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+                out.push_str(sep.join("  ").trim_end());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        let s = StageDivergence {
+            stage: "filter".into(),
+            predicted_secs: 2.0,
+            observed_secs: 3.0,
+        };
+        assert!((s.ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_predictions() {
+        let zero_zero = StageDivergence {
+            stage: "reduce".into(),
+            predicted_secs: 0.0,
+            observed_secs: 0.0,
+        };
+        assert_eq!(zero_zero.ratio(), 1.0);
+        let zero_some = StageDivergence {
+            stage: "reduce".into(),
+            predicted_secs: 0.0,
+            observed_secs: 0.5,
+        };
+        assert!(zero_some.ratio().is_infinite());
+    }
+
+    #[test]
+    fn push_lookup_and_worst() {
+        let mut r = DivergenceReport::new();
+        assert!(r.is_empty());
+        assert!(r.worst().is_none());
+        r.push("load", 1.0, 1.1);
+        r.push("filter", 1.0, 4.0);
+        r.push("store", 1.0, 0.9);
+        assert!(!r.is_empty());
+        assert_eq!(r.stage("filter").unwrap().observed_secs, 4.0);
+        assert!(r.stage("missing").is_none());
+        assert_eq!(r.worst().unwrap().stage, "filter");
+        // A 10x-fast stage diverges more than a 4x-slow one.
+        r.push("allgather", 1.0, 0.1);
+        assert_eq!(r.worst().unwrap().stage, "allgather");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut r = DivergenceReport::new();
+        r.push("load", 0.5, 0.25);
+        r.push("backprojection", 2.0, 0.0);
+        let t = r.to_table();
+        assert!(t.contains("stage"));
+        assert!(t.contains("obs/pred"));
+        assert!(t.contains("load"));
+        assert!(t.contains("backprojection"));
+        assert!(t.contains("0.50x"));
+        assert!(t.contains("0.00x"));
+        assert_eq!(format!("{r}"), t);
+        // Header + separator + two rows.
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn infinite_ratio_renders() {
+        let mut r = DivergenceReport::new();
+        r.push("reduce", 0.0, 0.5);
+        assert!(r.to_table().contains("inf"));
+    }
+}

@@ -1,0 +1,678 @@
+//! The recorder: shared sink, per-thread tracks, RAII spans and metrics.
+//!
+//! Design: a [`Recorder`] is a cheap-to-clone handle on a shared sink (or
+//! on nothing, when disabled). Each pipeline thread opens a [`Track`]
+//! tagged with its `(rank, role)`; spans and metrics buffer in the
+//! track's thread-local storage and merge into the shared sink exactly
+//! once, when the last clone of the track is dropped. The hot path
+//! therefore never takes a lock, and with the recorder off it does no
+//! work at all — no clock reads, no allocation, a single `Option` check.
+
+use crate::trace::{Hist, MetricStat, SpanEvent, StageStat, TraceData};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which pipeline thread a track belongs to (paper Figure 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadRole {
+    /// The filtering thread: PFS load + ramp filtering.
+    Filter,
+    /// The main thread: per-projection AllGather, row Reduce, store.
+    Main,
+    /// The back-projection thread: batched kernel accumulation.
+    Backprojection,
+    /// Auxiliary I/O not attributable to a pipeline thread.
+    Io,
+    /// Anything else (drivers, tests, examples).
+    Other,
+}
+
+impl ThreadRole {
+    /// Stable display name, also used as the Chrome-trace thread name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThreadRole::Filter => "filter",
+            ThreadRole::Main => "main",
+            ThreadRole::Backprojection => "backprojection",
+            ThreadRole::Io => "io",
+            ThreadRole::Other => "other",
+        }
+    }
+
+    /// Stable thread id for trace export (one lane per role).
+    pub fn tid(self) -> u64 {
+        match self {
+            ThreadRole::Filter => 1,
+            ThreadRole::Main => 2,
+            ThreadRole::Backprojection => 3,
+            ThreadRole::Io => 4,
+            ThreadRole::Other => 5,
+        }
+    }
+}
+
+/// What an enabled recorder retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Per-stage aggregates only (counts, totals, extrema, histograms) —
+    /// the cost profile of the old `StageTimer`, minus its per-sample
+    /// allocations.
+    Summary,
+    /// Aggregates plus every individual span, for timeline export.
+    Trace,
+}
+
+#[derive(Debug, Default)]
+struct Global {
+    events: Vec<SpanEvent>,
+    stages: BTreeMap<(u32, ThreadRole, &'static str), StageAgg>,
+    counters: BTreeMap<(u32, ThreadRole, &'static str), u64>,
+    gauges: BTreeMap<(u32, ThreadRole, &'static str), u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: Mode,
+    origin: Instant,
+    state: Mutex<Global>,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of trace; the cast is safe for
+        // any real run.
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Global> {
+        // A panicked rank must not lose the other ranks' telemetry.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Per-stage aggregate: the summary every mode maintains.
+#[derive(Debug, Clone, Default)]
+struct StageAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    bytes: u64,
+    hist: Hist,
+}
+
+impl StageAgg {
+    fn record(&mut self, dur_ns: u64, bytes: u64) {
+        self.min_ns = if self.count == 0 {
+            dur_ns
+        } else {
+            self.min_ns.min(dur_ns)
+        };
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.max_ns = self.max_ns.max(dur_ns);
+        self.bytes += bytes;
+        self.hist.record(dur_ns);
+    }
+
+    fn merge(&mut self, other: &StageAgg) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.bytes += other.bytes;
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// A cheap-to-clone handle on a shared observation sink. `off` recorders
+/// carry no sink at all, making every recording call a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: no locks, no allocations, no clock reads.
+    /// This is also the `Default`.
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// Per-stage aggregates only — cheap enough for always-on use.
+    pub fn summary() -> Self {
+        Self::with_mode(Mode::Summary)
+    }
+
+    /// Full span capture for timeline export.
+    pub fn trace() -> Self {
+        Self::with_mode(Mode::Trace)
+    }
+
+    fn with_mode(mode: Mode) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                mode,
+                origin: Instant::now(),
+                state: Mutex::new(Global::default()),
+            })),
+        }
+    }
+
+    /// True unless this recorder is `off`.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when individual spans are retained for timeline export.
+    pub fn is_tracing(&self) -> bool {
+        matches!(self.inner.as_deref(), Some(i) if i.mode == Mode::Trace)
+    }
+
+    /// Open a track for one `(rank, role)` pipeline thread. The track
+    /// buffers locally; its data reaches the recorder when the last clone
+    /// of the track is dropped (normally: when the thread finishes).
+    pub fn track(&self, rank: u32, role: ThreadRole) -> Track {
+        Track {
+            shared: self.inner.as_ref().map(|inner| {
+                Rc::new(TrackShared {
+                    inner: Arc::clone(inner),
+                    rank,
+                    role,
+                    local: RefCell::new(Local::default()),
+                })
+            }),
+        }
+    }
+
+    /// Snapshot everything merged so far as a [`TraceData`]. Tracks that
+    /// are still open have not merged yet; call this after the
+    /// instrumented run completes.
+    pub fn collect(&self) -> TraceData {
+        let Some(inner) = self.inner.as_deref() else {
+            return TraceData::default();
+        };
+        let g = inner.lock();
+        let mut events = g.events.clone();
+        // Thread-merge order is nondeterministic; the capture is not.
+        events.sort_by_key(|e| (e.rank, e.role, e.start_ns, e.name, e.index));
+        TraceData {
+            events,
+            stages: g
+                .stages
+                .iter()
+                .map(|(&(rank, role, name), a)| StageStat {
+                    rank,
+                    role,
+                    name,
+                    count: a.count,
+                    total_ns: a.total_ns,
+                    min_ns: a.min_ns,
+                    max_ns: a.max_ns,
+                    bytes: a.bytes,
+                    hist: a.hist.clone(),
+                })
+                .collect(),
+            counters: g
+                .counters
+                .iter()
+                .map(|(&(rank, role, name), &value)| MetricStat {
+                    rank,
+                    role,
+                    name,
+                    value,
+                })
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(&(rank, role, name), &value)| MetricStat {
+                    rank,
+                    role,
+                    name,
+                    value,
+                })
+                .collect(),
+        }
+    }
+
+    /// Clear everything recorded so far (the clock origin is retained).
+    /// Lets one recorder be reused across runs without mixing captures.
+    pub fn reset(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            *inner.lock() = Global::default();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Local {
+    events: Vec<SpanEvent>,
+    stages: BTreeMap<&'static str, StageAgg>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+}
+
+#[derive(Debug)]
+struct TrackShared {
+    inner: Arc<Inner>,
+    rank: u32,
+    role: ThreadRole,
+    local: RefCell<Local>,
+}
+
+impl Drop for TrackShared {
+    fn drop(&mut self) {
+        let local = self.local.take();
+        if local.events.is_empty()
+            && local.stages.is_empty()
+            && local.counters.is_empty()
+            && local.gauges.is_empty()
+        {
+            return;
+        }
+        let mut g = self.inner.lock();
+        g.events.extend(local.events);
+        for (name, agg) in local.stages {
+            g.stages
+                .entry((self.rank, self.role, name))
+                .or_default()
+                .merge(&agg);
+        }
+        for (name, v) in local.counters {
+            *g.counters.entry((self.rank, self.role, name)).or_insert(0) += v;
+        }
+        for (name, v) in local.gauges {
+            let e = g.gauges.entry((self.rank, self.role, name)).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+}
+
+/// One `(rank, role)` recording lane. Not `Send`: a track belongs to the
+/// thread that opened it (clones share the same thread-local buffer).
+#[derive(Debug, Clone)]
+pub struct Track {
+    shared: Option<Rc<TrackShared>>,
+}
+
+impl Track {
+    /// A track that records nothing (what `Recorder::off` hands out).
+    pub fn disabled() -> Self {
+        Track { shared: None }
+    }
+
+    /// True unless the parent recorder was off.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The rank tag, if recording.
+    pub fn rank(&self) -> Option<u32> {
+        self.shared.as_ref().map(|s| s.rank)
+    }
+
+    /// The role tag, if recording.
+    pub fn role(&self) -> Option<ThreadRole> {
+        self.shared.as_ref().map(|s| s.role)
+    }
+
+    /// Open a span for `stage`. The span records when dropped; spans nest
+    /// freely (each is an independent guard on the same track).
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            inner: self.shared.as_ref().map(|sh| SpanInner {
+                track: Rc::clone(sh),
+                name,
+                start_ns: sh.inner.now_ns(),
+                index: None,
+                bytes: None,
+            }),
+        }
+    }
+
+    /// Time a closure under `stage`, returning its result.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Add to a monotonically increasing counter (e.g. ring push stalls,
+    /// bytes moved).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(sh) = self.shared.as_ref() {
+            *sh.local.borrow_mut().counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    /// Raise a high-water-mark gauge (e.g. ring-buffer occupancy).
+    pub fn gauge_max(&self, name: &'static str, value: u64) {
+        if let Some(sh) = self.shared.as_ref() {
+            let mut local = sh.local.borrow_mut();
+            let e = local.gauges.entry(name).or_insert(0);
+            *e = (*e).max(value);
+        }
+    }
+
+    /// Record one sample into `name`'s latency histogram without opening
+    /// a span (count/total/extrema/log2 buckets, no timeline event).
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        if let Some(sh) = self.shared.as_ref() {
+            sh.local
+                .borrow_mut()
+                .stages
+                .entry(name)
+                .or_default()
+                .record(ns, 0);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    track: Rc<TrackShared>,
+    name: &'static str,
+    start_ns: u64,
+    index: Option<u64>,
+    bytes: Option<u64>,
+}
+
+/// An in-flight span; records itself (duration, tags) when dropped.
+#[derive(Debug)]
+#[must_use = "a span records the duration until it is dropped"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    /// Tag with a projection/batch index (builder style).
+    pub fn with_index(mut self, index: u64) -> Self {
+        if let Some(s) = self.inner.as_mut() {
+            s.index = Some(index);
+        }
+        self
+    }
+
+    /// Tag with the number of payload bytes this span moved.
+    pub fn set_bytes(&mut self, bytes: u64) {
+        if let Some(s) = self.inner.as_mut() {
+            s.bytes = Some(bytes);
+        }
+    }
+
+    /// True when this span will actually record.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else {
+            return;
+        };
+        let end_ns = s.track.inner.now_ns();
+        let dur_ns = end_ns.saturating_sub(s.start_ns);
+        let mut local = s.track.local.borrow_mut();
+        local
+            .stages
+            .entry(s.name)
+            .or_default()
+            .record(dur_ns, s.bytes.unwrap_or(0));
+        if s.track.inner.mode == Mode::Trace {
+            local.events.push(SpanEvent {
+                rank: s.track.rank,
+                role: s.track.role,
+                name: s.name,
+                start_ns: s.start_ns,
+                dur_ns,
+                index: s.index,
+                bytes: s.bytes,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let rec = Recorder::off();
+        assert!(!rec.is_enabled());
+        assert!(!rec.is_tracing());
+        let track = rec.track(0, ThreadRole::Main);
+        assert!(!track.is_enabled());
+        assert_eq!(track.rank(), None);
+        let mut sp = track.span("x").with_index(3);
+        assert!(!sp.is_recording());
+        sp.set_bytes(10);
+        drop(sp);
+        track.counter_add("c", 1);
+        track.gauge_max("g", 9);
+        track.observe_ns("h", 5);
+        assert_eq!(rec.collect(), TraceData::default());
+    }
+
+    #[test]
+    fn default_recorder_is_off() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn summary_mode_aggregates_without_events() {
+        let rec = Recorder::summary();
+        assert!(rec.is_enabled());
+        assert!(!rec.is_tracing());
+        {
+            let track = rec.track(2, ThreadRole::Filter);
+            for i in 0..5u64 {
+                let _sp = track.span("filter").with_index(i);
+            }
+            let mut sp = track.span("load");
+            sp.set_bytes(400);
+            drop(sp);
+        }
+        let data = rec.collect();
+        assert!(data.events.is_empty(), "summary mode keeps no events");
+        let f = data.stage(2, ThreadRole::Filter, "filter").unwrap();
+        assert_eq!(f.count, 5);
+        assert!(f.total_ns >= f.max_ns);
+        assert!(f.min_ns <= f.max_ns);
+        let l = data.stage(2, ThreadRole::Filter, "load").unwrap();
+        assert_eq!(l.bytes, 400);
+    }
+
+    #[test]
+    fn trace_mode_records_span_events_with_tags() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(1, ThreadRole::Main);
+            let mut sp = track.span("allgather").with_index(7);
+            sp.set_bytes(1024);
+            drop(sp);
+        }
+        let data = rec.collect();
+        assert_eq!(data.events.len(), 1);
+        let e = &data.events[0];
+        assert_eq!(e.rank, 1);
+        assert_eq!(e.role, ThreadRole::Main);
+        assert_eq!(e.name, "allgather");
+        assert_eq!(e.index, Some(7));
+        assert_eq!(e.bytes, Some(1024));
+        // Aggregates exist alongside the events.
+        assert_eq!(
+            data.stage(1, ThreadRole::Main, "allgather").unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn spans_nest_and_both_record() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(0, ThreadRole::Filter);
+            let _outer = track.span("load");
+            {
+                let _inner = track.span("pfs.read");
+            }
+        }
+        let data = rec.collect();
+        assert_eq!(data.events.len(), 2);
+        // The inner span starts no earlier and ends no later.
+        let outer = data.events.iter().find(|e| e.name == "load").unwrap();
+        let inner = data.events.iter().find(|e| e.name == "pfs.read").unwrap();
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let rec = Recorder::summary();
+        {
+            let track = rec.track(3, ThreadRole::Backprojection);
+            track.counter_add("ring.push_stalls", 2);
+            track.counter_add("ring.push_stalls", 3);
+            track.gauge_max("ring.high_water", 4);
+            track.gauge_max("ring.high_water", 9);
+            track.gauge_max("ring.high_water", 7);
+            track.observe_ns("batch_latency", 1_000);
+            track.observe_ns("batch_latency", 1_000_000);
+        }
+        let data = rec.collect();
+        assert_eq!(data.counter(3, "ring.push_stalls"), Some(5));
+        assert_eq!(data.gauge(3, "ring.high_water"), Some(9));
+        let h = data
+            .stage(3, ThreadRole::Backprojection, "batch_latency")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min_ns, 1_000);
+        assert_eq!(h.max_ns, 1_000_000);
+        assert_eq!(h.hist.total(), 2);
+        assert!(h.hist.bucket_count(Hist::bucket_of(1_000)) >= 1);
+    }
+
+    #[test]
+    fn tracks_merge_across_threads() {
+        let rec = Recorder::summary();
+        std::thread::scope(|s| {
+            for rank in 0..4u32 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let track = rec.track(rank, ThreadRole::Filter);
+                    for _ in 0..10 {
+                        let _sp = track.span("filter");
+                    }
+                    track.counter_add("n", 1);
+                });
+            }
+        });
+        let data = rec.collect();
+        assert_eq!(data.stages.len(), 4);
+        for rank in 0..4 {
+            assert_eq!(
+                data.stage(rank, ThreadRole::Filter, "filter")
+                    .unwrap()
+                    .count,
+                10
+            );
+            assert_eq!(data.counter(rank, "n"), Some(1));
+        }
+    }
+
+    #[test]
+    fn same_tag_tracks_accumulate() {
+        // Two successive tracks with the same (rank, role) — e.g. a rank
+        // re-run or a track per phase — merge into one aggregate.
+        let rec = Recorder::summary();
+        for _ in 0..2 {
+            let track = rec.track(0, ThreadRole::Main);
+            let _sp = track.span("reduce");
+        }
+        assert_eq!(
+            rec.collect()
+                .stage(0, ThreadRole::Main, "reduce")
+                .unwrap()
+                .count,
+            2
+        );
+    }
+
+    #[test]
+    fn clones_share_one_buffer_and_merge_once() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(0, ThreadRole::Main);
+            let clone = track.clone();
+            let _a = track.span("a");
+            let _b = clone.span("b");
+            drop(track); // clone still alive: nothing merged yet
+            assert_eq!(rec.collect().events.len(), 0);
+            drop((_a, _b));
+            drop(clone);
+        }
+        assert_eq!(rec.collect().events.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_the_capture() {
+        let rec = Recorder::summary();
+        {
+            let track = rec.track(0, ThreadRole::Main);
+            let _sp = track.span("x");
+        }
+        assert!(!rec.collect().stages.is_empty());
+        rec.reset();
+        assert_eq!(rec.collect(), TraceData::default());
+    }
+
+    #[test]
+    fn time_passes_through_result() {
+        let rec = Recorder::summary();
+        let track = rec.track(0, ThreadRole::Other);
+        let v = track.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        drop(track);
+        assert_eq!(
+            rec.collect()
+                .stage(0, ThreadRole::Other, "work")
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn role_names_and_tids_are_distinct() {
+        let roles = [
+            ThreadRole::Filter,
+            ThreadRole::Main,
+            ThreadRole::Backprojection,
+            ThreadRole::Io,
+            ThreadRole::Other,
+        ];
+        let names: std::collections::BTreeSet<_> = roles.iter().map(|r| r.as_str()).collect();
+        let tids: std::collections::BTreeSet<_> = roles.iter().map(|r| r.tid()).collect();
+        assert_eq!(names.len(), roles.len());
+        assert_eq!(tids.len(), roles.len());
+    }
+}

@@ -1,0 +1,410 @@
+//! Captured observation data: span events, per-stage aggregates, metrics.
+//!
+//! [`TraceData`] is the immutable snapshot a [`crate::Recorder`] hands
+//! back from `collect()`. It is plain data — exporters ([`crate::chrome`])
+//! and report folding ([`TraceData::summary_values`]) are pure functions
+//! over it.
+
+use crate::recorder::ThreadRole;
+
+/// One completed span, retained only in `trace` mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Distributed rank that recorded the span.
+    pub rank: u32,
+    /// Pipeline thread role within the rank.
+    pub role: ThreadRole,
+    /// Stage name (static: stage names are compile-time vocabulary).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the recorder's origin instant.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Optional projection / batch index tag.
+    pub index: Option<u64>,
+    /// Optional payload size tag, in bytes.
+    pub bytes: Option<u64>,
+}
+
+impl SpanEvent {
+    /// End timestamp in nanoseconds since the recorder origin.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A log2-bucketed latency histogram: bucket `i` counts samples with
+/// `ilog2(ns) == i` (sub-nanosecond samples land in bucket 0). 64 buckets
+/// cover every representable `u64` nanosecond duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; 64],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { buckets: [0; 64] }
+    }
+}
+
+impl Hist {
+    /// The bucket a duration falls in.
+    pub fn bucket_of(ns: u64) -> usize {
+        ns.max(1).ilog2() as usize
+    }
+
+    /// Lower bound (inclusive) of a bucket, in nanoseconds.
+    pub fn bucket_floor_ns(bucket: usize) -> u64 {
+        1u64 << bucket.min(63)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.buckets[bucket.min(63)]
+    }
+
+    /// `(bucket_floor_ns, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor_ns(i), c))
+            .collect()
+    }
+}
+
+/// Per-`(rank, role, stage)` aggregate, maintained in every enabled mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// Distributed rank.
+    pub rank: u32,
+    /// Pipeline thread role.
+    pub role: ThreadRole,
+    /// Stage name.
+    pub name: &'static str,
+    /// Number of spans / observations recorded.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observation, nanoseconds.
+    pub min_ns: u64,
+    /// Longest observation, nanoseconds.
+    pub max_ns: u64,
+    /// Summed payload bytes across spans that tagged bytes.
+    pub bytes: u64,
+    /// log2 latency histogram of the observations.
+    pub hist: Hist,
+}
+
+impl StageStat {
+    /// Summed duration in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean duration in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs() / self.count as f64
+        }
+    }
+}
+
+/// One counter or gauge reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricStat {
+    /// Distributed rank.
+    pub rank: u32,
+    /// Pipeline thread role that recorded the metric.
+    pub role: ThreadRole,
+    /// Metric name.
+    pub name: &'static str,
+    /// Final value (cumulative for counters, high-water for gauges).
+    pub value: u64,
+}
+
+/// An immutable capture: everything a recorder observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// Individual spans (empty outside `trace` mode), sorted by
+    /// `(rank, role, start, name, index)`.
+    pub events: Vec<SpanEvent>,
+    /// Per-stage aggregates, sorted by `(rank, role, name)`.
+    pub stages: Vec<StageStat>,
+    /// Cumulative counters, sorted by `(rank, role, name)`.
+    pub counters: Vec<MetricStat>,
+    /// High-water gauges, sorted by `(rank, role, name)`.
+    pub gauges: Vec<MetricStat>,
+}
+
+impl TraceData {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.stages.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+    }
+
+    /// Look up one stage aggregate.
+    pub fn stage(&self, rank: u32, role: ThreadRole, name: &str) -> Option<&StageStat> {
+        self.stages
+            .iter()
+            .find(|s| s.rank == rank && s.role == role && s.name == name)
+    }
+
+    /// A counter's value on one rank, summed over roles.
+    pub fn counter(&self, rank: u32, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut sum = 0;
+        for m in self
+            .counters
+            .iter()
+            .filter(|m| m.rank == rank && m.name == name)
+        {
+            found = true;
+            sum += m.value;
+        }
+        found.then_some(sum)
+    }
+
+    /// A gauge's high-water value on one rank, maxed over roles.
+    pub fn gauge(&self, rank: u32, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .filter(|m| m.rank == rank && m.name == name)
+            .map(|m| m.value)
+            .max()
+    }
+
+    /// All distinct stage names, sorted.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.stages.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// All distinct ranks observed, sorted.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<_> = self
+            .stages
+            .iter()
+            .map(|s| s.rank)
+            .chain(self.events.iter().map(|e| e.rank))
+            .chain(self.counters.iter().map(|m| m.rank))
+            .chain(self.gauges.iter().map(|m| m.rank))
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// Summed duration of `name` across all ranks and roles, seconds.
+    pub fn total_secs(&self, name: &str) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_secs())
+            .sum()
+    }
+
+    /// The busiest single rank's total for `name`, seconds. This is the
+    /// number comparable to a per-rank performance model: ranks run the
+    /// stage concurrently, so the slowest rank bounds the pipeline.
+    pub fn max_total_secs(&self, name: &str) -> f64 {
+        let mut per_rank = std::collections::BTreeMap::new();
+        for s in self.stages.iter().filter(|s| s.name == name) {
+            *per_rank.entry(s.rank).or_insert(0.0) += s.total_secs();
+        }
+        per_rank.values().cloned().fold(0.0, f64::max)
+    }
+
+    /// Summed payload bytes tagged on `name` spans, all ranks.
+    pub fn total_bytes(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// The shape of the capture with wall-clock stripped: one
+    /// `(rank, role, stage, index)` row per event, sorted. Two runs of
+    /// the same deterministic pipeline must produce equal structures even
+    /// though their timestamps differ.
+    pub fn structure(&self) -> Vec<(u32, &'static str, &'static str, Option<u64>)> {
+        let mut rows: Vec<_> = self
+            .events
+            .iter()
+            .map(|e| (e.rank, e.role.as_str(), e.name, e.index))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Fold the capture into flat `name -> value` pairs suitable for
+    /// `ifdk::report::RunReport::set`. Per stage: `{prefix}{name}.total_secs`
+    /// (busiest rank), `.count` (summed), `.max_secs`, `.bytes` (summed);
+    /// plus `{prefix}counter.{name}` (summed) and `{prefix}gauge.{name}`
+    /// (maxed) for metrics.
+    pub fn summary_values(&self, prefix: &str) -> Vec<(String, f64)> {
+        use std::collections::BTreeMap;
+        let mut out = Vec::new();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut maxes: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut bytes: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.stages {
+            *counts.entry(s.name).or_insert(0) += s.count;
+            let m = maxes.entry(s.name).or_insert(0);
+            *m = (*m).max(s.max_ns);
+            *bytes.entry(s.name).or_insert(0) += s.bytes;
+        }
+        for name in self.stage_names() {
+            out.push((
+                format!("{prefix}{name}.total_secs"),
+                self.max_total_secs(name),
+            ));
+            out.push((format!("{prefix}{name}.count"), counts[name] as f64));
+            out.push((format!("{prefix}{name}.max_secs"), maxes[name] as f64 / 1e9));
+            if bytes[name] > 0 {
+                out.push((format!("{prefix}{name}.bytes"), bytes[name] as f64));
+            }
+        }
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        for m in &self.counters {
+            *counters.entry(m.name).or_insert(0) += m.value;
+        }
+        for (name, v) in counters {
+            out.push((format!("{prefix}counter.{name}"), v as f64));
+        }
+        let mut gauges: BTreeMap<&str, u64> = BTreeMap::new();
+        for m in &self.gauges {
+            let e = gauges.entry(m.name).or_insert(0);
+            *e = (*e).max(m.value);
+        }
+        for (name, v) in gauges {
+            out.push((format!("{prefix}gauge.{name}"), v as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, ThreadRole};
+
+    #[test]
+    fn hist_buckets() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 0);
+        assert_eq!(Hist::bucket_of(2), 1);
+        assert_eq!(Hist::bucket_of(1024), 10);
+        assert_eq!(Hist::bucket_of(u64::MAX), 63);
+        assert_eq!(Hist::bucket_floor_ns(10), 1024);
+        let mut h = Hist::default();
+        h.record(3);
+        h.record(1000);
+        h.record(1024);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(9), 1); // 512..1024 holds 1000
+        assert_eq!(h.bucket_count(10), 1);
+        assert_eq!(h.nonzero(), vec![(2, 1), (512, 1), (1024, 1)]);
+        let mut h2 = Hist::default();
+        h2.record(3);
+        h2.merge(&h);
+        assert_eq!(h2.bucket_count(1), 2);
+    }
+
+    fn sample_capture() -> TraceData {
+        let rec = Recorder::trace();
+        for rank in 0..2u32 {
+            let track = rec.track(rank, ThreadRole::Main);
+            for o in 0..3u64 {
+                let mut sp = track.span("allgather").with_index(o);
+                sp.set_bytes(100);
+            }
+            track.counter_add("msgs", 3);
+            track.gauge_max("ring", rank as u64 + 1);
+        }
+        rec.collect()
+    }
+
+    #[test]
+    fn lookups_and_totals() {
+        let data = sample_capture();
+        assert!(!data.is_empty());
+        assert_eq!(data.ranks(), vec![0, 1]);
+        assert_eq!(data.stage_names(), vec!["allgather"]);
+        assert_eq!(
+            data.stage(0, ThreadRole::Main, "allgather").unwrap().count,
+            3
+        );
+        assert_eq!(data.total_bytes("allgather"), 600);
+        assert_eq!(data.counter(0, "msgs"), Some(3));
+        assert_eq!(data.counter(0, "absent"), None);
+        assert_eq!(data.gauge(1, "ring"), Some(2));
+        assert!(data.total_secs("allgather") >= data.max_total_secs("allgather"));
+        assert!(data.max_total_secs("allgather") > 0.0);
+    }
+
+    #[test]
+    fn structure_strips_time_but_keeps_shape() {
+        let a = sample_capture();
+        let b = sample_capture();
+        // Timestamps differ between the two captures...
+        assert_eq!(a.events.len(), b.events.len());
+        // ...but the structure is identical.
+        assert_eq!(a.structure(), b.structure());
+        assert_eq!(a.structure().len(), 6);
+        assert_eq!(a.structure()[0], (0, "main", "allgather", Some(0)));
+    }
+
+    #[test]
+    fn summary_values_fold() {
+        let data = sample_capture();
+        let vals = data.summary_values("obs.");
+        let get = |k: &str| {
+            vals.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing key {k} in {vals:?}"))
+        };
+        assert_eq!(get("obs.allgather.count"), 6.0);
+        assert_eq!(get("obs.allgather.bytes"), 600.0);
+        assert!(get("obs.allgather.total_secs") > 0.0);
+        assert!(get("obs.allgather.max_secs") > 0.0);
+        assert_eq!(get("obs.counter.msgs"), 6.0);
+        assert_eq!(get("obs.gauge.ring"), 2.0);
+    }
+
+    #[test]
+    fn stage_stat_means() {
+        let data = sample_capture();
+        let s = data.stage(1, ThreadRole::Main, "allgather").unwrap();
+        assert!(s.mean_secs() <= s.total_secs());
+        assert!((s.mean_secs() * s.count as f64 - s.total_secs()).abs() < 1e-12);
+    }
+}

@@ -100,6 +100,35 @@ impl TimingReport {
             .map(|s| s.total.as_secs_f64())
             .unwrap_or(0.0)
     }
+
+    /// Fold another report into this one: stages sharing a name combine
+    /// (counts and totals add, maxima take the max), stages unique to
+    /// `other` are appended, and the result stays ordered by stage name.
+    /// This is how per-rank/per-thread reports aggregate into one
+    /// cluster-wide view.
+    pub fn merge(&mut self, other: &TimingReport) {
+        for o in &other.stages {
+            match self.stages.iter_mut().find(|s| s.name == o.name) {
+                Some(s) => {
+                    s.count += o.count;
+                    s.total += o.total;
+                    s.max = s.max.max(o.max);
+                }
+                None => self.stages.push(o.clone()),
+            }
+        }
+        self.stages.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Merge an iterator of reports into one (empty iterator -> empty
+    /// report).
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a TimingReport>) -> TimingReport {
+        let mut out = TimingReport::default();
+        for r in reports {
+            out.merge(r);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +172,53 @@ mod tests {
             }
         });
         assert_eq!(t.report().stage("x").unwrap().count, 800);
+    }
+
+    #[test]
+    fn merge_combines_overlapping_stage_names() {
+        // Rank 0 saw filter + load; rank 1 saw filter + store. The merged
+        // report must combine "filter" and keep the disjoint stages.
+        let a = {
+            let t = StageTimer::new();
+            t.record("filter", Duration::from_millis(10));
+            t.record("filter", Duration::from_millis(20));
+            t.record("load", Duration::from_millis(5));
+            t.report()
+        };
+        let b = {
+            let t = StageTimer::new();
+            t.record("filter", Duration::from_millis(40));
+            t.record("store", Duration::from_millis(7));
+            t.report()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        let f = m.stage("filter").unwrap();
+        assert_eq!(f.count, 3);
+        assert_eq!(f.total, Duration::from_millis(70));
+        assert_eq!(f.max, Duration::from_millis(40));
+        assert_eq!(m.stage("load").unwrap().count, 1);
+        assert_eq!(m.stage("store").unwrap().count, 1);
+        // Order stays name-sorted after appending new stages.
+        let names: Vec<_> = m.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["filter", "load", "store"]);
+        // merge is commutative on these inputs.
+        let mut m2 = b.clone();
+        m2.merge(&a);
+        assert_eq!(m, m2);
+        // merged() over a slice gives the same answer.
+        assert_eq!(TimingReport::merged([&a, &b]), m);
+        assert_eq!(TimingReport::merged([]), TimingReport::default());
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let t = StageTimer::new();
+        t.record("x", Duration::from_millis(3));
+        let r = t.report();
+        let mut empty = TimingReport::default();
+        empty.merge(&r);
+        assert_eq!(empty, r);
     }
 
     #[test]

@@ -213,7 +213,13 @@ impl PfsStore {
     }
 
     /// Write a named object (raw bytes).
+    ///
+    /// When the calling thread has an ambient [`ct_obs`] track installed
+    /// (see `ct_obs::current`), the transfer is recorded as a `pfs.write`
+    /// span tagged with the payload size; otherwise recording is a no-op.
     pub fn write_bytes(&self, name: &str, data: &[u8]) -> Result<()> {
+        let mut span = ct_obs::current::span("pfs.write");
+        span.set_bytes(data.len() as u64);
         self.account_write(data.len())?;
         match &self.inner.backend {
             Backend::Memory => {
@@ -232,7 +238,11 @@ impl PfsStore {
     }
 
     /// Read a named object (raw bytes).
+    ///
+    /// Recorded as a `pfs.read` span on the calling thread's ambient
+    /// [`ct_obs`] track, when one is installed.
     pub fn read_bytes(&self, name: &str) -> Result<Vec<u8>> {
+        let mut span = ct_obs::current::span("pfs.read");
         let data = match &self.inner.backend {
             Backend::Memory => self
                 .inner
@@ -253,6 +263,8 @@ impl PfsStore {
         let mut c = self.inner.counters.lock();
         c.bytes_read += data.len() as u64;
         c.objects_read += 1;
+        drop(c);
+        span.set_bytes(data.len() as u64);
         Ok(data)
     }
 
@@ -475,6 +487,36 @@ mod tests {
         assert_eq!(PfsStore::projection_name(5), "proj_000005.f32");
         assert_eq!(PfsStore::slice_name(123), "slice_000123.f32");
         assert!(PfsStore::slice_name(2) < PfsStore::slice_name(10));
+    }
+
+    #[test]
+    fn io_records_spans_on_ambient_track() {
+        let rec = ct_obs::Recorder::trace();
+        let track = rec.track(7, ct_obs::ThreadRole::Io);
+        {
+            let _cur = ct_obs::current::set_current(&track);
+            let s = PfsStore::memory();
+            s.write_f32("x", &[1.0; 8]).unwrap();
+            s.read_f32("x").unwrap();
+        }
+        drop(track);
+        let data = rec.collect();
+        let w = data.stage(7, ct_obs::ThreadRole::Io, "pfs.write").unwrap();
+        assert_eq!(w.count, 1);
+        assert_eq!(w.bytes, 32);
+        let r = data.stage(7, ct_obs::ThreadRole::Io, "pfs.read").unwrap();
+        assert_eq!(r.count, 1);
+        assert_eq!(r.bytes, 32);
+    }
+
+    #[test]
+    fn io_without_ambient_track_records_nothing() {
+        // No set_current in scope: the recorder must stay empty.
+        let rec = ct_obs::Recorder::trace();
+        let s = PfsStore::memory();
+        s.write_f32("x", &[1.0; 4]).unwrap();
+        s.read_f32("x").unwrap();
+        assert!(rec.collect().is_empty());
     }
 
     #[test]

@@ -19,6 +19,23 @@
 //! The run is deterministic for a fixed configuration: batches are fixed
 //! chunks of a deterministic stream and the reduction tree is fixed by
 //! `(R, C)`.
+//!
+//! # Observability
+//!
+//! The whole pipeline is instrumented through [`ct_obs`]: each of the
+//! three threads opens a track tagged `(rank, role)` and wraps its work in
+//! spans named `load`, `filter`, `allgather`, `backprojection`, `reduce`
+//! and `store` (PFS transfers nest as `pfs.read`/`pfs.write`).
+//! Communication spans carry the exact payload bytes measured by the
+//! communicator's per-rank traffic counters, and the circular buffers
+//! report occupancy high-water marks and stall counts as gauges/counters.
+//! [`DistConfig::obs`] selects the mode: `Recorder::summary()` (the
+//! default) keeps per-stage aggregates only, `Recorder::trace()`
+//! additionally retains every span for Chrome-trace export
+//! (`ct_obs::chrome::to_chrome_json`), and `Recorder::off()` makes every
+//! recording call a no-op — no locks, no allocation, no clock reads on
+//! the hot path. [`model_divergence`] compares a measured
+//! [`DistReport`] against the paper's analytic model (Eqs. 8–19).
 
 use crate::grid::RankGrid;
 use crate::ring::RingBuffer;
@@ -31,9 +48,12 @@ use ct_core::problem::Dims3;
 use ct_core::projection::{ProjectionImage, TransposedProjection};
 use ct_core::volume::{Volume, VolumeLayout};
 use ct_filter::{FilterConfig, Filterer};
-use ct_par::stats::{StageTimer, TimingReport};
+use ct_obs::{DivergenceReport, Recorder, ThreadRole, TraceData};
+use ct_par::stats::{StageSummary, TimingReport};
 use ct_par::Pool;
+use ct_perfmodel::{KernelModel, MachineConfig, ModelBreakdown, ModelInput};
 use ct_pfs::PfsStore;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// How the partial sub-volumes of a row are combined and stored.
@@ -73,6 +93,12 @@ pub struct DistConfig {
     pub apply_scale: bool,
     /// Receive timeout for the communication fabric.
     pub timeout: Duration,
+    /// Observation sink for the run. `Recorder::summary()` (the default)
+    /// feeds the per-rank [`TimingReport`]s; `Recorder::trace()` also
+    /// captures the span timeline in [`DistReport::trace`];
+    /// `Recorder::off()` disables all recording at zero cost — the
+    /// per-rank reports then come back empty.
+    pub obs: Recorder,
 }
 
 impl DistConfig {
@@ -89,6 +115,7 @@ impl DistConfig {
             post: PostMode::default(),
             apply_scale: true,
             timeout: Duration::from_secs(120),
+            obs: Recorder::summary(),
         }
     }
 
@@ -122,12 +149,17 @@ pub struct DistReport {
     pub runtime_secs: f64,
     /// End-to-end GUPS (Section 2.3 definition).
     pub gups: f64,
-    /// Per-rank stage timing reports (rank order).
+    /// Per-rank stage timing reports (rank order), rebuilt from the
+    /// observation capture. Empty reports when the recorder was off.
     pub per_rank: Vec<TimingReport>,
     /// Fabric traffic totals.
     pub comm_messages: u64,
     /// Fabric traffic totals.
     pub comm_bytes: u64,
+    /// The full observation capture: per-stage aggregates always (when
+    /// the recorder is on), individual span events in trace mode. Export
+    /// with `ct_obs::chrome::to_chrome_json`.
+    pub trace: TraceData,
 }
 
 impl DistReport {
@@ -137,6 +169,11 @@ impl DistReport {
             .iter()
             .map(|r| r.total_secs(stage))
             .fold(0.0, f64::max)
+    }
+
+    /// All per-rank reports folded into one cluster-wide report.
+    pub fn merged_timing(&self) -> TimingReport {
+        TimingReport::merged(self.per_rank.iter())
     }
 }
 
@@ -152,6 +189,9 @@ pub fn reconstruct_distributed(
     output: &PfsStore,
 ) -> Result<DistReport> {
     cfg.validate()?;
+    // One capture per run, even when a config (and its recorder) is
+    // reused across runs.
+    cfg.obs.reset();
     let n_ranks = cfg.grid.n_ranks();
     let universe = Universe::with_timeout(cfg.timeout);
     let t0 = Instant::now();
@@ -162,10 +202,14 @@ pub fn reconstruct_distributed(
         .map_err(|e| CtError::InvalidConfig(format!("distributed run failed: {e}")))?;
 
     let runtime = t0.elapsed().as_secs_f64();
-    let mut per_rank = Vec::with_capacity(n_ranks);
     for r in results {
-        per_rank.push(r?);
+        r?;
     }
+    // Every rank's tracks have merged by now (launch joins all ranks).
+    let trace = cfg.obs.collect();
+    let per_rank = (0..n_ranks)
+        .map(|r| timing_report_for_rank(&trace, r as u32))
+        .collect();
     let (comm_messages, comm_bytes) = (traffic.messages_sent, traffic.bytes_sent);
     let updates = (cfg.geo.volume.len() as u128) * (cfg.geo.num_projections as u128);
     Ok(DistReport {
@@ -174,10 +218,72 @@ pub fn reconstruct_distributed(
         per_rank,
         comm_messages,
         comm_bytes,
+        trace,
     })
 }
 
-type RankOutput = Result<TimingReport>;
+/// Rebuild one rank's [`TimingReport`] from the capture, combining the
+/// rank's roles per stage name (name-sorted, like `StageTimer` produced).
+fn timing_report_for_rank(trace: &TraceData, rank: u32) -> TimingReport {
+    let mut by_name: BTreeMap<&str, StageSummary> = BTreeMap::new();
+    for s in trace.stages.iter().filter(|s| s.rank == rank) {
+        let e = by_name.entry(s.name).or_insert_with(|| StageSummary {
+            name: s.name.to_string(),
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        });
+        e.count += s.count as usize;
+        e.total += Duration::from_nanos(s.total_ns);
+        e.max = e.max.max(Duration::from_nanos(s.max_ns));
+    }
+    TimingReport {
+        stages: by_name.into_values().collect(),
+    }
+}
+
+/// Compare a measured run against the paper's analytic performance model
+/// (Eqs. 8–19): one row per pipeline stage plus the end-to-end runtime,
+/// with predicted seconds from [`ModelBreakdown::evaluate`] and observed
+/// seconds from the busiest rank of `report`.
+///
+/// The observed side uses `report.max_stage_secs`, matching the model's
+/// per-rank convention. `DivergenceReport::to_table` renders the
+/// predicted/observed/ratio table.
+pub fn model_divergence(
+    cfg: &DistConfig,
+    report: &DistReport,
+    machine: &MachineConfig,
+    kernel: &KernelModel,
+) -> Result<DivergenceReport> {
+    let input = ModelInput {
+        nu: cfg.geo.detector.nu,
+        nv: cfg.geo.detector.nv,
+        np: cfg.geo.num_projections,
+        nx: cfg.geo.volume.nx,
+        ny: cfg.geo.volume.ny,
+        nz: cfg.geo.volume.nz,
+        r: cfg.grid.rows,
+        c: cfg.grid.cols,
+        machine: machine.clone(),
+        kernel: *kernel,
+    };
+    input.validate().map_err(CtError::InvalidConfig)?;
+    let model = ModelBreakdown::evaluate(&input);
+    let mut div = DivergenceReport::new();
+    for (stage, predicted) in [
+        ("load", model.t_load),
+        ("filter", model.t_flt),
+        ("allgather", model.t_allgather),
+        ("backprojection", model.t_bp),
+        ("reduce", model.t_reduce),
+        ("store", model.t_store),
+    ] {
+        div.push(stage, predicted, report.max_stage_secs(stage));
+    }
+    div.push("runtime", model.t_runtime, report.runtime_secs);
+    Ok(div)
+}
 
 fn run_rank(
     cfg: &DistConfig,
@@ -185,15 +291,17 @@ fn run_rank(
     output: &PfsStore,
     mats: &[ProjectionMatrix],
     comm: &Comm,
-) -> RankOutput {
+) -> Result<()> {
     let rank = comm.rank();
     let grid = cfg.grid;
     let row = grid.row_of(rank);
     let col = grid.col_of(rank);
     let geo = &cfg.geo;
     let np = geo.num_projections;
-    let timer = StageTimer::new();
     let pool = Pool::new(cfg.threads_per_rank);
+    let obs = cfg.obs.clone();
+    let main_track = obs.track(rank as u32, ThreadRole::Main);
+    let _main_cur = ct_obs::current::set_current(&main_track);
 
     // Column communicator: color = col, ordered by row (Figure 3b left).
     let col_comm = comm.split(col as u64, row as u64);
@@ -213,26 +321,35 @@ fn run_rank(
     let to_bp: RingBuffer<(usize, TransposedProjection)> =
         RingBuffer::new(cfg.ring_capacity.max(2 * grid.rows));
 
-    let pair_volume = std::thread::scope(|s| -> Result<Volume> {
+    let scope_result = std::thread::scope(|s| -> Result<Volume> {
         // ------------------------------------------------ Filtering thread
         let flt_ring = to_gather.clone();
-        let flt_timer = &timer;
+        let flt_obs = obs.clone();
         let flt_pool = pool;
         let flt_range = my_range.clone();
         let filterer_ref = &filterer;
         let flt = s.spawn(move || -> Result<()> {
+            let track = flt_obs.track(rank as u32, ThreadRole::Filter);
+            let _cur = ct_obs::current::set_current(&track);
             let body = || -> Result<()> {
                 for i in flt_range {
-                    let data =
-                        flt_timer.time("load", || input.read_f32(&PfsStore::projection_name(i)));
+                    let data = {
+                        let mut sp = track.span("load").with_index(i as u64);
+                        let d = input.read_f32(&PfsStore::projection_name(i));
+                        if let Ok(d) = &d {
+                            sp.set_bytes(4 * d.len() as u64);
+                        }
+                        d
+                    };
                     let data = data.map_err(|e| {
                         CtError::InvalidConfig(format!("loading projection {i}: {e}"))
                     })?;
                     let img = ProjectionImage::from_vec(geo.detector, data)?;
-                    let q = flt_timer.time("filter", || {
+                    let q = {
+                        let _sp = track.span("filter").with_index(i as u64);
                         let _ = &flt_pool; // reserved for multi-projection batching
                         filterer_ref.filter_indexed(i, &img)
-                    });
+                    };
                     if flt_ring.push(q.into_vec()).is_err() {
                         break; // pipeline shut down early
                     }
@@ -247,12 +364,14 @@ fn run_rank(
 
         // ------------------------------------------- Back-projection thread
         let bp_ring = to_bp.clone();
-        let bp_timer = &timer;
+        let bp_obs = obs.clone();
         let bp_pool = pool;
         let batch = cfg.batch;
         let dims = geo.volume;
         let nv = geo.detector.nv;
+        let bp_per = geo.detector.len();
         let bp = s.spawn(move || -> Result<Volume> {
+            let track = bp_obs.track(rank as u32, ThreadRole::Backprojection);
             // Close the inbound ring on every exit path so a failing
             // consumer unblocks the producer (its push returns Err).
             struct CloseOnDrop<T>(RingBuffer<T>);
@@ -266,6 +385,7 @@ fn run_rank(
                 Dims3::new(dims.nx, dims.ny, pair.local_nz()),
                 VolumeLayout::KMajor,
             );
+            let mut batch_idx = 0u64;
             loop {
                 let mut items: Vec<(usize, TransposedProjection)> = Vec::with_capacity(batch);
                 while items.len() < batch {
@@ -280,7 +400,9 @@ fn run_rank(
                 let batch_mats: Vec<ProjectionMatrix> =
                     items.iter().map(|(i, _)| mats[*i]).collect();
                 let samplers: Vec<&TransposedProjection> = items.iter().map(|(_, q)| q).collect();
-                bp_timer.time("backprojection", || {
+                {
+                    let mut sp = track.span("backprojection").with_index(batch_idx);
+                    sp.set_bytes((items.len() * bp_per * 4) as u64);
                     let part = backproject_pair_with(
                         &bp_pool,
                         &batch_mats,
@@ -290,8 +412,9 @@ fn run_rank(
                         pair,
                         batch,
                     );
-                    acc.accumulate(&part)
-                })?;
+                    acc.accumulate(&part)?;
+                }
+                batch_idx += 1;
             }
             Ok(acc)
         });
@@ -304,9 +427,13 @@ fn run_rank(
             let Some(block) = to_gather.pop() else {
                 break; // filter thread ended early (its error is joined below)
             };
-            let gathered = timer.time("allgather", || {
-                col_comm.all_gather_with(cfg.allgather, &block)
-            });
+            let gathered = {
+                let before = col_comm.local_stats();
+                let mut sp = main_track.span("allgather").with_index(o as u64);
+                let g = col_comm.all_gather_with(cfg.allgather, &block);
+                sp.set_bytes(col_comm.local_stats().since(before).bytes_sent);
+                g
+            };
             // Rank r' of the column contributed projection
             // col_range.start + r' * ops + o.
             let per = geo.detector.len();
@@ -333,7 +460,20 @@ fn run_rank(
             return Err(e);
         }
         bp_result
-    })?;
+    });
+
+    // Ring telemetry: recorded whether or not the pipeline succeeded, as
+    // counters/gauges (not spans) so the span-tree structure of a trace
+    // stays deterministic under scheduling noise.
+    let gm = to_gather.metrics();
+    main_track.gauge_max("ring.gather.high_water", gm.high_water as u64);
+    main_track.counter_add("ring.gather.push_stalls", gm.push_stalls);
+    main_track.counter_add("ring.gather.pop_waits", gm.pop_waits);
+    let bm = to_bp.metrics();
+    main_track.gauge_max("ring.bp.high_water", bm.high_water as u64);
+    main_track.counter_add("ring.bp.push_stalls", bm.push_stalls);
+    main_track.counter_add("ring.bp.pop_waits", bm.pop_waits);
+    let pair_volume = scope_result?;
 
     // ------------------------------------------------------- Reduce + store
     let scale = if cfg.apply_scale { fdk_scale(geo) } else { 1.0 };
@@ -341,7 +481,13 @@ fn run_rank(
     let slice_len = nx * ny;
     match cfg.post {
         PostMode::RootReduce => {
-            let reduced = timer.time("reduce", || row_comm.reduce_sum_f32(0, pair_volume.data()));
+            let reduced = {
+                let before = row_comm.local_stats();
+                let mut sp = main_track.span("reduce");
+                let r = row_comm.reduce_sum_f32(0, pair_volume.data());
+                sp.set_bytes(row_comm.local_stats().since(before).bytes_sent);
+                r
+            };
             if let Some(data) = reduced {
                 let mut vol = Volume::from_vec(
                     Dims3::new(nx, ny, pair.local_nz()),
@@ -349,18 +495,16 @@ fn run_rank(
                     data,
                 )?;
                 vol.scale(scale);
-                timer.time("store", || -> Result<()> {
-                    for local in 0..pair.local_nz() {
-                        let k = pair.global_k(local);
-                        let slice = vol.slice_xy(local)?;
-                        output
-                            .write_f32(&PfsStore::slice_name(k), &slice)
-                            .map_err(|e| {
-                                CtError::InvalidConfig(format!("storing slice {k}: {e}"))
-                            })?;
-                    }
-                    Ok(())
-                })?;
+                let mut sp = main_track.span("store");
+                sp.set_bytes((pair.local_nz() * slice_len * 4) as u64);
+                for local in 0..pair.local_nz() {
+                    let k = pair.global_k(local);
+                    let slice = vol.slice_xy(local)?;
+                    output
+                        .write_f32(&PfsStore::slice_name(k), &slice)
+                        .map_err(|e| CtError::InvalidConfig(format!("storing slice {k}: {e}")))?;
+                }
+                drop(sp);
             }
         }
         PostMode::ReduceScatter => {
@@ -374,25 +518,29 @@ fn run_rank(
             let slices_of = |c: usize| base + usize::from(c < rem);
             let counts: Vec<usize> = (0..c_ranks).map(|c| slices_of(c) * slice_len).collect();
             let my_first: usize = (0..row_comm.rank()).map(&slices_of).sum();
-            let mut mine = timer.time("reduce", || {
-                row_comm.reduce_scatter_sum_f32(vol_im.data(), &counts)
-            });
+            let mut mine = {
+                let before = row_comm.local_stats();
+                let mut sp = main_track.span("reduce");
+                let m = row_comm.reduce_scatter_sum_f32(vol_im.data(), &counts);
+                sp.set_bytes(row_comm.local_stats().since(before).bytes_sent);
+                m
+            };
             for x in &mut mine {
                 *x *= scale;
             }
-            timer.time("store", || -> Result<()> {
-                for (ls, slice) in mine.chunks_exact(slice_len).enumerate() {
-                    let k = pair.global_k(my_first + ls);
-                    output
-                        .write_f32(&PfsStore::slice_name(k), slice)
-                        .map_err(|e| CtError::InvalidConfig(format!("storing slice {k}: {e}")))?;
-                }
-                Ok(())
-            })?;
+            let mut sp = main_track.span("store");
+            sp.set_bytes((mine.len() * 4) as u64);
+            for (ls, slice) in mine.chunks_exact(slice_len).enumerate() {
+                let k = pair.global_k(my_first + ls);
+                output
+                    .write_f32(&PfsStore::slice_name(k), slice)
+                    .map_err(|e| CtError::InvalidConfig(format!("storing slice {k}: {e}")))?;
+            }
+            drop(sp);
         }
     }
 
-    Ok(timer.report())
+    Ok(())
 }
 
 /// Helper used by examples/tests: write a projection stack into a store
@@ -558,6 +706,164 @@ mod tests {
         }
         // Only row roots store, but some rank must have.
         assert!(report.max_stage_secs("store") > 0.0);
+    }
+
+    #[test]
+    fn trace_structure_is_deterministic() {
+        // Two runs of the same DistConfig must capture the same span tree
+        // — same (rank, role, name, index) rows — even though the
+        // durations differ.
+        let (geo, store) = setup(8, 16);
+        let capture = || {
+            let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+            cfg.obs = Recorder::trace();
+            let output = PfsStore::memory();
+            reconstruct_distributed(&cfg, &store, &output)
+                .unwrap()
+                .trace
+        };
+        let a = capture();
+        let b = capture();
+        assert!(!a.events.is_empty());
+        assert_eq!(a.structure(), b.structure());
+    }
+
+    #[test]
+    fn trace_mode_exports_chrome_json_with_all_roles() {
+        let (geo, store) = setup(8, 16);
+        let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        cfg.obs = Recorder::trace();
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        let json = ct_obs::chrome::to_chrome_json(&report.trace);
+        let check = ct_obs::chrome::validate(&json).expect("export must be a valid trace");
+        assert_eq!(check.ranks, vec![0, 1, 2, 3]);
+        for role in ["filter", "main", "backprojection"] {
+            assert!(check.has_thread(role), "missing thread lane {role}");
+        }
+        for name in [
+            "load",
+            "filter",
+            "allgather",
+            "backprojection",
+            "reduce",
+            "store",
+            "pfs.read",
+            "pfs.write",
+        ] {
+            assert!(check.has_span(name), "missing span {name}");
+        }
+    }
+
+    #[test]
+    fn comm_spans_carry_measured_bytes() {
+        let (geo, store) = setup(8, 16);
+        let cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        for rank in 0..4u32 {
+            // Column size 2: each AllGather sends one block to the peer.
+            let ag = report
+                .trace
+                .stage(rank, ThreadRole::Main, "allgather")
+                .unwrap();
+            assert!(ag.bytes > 0, "rank {rank} allgather moved no bytes");
+            // Per-projection load bytes are exact: Nu * Nv * 4.
+            let load = report
+                .trace
+                .stage(rank, ThreadRole::Filter, "load")
+                .unwrap();
+            assert_eq!(
+                load.bytes,
+                (load.count as usize * geo.detector.len() * 4) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn ring_metrics_surface_as_counters_and_gauges() {
+        let (geo, store) = setup(8, 16);
+        let cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        for rank in 0..4u32 {
+            assert!(report.trace.gauge(rank, "ring.gather.high_water").unwrap() >= 1);
+            assert!(report.trace.gauge(rank, "ring.bp.high_water").unwrap() >= 1);
+            for name in [
+                "ring.gather.push_stalls",
+                "ring.gather.pop_waits",
+                "ring.bp.push_stalls",
+                "ring.bp.pop_waits",
+            ] {
+                assert!(
+                    report.trace.counter(rank, name).is_some(),
+                    "rank {rank} missing counter {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_recorder_still_reconstructs_correctly() {
+        let (geo, store) = setup(8, 16);
+        let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        cfg.obs = Recorder::off();
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        assert!(report.trace.is_empty());
+        assert_eq!(report.per_rank.len(), 4);
+        assert!(report.per_rank.iter().all(|t| t.stages.is_empty()));
+        // The reconstruction itself is unaffected.
+        let vol = download_volume(&output, geo.volume).unwrap();
+        let (reference, _) = run(&geo, &store, 2, 2);
+        assert_eq!(vol.data(), reference.data());
+    }
+
+    #[test]
+    fn model_divergence_reports_every_stage() {
+        let (geo, store) = setup(8, 16);
+        let cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        let div = model_divergence(
+            &cfg,
+            &report,
+            &MachineConfig::abci(),
+            &KernelModel::v100_proposed(),
+        )
+        .unwrap();
+        for stage in [
+            "load",
+            "filter",
+            "allgather",
+            "backprojection",
+            "reduce",
+            "store",
+            "runtime",
+        ] {
+            let d = div
+                .stage(stage)
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            assert!(d.predicted_secs >= 0.0);
+            assert!(d.observed_secs >= 0.0);
+            assert!(d.ratio() >= 0.0);
+        }
+        assert!(div.to_table().contains("runtime"));
+    }
+
+    #[test]
+    fn merged_timing_combines_ranks() {
+        let (geo, store) = setup(8, 16);
+        let (_, report) = run(&geo, &store, 2, 2);
+        let merged = report.merged_timing();
+        let total: usize = report
+            .per_rank
+            .iter()
+            .filter_map(|t| t.stage("load").map(|s| s.count))
+            .sum();
+        assert_eq!(merged.stage("load").unwrap().count, total);
+        // Every rank loads Np / (R*C) projections.
+        assert_eq!(total, geo.num_projections);
     }
 
     #[test]

@@ -34,9 +34,13 @@
 //!   (Section 4.1.3, Figure 4a).
 //! * [`distributed`] — the full framework: per-rank
 //!   Filter/Main/Back-projection threads, per-projection AllGather within
-//!   columns, one Reduce per row, PFS in/out (Sections 4.1.1-4.1.4).
+//!   columns, one Reduce per row, PFS in/out (Sections 4.1.1-4.1.4). The
+//!   whole path is instrumented through `ct_obs` ([`DistConfig`] carries
+//!   the recorder); [`model_divergence`] compares a measured run against
+//!   the paper's analytic model (Eqs. 8-19).
 //! * [`report`] — machine-readable run reports shared by the examples,
-//!   benchmarks and EXPERIMENTS.md.
+//!   benchmarks and EXPERIMENTS.md; `RunReport::fold_observations`
+//!   absorbs a `ct_obs` capture's per-stage aggregates.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,7 +53,7 @@ pub mod ring;
 pub mod single;
 pub mod streaming;
 
-pub use distributed::{reconstruct_distributed, DistConfig, DistReport};
+pub use distributed::{model_divergence, reconstruct_distributed, DistConfig, DistReport};
 pub use grid::RankGrid;
 pub use plan::{plan_rank_grid, GridChoice};
 pub use ring::RingBuffer;

@@ -50,6 +50,19 @@ impl RunReport {
     pub fn get(&self, key: &str) -> Option<f64> {
         self.values.get(key).copied()
     }
+
+    /// Absorb an observation capture's per-stage aggregates as named
+    /// values: for each stage, `{prefix}{stage}.total_secs` (busiest
+    /// rank), `.count`, `.max_secs` and `.bytes` (when nonzero), plus
+    /// `{prefix}counter.*` sums and `{prefix}gauge.*` maxima — see
+    /// `ct_obs::TraceData::summary_values`. Lets the bench/figure
+    /// binaries publish measured stage times alongside their modelled
+    /// values without hand-copying.
+    pub fn fold_observations(&mut self, prefix: &str, data: &ct_obs::TraceData) {
+        for (k, v) in data.summary_values(prefix) {
+            self.values.insert(k, v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +80,25 @@ mod tests {
         assert_eq!(r.notes.len(), 1);
         r.set("gups", 190.0);
         assert_eq!(r.get("gups"), Some(190.0));
+    }
+
+    #[test]
+    fn fold_observations_imports_stage_aggregates() {
+        let rec = ct_obs::Recorder::summary();
+        {
+            let track = rec.track(0, ct_obs::ThreadRole::Main);
+            let mut sp = track.span("allgather");
+            sp.set_bytes(512);
+            drop(sp);
+            track.counter_add("ring.push_stalls", 3);
+            track.gauge_max("ring.high_water", 7);
+        }
+        let mut r = RunReport::new("fig7", "2x2");
+        r.fold_observations("obs.", &rec.collect());
+        assert_eq!(r.get("obs.allgather.count"), Some(1.0));
+        assert_eq!(r.get("obs.allgather.bytes"), Some(512.0));
+        assert!(r.get("obs.allgather.total_secs").is_some());
+        assert_eq!(r.get("obs.counter.ring.push_stalls"), Some(3.0));
+        assert_eq!(r.get("obs.gauge.ring.high_water"), Some(7.0));
     }
 }

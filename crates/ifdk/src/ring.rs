@@ -14,6 +14,14 @@ use std::sync::Arc;
 struct State<T> {
     queue: VecDeque<T>,
     closed: bool,
+    /// Largest queue length ever reached (occupancy high-water mark).
+    high_water: usize,
+    /// Push calls that found the buffer full and had to wait at least
+    /// once (back-pressure on the producer).
+    push_stalls: u64,
+    /// Pop calls that found the buffer empty and had to wait at least
+    /// once (starvation of the consumer).
+    pop_waits: u64,
 }
 
 struct Shared<T> {
@@ -45,6 +53,9 @@ impl<T> RingBuffer<T> {
                 state: Mutex::new(State {
                     queue: VecDeque::with_capacity(capacity),
                     closed: false,
+                    high_water: 0,
+                    push_stalls: 0,
+                    pop_waits: 0,
                 }),
                 not_full: Condvar::new(),
                 not_empty: Condvar::new(),
@@ -71,15 +82,21 @@ impl<T> RingBuffer<T> {
     /// Blocking push. Returns `Err(item)` if the buffer is closed.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut st = self.shared.state.lock();
+        let mut stalled = false;
         loop {
             if st.closed {
                 return Err(item);
             }
             if st.queue.len() < self.shared.capacity {
                 st.queue.push_back(item);
+                st.high_water = st.high_water.max(st.queue.len());
                 drop(st);
                 self.shared.not_empty.notify_one();
                 return Ok(());
+            }
+            if !stalled {
+                stalled = true;
+                st.push_stalls += 1;
             }
             self.shared.not_full.wait(&mut st);
         }
@@ -89,6 +106,7 @@ impl<T> RingBuffer<T> {
     /// drained.
     pub fn pop(&self) -> Option<T> {
         let mut st = self.shared.state.lock();
+        let mut waited = false;
         loop {
             if let Some(item) = st.queue.pop_front() {
                 drop(st);
@@ -97,6 +115,10 @@ impl<T> RingBuffer<T> {
             }
             if st.closed {
                 return None;
+            }
+            if !waited {
+                waited = true;
+                st.pop_waits += 1;
             }
             self.shared.not_empty.wait(&mut st);
         }
@@ -134,6 +156,41 @@ impl<T> RingBuffer<T> {
         self.shared.not_full.notify_all();
         self.shared.not_empty.notify_all();
     }
+
+    /// Snapshot of the buffer's occupancy and stall statistics. These are
+    /// what an observability layer reads once per pipeline run — the
+    /// counters themselves are maintained inside the existing critical
+    /// sections, so tracking them costs no extra synchronisation.
+    pub fn metrics(&self) -> RingMetrics {
+        let st = self.shared.state.lock();
+        RingMetrics {
+            capacity: self.shared.capacity,
+            len: st.queue.len(),
+            high_water: st.high_water,
+            push_stalls: st.push_stalls,
+            pop_waits: st.pop_waits,
+        }
+    }
+}
+
+/// A point-in-time view of a buffer's occupancy statistics.
+///
+/// `high_water` close to `capacity` plus a large `push_stalls` means the
+/// consumer is the bottleneck (the paper's back-pressure case: filtering
+/// races ahead of back-projection); a large `pop_waits` with a low
+/// high-water mark means the producer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingMetrics {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Queue length at snapshot time.
+    pub len: usize,
+    /// Largest queue length ever reached.
+    pub high_water: usize,
+    /// Push calls that blocked on a full buffer at least once.
+    pub push_stalls: u64,
+    /// Pop calls that blocked on an empty buffer at least once.
+    pub pop_waits: u64,
 }
 
 #[cfg(test)]
@@ -262,5 +319,85 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let rb = RingBuffer::new(8);
+        assert_eq!(
+            rb.metrics(),
+            RingMetrics {
+                capacity: 8,
+                ..RingMetrics::default()
+            }
+        );
+        rb.push(1).unwrap();
+        rb.push(2).unwrap();
+        rb.push(3).unwrap();
+        assert_eq!(rb.metrics().high_water, 3);
+        // Draining does not lower the mark.
+        rb.pop().unwrap();
+        rb.pop().unwrap();
+        assert_eq!(rb.metrics().len, 1);
+        assert_eq!(rb.metrics().high_water, 3);
+        rb.push(4).unwrap();
+        assert_eq!(rb.metrics().high_water, 3, "peak was 3, now only 2 queued");
+    }
+
+    #[test]
+    fn push_stalls_and_pop_waits_are_counted_once_per_call() {
+        let rb = RingBuffer::new(1);
+
+        // Unblocked traffic: no stalls, no waits.
+        rb.push(0u32).unwrap();
+        rb.pop().unwrap();
+        let m = rb.metrics();
+        assert_eq!((m.push_stalls, m.pop_waits), (0, 0));
+
+        // A push into a full buffer stalls exactly once, even though the
+        // condvar may wake it spuriously several times.
+        rb.push(1).unwrap();
+        let rb2 = rb.clone();
+        let producer = std::thread::spawn(move || rb2.push(2).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rb.metrics().push_stalls, 1);
+        rb.pop().unwrap();
+        producer.join().unwrap();
+        assert_eq!(rb.metrics().push_stalls, 1);
+
+        // A pop from an empty buffer waits exactly once.
+        rb.pop().unwrap(); // drain item 2
+        let rb2 = rb.clone();
+        let consumer = std::thread::spawn(move || rb2.pop());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rb.metrics().pop_waits, 1);
+        rb.push(3).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(3));
+        let m = rb.metrics();
+        assert_eq!((m.push_stalls, m.pop_waits), (1, 1));
+    }
+
+    #[test]
+    fn backpressured_pipeline_reports_stalls() {
+        // Producer is much faster than the consumer: the buffer should
+        // saturate (high_water == capacity) and most pushes should stall.
+        let rb = RingBuffer::new(2);
+        let producer = rb.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..50u32 {
+                producer.push(i).unwrap();
+            }
+            producer.close();
+        });
+        let mut got = 0;
+        while rb.pop().is_some() {
+            got += 1;
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        handle.join().unwrap();
+        assert_eq!(got, 50);
+        let m = rb.metrics();
+        assert_eq!(m.high_water, 2);
+        assert!(m.push_stalls > 0, "fast producer never stalled: {m:?}");
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-examples --bin distributed_reconstruction -- \
-//!     --size 64 --np 64 --rows 4 --cols 4
+//!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json]
 //! ```
 //!
 //! Launches `rows x cols` ranks (threads), each running the three-thread
@@ -11,16 +11,25 @@
 //! within its column, back-project its row's symmetric slab pair, reduce
 //! across the row and store the finished slices to the (in-memory) PFS.
 //! Verifies the result against a single-node reconstruction.
+//!
+//! With `--trace <path>` the run captures every span and writes a Chrome
+//! trace-event timeline (open it at <https://ui.perfetto.dev> or in
+//! `chrome://tracing`): one process per rank, one lane per pipeline
+//! thread. A model-vs-measured table (paper Eqs. 8-19) is printed either
+//! way.
 
 use ct_core::forward::project_all_analytic;
 use ct_core::metrics::nrmse;
 use ct_core::phantom::Phantom;
 use ct_core::problem::{Dims2, Dims3};
 use ct_core::CbctGeometry;
+use ct_perfmodel::{KernelModel, MachineConfig};
 use ct_pfs::PfsStore;
 use ifdk::distributed::{download_volume, upload_projections};
-use ifdk::{reconstruct, reconstruct_distributed, DistConfig, RankGrid, ReconOptions};
-use ifdk_examples::{arg_usize, ascii_slice, print_table};
+use ifdk::{
+    model_divergence, reconstruct, reconstruct_distributed, DistConfig, RankGrid, ReconOptions,
+};
+use ifdk_examples::{arg_str, arg_usize, ascii_slice, print_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,6 +37,7 @@ fn main() {
     let np = arg_usize(&args, "np", 64);
     let rows = arg_usize(&args, "rows", 4);
     let cols = arg_usize(&args, "cols", 4);
+    let trace_path = arg_str(&args, "trace");
 
     let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
     let grid = RankGrid::new(rows, cols).expect("valid grid");
@@ -42,8 +52,12 @@ fn main() {
     let input = PfsStore::memory();
     upload_projections(&input, &stack).expect("upload");
 
-    // Distributed reconstruction.
-    let cfg = DistConfig::new(geo.clone(), grid);
+    // Distributed reconstruction. Summary-mode observability is on by
+    // default; --trace upgrades to full span capture.
+    let mut cfg = DistConfig::new(geo.clone(), grid);
+    if trace_path.is_some() {
+        cfg.obs = ct_obs::Recorder::trace();
+    }
     let output = PfsStore::memory();
     let report = reconstruct_distributed(&cfg, &input, &output).expect("distributed run");
 
@@ -80,6 +94,29 @@ fn main() {
     );
     println!("PFS          : {} slices stored", output.list().len());
     println!("vs single    : NRMSE {err:.2e} (paper bar: < 1e-5)");
+
+    // Model vs. measured: the paper's analytic per-stage predictions
+    // (Eqs. 8-19, ABCI constants) against what this run observed.
+    let div = model_divergence(
+        &cfg,
+        &report,
+        &MachineConfig::abci(),
+        &KernelModel::v100_proposed(),
+    )
+    .expect("model input is valid");
+    println!("\nmodel (ABCI constants) vs. measured (this machine):");
+    print!("{div}");
+
+    if let Some(path) = &trace_path {
+        let json = ct_obs::chrome::to_chrome_json(&report.trace);
+        let check = ct_obs::chrome::validate(&json).expect("exporter emits a valid trace");
+        std::fs::write(path, &json).expect("writing trace file");
+        println!(
+            "\ntrace        : {} spans across {} ranks -> {path} (open in Perfetto)",
+            check.span_events,
+            check.ranks.len()
+        );
+    }
 
     println!("\ncentral slice of the distributed reconstruction:");
     print!("{}", ascii_slice(&vol, n / 2, 64));

@@ -43,6 +43,13 @@ pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parse a `--key value` string argument (`None` when absent).
+pub fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == format!("--{key}"))
+        .map(|w| w[1].clone())
+}
+
 /// Simple column-aligned table printer.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -91,5 +98,7 @@ mod tests {
         assert_eq!(arg_usize(&args, "size", 8), 32);
         assert_eq!(arg_usize(&args, "np", 8), 64);
         assert_eq!(arg_usize(&args, "missing", 7), 7);
+        assert_eq!(arg_str(&args, "size").as_deref(), Some("32"));
+        assert_eq!(arg_str(&args, "missing"), None);
     }
 }
