@@ -1,0 +1,87 @@
+//! Compare two `gups` sweep reports and fail on perf regression.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin benchdiff -- \
+//!     baseline.json candidate.json [--threshold 0.4]
+//! ```
+//!
+//! Every cell of the baseline must exist in the candidate with a median
+//! GUPS of at least `baseline * (1 - threshold)`; the generous default
+//! threshold absorbs shared-runner noise while still catching order-of-
+//! magnitude regressions. Exit codes follow `ifdk_bench::check`: 0 pass,
+//! 1 regression/missing cell, 2 unreadable input, 3 usage.
+
+use ifdk_bench::check::{read_input, Gate};
+use ifdk_bench::gups::{compare, GupsReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: benchdiff <baseline.json> <candidate.json> [--threshold 0.4]";
+
+fn parse_threshold(args: &[String]) -> Result<f64, Gate> {
+    let Some(pos) = args.iter().position(|a| a == "--threshold") else {
+        return Ok(0.4);
+    };
+    args.get(pos + 1)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| (0.0..1.0).contains(t))
+        .ok_or_else(|| Gate::Usage(format!("--threshold needs a value in [0, 1)\n{USAGE}")))
+}
+
+fn load(path: &str) -> Result<GupsReport, Gate> {
+    let text = read_input(path)?;
+    GupsReport::from_json(&text).map_err(|e| Gate::Unreadable(format!("{path}: {e}")))
+}
+
+fn run(args: &[String]) -> Gate {
+    let paths: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threshold"))
+        .map(|(_, a)| a)
+        .collect();
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Gate::Usage(USAGE.into());
+    };
+    let threshold = match parse_threshold(args) {
+        Ok(t) => t,
+        Err(g) => return g,
+    };
+    let baseline = match load(baseline_path) {
+        Ok(r) => r,
+        Err(g) => return g,
+    };
+    let candidate = match load(candidate_path) {
+        Ok(r) => r,
+        Err(g) => return g,
+    };
+
+    let rep = compare(&baseline, &candidate, threshold);
+    println!(
+        "benchdiff: {} cells checked against {} ({}), threshold {:.0}%",
+        rep.checked,
+        baseline_path,
+        baseline.problem,
+        threshold * 100.0
+    );
+    for m in &rep.missing {
+        eprintln!("benchdiff: baseline cell {m} missing from candidate");
+    }
+    for r in &rep.regressions {
+        eprintln!("benchdiff: regression {r}");
+    }
+    if rep.passed() {
+        println!("OK");
+        Gate::Ok
+    } else {
+        Gate::CheckFailed(format!(
+            "{} regressions, {} missing cells",
+            rep.regressions.len(),
+            rep.missing.len()
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args).exit()
+}

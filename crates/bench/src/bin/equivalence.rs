@@ -1,0 +1,138 @@
+//! Kernel equivalence gate: every back-projection variant must agree
+//! with the serial `standard` kernel (Algorithm 2) on randomized
+//! geometries, and the tiled driver must be bit-identical across thread
+//! counts.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin equivalence -- \
+//!     [--trials 3] [--seed 42]
+//! ```
+//!
+//! Each trial draws a random (even-`Nz`) volume shape and projection
+//! count, back-projects a synthetic stack with all five Table 3 variants
+//! plus the tiled driver at 1/2/4 threads, and requires normalised RMSE
+//! against `standard` below 1e-5 plus exact equality of the tiled
+//! outputs across pool widths. Exit codes follow `ifdk_bench::check`.
+
+use ct_bp::tiled::{backproject_tiled_with, TileConfig};
+use ct_bp::warp::WARP_BATCH;
+use ct_bp::{backproject, backproject_standard, BpConfig, KernelVariant};
+use ct_core::metrics::nrmse;
+use ct_core::volume::VolumeLayout;
+use ifdk_bench::check::Gate;
+use ifdk_bench::{arg_usize, synthetic_stack};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+const TOLERANCE: f64 = 1e-5;
+
+fn pick(rng: &mut StdRng, choices: &[usize]) -> usize {
+    choices[rng.gen::<u64>() as usize % choices.len()]
+}
+
+fn run(args: &[String]) -> Gate {
+    let trials = arg_usize(args, "trials", 3);
+    let seed = arg_usize(
+        args,
+        "seed",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as usize ^ d.as_secs() as usize)
+            .unwrap_or(0x5EED),
+    ) as u64;
+    println!("equivalence: {trials} trials, seed {seed} (rerun with --seed {seed})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures: Vec<String> = Vec::new();
+
+    for trial in 0..trials {
+        let nx = pick(&mut rng, &[12, 16, 20, 24]);
+        let ny = pick(&mut rng, &[12, 16, 20, 24]);
+        let nz = pick(&mut rng, &[12, 16, 20, 24]);
+        let np = pick(&mut rng, &[8, 16, 24, 40]);
+        let side = 2 * nx.max(ny).max(nz);
+        let geo = ct_core::geometry::CbctGeometry::standard(
+            ct_core::problem::Dims2::new(side, side),
+            np,
+            ct_core::problem::Dims3::new(nx, ny, nz),
+        );
+        if let Err(e) = geo.validate() {
+            return Gate::CheckFailed(format!("trial {trial}: invalid geometry: {e}"));
+        }
+        let stack = synthetic_stack(geo.detector, np);
+        let mats = geo.projection_matrices();
+        let dims = geo.volume;
+        println!("  trial {trial}: {nx}x{ny}x{nz} volume, {np} projections");
+
+        let serial = ct_par::Pool::new(1);
+        let reference =
+            backproject_standard(&serial, &mats, &stack, dims).into_layout(VolumeLayout::IMajor);
+
+        // Every Table 3 variant, tiled and untiled, vs the reference.
+        for variant in KernelVariant::ALL {
+            for tile in [None, Some(TileConfig::AUTO)] {
+                let cfg = BpConfig {
+                    variant,
+                    batch: WARP_BATCH,
+                    tile,
+                };
+                let v = backproject(&serial, cfg, &mats, &stack, dims)
+                    .into_layout(VolumeLayout::IMajor);
+                let e = nrmse(reference.data(), v.data()).expect("same shape");
+                let tag = if tile.is_some() { "tiled" } else { "untiled" };
+                if e >= TOLERANCE {
+                    failures.push(format!(
+                        "trial {trial}: {} ({tag}) vs standard: nrmse {e:.3e} >= {TOLERANCE:.0e}",
+                        variant.name()
+                    ));
+                }
+            }
+        }
+
+        // The tiled driver must not depend on pool width: bit-identical
+        // at 1, 2 and 4 threads.
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        let nv = geo.detector.nv;
+        let t1 = backproject_tiled_with(
+            &serial,
+            &mats,
+            &transposed,
+            nv,
+            dims,
+            WARP_BATCH,
+            TileConfig::AUTO,
+        );
+        for threads in [2usize, 4] {
+            let pool = ct_par::Pool::new(threads);
+            let tn = backproject_tiled_with(
+                &pool,
+                &mats,
+                &transposed,
+                nv,
+                dims,
+                WARP_BATCH,
+                TileConfig::AUTO,
+            );
+            if t1.data() != tn.data() {
+                failures.push(format!(
+                    "trial {trial}: tiled output differs between 1 and {threads} threads"
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("OK: all variants agree with standard (nrmse < {TOLERANCE:.0e})");
+        Gate::Ok
+    } else {
+        for f in &failures {
+            eprintln!("equivalence: {f}");
+        }
+        Gate::CheckFailed(format!("{} kernel mismatches", failures.len()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args).exit()
+}

@@ -8,9 +8,10 @@
 //! Parses the file with `ct_obs`'s own JSON reader, checks the
 //! trace-event invariants (every `X` event carries `ph`/`ts`/`dur`/
 //! `pid`/`tid`/`name`), and optionally requires named thread lanes and
-//! span names to be present. Exits nonzero on any violation, so CI can
-//! smoke-test the distributed example's `--trace` output.
+//! span names to be present. Exit codes follow `ifdk_bench::check`:
+//! 0 valid, 1 invalid/incomplete trace, 2 unreadable file, 3 usage.
 
+use ifdk_bench::check::{read_input, Gate};
 use std::process::ExitCode;
 
 fn csv_arg(args: &[String], key: &str) -> Vec<String> {
@@ -20,31 +21,25 @@ fn csv_arg(args: &[String], key: &str) -> Vec<String> {
         .unwrap_or_default()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run(args: &[String]) -> Gate {
     let Some(path) = args
         .iter()
         .enumerate()
         .find(|(i, a)| !a.starts_with("--") && (*i == 0 || !args[i - 1].starts_with("--")))
         .map(|(_, a)| a.clone())
     else {
-        eprintln!("usage: tracecheck <trace.json> [--threads a,b] [--spans x,y]");
-        return ExitCode::from(2);
+        return Gate::Usage("usage: tracecheck <trace.json> [--threads a,b] [--spans x,y]".into());
     };
 
-    let json = match std::fs::read_to_string(&path) {
+    let json = match read_input(&path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("tracecheck: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
+        Err(g) => return g,
     };
+    // The JSON itself is the artifact under test here, so a parse failure
+    // is a failed check, not an unreadable input.
     let check = match ct_obs::chrome::validate(&json) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("tracecheck: {path} is not a valid trace: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return Gate::CheckFailed(format!("{path} is not a valid trace: {e}")),
     };
 
     println!(
@@ -55,27 +50,32 @@ fn main() -> ExitCode {
         check.span_names.len()
     );
 
-    let mut ok = true;
-    for t in csv_arg(&args, "threads") {
+    let mut problems: Vec<String> = Vec::new();
+    for t in csv_arg(args, "threads") {
         if !check.has_thread(&t) {
-            eprintln!("tracecheck: required thread lane {t:?} missing");
-            ok = false;
+            problems.push(format!("required thread lane {t:?} missing"));
         }
     }
-    for s in csv_arg(&args, "spans") {
+    for s in csv_arg(args, "spans") {
         if !check.has_span(&s) {
-            eprintln!("tracecheck: required span {s:?} missing");
-            ok = false;
+            problems.push(format!("required span {s:?} missing"));
         }
     }
     if check.span_events == 0 {
-        eprintln!("tracecheck: trace contains no span events");
-        ok = false;
+        problems.push("trace contains no span events".into());
     }
-    if ok {
+    if problems.is_empty() {
         println!("OK");
-        ExitCode::SUCCESS
+        Gate::Ok
     } else {
-        ExitCode::FAILURE
+        for p in &problems {
+            eprintln!("tracecheck: {p}");
+        }
+        Gate::CheckFailed(format!("{} problems in {path}", problems.len()))
     }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args).exit()
 }

@@ -1,0 +1,319 @@
+//! GUPS sweep statistics and the `BENCH_gups.json` interchange format.
+//!
+//! The paper's headline kernel metric is giga-updates per second
+//! (Section 2.3); the `gups` binary sweeps kernel x layout x thread
+//! count and records warmup/repeat/median+MAD statistics here. The JSON
+//! codec is self-contained (hand-written writer, [`ct_obs::chrome::json`]
+//! reader) so the gate binaries work without a serde dependency, and the
+//! `benchdiff` comparison lives here too so it is unit-testable.
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every report, checked on read.
+pub const SCHEMA: &str = "ifdk-bench/gups/v1";
+
+/// One measured cell of the kernel x layout x threads sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GupsCell {
+    /// Kernel name (`standard`, `proposed`, `warp`, `tiled`).
+    pub kernel: String,
+    /// Projection access layout (`rowmajor`, `transposed`, `blocked`).
+    pub layout: String,
+    /// Pool width the cell ran with.
+    pub threads: usize,
+    /// Measured repeats (after the discarded warmup run).
+    pub repeats: usize,
+    /// Median GUPS over the repeats.
+    pub gups_median: f64,
+    /// Median absolute deviation of the per-repeat GUPS.
+    pub gups_mad: f64,
+    /// Median wall-clock seconds per run.
+    pub secs_median: f64,
+}
+
+impl GupsCell {
+    /// The `kernel/layout@threads` key cells are matched by.
+    pub fn key(&self) -> String {
+        format!("{}/{}@{}", self.kernel, self.layout, self.threads)
+    }
+}
+
+/// A full sweep: one problem, many cells.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GupsReport {
+    /// Human-readable problem label (e.g. `48^3 x 48p`).
+    pub problem: String,
+    /// Voxel updates per full back-projection (`Nx*Ny*Nz*Np`).
+    pub updates: u128,
+    /// The measured cells.
+    pub cells: Vec<GupsCell>,
+}
+
+/// Median of a sample (empty slices return 0).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Median absolute deviation about `center`.
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn num(x: f64) -> String {
+    // Rust's shortest-roundtrip float formatting is valid JSON for every
+    // finite value; benchmarks never produce non-finite statistics.
+    assert!(x.is_finite(), "non-finite statistic {x}");
+    format!("{x}")
+}
+
+impl GupsReport {
+    /// Serialise to pretty JSON (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", esc(SCHEMA));
+        let _ = writeln!(out, "  \"problem\": \"{}\",", esc(&self.problem));
+        let _ = writeln!(out, "  \"updates\": {},", self.updates);
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"kernel\": \"{}\", \"layout\": \"{}\", \"threads\": {}, \
+                 \"repeats\": {}, \"gups_median\": {}, \"gups_mad\": {}, \
+                 \"secs_median\": {} }}{comma}",
+                esc(&c.kernel),
+                esc(&c.layout),
+                c.threads,
+                c.repeats,
+                num(c.gups_median),
+                num(c.gups_mad),
+                num(c.secs_median),
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a report, validating the schema tag.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        use ct_obs::chrome::json::{parse, Value};
+        let v = parse(input)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let problem = v
+            .get("problem")
+            .and_then(Value::as_str)
+            .ok_or("missing problem label")?
+            .to_string();
+        let updates = v
+            .get("updates")
+            .and_then(Value::as_f64)
+            .ok_or("missing updates")? as u128;
+        let cells = v
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("missing cells array")?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| -> Result<GupsCell, String> {
+                let s = |k: &str| {
+                    c.get(k)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("cell {i}: missing {k}"))
+                };
+                let n = |k: &str| {
+                    c.get(k)
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("cell {i}: missing {k}"))
+                };
+                Ok(GupsCell {
+                    kernel: s("kernel")?,
+                    layout: s("layout")?,
+                    threads: n("threads")? as usize,
+                    repeats: n("repeats")? as usize,
+                    gups_median: n("gups_median")?,
+                    gups_mad: n("gups_mad")?,
+                    secs_median: n("secs_median")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GupsReport {
+            problem,
+            updates,
+            cells,
+        })
+    }
+
+    /// Look a cell up by its sweep coordinates.
+    pub fn find(&self, kernel: &str, layout: &str, threads: usize) -> Option<&GupsCell> {
+        self.cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.layout == layout && c.threads == threads)
+    }
+}
+
+/// Outcome of comparing a candidate sweep against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Cells present in both reports.
+    pub checked: usize,
+    /// Human-readable regression lines (`key: base -> cand GUPS`).
+    pub regressions: Vec<String>,
+    /// Baseline cells the candidate is missing.
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when no regression and no missing cell was found.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compare per-cell median GUPS: the candidate fails a cell when its
+/// median drops below `baseline * (1 - threshold)`. Cells only the
+/// candidate has (new kernels) are ignored; cells only the baseline has
+/// are reported as missing.
+pub fn compare(baseline: &GupsReport, candidate: &GupsReport, threshold: f64) -> CompareReport {
+    let mut rep = CompareReport::default();
+    for b in &baseline.cells {
+        let Some(c) = candidate.find(&b.kernel, &b.layout, b.threads) else {
+            rep.missing.push(b.key());
+            continue;
+        };
+        rep.checked += 1;
+        let floor = b.gups_median * (1.0 - threshold);
+        if c.gups_median < floor {
+            rep.regressions.push(format!(
+                "{}: {:.4} -> {:.4} GUPS (floor {:.4} at {:.0}% threshold)",
+                b.key(),
+                b.gups_median,
+                c.gups_median,
+                floor,
+                threshold * 100.0
+            ));
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(kernel: &str, threads: usize, gups: f64) -> GupsCell {
+        GupsCell {
+            kernel: kernel.into(),
+            layout: "transposed".into(),
+            threads,
+            repeats: 3,
+            gups_median: gups,
+            gups_mad: 0.01,
+            secs_median: 0.5,
+        }
+    }
+
+    fn report(cells: Vec<GupsCell>) -> GupsReport {
+        GupsReport {
+            problem: "16^3 x 8p".into(),
+            updates: 32768,
+            cells,
+        }
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0, 5.0]), 5.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(mad(&[1.0, 5.0, 9.0], 5.0), 4.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0], 5.0), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report(vec![cell("tiled", 4, 1.25), cell("standard", 1, 0.5)]);
+        let parsed = GupsReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(
+            parsed.find("tiled", "transposed", 4).unwrap().gups_median,
+            1.25
+        );
+        assert!(parsed.find("tiled", "transposed", 2).is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_bad_input() {
+        assert!(GupsReport::from_json("not json").is_err());
+        assert!(GupsReport::from_json("{}").is_err());
+        assert!(GupsReport::from_json("{\"schema\": \"other/v9\"}").is_err());
+        // A cell missing a field is a hard error, not a silent skip.
+        let r = report(vec![cell("warp", 1, 1.0)]);
+        let broken = r.to_json().replace("\"gups_median\"", "\"zzz\"");
+        assert!(GupsReport::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let r = report(vec![cell("tiled", 4, 1.25), cell("warp", 1, 0.8)]);
+        let c = compare(&r, &r, 0.4);
+        assert!(c.passed());
+        assert_eq!(c.checked, 2);
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let base = report(vec![cell("tiled", 4, 1.0)]);
+        // 30% drop passes a 40% threshold...
+        let ok = report(vec![cell("tiled", 4, 0.7)]);
+        assert!(compare(&base, &ok, 0.4).passed());
+        // ...a 50% drop does not.
+        let bad = report(vec![cell("tiled", 4, 0.5)]);
+        let c = compare(&base, &bad, 0.4);
+        assert!(!c.passed());
+        assert_eq!(c.regressions.len(), 1);
+        assert!(c.regressions[0].contains("tiled/transposed@4"));
+    }
+
+    #[test]
+    fn missing_cell_fails_but_extra_cell_is_ignored() {
+        let base = report(vec![cell("tiled", 4, 1.0), cell("warp", 1, 1.0)]);
+        let cand = report(vec![cell("tiled", 4, 1.0), cell("newkernel", 1, 9.0)]);
+        let c = compare(&base, &cand, 0.4);
+        assert!(!c.passed());
+        assert_eq!(c.missing, vec!["warp/transposed@1".to_string()]);
+        // The candidate-only cell costs nothing.
+        assert_eq!(c.checked, 1);
+    }
+}

@@ -10,6 +10,9 @@ use ct_core::problem::{Dims2, Dims3, ReconProblem};
 use ct_core::projection::{ProjectionImage, ProjectionStack};
 use ifdk::report::RunReport;
 
+pub mod check;
+pub mod gups;
+
 /// The 15 problem shapes of the paper's Table 4, scaled down by `scale`
 /// (8 reproduces every alpha class at laptop size; see DESIGN.md).
 pub fn table4_problems(scale: usize) -> Vec<ReconProblem> {

@@ -26,6 +26,11 @@
 //! * [`pair`] — symmetric slab-pair back-projection, the unit of output
 //!   decomposition in the distributed framework (each row of ranks owns a
 //!   slab and its mirror — the `2*R` sub-volumes of the paper's Figure 3).
+//! * [`tiled`] — the cache-blocked, thread-parallel driver: the volume is
+//!   partitioned into i-blocks crossed with sub slab pairs, tiles are
+//!   dispatched over [`ct_par::Pool`] with per-tile private output, and
+//!   the assembled result is bit-identical to the untiled kernels at any
+//!   thread count.
 //!
 //! All kernels compute detector coordinates in `f32` (as the GPU does) and
 //! produce identical results regardless of thread count: threads own
@@ -56,12 +61,14 @@ pub mod ablation;
 pub mod pair;
 pub mod proposed;
 pub mod standard;
+pub mod tiled;
 pub mod variant;
 pub mod warp;
 
 pub use pair::{backproject_pair, SlabPair};
 pub use proposed::backproject_proposed;
 pub use standard::{backproject_standard, backproject_standard_slab};
+pub use tiled::{backproject_tiled, TileConfig, TileReport};
 pub use variant::{backproject, BpConfig, KernelVariant};
 pub use warp::{backproject_warp, WARP_BATCH};
 

@@ -9,7 +9,7 @@
 //! sub-volumes. Each pair costs the same as a single slab of the standard
 //! kernel, preserving the full 1/6 arithmetic saving at any scale.
 
-use crate::warp::{Sampler, WARP_BATCH};
+use crate::warp::{ColumnBatch, Sampler, SweepBuffers, WARP_BATCH};
 use ct_core::error::{CtError, Result};
 use ct_core::geometry::ProjectionMatrix;
 use ct_core::problem::Dims3;
@@ -129,49 +129,25 @@ pub fn backproject_pair_with<S: Sampler>(
     let np = mats.len();
     let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
 
+    let vmax = nv as f32 - 1.0;
     let mut vol = Volume::zeros(Dims3::new(nx, ny, local_nz), VolumeLayout::KMajor);
     let chunk = ny * local_nz;
     pool.parallel_chunks_mut(vol.data_mut(), chunk, |start, slice| {
         let i = start / chunk;
         let ifl = i as f32;
-        let mut u_batch = [0.0f32; WARP_BATCH];
-        let mut f_batch = [0.0f32; WARP_BATCH];
-        let mut w_batch = [0.0f32; WARP_BATCH];
-        let mut y0_batch = [0.0f32; WARP_BATCH];
-        let mut yk_batch = [0.0f32; WARP_BATCH];
+        let mut buf = SweepBuffers::new(pair.len);
         for s0 in (0..np).step_by(batch) {
             let s1 = (s0 + batch).min(np);
-            let width = s1 - s0;
             for j in 0..ny {
                 let jf = j as f32;
-                for (lane, mat) in rows[s0..s1].iter().enumerate() {
-                    let x = mat[0][0] * ifl + mat[0][1] * jf + mat[0][3];
-                    let z = mat[2][0] * ifl + mat[2][1] * jf + mat[2][3];
-                    let f = 1.0 / z;
-                    u_batch[lane] = x * f;
-                    f_batch[lane] = f;
-                    w_batch[lane] = f * f;
-                    y0_batch[lane] = mat[1][0] * ifl + mat[1][1] * jf + mat[1][3];
-                    yk_batch[lane] = mat[1][2];
-                }
+                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
+                // Depth sweep starting at the pair's global z offset.
+                buf.reset();
+                cb.accumulate_into(&samplers[s0..s1], pair.k0, vmax, &mut buf);
                 let col = &mut slice[j * local_nz..(j + 1) * local_nz];
                 for k in 0..pair.len {
-                    // Global z index of the upper-slab voxel.
-                    let kf = (pair.k0 + k) as f32;
-                    let mut sum = 0.0f32;
-                    let mut sum_m = 0.0f32;
-                    for lane in 0..width {
-                        let y = y0_batch[lane] + yk_batch[lane] * kf;
-                        let v = y * f_batch[lane];
-                        let w = w_batch[lane];
-                        let u = u_batch[lane];
-                        let q = &samplers[s0 + lane];
-                        sum += w * q.sample(u, v);
-                        let v_m = (nv as f32 - 1.0) - v;
-                        sum_m += w * q.sample(u, v_m);
-                    }
-                    col[k] += sum;
-                    col[local_nz - 1 - k] += sum_m;
+                    col[k] += buf.up[k];
+                    col[local_nz - 1 - k] += buf.down[k];
                 }
             }
         }

@@ -1,0 +1,493 @@
+//! Cache-blocked, slab-tiled parallel back-projection driver.
+//!
+//! The Table 3 kernels walk the whole volume once per projection batch;
+//! at production sizes a single voxel column's working set already spills
+//! the last-level cache and the batched reuse of [`crate::warp`] stops
+//! paying. This driver partitions the output into **tiles** — an i-range
+//! of voxel columns crossed with a z-symmetric *sub* slab pair (reusing
+//! [`SlabPair`] for the z split, exactly the paper's Figure 3
+//! decomposition recursed one level down) — and dispatches the tiles over
+//! [`ct_par::Pool`] with work stealing.
+//!
+//! Every tile owns a private output volume, so threads never share an
+//! output cache line, and each voxel is accumulated by exactly one tile
+//! in a fixed projection order: the assembled result is **bit-identical**
+//! for every thread count, and bit-identical to the untiled
+//! [`crate::warp::backproject_warp_with`] kernel. The per-tile wall-clock
+//! intervals are reported back so the caller can attribute them to
+//! observability spans (tile-level load balance in traces).
+
+use crate::pair::SlabPair;
+use crate::warp::{ColumnBatch, Sampler, SweepBuffers, WARP_BATCH};
+use ct_core::error::{CtError, Result};
+use ct_core::geometry::ProjectionMatrix;
+use ct_core::problem::Dims3;
+use ct_core::projection::{ProjectionStack, TransposedProjection};
+use ct_core::volume::{Volume, VolumeLayout};
+use ct_par::Pool;
+use std::time::Instant;
+
+/// Tile-shape configuration for the blocked driver. A field set to `0`
+/// means "choose automatically" from the problem shape and pool width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Number of consecutive `i` voxel columns per tile (`0` = auto).
+    pub i_block: usize,
+    /// Number of sub slab pairs the z extent is split into (`0` = auto).
+    pub slab_pairs: usize,
+}
+
+impl TileConfig {
+    /// Fully automatic tile shape.
+    pub const AUTO: TileConfig = TileConfig {
+        i_block: 0,
+        slab_pairs: 0,
+    };
+
+    /// Resolve the `0 = auto` fields against a concrete problem. The i
+    /// axis is the preferred split (sub-pair splits re-run the per-column
+    /// lane setup once per part), so `slab_pairs` only grows beyond 1
+    /// when a single full-depth column row already busts the ~256 KiB
+    /// cache budget, or the i axis alone cannot give the pool two tiles
+    /// per thread to steal. The i-block is then sized so one tile's
+    /// output (`i_block * ny * 2*sub_len` voxels) stays inside the
+    /// budget.
+    pub fn resolve(&self, dims: Dims3, pair: SlabPair, threads: usize) -> (usize, usize) {
+        const CACHE_BUDGET: usize = 256 * 1024;
+        let target_tiles = 2 * threads.max(1);
+        let parts = if self.slab_pairs == 0 {
+            let row_bytes = dims.ny * 2 * pair.len * 4;
+            let for_cache = row_bytes.div_ceil(CACHE_BUDGET);
+            let for_steal = target_tiles.div_ceil(dims.nx.max(1));
+            for_cache.max(for_steal).clamp(1, pair.len)
+        } else {
+            self.slab_pairs.min(pair.len).max(1)
+        };
+        let sub_nz = 2 * pair.len.div_ceil(parts);
+        let i_block = if self.i_block == 0 {
+            let cache_cap = (CACHE_BUDGET / (dims.ny * sub_nz * 4)).max(1);
+            let steal_cap = dims.nx.div_ceil(target_tiles.div_ceil(parts)).max(1);
+            cache_cap.min(steal_cap).min(dims.nx)
+        } else {
+            self.i_block.min(dims.nx).max(1)
+        };
+        (i_block, parts)
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::AUTO
+    }
+}
+
+/// One tile of the blocked decomposition: `i_len` voxel columns starting
+/// at `i0`, crossed with one sub slab pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Ordinal of the tile in dispatch order.
+    pub index: usize,
+    /// First `i` of the tile.
+    pub i0: usize,
+    /// Number of consecutive `i` columns.
+    pub i_len: usize,
+    /// The z-symmetric sub slab pair this tile accumulates.
+    pub pair: SlabPair,
+}
+
+/// Wall-clock record of one executed tile, for span attribution.
+#[derive(Debug, Clone, Copy)]
+pub struct TileReport {
+    /// Which tile ran.
+    pub tile: Tile,
+    /// When a worker picked the tile up.
+    pub started: Instant,
+    /// When the tile's accumulation finished.
+    pub finished: Instant,
+}
+
+/// Split a slab pair into `parts` sub pairs covering the same slices.
+/// Ragged splits are allowed: the leading sub pairs take one extra slice
+/// when `pair.len` does not divide evenly.
+pub fn partition_pairs(pair: SlabPair, parts: usize) -> Result<Vec<SlabPair>> {
+    if parts == 0 || parts > pair.len {
+        return Err(CtError::InvalidConfig(format!(
+            "cannot split a {}-slice slab into {parts} sub pairs",
+            pair.len
+        )));
+    }
+    let base = pair.len / parts;
+    let extra = pair.len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut k0 = pair.k0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(SlabPair::new(pair.nz_full, k0, len)?);
+        k0 += len;
+    }
+    Ok(out)
+}
+
+/// Enumerate the tiles of a resolved configuration, sub pair major (all
+/// i-blocks of sub pair 0 first). The order is the assembly order and is
+/// independent of thread count.
+pub fn tiles_for(dims: Dims3, pair: SlabPair, i_block: usize, parts: usize) -> Result<Vec<Tile>> {
+    let subs = partition_pairs(pair, parts)?;
+    let mut tiles = Vec::new();
+    for sub in subs {
+        let mut i0 = 0;
+        while i0 < dims.nx {
+            let i_len = i_block.min(dims.nx - i0);
+            tiles.push(Tile {
+                index: tiles.len(),
+                i0,
+                i_len,
+                pair: sub,
+            });
+            i0 += i_len;
+        }
+    }
+    Ok(tiles)
+}
+
+/// Serial accumulation of one tile into a private `(i_len, ny,
+/// 2*sub_len)` k-major volume — the [`crate::warp`] column-batched
+/// kernel with the voxel indices offset by the tile origin, so the
+/// arithmetic (and therefore the bits) match the untiled kernels.
+fn accumulate_tile<S: Sampler>(
+    tile: &Tile,
+    rows: &[[[f32; 4]; 3]],
+    samplers: &[S],
+    nv: usize,
+    ny: usize,
+    batch: usize,
+) -> Volume {
+    let sub = tile.pair;
+    let local_nz = sub.local_nz();
+    let np = rows.len();
+    let vmax = nv as f32 - 1.0;
+    let mut vol = Volume::zeros(Dims3::new(tile.i_len, ny, local_nz), VolumeLayout::KMajor);
+    let data = vol.data_mut();
+    let mut buf = SweepBuffers::new(sub.len);
+    for i in 0..tile.i_len {
+        let ifl = (tile.i0 + i) as f32;
+        let plane = &mut data[i * ny * local_nz..(i + 1) * ny * local_nz];
+        for s0 in (0..np).step_by(batch) {
+            let s1 = (s0 + batch).min(np);
+            for j in 0..ny {
+                let jf = j as f32;
+                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
+                // Same depth-sweep structure (and therefore the same bits)
+                // as the untiled drivers, offset by the sub pair's origin.
+                buf.reset();
+                cb.accumulate_into(&samplers[s0..s1], sub.k0, vmax, &mut buf);
+                let col = &mut plane[j * local_nz..(j + 1) * local_nz];
+                for k in 0..sub.len {
+                    col[k] += buf.up[k];
+                    col[local_nz - 1 - k] += buf.down[k];
+                }
+            }
+        }
+    }
+    vol
+}
+
+/// Tiled, thread-parallel version of
+/// [`crate::pair::backproject_pair_with`]: back-project one slab pair by
+/// dispatching its tiles over the pool, then assemble the tile volumes
+/// into the pair volume in tile order. Also returns one [`TileReport`]
+/// per tile (in tile order) for span attribution.
+///
+/// The result is bit-identical to `backproject_pair_with` for every
+/// thread count and tile shape.
+#[allow(clippy::too_many_arguments)] // mirrors backproject_pair_with + cfg
+pub fn backproject_pair_tiled_reporting<S: Sampler>(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    samplers: &[S],
+    nv: usize,
+    dims: Dims3,
+    pair: SlabPair,
+    batch: usize,
+    cfg: TileConfig,
+) -> (Volume, Vec<TileReport>) {
+    assert_eq!(mats.len(), samplers.len(), "one matrix per projection");
+    assert_eq!(dims.nz, pair.nz_full, "pair must match volume Nz");
+    assert!((1..=WARP_BATCH).contains(&batch), "batch must be in 1..=32");
+    let ny = dims.ny;
+    let (i_block, parts) = cfg.resolve(dims, pair, pool.threads());
+    let tiles = tiles_for(dims, pair, i_block, parts).expect("resolved tile shape is valid");
+    let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
+
+    // Each tile owns a private output volume: disjoint writes, no false
+    // sharing, and a fixed accumulation order per voxel regardless of
+    // which worker runs the tile.
+    let pieces: Vec<Option<(Volume, TileReport)>> = pool.parallel_map(tiles.len(), 1, |t| {
+        let tile = tiles[t];
+        let started = Instant::now();
+        let vol = accumulate_tile(&tile, &rows, samplers, nv, ny, batch);
+        Some((
+            vol,
+            TileReport {
+                tile,
+                started,
+                finished: Instant::now(),
+            },
+        ))
+    });
+
+    // Assemble sequentially in tile order; every destination voxel is
+    // written exactly once.
+    let local_nz = pair.local_nz();
+    let mut out = Volume::zeros(Dims3::new(dims.nx, ny, local_nz), VolumeLayout::KMajor);
+    let data = out.data_mut();
+    let mut reports = Vec::with_capacity(tiles.len());
+    for piece in pieces {
+        let (vol, report) = piece.expect("parallel_map fills every slot");
+        let tile = report.tile;
+        let sub_nz = tile.pair.local_nz();
+        let r = tile.pair.k0 - pair.k0;
+        // Destination offsets of the sub pair's two slabs inside the
+        // pair-local column (both runs are contiguous and ascending).
+        let up = r;
+        let down = 2 * pair.len - r - tile.pair.len;
+        let src = vol.data();
+        for i in 0..tile.i_len {
+            for j in 0..ny {
+                let col = &src[(i * ny + j) * sub_nz..(i * ny + j + 1) * sub_nz];
+                let dst0 = ((tile.i0 + i) * ny + j) * local_nz;
+                data[dst0 + up..dst0 + up + tile.pair.len].copy_from_slice(&col[..tile.pair.len]);
+                data[dst0 + down..dst0 + down + tile.pair.len]
+                    .copy_from_slice(&col[tile.pair.len..]);
+            }
+        }
+        reports.push(report);
+    }
+    (out, reports)
+}
+
+/// [`backproject_pair_tiled_reporting`] without the report plumbing.
+#[allow(clippy::too_many_arguments)] // mirrors backproject_pair_with + cfg
+pub fn backproject_pair_tiled_with<S: Sampler>(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    samplers: &[S],
+    nv: usize,
+    dims: Dims3,
+    pair: SlabPair,
+    batch: usize,
+    cfg: TileConfig,
+) -> Volume {
+    backproject_pair_tiled_reporting(pool, mats, samplers, nv, dims, pair, batch, cfg).0
+}
+
+/// Full-volume tiled back-projection with any sampler set: the single
+/// slab pair covering the whole volume, split into tiles.
+///
+/// Output is k-major; `dims.nz` must be even. Bit-identical to
+/// [`crate::warp::backproject_warp_with`] at every thread count.
+pub fn backproject_tiled_with<S: Sampler>(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    samplers: &[S],
+    nv: usize,
+    dims: Dims3,
+    batch: usize,
+    cfg: TileConfig,
+) -> Volume {
+    assert!(dims.nz.is_multiple_of(2), "tiled kernel needs even Nz");
+    let pair = SlabPair::new(dims.nz, 0, dims.nz / 2).expect("even nonzero Nz");
+    backproject_pair_tiled_with(pool, mats, samplers, nv, dims, pair, batch, cfg)
+}
+
+/// The paper's best configuration (`L1-Tran`) through the tiled driver:
+/// transposed projections, k-major volume, 32-projection batches.
+pub fn backproject_tiled(
+    pool: &Pool,
+    mats: &[ProjectionMatrix],
+    projs: &ProjectionStack,
+    dims: Dims3,
+    cfg: TileConfig,
+) -> Volume {
+    let transposed: Vec<TransposedProjection> = projs.iter().map(|p| p.transposed()).collect();
+    backproject_tiled_with(
+        pool,
+        mats,
+        &transposed,
+        projs.dims().nv,
+        dims,
+        WARP_BATCH,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::backproject_pair_with;
+    use crate::warp::backproject_warp;
+    use ct_core::geometry::CbctGeometry;
+    use ct_core::problem::Dims2;
+    use ct_core::projection::ProjectionImage;
+
+    fn setup(np: usize, n: usize) -> (CbctGeometry, Vec<ProjectionMatrix>, ProjectionStack) {
+        let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
+        let mats = geo.projection_matrices();
+        let mut stack = ProjectionStack::new(geo.detector);
+        for s in 0..np {
+            let mut img = ProjectionImage::zeros(geo.detector);
+            for v in 0..geo.detector.nv {
+                for u in 0..geo.detector.nu {
+                    img.set(u, v, (((u * 7 + v * 3 + s * 11) % 31) as f32) * 0.25 - 2.0);
+                }
+            }
+            stack.push(img).unwrap();
+        }
+        (geo, mats, stack)
+    }
+
+    #[test]
+    fn partition_is_exact_and_ragged() {
+        let pair = SlabPair::new(32, 2, 11).unwrap();
+        let subs = partition_pairs(pair, 3).unwrap();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs.iter().map(|s| s.len).sum::<usize>(), 11);
+        assert_eq!(subs[0].k0, 2);
+        for w in subs.windows(2) {
+            assert_eq!(w[0].k0 + w[0].len, w[1].k0);
+        }
+        assert!(partition_pairs(pair, 0).is_err());
+        assert!(partition_pairs(pair, 12).is_err());
+    }
+
+    #[test]
+    fn tiles_cover_the_volume_once() {
+        let dims = Dims3::new(13, 8, 32);
+        let pair = SlabPair::new(32, 0, 16).unwrap();
+        let tiles = tiles_for(dims, pair, 4, 3).unwrap();
+        let mut hits = vec![0u32; dims.nx * dims.nz];
+        for t in &tiles {
+            for i in t.i0..t.i0 + t.i_len {
+                for local in 0..t.pair.local_nz() {
+                    hits[i * dims.nz + t.pair.global_k(local)] += 1;
+                }
+            }
+        }
+        assert!(hits.iter().all(|&h| h == 1), "every (i, k) covered once");
+        for (idx, t) in tiles.iter().enumerate() {
+            assert_eq!(t.index, idx);
+        }
+    }
+
+    #[test]
+    fn auto_config_resolves_to_valid_shape() {
+        let dims = Dims3::new(64, 64, 64);
+        let pair = SlabPair::new(64, 0, 32).unwrap();
+        for threads in [1, 2, 4, 16] {
+            let (ib, parts) = TileConfig::AUTO.resolve(dims, pair, threads);
+            assert!((1..=dims.nx).contains(&ib));
+            assert!((1..=pair.len).contains(&parts));
+            assert!(tiles_for(dims, pair, ib, parts).is_ok());
+        }
+        // Explicit fields are clamped, not trusted.
+        let (ib, parts) = TileConfig {
+            i_block: 10_000,
+            slab_pairs: 10_000,
+        }
+        .resolve(dims, pair, 4);
+        assert_eq!(ib, dims.nx);
+        assert_eq!(parts, pair.len);
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_warp_kernel() {
+        let (geo, mats, stack) = setup(40, 16);
+        let reference = backproject_warp(&Pool::serial(), &mats, &stack, geo.volume);
+        for cfg in [
+            TileConfig::AUTO,
+            TileConfig {
+                i_block: 3,
+                slab_pairs: 2,
+            },
+            TileConfig {
+                i_block: 16,
+                slab_pairs: 8,
+            },
+        ] {
+            let tiled = backproject_tiled(&Pool::serial(), &mats, &stack, geo.volume, cfg);
+            assert_eq!(tiled.data(), reference.data(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_across_thread_counts() {
+        let (geo, mats, stack) = setup(17, 16);
+        let cfg = TileConfig {
+            i_block: 5,
+            slab_pairs: 3,
+        };
+        let serial = backproject_tiled(&Pool::serial(), &mats, &stack, geo.volume, cfg);
+        for threads in [2, 4] {
+            let par = backproject_tiled(&Pool::new(threads), &mats, &stack, geo.volume, cfg);
+            assert_eq!(par.data(), serial.data(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiled_pair_matches_untiled_pair() {
+        let (geo, mats, stack) = setup(9, 16);
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        let nv = stack.dims().nv;
+        let pair = SlabPair::new(16, 2, 5).unwrap();
+        let untiled = backproject_pair_with(
+            &Pool::serial(),
+            &mats,
+            &transposed,
+            nv,
+            geo.volume,
+            pair,
+            WARP_BATCH,
+        );
+        let tiled = backproject_pair_tiled_with(
+            &Pool::new(2),
+            &mats,
+            &transposed,
+            nv,
+            geo.volume,
+            pair,
+            WARP_BATCH,
+            TileConfig {
+                i_block: 7,
+                slab_pairs: 2,
+            },
+        );
+        assert_eq!(tiled.data(), untiled.data());
+    }
+
+    #[test]
+    fn reports_cover_every_tile_in_order() {
+        let (geo, mats, stack) = setup(5, 8);
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        let pair = SlabPair::new(8, 0, 4).unwrap();
+        let cfg = TileConfig {
+            i_block: 2,
+            slab_pairs: 2,
+        };
+        let (_, reports) = backproject_pair_tiled_reporting(
+            &Pool::new(3),
+            &mats,
+            &transposed,
+            stack.dims().nv,
+            geo.volume,
+            pair,
+            WARP_BATCH,
+            cfg,
+        );
+        let tiles = tiles_for(geo.volume, pair, 2, 2).unwrap();
+        assert_eq!(reports.len(), tiles.len());
+        for (r, t) in reports.iter().zip(&tiles) {
+            assert_eq!(r.tile, *t);
+            assert!(r.finished >= r.started);
+        }
+    }
+}

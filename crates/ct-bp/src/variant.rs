@@ -17,6 +17,7 @@
 //! locality is sampling the *untransposed* row-major buffer, whose inner
 //! v-loop strides by `Nu` floats — so that is what `Bp-L1` does here.
 
+use crate::tiled::{backproject_tiled_with, TileConfig};
 use crate::warp::{backproject_warp_with, Sampler, WARP_BATCH};
 use ct_core::geometry::ProjectionMatrix;
 use ct_core::problem::Dims3;
@@ -90,6 +91,11 @@ pub struct BpConfig {
     pub variant: KernelVariant,
     /// Projection batch per pass (Listing 1 uses 32).
     pub batch: usize,
+    /// Tile shape for the blocked parallel driver; `None` runs the
+    /// untiled per-plane path. Ignored by `RTK-32`, whose i-major layout
+    /// the tiled driver does not produce. Either way the output bits are
+    /// identical — tiling changes scheduling, not arithmetic.
+    pub tile: Option<TileConfig>,
 }
 
 impl Default for BpConfig {
@@ -97,6 +103,7 @@ impl Default for BpConfig {
         Self {
             variant: KernelVariant::L1Tran,
             batch: WARP_BATCH,
+            tile: Some(TileConfig::AUTO),
         }
     }
 }
@@ -110,6 +117,22 @@ impl Sampler for BlockedTransposed {
     #[inline]
     fn sample(&self, u: f32, v: f32) -> f32 {
         self.0.sample(v, u)
+    }
+}
+
+/// Run the batched kernel through the tiled driver when the config asks
+/// for tiling, or the untiled per-plane path otherwise.
+fn run_batched<S: Sampler>(
+    pool: &Pool,
+    cfg: BpConfig,
+    mats: &[ProjectionMatrix],
+    samplers: &[S],
+    nv: usize,
+    dims: Dims3,
+) -> Volume {
+    match cfg.tile {
+        Some(t) => backproject_tiled_with(pool, mats, samplers, nv, dims, cfg.batch, t),
+        None => backproject_warp_with(pool, mats, samplers, nv, dims, cfg.batch),
     }
 }
 
@@ -128,24 +151,24 @@ pub fn backproject(
         KernelVariant::Rtk32 => backproject_rtk32(pool, mats, projs, dims),
         KernelVariant::BpTex => {
             let samplers: Vec<BlockedProjection> = projs.iter().map(|p| p.blocked()).collect();
-            backproject_warp_with(pool, mats, &samplers, nv, dims, cfg.batch)
+            run_batched(pool, cfg, mats, &samplers, nv, dims)
         }
         KernelVariant::TexTran => {
             let samplers: Vec<BlockedTransposed> = projs
                 .iter()
                 .map(|p| BlockedTransposed(p.transposed().as_swapped_image().blocked()))
                 .collect();
-            backproject_warp_with(pool, mats, &samplers, nv, dims, cfg.batch)
+            run_batched(pool, cfg, mats, &samplers, nv, dims)
         }
         KernelVariant::BpL1 => {
             let samplers: Vec<ct_core::projection::ProjectionImage> =
                 projs.iter().cloned().collect();
-            backproject_warp_with(pool, mats, &samplers, nv, dims, cfg.batch)
+            run_batched(pool, cfg, mats, &samplers, nv, dims)
         }
         KernelVariant::L1Tran => {
             let samplers: Vec<ct_core::projection::TransposedProjection> =
                 projs.iter().map(|p| p.transposed()).collect();
-            backproject_warp_with(pool, mats, &samplers, nv, dims, cfg.batch)
+            run_batched(pool, cfg, mats, &samplers, nv, dims)
         }
     }
 }
@@ -289,5 +312,31 @@ mod tests {
         let cfg = BpConfig::default();
         assert_eq!(cfg.variant, KernelVariant::L1Tran);
         assert_eq!(cfg.batch, 32);
+        assert_eq!(cfg.tile, Some(TileConfig::AUTO));
+    }
+
+    #[test]
+    fn tiled_dispatch_is_bit_identical_to_untiled() {
+        let (geo, mats, stack) = setup(12, 8);
+        for variant in [
+            KernelVariant::BpTex,
+            KernelVariant::TexTran,
+            KernelVariant::BpL1,
+            KernelVariant::L1Tran,
+        ] {
+            let untiled = BpConfig {
+                variant,
+                tile: None,
+                ..Default::default()
+            };
+            let tiled = BpConfig {
+                variant,
+                tile: Some(TileConfig::AUTO),
+                ..Default::default()
+            };
+            let a = backproject(&Pool::serial(), untiled, &mats, &stack, geo.volume);
+            let b = backproject(&Pool::new(3), tiled, &mats, &stack, geo.volume);
+            assert_eq!(a.data(), b.data(), "{}", variant.name());
+        }
     }
 }

@@ -22,6 +22,13 @@ use ct_par::Pool;
 /// The paper's projection batch size (`Nbatch = 32`, Listing 1).
 pub const WARP_BATCH: usize = 32;
 
+/// Fixed SIMD-friendly chunk width of the batched inner loop. Every
+/// batch is processed as `ceil(width / 8)` chunks of exactly 8 lanes;
+/// the trailing chunk is padded with zero-weight lanes so the compiler
+/// sees loops of constant trip count over fixed-size arrays and can
+/// auto-vectorize them (no `unsafe`, no explicit SIMD).
+pub const LANE_WIDTH: usize = 8;
+
 /// Abstraction over the projection fetch path, letting the same kernel
 /// body run against the Table 3 access variants (row-major "L1",
 /// transposed, blocked "texture", nearest-fetch RTK).
@@ -29,12 +36,29 @@ pub trait Sampler: Sync {
     /// Bilinear (or variant-defined) sample at detector coordinates
     /// `(u, v)` of the *original* projection orientation.
     fn sample(&self, u: f32, v: f32) -> f32;
+
+    /// Fixed-`u` column sweep: `out[k] += w * sample(u, vs[k])` for every
+    /// `k`. Theorem 2 makes `u` invariant along a voxel column, so layouts
+    /// with contiguous `v` can resolve the `u` interpolation once per
+    /// sweep instead of once per voxel; this default is the reference the
+    /// specialisations must match bit for bit.
+    #[inline]
+    fn accumulate_column(&self, u: f32, vs: &[f32], w: f32, out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(vs) {
+            *o += w * self.sample(u, v);
+        }
+    }
 }
 
 impl<S: Sampler> Sampler for &S {
     #[inline]
     fn sample(&self, u: f32, v: f32) -> f32 {
         (**self).sample(u, v)
+    }
+
+    #[inline]
+    fn accumulate_column(&self, u: f32, vs: &[f32], w: f32, out: &mut [f32]) {
+        (**self).accumulate_column(u, vs, w, out)
     }
 }
 
@@ -50,6 +74,83 @@ impl Sampler for TransposedProjection {
     fn sample(&self, u: f32, v: f32) -> f32 {
         TransposedProjection::sample(self, u, v)
     }
+
+    /// The "L1" fast path: resolve `u` once (floor, fraction, border) and
+    /// sweep `v` down two contiguous rows of the transposed buffer. The
+    /// arithmetic is `interp2` with its operations reordered per axis, so
+    /// the results are bit-identical to the default path.
+    fn accumulate_column(&self, u: f32, vs: &[f32], w: f32, out: &mut [f32]) {
+        let dims = self.dims();
+        let (nu, nv) = (dims.nu, dims.nv);
+        let fu = u.floor();
+        let du = u - fu;
+        let iu = fu as isize;
+        // Columns touching the u border still need the zero-border blend
+        // on both axes: leave them to the reference path.
+        if iu < 0 || iu + 1 >= nu as isize {
+            for (o, &v) in out.iter_mut().zip(vs) {
+                *o += w * self.sample(u, v);
+            }
+            return;
+        }
+        let iu = iu as usize;
+        let data = self.data();
+        let row0 = &data[iu * nv..(iu + 1) * nv];
+        let row1 = &data[(iu + 1) * nv..(iu + 2) * nv];
+        for (o, &v) in out.iter_mut().zip(vs) {
+            let fv = v.floor();
+            let d = v - fv;
+            let iv = fv as isize;
+            let (a0, a1, b0, b1) = if iv >= 0 && iv + 1 < nv as isize {
+                let i = iv as usize;
+                (row0[i], row0[i + 1], row1[i], row1[i + 1])
+            } else {
+                let s = |r: &[f32], x: isize| {
+                    if x < 0 || x >= nv as isize {
+                        0.0
+                    } else {
+                        r[x as usize]
+                    }
+                };
+                (s(row0, iv), s(row0, iv + 1), s(row1, iv), s(row1, iv + 1))
+            };
+            let t1 = a0 * (1.0 - d) + a1 * d;
+            let t2 = b0 * (1.0 - d) + b1 * d;
+            *o += w * (t1 * (1.0 - du) + t2 * du);
+        }
+    }
+}
+
+/// Reusable per-column sweep state for [`ColumnBatch::accumulate_into`]:
+/// the voxel accumulators (`up`, `down`) plus the per-lane detector-row
+/// scratch, allocated once per worker instead of once per column.
+#[derive(Debug, Clone)]
+pub struct SweepBuffers {
+    /// Accumulated batch contribution of the upper-slab voxels.
+    pub up: Vec<f32>,
+    /// Accumulated batch contribution of the Theorem-1 mirror voxels.
+    pub down: Vec<f32>,
+    vs: Vec<f32>,
+    vs_m: Vec<f32>,
+}
+
+impl SweepBuffers {
+    /// Buffers for a depth sweep of `len` voxel pairs.
+    pub fn new(len: usize) -> Self {
+        Self {
+            up: vec![0.0; len],
+            down: vec![0.0; len],
+            vs: vec![0.0; len],
+            vs_m: vec![0.0; len],
+        }
+    }
+
+    /// Zero the accumulators for the next column.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.up.fill(0.0);
+        self.down.fill(0.0);
+    }
 }
 
 impl Sampler for ct_core::projection::BlockedProjection {
@@ -57,6 +158,147 @@ impl Sampler for ct_core::projection::BlockedProjection {
     fn sample(&self, u: f32, v: f32) -> f32 {
         ct_core::projection::BlockedProjection::sample(self, u, v)
     }
+}
+
+/// Per-column lane constants for one projection batch — the CPU image of
+/// the warp registers of Listing 1, restructured into fixed-width
+/// [`LANE_WIDTH`]-lane chunks.
+///
+/// [`ColumnBatch::compute`] evaluates, once per voxel column `(i, j)`,
+/// the per-projection values `u`, `1/z`, `1/z^2` and the affine
+/// coefficients of `y(k)` (Theorems 2-3 hoisting). The hot k-loop then
+/// calls [`ColumnBatch::accumulate`], whose inner loops run over exactly
+/// 8 lanes each: detector-row arithmetic and the weighted accumulation
+/// happen in fixed `[f32; 8]` arrays the compiler auto-vectorizes. Lanes
+/// past the batch width carry zero weight (and clamp their sampler
+/// index), so tail batches cost one padded chunk instead of a
+/// variable-length scalar loop.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    u: [f32; WARP_BATCH],
+    f: [f32; WARP_BATCH],
+    w: [f32; WARP_BATCH],
+    y0: [f32; WARP_BATCH],
+    yk: [f32; WARP_BATCH],
+    chunks: usize,
+    width: usize,
+}
+
+impl ColumnBatch {
+    /// Lane setup for the column `(i, j)` (Listing 1 lines 11-14):
+    /// `rows` holds the matrix rows of the projections of this batch
+    /// (at most [`WARP_BATCH`] of them).
+    #[inline]
+    pub fn compute(rows: &[[[f32; 4]; 3]], ifl: f32, jf: f32) -> Self {
+        debug_assert!(
+            (1..=WARP_BATCH).contains(&rows.len()),
+            "batch must be in 1..=32"
+        );
+        let width = rows.len();
+        let mut cb = ColumnBatch {
+            u: [0.0; WARP_BATCH],
+            f: [0.0; WARP_BATCH],
+            w: [0.0; WARP_BATCH],
+            y0: [0.0; WARP_BATCH],
+            yk: [0.0; WARP_BATCH],
+            chunks: width.div_ceil(LANE_WIDTH),
+            width,
+        };
+        for (lane, mat) in rows.iter().enumerate() {
+            let x = mat[0][0] * ifl + mat[0][1] * jf + mat[0][3];
+            let z = mat[2][0] * ifl + mat[2][1] * jf + mat[2][3];
+            let f = 1.0 / z;
+            cb.u[lane] = x * f;
+            cb.f[lane] = f;
+            cb.w[lane] = f * f;
+            // y(k) is affine in k: y0 + k * dy (the "1 inner product" of
+            // Algorithm 4 line 12, hoisted).
+            cb.y0[lane] = mat[1][0] * ifl + mat[1][1] * jf + mat[1][3];
+            cb.yk[lane] = mat[1][2];
+        }
+        cb
+    }
+
+    /// Accumulate the voxel at depth `kf` and its Theorem-1 mirror over
+    /// the whole batch, returning `(sum, mirror_sum)`. `vmax` is
+    /// `Nv - 1` as f32 (the mirrored detector row is `vmax - v`).
+    ///
+    /// `samplers` must be the projection samplers of this batch, in lane
+    /// order. The reduction over lanes uses a fixed tree, so the result
+    /// depends only on the batch content — not on thread count or batch
+    /// chunking of the caller.
+    #[inline]
+    pub fn accumulate<S: Sampler>(&self, samplers: &[S], kf: f32, vmax: f32) -> (f32, f32) {
+        debug_assert_eq!(samplers.len(), self.width, "one sampler per lane");
+        let mut acc = [0.0f32; LANE_WIDTH];
+        let mut acc_m = [0.0f32; LANE_WIDTH];
+        for c in 0..self.chunks {
+            let base = c * LANE_WIDTH;
+            // Detector-row arithmetic for 8 lanes at once — constant trip
+            // count over fixed arrays, the auto-vectorization target.
+            let mut v = [0.0f32; LANE_WIDTH];
+            for (l, vl) in v.iter_mut().enumerate() {
+                let lane = base + l;
+                *vl = (self.y0[lane] + self.yk[lane] * kf) * self.f[lane];
+            }
+            for (l, &vl) in v.iter().enumerate() {
+                let lane = base + l;
+                // Padded lanes clamp to the last real sampler; their
+                // weight is exactly 0.0 so they contribute nothing.
+                let q = &samplers[lane.min(self.width - 1)];
+                let w = self.w[lane];
+                let u = self.u[lane];
+                acc[l] += w * q.sample(u, vl);
+                acc_m[l] += w * q.sample(u, vmax - vl);
+            }
+        }
+        (tree8(&acc), tree8(&acc_m))
+    }
+
+    /// Sweep the whole depth range of the column at once: for step `k`
+    /// (global depth `k0 + k`), add the batch contribution of the voxel
+    /// to `buf.up[k]` and of its Theorem-1 mirror to `buf.down[k]`.
+    ///
+    /// The detector rows of a lane (`(y0 + yk*kf) * f` and its mirror) are
+    /// evaluated with exactly the per-voxel path's expressions into the
+    /// scratch arrays, then each lane becomes one
+    /// [`Sampler::accumulate_column`] sweep with the `u` interpolation
+    /// hoisted out of the depth loop — the dominant cost of the per-voxel
+    /// path. Lanes accumulate in batch order, so results depend only on
+    /// the batch content and `k0`, never on the calling driver's tiling
+    /// or thread count.
+    #[inline]
+    pub fn accumulate_into<S: Sampler>(
+        &self,
+        samplers: &[S],
+        k0: usize,
+        vmax: f32,
+        buf: &mut SweepBuffers,
+    ) {
+        debug_assert_eq!(samplers.len(), self.width, "one sampler per lane");
+        for (lane, q) in samplers.iter().enumerate() {
+            let f = self.f[lane];
+            let w = self.w[lane];
+            let u = self.u[lane];
+            let y0 = self.y0[lane];
+            let yk = self.yk[lane];
+            for k in 0..buf.vs.len() {
+                let kf = (k0 + k) as f32;
+                let vl = (y0 + yk * kf) * f;
+                buf.vs[k] = vl;
+                buf.vs_m[k] = vmax - vl;
+            }
+            q.accumulate_column(u, &buf.vs, w, &mut buf.up);
+            q.accumulate_column(u, &buf.vs_m, w, &mut buf.down);
+        }
+    }
+}
+
+/// Fixed-shape pairwise reduction of 8 lanes (order never depends on
+/// runtime state, keeping every kernel bit-deterministic).
+#[inline]
+fn tree8(a: &[f32; LANE_WIDTH]) -> f32 {
+    ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]))
 }
 
 /// Generic batched kernel: Algorithm 4 loop structure with Listing 1's
@@ -79,55 +321,29 @@ pub fn backproject_warp_with<S: Sampler>(
     let np = mats.len();
     let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
 
+    let vmax = nv as f32 - 1.0;
     let mut vol = Volume::zeros(dims, VolumeLayout::KMajor);
     let chunk = ny * nz;
     pool.parallel_chunks_mut(vol.data_mut(), chunk, |start, slice| {
         let i = start / chunk;
         let ifl = i as f32;
-        let mut u_batch = [0.0f32; WARP_BATCH];
-        let mut f_batch = [0.0f32; WARP_BATCH];
-        let mut w_batch = [0.0f32; WARP_BATCH];
-        let mut y0_batch = [0.0f32; WARP_BATCH];
-        let mut yk_batch = [0.0f32; WARP_BATCH];
+        let mut buf = SweepBuffers::new(half);
         for s0 in (0..np).step_by(batch) {
             let s1 = (s0 + batch).min(np);
-            let width = s1 - s0;
             for j in 0..ny {
                 let jf = j as f32;
                 // "Lane" setup: per projection of the batch, the constants
                 // of the voxel column (Listing 1 lines 11-14).
-                for (lane, mat) in rows[s0..s1].iter().enumerate() {
-                    let x = mat[0][0] * ifl + mat[0][1] * jf + mat[0][3];
-                    let z = mat[2][0] * ifl + mat[2][1] * jf + mat[2][3];
-                    let f = 1.0 / z;
-                    u_batch[lane] = x * f;
-                    f_batch[lane] = f;
-                    w_batch[lane] = f * f;
-                    // y(k) is affine in k: y0 + k * dy (the "1 inner
-                    // product" of Algorithm 4 line 12, hoisted).
-                    y0_batch[lane] = mat[1][0] * ifl + mat[1][1] * jf + mat[1][3];
-                    yk_batch[lane] = mat[1][2];
-                }
+                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
+                // Listing 1 lines 15-30 as a depth sweep: batch-local
+                // accumulation, then one volume update per voxel and its
+                // Theorem-1 mirror.
+                buf.reset();
+                cb.accumulate_into(&samplers[s0..s1], 0, vmax, &mut buf);
                 let col = &mut slice[j * nz..(j + 1) * nz];
                 for k in 0..half {
-                    let kf = k as f32;
-                    // Listing 1 lines 15-27: in-register accumulation over
-                    // the batch for the voxel and its Theorem-1 mirror.
-                    let mut sum = 0.0f32;
-                    let mut sum_m = 0.0f32;
-                    for lane in 0..width {
-                        let y = y0_batch[lane] + yk_batch[lane] * kf;
-                        let v = y * f_batch[lane];
-                        let w = w_batch[lane];
-                        let u = u_batch[lane];
-                        let q = &samplers[s0 + lane];
-                        sum += w * q.sample(u, v);
-                        let v_m = (nv as f32 - 1.0) - v;
-                        sum_m += w * q.sample(u, v_m);
-                    }
-                    // Lines 29-30: one volume update per batch.
-                    col[k] += sum;
-                    col[nz - 1 - k] += sum_m;
+                    col[k] += buf.up[k];
+                    col[nz - 1 - k] += buf.down[k];
                 }
             }
         }
@@ -223,6 +439,55 @@ mod tests {
         let c = backproject_warp_with(&Pool::serial(), &mats, &rowmajor, nv, geo.volume, 32);
         assert!(nrmse(a.data(), b.data()).unwrap() < 1e-6);
         assert!(nrmse(a.data(), c.data()).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transposed_fast_path_is_bit_identical_to_reference() {
+        // Force the default (per-sample) accumulate_column through a
+        // wrapper that only implements `sample`.
+        struct Generic<'a>(&'a TransposedProjection);
+        impl Sampler for Generic<'_> {
+            fn sample(&self, u: f32, v: f32) -> f32 {
+                self.0.sample(u, v)
+            }
+        }
+        let (geo, _, stack) = setup(1, 8);
+        let q = stack.iter().next().unwrap().transposed();
+        let nv = geo.detector.nv;
+        // Sweep several u positions including the borders, and v series
+        // that run in and out of range in both directions.
+        for ui in [-1.5f32, -0.2, 0.0, 3.3, 7.9, nv as f32 - 1.0, 40.0] {
+            for (v0, dv) in [(-2.0f32, 0.7f32), (0.1, 1.3), (14.0, -0.9)] {
+                let vs: Vec<f32> = (0..12).map(|k| v0 + k as f32 * dv).collect();
+                let mut fast = vec![0.0f32; 12];
+                let mut reference = vec![0.0f32; 12];
+                q.accumulate_column(ui, &vs, 0.37, &mut fast);
+                Generic(&q).accumulate_column(ui, &vs, 0.37, &mut reference);
+                assert_eq!(fast, reference, "u = {ui}, v0 = {v0}, dv = {dv}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_agrees_with_per_voxel_accumulate() {
+        // The depth sweep reorders the lane reduction (sequential instead
+        // of tree8), so agreement is at floating-point tolerance.
+        let (geo, mats, stack) = setup(32, 8);
+        let rows: Vec<_> = mats.iter().map(|m| m.rows_f32()).collect();
+        let transposed: Vec<_> = stack.iter().map(|p| p.transposed()).collect();
+        let vmax = geo.detector.nv as f32 - 1.0;
+        let half = geo.volume.nz / 2;
+        let cb = ColumnBatch::compute(&rows, 3.0, 5.0);
+        let mut buf = SweepBuffers::new(half);
+        cb.accumulate_into(&transposed, 0, vmax, &mut buf);
+        for k in 0..half {
+            let (sum, sum_m) = cb.accumulate(&transposed, k as f32, vmax);
+            assert!((sum - buf.up[k]).abs() < 1e-4 * sum.abs().max(1.0), "k {k}");
+            assert!(
+                (sum_m - buf.down[k]).abs() < 1e-4 * sum_m.abs().max(1.0),
+                "mirror k {k}"
+            );
+        }
     }
 
     #[test]

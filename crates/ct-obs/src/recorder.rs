@@ -364,6 +364,46 @@ impl Track {
         }
     }
 
+    /// Record a span that already ran, from wall-clock instants captured
+    /// elsewhere — typically on pool worker threads, which cannot own a
+    /// `Track` (tracks are thread-local by design). The span lands on
+    /// this track's `(rank, role)` lane exactly as if it had been opened
+    /// at `started` and dropped at `finished`; instants predating the
+    /// recorder's origin clamp to it.
+    pub fn record_completed(
+        &self,
+        name: &'static str,
+        index: Option<u64>,
+        bytes: Option<u64>,
+        started: Instant,
+        finished: Instant,
+    ) {
+        let Some(sh) = self.shared.as_ref() else {
+            return;
+        };
+        let origin = sh.inner.origin;
+        let start_ns = started.saturating_duration_since(origin).as_nanos() as u64;
+        let end_ns = finished.saturating_duration_since(origin).as_nanos() as u64;
+        let dur_ns = end_ns.saturating_sub(start_ns);
+        let mut local = sh.local.borrow_mut();
+        local
+            .stages
+            .entry(name)
+            .or_default()
+            .record(dur_ns, bytes.unwrap_or(0));
+        if sh.inner.mode == Mode::Trace {
+            local.events.push(SpanEvent {
+                rank: sh.rank,
+                role: sh.role,
+                name,
+                start_ns,
+                dur_ns,
+                index,
+                bytes,
+            });
+        }
+    }
+
     /// Record one sample into `name`'s latency histogram without opening
     /// a span (count/total/extrema/log2 buckets, no timeline event).
     pub fn observe_ns(&self, name: &'static str, ns: u64) {
@@ -569,6 +609,41 @@ mod tests {
         assert_eq!(h.max_ns, 1_000_000);
         assert_eq!(h.hist.total(), 2);
         assert!(h.hist.bucket_count(Hist::bucket_of(1_000)) >= 1);
+    }
+
+    #[test]
+    fn record_completed_lands_like_a_live_span() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(2, ThreadRole::Backprojection);
+            // Instants measured "somewhere else" (e.g. a pool worker).
+            let started = Instant::now();
+            let finished = Instant::now();
+            track.record_completed("bp.tile", Some(5), Some(64), started, finished);
+        }
+        let data = rec.collect();
+        assert_eq!(data.events.len(), 1);
+        let e = &data.events[0];
+        assert_eq!(e.name, "bp.tile");
+        assert_eq!(e.index, Some(5));
+        assert_eq!(e.bytes, Some(64));
+        let s = data
+            .stage(2, ThreadRole::Backprojection, "bp.tile")
+            .unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.bytes, 64);
+    }
+
+    #[test]
+    fn record_completed_clamps_pre_origin_instants() {
+        let before = Instant::now();
+        let rec = Recorder::summary();
+        let track = rec.track(0, ThreadRole::Other);
+        track.record_completed("early", None, None, before, before);
+        drop(track);
+        let data = rec.collect();
+        let s = data.stage(0, ThreadRole::Other, "early").unwrap();
+        assert_eq!(s.count, 1);
     }
 
     #[test]

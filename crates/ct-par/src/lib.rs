@@ -113,6 +113,17 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        self.parallel_chunks_mut_indexed(data, chunk_len, |_, start, chunk| f(start, chunk));
+    }
+
+    /// Like [`Pool::parallel_chunks_mut`], but `f` also receives the chunk
+    /// ordinal (`0, 1, 2, ...` in `data` order) — the natural tile index for
+    /// callers that attribute per-chunk work to observability spans.
+    pub fn parallel_chunks_mut_indexed<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
         let chunk_len = chunk_len.max(1);
         let n = data.len();
         if n == 0 {
@@ -121,7 +132,7 @@ impl Pool {
         let workers = self.threads.get().min(n.div_ceil(chunk_len)).max(1);
         if workers == 1 {
             for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                f(ci * chunk_len, chunk);
+                f(ci, ci * chunk_len, chunk);
             }
             return;
         }
@@ -152,7 +163,7 @@ impl Pool {
                         break;
                     }
                     if let Some((start, chunk)) = chunks[idx].lock().take() {
-                        f(start, chunk);
+                        f(idx, start, chunk);
                     }
                 });
             }
@@ -301,6 +312,24 @@ mod tests {
             });
             for (i, &x) in data.iter().enumerate() {
                 assert_eq!(x, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_indexed_reports_ordinals() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let mut data = vec![(0usize, 0usize); 53];
+            pool.parallel_chunks_mut_indexed(&mut data, 8, |idx, start, chunk| {
+                assert_eq!(start, idx * 8);
+                for slot in chunk.iter_mut() {
+                    *slot = (idx, start);
+                }
+            });
+            for (i, &(idx, start)) in data.iter().enumerate() {
+                assert_eq!(idx, i / 8);
+                assert_eq!(start, (i / 8) * 8);
             }
         }
     }

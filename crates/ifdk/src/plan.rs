@@ -8,6 +8,7 @@
 //! which is where the runtime lives (Section 4.1.5's three reasons).
 
 use crate::grid::RankGrid;
+use ct_bp::tiled::TileConfig;
 use ct_core::error::{CtError, Result};
 use ct_core::geometry::CbctGeometry;
 
@@ -69,6 +70,26 @@ pub fn plan_rank_grid(geo: &CbctGeometry, n_ranks: usize, mem_per_rank: u64) -> 
     )))
 }
 
+/// Plan a concrete tile shape for each rank's back-projection: resolve
+/// [`TileConfig::AUTO`] against the per-rank slab pair (every row owns
+/// the same pair length) and the rank's worker-thread count, returning a
+/// fully pinned config that can be logged, compared across runs and
+/// replayed exactly — unlike `AUTO`, whose resolution happens inside the
+/// kernel call.
+pub fn plan_tiling(
+    geo: &CbctGeometry,
+    grid: RankGrid,
+    threads_per_rank: usize,
+) -> Result<TileConfig> {
+    geo.validate()?;
+    let pair = grid.slab_pair_of_row(0, geo.volume.nz)?;
+    let (i_block, slab_pairs) = TileConfig::AUTO.resolve(geo.volume, pair, threads_per_rank.max(1));
+    Ok(TileConfig {
+        i_block,
+        slab_pairs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +136,18 @@ mod tests {
     fn projection_divisibility_enforced() {
         let g = geo(32, 60); // 60 doesn't divide by 8
         assert!(plan_rank_grid(&g, 8, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn planned_tiling_is_pinned_and_valid() {
+        let g = geo(32, 64);
+        let grid = RankGrid::new(2, 2).unwrap();
+        let tc = plan_tiling(&g, grid, 4).unwrap();
+        // Fully resolved: no auto fields left.
+        assert!(tc.i_block >= 1 && tc.slab_pairs >= 1);
+        // Resolving the pinned config is a fixed point.
+        let pair = grid.slab_pair_of_row(0, g.volume.nz).unwrap();
+        assert_eq!(tc.resolve(g.volume, pair, 4), (tc.i_block, tc.slab_pairs));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! latency hides behind the much heavier back-projection.
 
 use crate::ring::RingBuffer;
+use ct_bp::tiled::backproject_tiled_with;
 use ct_bp::warp::{backproject_warp_with, WARP_BATCH};
 use ct_bp::{backproject, fdk_scale, BpConfig};
 use ct_core::error::{CtError, Result};
@@ -148,7 +149,14 @@ pub fn reconstruct_pipelined(
             }
             let batch_mats: Vec<_> = batch_items.iter().map(|(i, _)| mats[*i]).collect();
             let samplers: Vec<&TransposedProjection> = batch_items.iter().map(|(_, q)| q).collect();
-            let part = backproject_warp_with(&pool, &batch_mats, &samplers, nv, dims, batch);
+            // The tiled and untiled drivers are bit-identical; tiling only
+            // changes how the batch is scheduled over the pool.
+            let part = match opts.bp.tile {
+                Some(t) => {
+                    backproject_tiled_with(&pool, &batch_mats, &samplers, nv, dims, batch, t)
+                }
+                None => backproject_warp_with(&pool, &batch_mats, &samplers, nv, dims, batch),
+            };
             acc.accumulate(&part)?;
         }
         flt.join().expect("filter thread panicked");
