@@ -1,5 +1,5 @@
 //! Shared exit-code contract for the CI gate binaries (`tracecheck`,
-//! `benchdiff`).
+//! `tracereport`, `benchdiff`).
 //!
 //! CI needs to tell "the artifact under test failed its check" apart from
 //! "the gate itself could not run" — a missing baseline file must not

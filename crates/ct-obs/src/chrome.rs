@@ -32,7 +32,11 @@ const ROLES: [ThreadRole; 5] = [
     ThreadRole::Other,
 ];
 
-/// Escape a string for a JSON string literal (quotes not included).
+/// Escape a string for a JSON string literal (quotes not included). The
+/// output is pure ASCII: control characters and every non-ASCII scalar
+/// are written as `\uXXXX` escapes (UTF-16 surrogate pairs for the
+/// astral planes), so the document survives viewers that mishandle raw
+/// UTF-8.
 fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
@@ -41,8 +45,11 @@ fn escape_into(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if (c as u32) < 0x20 || !c.is_ascii() => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
             c => out.push(c),
         }
@@ -112,7 +119,7 @@ pub fn to_chrome_json(data: &TraceData) -> String {
         ev.push_str(",\"cat\":\"stage\",\"name\":\"");
         escape_into(&mut ev, e.name);
         ev.push('"');
-        if e.index.is_some() || e.bytes.is_some() {
+        if e.index.is_some() || e.bytes.is_some() || e.deps.is_some() {
             ev.push_str(",\"args\":{");
             let mut first = true;
             if let Some(i) = e.index {
@@ -124,11 +131,52 @@ pub fn to_chrome_json(data: &TraceData) -> String {
                     ev.push(',');
                 }
                 let _ = write!(ev, "\"bytes\":{b}");
+                first = false;
+            }
+            if let Some(d) = e.deps {
+                if !first {
+                    ev.push(',');
+                }
+                ev.push_str("\"dep_stage\":\"");
+                escape_into(&mut ev, d.stage);
+                let _ = write!(ev, "\",\"dep_lo\":{},\"dep_hi\":{}", d.lo, d.hi);
             }
             ev.push('}');
         }
         ev.push('}');
         events.push(ev);
+    }
+
+    // Producer -> consumer dependency arrows as flow-event pairs: a
+    // `ph:"s"` start anchored at the end of each producer span and a
+    // `ph:"f"` (binding point `"e"`: enclosing slice) at the start of the
+    // consumer. Perfetto binds the pair by `(cat, name, id)`.
+    let mut flow_id: u64 = 0;
+    for e in &data.events {
+        let Some(d) = e.deps else { continue };
+        for p in data.events.iter().filter(|p| {
+            p.rank == e.rank && p.name == d.stage && p.index.is_some_and(|i| d.contains(i))
+        }) {
+            flow_id += 1;
+            let mut s = String::with_capacity(96);
+            s.push_str("{\"ph\":\"s\",\"pid\":");
+            let _ = write!(s, "{}", p.rank);
+            let _ = write!(s, ",\"tid\":{}", p.role.tid());
+            let _ = write!(s, ",\"ts\":{}", micros(p.end_ns().saturating_sub(1)));
+            s.push_str(",\"cat\":\"dep\",\"name\":\"");
+            escape_into(&mut s, d.stage);
+            let _ = write!(s, "\",\"id\":{flow_id}}}");
+            events.push(s);
+            let mut f = String::with_capacity(96);
+            f.push_str("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":");
+            let _ = write!(f, "{}", e.rank);
+            let _ = write!(f, ",\"tid\":{}", e.role.tid());
+            let _ = write!(f, ",\"ts\":{}", micros(e.start_ns));
+            f.push_str(",\"cat\":\"dep\",\"name\":\"");
+            escape_into(&mut f, d.stage);
+            let _ = write!(f, "\",\"id\":{flow_id}}}");
+            events.push(f);
+        }
     }
 
     // Counters and gauges as counter samples at the end of the capture,
@@ -172,6 +220,8 @@ pub fn to_chrome_json(data: &TraceData) -> String {
 pub struct TraceCheck {
     /// Number of `"ph":"X"` complete (span) events.
     pub span_events: usize,
+    /// Number of `"ph":"s"` / `"ph":"f"` flow events (starts + finishes).
+    pub flow_events: usize,
     /// Distinct `pid`s (ranks) observed on span events.
     pub ranks: Vec<u64>,
     /// Thread names announced by `thread_name` metadata events.
@@ -266,6 +316,16 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
                     check.thread_names.push(tname.to_string());
                 }
             }
+            "s" | "f" => {
+                // Flow events bind by id; an unbindable arrow is a bug.
+                field("id")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: flow id is not a number"))?;
+                field("ts")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: ts is not a number"))?;
+                check.flow_events += 1;
+            }
             "M" | "C" => {}
             other => return Err(format!("event {i}: unexpected ph {other:?}")),
         }
@@ -274,6 +334,152 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     check.span_names.sort_unstable();
     check.thread_names.sort_unstable();
     Ok(check)
+}
+
+/// Stage/metric names in a re-imported trace are interned (and leaked)
+/// so they can live as the `&'static str`s [`TraceData`] carries. The
+/// pool is deduplicated, so total leakage is bounded by the vocabulary —
+/// dozens of short names, once per process.
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&hit) = pool.iter().find(|&&n| n == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+/// Re-import an exported trace-event JSON document as a [`TraceData`],
+/// the inverse of [`to_chrome_json`]: `X` events become span events
+/// (with `index`/`bytes`/`dep_*` args restored), per-stage aggregates
+/// are rebuilt from the spans, and `C` events become counters or gauges
+/// according to their `cat`. Flow and metadata events carry no
+/// information the spans don't, and are skipped.
+///
+/// This is what lets `tracereport` and [`crate::analysis`] run offline on
+/// a trace file long after the run that produced it.
+pub fn parse_trace(json: &str) -> Result<TraceData, String> {
+    use crate::trace::{Hist, MetricStat, SpanDeps, SpanEvent, StageStat};
+    use std::collections::BTreeMap;
+
+    let doc = self::json::parse(json)?;
+    let events_json = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+
+    let ns_of = |micros: f64| -> u64 { (micros * 1e3).round().max(0.0) as u64 };
+    let mut data = TraceData::default();
+    for (i, ev) in events_json.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let num = |field: &str| -> Result<f64, String> {
+            ev.get(field)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric {field}"))
+        };
+        match ph {
+            "X" => {
+                let rank = num("pid")? as u32;
+                let role = ThreadRole::from_tid(num("tid")? as u64).unwrap_or(ThreadRole::Other);
+                let name = ev
+                    .get("name")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| format!("event {i}: missing name"))?;
+                let args = ev.get("args");
+                let arg_num = |key: &str| -> Option<u64> {
+                    args.and_then(|a| a.get(key))
+                        .and_then(json::Value::as_f64)
+                        .map(|v| v as u64)
+                };
+                let deps = args
+                    .and_then(|a| a.get("dep_stage"))
+                    .and_then(json::Value::as_str)
+                    .map(|stage| SpanDeps {
+                        stage: intern(stage),
+                        lo: arg_num("dep_lo").unwrap_or(0),
+                        hi: arg_num("dep_hi").unwrap_or(0),
+                    });
+                data.events.push(SpanEvent {
+                    rank,
+                    role,
+                    name: intern(name),
+                    start_ns: ns_of(num("ts")?),
+                    dur_ns: ns_of(num("dur")?),
+                    index: arg_num("index"),
+                    bytes: arg_num("bytes"),
+                    deps,
+                });
+            }
+            "C" => {
+                let rank = num("pid")? as u32;
+                let role = ThreadRole::from_tid(num("tid")? as u64).unwrap_or(ThreadRole::Other);
+                let name = ev
+                    .get("name")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| format!("event {i}: missing name"))?;
+                let value = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(json::Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: counter missing args.value"))?
+                    as u64;
+                let m = MetricStat {
+                    rank,
+                    role,
+                    name: intern(name),
+                    value,
+                };
+                match ev.get("cat").and_then(json::Value::as_str) {
+                    Some("gauge") => data.gauges.push(m),
+                    _ => data.counters.push(m),
+                }
+            }
+            // Metadata and flow arrows are derived views of the spans.
+            _ => {}
+        }
+    }
+
+    // Rebuild the per-stage aggregates the exporter's source had.
+    let mut aggs: BTreeMap<(u32, ThreadRole, &'static str), StageStat> = BTreeMap::new();
+    for e in &data.events {
+        let s = aggs
+            .entry((e.rank, e.role, e.name))
+            .or_insert_with(|| StageStat {
+                rank: e.rank,
+                role: e.role,
+                name: e.name,
+                count: 0,
+                total_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                bytes: 0,
+                hist: Hist::default(),
+            });
+        s.min_ns = if s.count == 0 {
+            e.dur_ns
+        } else {
+            s.min_ns.min(e.dur_ns)
+        };
+        s.count += 1;
+        s.total_ns += e.dur_ns;
+        s.max_ns = s.max_ns.max(e.dur_ns);
+        s.bytes += e.bytes.unwrap_or(0);
+        s.hist.record(e.dur_ns);
+    }
+    data.stages = aggs.into_values().collect();
+    data.events
+        .sort_by_key(|e| (e.rank, e.role, e.start_ns, e.name, e.index));
+    data.counters.sort_by_key(|m| (m.rank, m.role, m.name));
+    data.gauges.sort_by_key(|m| (m.rank, m.role, m.name));
+    Ok(data)
 }
 
 /// A minimal JSON reader, sufficient to validate trace-event documents.
@@ -458,11 +664,35 @@ pub mod json {
                                         .map_err(|_| "bad \\u escape".to_string())?;
                                 let code = u32::from_str_radix(hex, 16)
                                     .map_err(|_| "bad \\u escape".to_string())?;
-                                // Surrogate pairs are not needed for the
-                                // exporter's vocabulary; map them to the
-                                // replacement character.
-                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                                self.pos += 4;
+                                if (0xd800..0xdc00).contains(&code)
+                                    && self.bytes.get(self.pos + 5) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 6) == Some(&b'u')
+                                    && self.pos + 11 <= self.bytes.len()
+                                {
+                                    // A high surrogate followed by another
+                                    // \u escape: try to combine the pair.
+                                    let hex2 = std::str::from_utf8(
+                                        &self.bytes[self.pos + 7..self.pos + 11],
+                                    )
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                    let low = u32::from_str_radix(hex2, 16)
+                                        .map_err(|_| "bad \\u escape".to_string())?;
+                                    if (0xdc00..0xe000).contains(&low) {
+                                        let scalar =
+                                            0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                        out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                        self.pos += 10;
+                                    } else {
+                                        // Unpaired high surrogate.
+                                        out.push('\u{fffd}');
+                                        self.pos += 4;
+                                    }
+                                } else {
+                                    // Lone surrogates have no scalar value;
+                                    // everything else maps directly.
+                                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    self.pos += 4;
+                                }
                             }
                             _ => return Err(format!("bad escape at byte {}", self.pos)),
                         }
@@ -552,7 +782,10 @@ mod tests {
             drop(filter);
             let main = rec.track(rank, ThreadRole::Main);
             {
-                let _outer = main.span("allgather").with_index(0);
+                let _outer = main
+                    .span("allgather")
+                    .with_index(0)
+                    .with_deps("filter", 0, 1);
                 let _inner = main.span("send");
             }
             main.counter_add("ring.push_stalls", 4);
@@ -590,6 +823,8 @@ mod tests {
         let check = validate(&out).expect("trace-event invariants hold");
         // 2 ranks x (3 load + 3 filter + allgather + send) spans.
         assert_eq!(check.span_events, 16);
+        // Each allgather depends on filter 0..=1: 2 arrows x 2 events x 2 ranks.
+        assert_eq!(check.flow_events, 8);
         assert_eq!(check.ranks, vec![0, 1]);
         assert!(check.has_thread("filter"));
         assert!(check.has_thread("main"));
@@ -710,5 +945,100 @@ mod tests {
         assert_eq!(micros(1), "0.001");
         assert_eq!(micros(1_500), "1.500");
         assert_eq!(micros(0), "0.000");
+    }
+
+    #[test]
+    fn flow_events_pair_producers_with_consumers() {
+        let data = synthetic_capture();
+        let doc = json::parse(&to_chrome_json(&data)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let mut by_id: std::collections::BTreeMap<u64, Vec<&str>> = Default::default();
+        for ev in events {
+            let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+            if ph == "s" || ph == "f" {
+                let id = ev.get("id").unwrap().as_f64().unwrap() as u64;
+                assert_eq!(ev.get("cat").and_then(Value::as_str), Some("dep"));
+                assert_eq!(ev.get("name").and_then(Value::as_str), Some("filter"));
+                if ph == "f" {
+                    assert_eq!(ev.get("bp").and_then(Value::as_str), Some("e"));
+                }
+                by_id
+                    .entry(id)
+                    .or_default()
+                    .push(if ph == "s" { "s" } else { "f" });
+            }
+        }
+        assert_eq!(by_id.len(), 4, "2 ranks x 2 producer arrows");
+        for (id, phs) in by_id {
+            assert_eq!(phs, vec!["s", "f"], "flow id {id} must pair start+finish");
+        }
+    }
+
+    #[test]
+    fn non_ascii_and_control_names_round_trip() {
+        let mut data = TraceData::default();
+        data.events.push(crate::trace::SpanEvent {
+            rank: 0,
+            role: ThreadRole::Other,
+            name: "stage β→\t\"x\"\u{1F680}",
+            start_ns: 10,
+            dur_ns: 5,
+            index: None,
+            bytes: None,
+            deps: None,
+        });
+        let out = to_chrome_json(&data);
+        assert!(out.is_ascii(), "exporter must emit pure-ASCII JSON");
+        let check = validate(&out).expect("escaped names stay valid");
+        assert!(check.has_span("stage β→\t\"x\"\u{1F680}"));
+        let parsed = parse_trace(&out).unwrap();
+        assert_eq!(parsed.events[0].name, "stage β→\t\"x\"\u{1F680}");
+    }
+
+    #[test]
+    fn parse_trace_round_trips_the_capture() {
+        let data = synthetic_capture();
+        let parsed = parse_trace(&to_chrome_json(&data)).unwrap();
+        assert_eq!(parsed.structure(), data.structure());
+        assert_eq!(parsed.events.len(), data.events.len());
+        for (a, b) in parsed.events.iter().zip(data.events.iter()) {
+            assert_eq!(a.start_ns, b.start_ns);
+            assert_eq!(a.dur_ns, b.dur_ns);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.deps.map(|d| (d.lo, d.hi)), b.deps.map(|d| (d.lo, d.hi)));
+            assert_eq!(a.deps.map(|d| d.stage), b.deps.map(|d| d.stage));
+        }
+        // Aggregates are rebuilt faithfully from the spans...
+        assert_eq!(parsed.stages.len(), data.stages.len());
+        for (a, b) in parsed.stages.iter().zip(data.stages.iter()) {
+            assert_eq!((a.rank, a.role, a.name), (b.rank, b.role, b.name));
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.total_ns, b.total_ns);
+            assert_eq!(a.bytes, b.bytes);
+        }
+        // ...and metrics keep their kind and value.
+        assert_eq!(parsed.counters, data.counters);
+        assert_eq!(parsed.gauges, data.gauges);
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs() {
+        let v = json::parse(r#""🚀 ok é""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F680} ok \u{e9}"));
+        let v = json::parse(r#""\ud83d\ude80 \u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F680} \u{e9}"));
+        // Lone surrogates degrade to the replacement character.
+        let v = json::parse(r#""\ud83d!""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}!"));
+        let v = json::parse(r#""\ud83dA""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}A"));
+    }
+
+    #[test]
+    fn validate_requires_flow_ids() {
+        let good = r#"{"traceEvents": [{"ph":"s","pid":0,"tid":1,"ts":1,"name":"d","id":7}]}"#;
+        assert_eq!(validate(good).unwrap().flow_events, 1);
+        let bad = r#"{"traceEvents": [{"ph":"s","pid":0,"tid":1,"ts":1,"name":"d"}]}"#;
+        assert!(validate(bad).is_err(), "flow event without id must fail");
     }
 }

@@ -25,6 +25,10 @@
 //!   `name -> f64` pairs for `ifdk::report::RunReport`.
 //! * [`DivergenceReport`] — the paper's model-validation methodology
 //!   in-repo: predicted-vs-observed seconds per pipeline stage.
+//! * [`analysis`] — offline critical-path & stall analysis over a
+//!   capture: per-role busy/stall/idle timelines, the producer→consumer
+//!   dependency graph from span `deps` tags, ring-stall attribution and
+//!   the Eq.-19 overlap-efficiency figure (`max_stage / wall`).
 //! * [`current`] — a thread-bound ambient track so leaf substrates
 //!   (e.g. `ct-pfs`) can record spans without threading a handle through
 //!   every call signature.
@@ -47,12 +51,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod current;
 pub mod divergence;
 pub mod recorder;
 pub mod trace;
 
+pub use analysis::PipelineAnalysis;
 pub use divergence::{DivergenceReport, StageDivergence};
 pub use recorder::{Mode, Recorder, Span, ThreadRole, Track};
-pub use trace::{Hist, MetricStat, SpanEvent, StageStat, TraceData};
+pub use trace::{Hist, MetricStat, SpanDeps, SpanEvent, StageStat, TraceData};

@@ -8,7 +8,7 @@
 //! therefore never takes a lock, and with the recorder off it does no
 //! work at all — no clock reads, no allocation, a single `Option` check.
 
-use crate::trace::{Hist, MetricStat, SpanEvent, StageStat, TraceData};
+use crate::trace::{Hist, MetricStat, SpanDeps, SpanEvent, StageStat, TraceData};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -50,6 +50,18 @@ impl ThreadRole {
             ThreadRole::Backprojection => 3,
             ThreadRole::Io => 4,
             ThreadRole::Other => 5,
+        }
+    }
+
+    /// The inverse of [`ThreadRole::tid`], for trace re-import.
+    pub fn from_tid(tid: u64) -> Option<ThreadRole> {
+        match tid {
+            1 => Some(ThreadRole::Filter),
+            2 => Some(ThreadRole::Main),
+            3 => Some(ThreadRole::Backprojection),
+            4 => Some(ThreadRole::Io),
+            5 => Some(ThreadRole::Other),
+            _ => None,
         }
     }
 }
@@ -337,6 +349,7 @@ impl Track {
                 start_ns: sh.inner.now_ns(),
                 index: None,
                 bytes: None,
+                deps: None,
             }),
         }
     }
@@ -400,6 +413,7 @@ impl Track {
                 dur_ns,
                 index,
                 bytes,
+                deps: None,
             });
         }
     }
@@ -425,6 +439,7 @@ struct SpanInner {
     start_ns: u64,
     index: Option<u64>,
     bytes: Option<u64>,
+    deps: Option<SpanDeps>,
 }
 
 /// An in-flight span; records itself (duration, tags) when dropped.
@@ -444,6 +459,17 @@ impl Span {
     pub fn with_index(mut self, index: u64) -> Self {
         if let Some(s) = self.inner.as_mut() {
             s.index = Some(index);
+        }
+        self
+    }
+
+    /// Tag the producer spans this span consumed: an inclusive index
+    /// range `lo..=hi` into `stage`'s spans on the same rank (builder
+    /// style). Feeds [`crate::analysis`] dependency edges and Chrome flow
+    /// arrows.
+    pub fn with_deps(mut self, stage: &'static str, lo: u64, hi: u64) -> Self {
+        if let Some(s) = self.inner.as_mut() {
+            s.deps = Some(SpanDeps { stage, lo, hi });
         }
         self
     }
@@ -486,6 +512,7 @@ impl Drop for Span {
                 dur_ns,
                 index: s.index,
                 bytes: s.bytes,
+                deps: s.deps,
             });
         }
     }
@@ -564,6 +591,25 @@ mod tests {
             data.stage(1, ThreadRole::Main, "allgather").unwrap().count,
             1
         );
+    }
+
+    #[test]
+    fn with_deps_tags_the_event() {
+        let rec = Recorder::trace();
+        {
+            let track = rec.track(0, ThreadRole::Backprojection);
+            let _sp = track
+                .span("bp.batch")
+                .with_index(0)
+                .with_deps("allgather", 3, 5);
+        }
+        let data = rec.collect();
+        let deps = data.events[0].deps.expect("deps tag retained");
+        assert_eq!(deps.stage, "allgather");
+        assert!(deps.contains(3) && deps.contains(5) && !deps.contains(6));
+        // Off spans ignore the builder without panicking.
+        let off = Track::disabled().span("x").with_deps("y", 0, 0);
+        assert!(!off.is_recording());
     }
 
     #[test]

@@ -7,6 +7,30 @@
 
 use crate::recorder::ThreadRole;
 
+/// The producer-side items a span consumed: an inclusive index range into
+/// an upstream stage's spans on the same rank. `filter` span *i* feeding
+/// `allgather` op *o* tags the op with `{stage: "filter", lo: i, hi: i}`;
+/// a back-projection batch built from AllGather ops 3..=5 tags
+/// `{stage: "allgather", lo: 3, hi: 5}`. [`crate::analysis`] turns these
+/// tags into dependency-graph edges and [`crate::chrome`] into flow
+/// arrows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanDeps {
+    /// The producing stage's span name.
+    pub stage: &'static str,
+    /// First producer span index consumed (inclusive).
+    pub lo: u64,
+    /// Last producer span index consumed (inclusive).
+    pub hi: u64,
+}
+
+impl SpanDeps {
+    /// True when `index` falls inside this dependency range.
+    pub fn contains(&self, index: u64) -> bool {
+        self.lo <= index && index <= self.hi
+    }
+}
+
 /// One completed span, retained only in `trace` mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -24,6 +48,8 @@ pub struct SpanEvent {
     pub index: Option<u64>,
     /// Optional payload size tag, in bytes.
     pub bytes: Option<u64>,
+    /// Optional producer-consumer dependency tag.
+    pub deps: Option<SpanDeps>,
 }
 
 impl SpanEvent {
@@ -89,6 +115,51 @@ impl Hist {
             .map(|(i, &c)| (Self::bucket_floor_ns(i), c))
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) in nanoseconds,
+    /// interpolating linearly inside the winning log2 bucket. The
+    /// estimate is exact to within one octave — the resolution the
+    /// histogram keeps — and returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        // The rank of the sample we are after, 1-based.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if cum >= target {
+                let lo = Self::bucket_floor_ns(i) as f64;
+                let hi = if i >= 63 {
+                    u64::MAX as f64
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
+                let frac = (target - before) as f64 / c as f64;
+                return (lo + frac * (hi - lo)) as u64;
+            }
+        }
+        unreachable!("target rank is within total count")
+    }
+}
+
+/// Render nanoseconds with a unit that keeps 3-4 significant digits.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
 }
 
 /// Per-`(rank, role, stage)` aggregate, maintained in every enabled mode.
@@ -127,6 +198,21 @@ impl StageStat {
         } else {
             self.total_secs() / self.count as f64
         }
+    }
+
+    /// Median duration estimate from the log2 histogram, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.hist.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile duration estimate, nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.hist.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile duration estimate, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.hist.quantile_ns(0.99)
     }
 }
 
@@ -263,11 +349,22 @@ impl TraceData {
         rows
     }
 
+    /// One histogram per stage name, merged over every rank and role.
+    /// This is what cluster-wide latency percentiles are derived from.
+    pub fn merged_hist(&self, name: &str) -> Hist {
+        let mut h = Hist::default();
+        for s in self.stages.iter().filter(|s| s.name == name) {
+            h.merge(&s.hist);
+        }
+        h
+    }
+
     /// Fold the capture into flat `name -> value` pairs suitable for
     /// `ifdk::report::RunReport::set`. Per stage: `{prefix}{name}.total_secs`
-    /// (busiest rank), `.count` (summed), `.max_secs`, `.bytes` (summed);
-    /// plus `{prefix}counter.{name}` (summed) and `{prefix}gauge.{name}`
-    /// (maxed) for metrics.
+    /// (busiest rank), `.count` (summed), `.max_secs`,
+    /// `.p50_secs`/`.p95_secs`/`.p99_secs` (log2-histogram estimates over
+    /// all ranks), `.bytes` (summed); plus `{prefix}counter.{name}`
+    /// (summed) and `{prefix}gauge.{name}` (maxed) for metrics.
     pub fn summary_values(&self, prefix: &str) -> Vec<(String, f64)> {
         use std::collections::BTreeMap;
         let mut out = Vec::new();
@@ -287,6 +384,13 @@ impl TraceData {
             ));
             out.push((format!("{prefix}{name}.count"), counts[name] as f64));
             out.push((format!("{prefix}{name}.max_secs"), maxes[name] as f64 / 1e9));
+            let hist = self.merged_hist(name);
+            for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push((
+                    format!("{prefix}{name}.{tag}_secs"),
+                    hist.quantile_ns(q) as f64 / 1e9,
+                ));
+            }
             if bytes[name] > 0 {
                 out.push((format!("{prefix}{name}.bytes"), bytes[name] as f64));
             }
@@ -305,6 +409,77 @@ impl TraceData {
         }
         for (name, v) in gauges {
             out.push((format!("{prefix}gauge.{name}"), v as f64));
+        }
+        out
+    }
+
+    /// Render the per-stage summary as an aligned text table: count,
+    /// busiest-rank total, mean, log2-histogram p50/p95/p99, max and
+    /// payload bytes per stage name. The counterpart of `summary_values`
+    /// for human eyes.
+    pub fn summary_table(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut maxes: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut bytes: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.stages {
+            *counts.entry(s.name).or_insert(0) += s.count;
+            *totals.entry(s.name).or_insert(0) += s.total_ns;
+            let m = maxes.entry(s.name).or_insert(0);
+            *m = (*m).max(s.max_ns);
+            *bytes.entry(s.name).or_insert(0) += s.bytes;
+        }
+        let mut rows: Vec<[String; 9]> = vec![[
+            "stage".into(),
+            "count".into(),
+            "busiest".into(),
+            "mean".into(),
+            "p50".into(),
+            "p95".into(),
+            "p99".into(),
+            "max".into(),
+            "bytes".into(),
+        ]];
+        for name in self.stage_names() {
+            let n = counts[name];
+            let hist = self.merged_hist(name);
+            let mean = totals[name].checked_div(n).unwrap_or(0);
+            rows.push([
+                name.to_string(),
+                n.to_string(),
+                format!("{:.3} s", self.max_total_secs(name)),
+                fmt_ns(mean),
+                fmt_ns(hist.quantile_ns(0.50)),
+                fmt_ns(hist.quantile_ns(0.95)),
+                fmt_ns(hist.quantile_ns(0.99)),
+                fmt_ns(maxes[name]),
+                if bytes[name] > 0 {
+                    bytes[name].to_string()
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        let mut widths = [0usize; 9];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            for (i, (cell, w)) in row.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
         }
         out
     }

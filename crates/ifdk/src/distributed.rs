@@ -31,7 +31,14 @@
 //! balance).
 //! Communication spans carry the exact payload bytes measured by the
 //! communicator's per-rank traffic counters, and the circular buffers
-//! report occupancy high-water marks and stall counts as gauges/counters.
+//! report occupancy high-water marks and stall counts as gauges/counters
+//! plus timed `ring.{gather,bp}.{push,pop}_wait` spans on the blocked
+//! thread's own lane. Consumer spans are tagged with the producer spans
+//! they depend on (`allgather` ← `filter`, `backprojection` ← the batch's
+//! `allgather` op range), which the Chrome exporter turns into flow
+//! arrows and [`ct_obs::analysis`] into a critical path;
+//! [`DistReport::pipeline_analysis`] runs that analysis on a trace-mode
+//! capture.
 //! [`DistConfig::obs`] selects the mode: `Recorder::summary()` (the
 //! default) keeps per-stage aggregates only, `Recorder::trace()`
 //! additionally retains every span for Chrome-trace export
@@ -52,7 +59,7 @@ use ct_core::problem::Dims3;
 use ct_core::projection::{ProjectionImage, TransposedProjection};
 use ct_core::volume::{Volume, VolumeLayout};
 use ct_filter::{FilterConfig, Filterer};
-use ct_obs::{DivergenceReport, Recorder, ThreadRole, TraceData};
+use ct_obs::{DivergenceReport, PipelineAnalysis, Recorder, ThreadRole, TraceData};
 use ct_par::stats::{StageSummary, TimingReport};
 use ct_par::Pool;
 use ct_perfmodel::{KernelModel, MachineConfig, ModelBreakdown, ModelInput};
@@ -183,6 +190,14 @@ impl DistReport {
     /// All per-rank reports folded into one cluster-wide report.
     pub fn merged_timing(&self) -> TimingReport {
         TimingReport::merged(self.per_rank.iter())
+    }
+
+    /// Critical-path and overlap analysis of the capture: per-lane
+    /// busy/stall/idle accounting, ring-stall attribution and the
+    /// Eq.-19 overlap-efficiency figure. Needs individual span events,
+    /// so it returns `None` unless the run used `Recorder::trace()`.
+    pub fn pipeline_analysis(&self) -> Option<PipelineAnalysis> {
+        PipelineAnalysis::from_trace(&self.trace)
     }
 }
 
@@ -326,9 +341,20 @@ fn run_rank(
     let filterer = Filterer::new(geo, cfg.filter);
 
     // Buffers: filtered (local) projections, then gathered (column-wide).
-    let to_gather: RingBuffer<Vec<f32>> = RingBuffer::new(cfg.ring_capacity);
-    let to_bp: RingBuffer<(usize, TransposedProjection)> =
-        RingBuffer::new(cfg.ring_capacity.max(2 * grid.rows));
+    // Named wait spans make every blocked push/pop visible on the
+    // blocked thread's lane as `ring.<name>.{push,pop}_wait`.
+    let to_gather: RingBuffer<Vec<f32>> = RingBuffer::with_wait_spans(
+        cfg.ring_capacity,
+        "ring.gather.push_wait",
+        "ring.gather.pop_wait",
+    );
+    // Items carry (projection index, AllGather op) so the consumer can
+    // tag each batch with the producer ops it depends on.
+    let to_bp: RingBuffer<(usize, u64, TransposedProjection)> = RingBuffer::with_wait_spans(
+        cfg.ring_capacity.max(2 * grid.rows),
+        "ring.bp.push_wait",
+        "ring.bp.pop_wait",
+    );
 
     let scope_result = std::thread::scope(|s| -> Result<Volume> {
         // ------------------------------------------------ Filtering thread
@@ -382,6 +408,8 @@ fn run_rank(
         let bp_per = geo.detector.len();
         let bp = s.spawn(move || -> Result<Volume> {
             let track = bp_obs.track(rank as u32, ThreadRole::Backprojection);
+            // Bind the track so the ring's pop-wait spans land here.
+            let _cur = ct_obs::current::set_current(&track);
             // Close the inbound ring on every exit path so a failing
             // consumer unblocks the producer (its push returns Err).
             struct CloseOnDrop<T>(RingBuffer<T>);
@@ -397,7 +425,7 @@ fn run_rank(
             );
             let mut batch_idx = 0u64;
             loop {
-                let mut items: Vec<(usize, TransposedProjection)> = Vec::with_capacity(batch);
+                let mut items: Vec<(usize, u64, TransposedProjection)> = Vec::with_capacity(batch);
                 while items.len() < batch {
                     match bp_ring.pop() {
                         Some(x) => items.push(x),
@@ -408,10 +436,18 @@ fn run_rank(
                     break;
                 }
                 let batch_mats: Vec<ProjectionMatrix> =
-                    items.iter().map(|(i, _)| mats[*i]).collect();
-                let samplers: Vec<&TransposedProjection> = items.iter().map(|(_, q)| q).collect();
+                    items.iter().map(|(i, _, _)| mats[*i]).collect();
+                let samplers: Vec<&TransposedProjection> =
+                    items.iter().map(|(_, _, q)| q).collect();
+                // The batch consumes everything the [op_lo, op_hi]
+                // AllGather ops produced.
+                let op_lo = items.iter().map(|(_, o, _)| *o).min().unwrap_or(0);
+                let op_hi = items.iter().map(|(_, o, _)| *o).max().unwrap_or(0);
                 {
-                    let mut sp = track.span("backprojection").with_index(batch_idx);
+                    let mut sp = track
+                        .span("backprojection")
+                        .with_index(batch_idx)
+                        .with_deps("allgather", op_lo, op_hi);
                     sp.set_bytes((items.len() * bp_per * 4) as u64);
                     let part = match tile_cfg {
                         Some(tc) => {
@@ -469,7 +505,13 @@ fn run_rank(
             };
             let gathered = {
                 let before = col_comm.local_stats();
-                let mut sp = main_track.span("allgather").with_index(o as u64);
+                // Op o cannot start before this rank filtered its own
+                // contribution, projection my_range.start + o.
+                let mut sp = main_track.span("allgather").with_index(o as u64).with_deps(
+                    "filter",
+                    (my_range.start + o) as u64,
+                    (my_range.start + o) as u64,
+                );
                 let g = col_comm.all_gather_with(cfg.allgather, &block);
                 sp.set_bytes(col_comm.local_stats().since(before).bytes_sent);
                 g
@@ -480,7 +522,7 @@ fn run_rank(
             for (rp, chunk) in gathered.chunks_exact(per).enumerate() {
                 let idx = col_range.start + rp * ops + o;
                 let img = ProjectionImage::from_vec(geo.detector, chunk.to_vec())?;
-                if to_bp.push((idx, img.transposed())).is_err() {
+                if to_bp.push((idx, o as u64, img.transposed())).is_err() {
                     gather_err = Some(CtError::InvalidConfig(
                         "back-projection pipeline closed early".into(),
                     ));
@@ -502,17 +544,21 @@ fn run_rank(
         bp_result
     });
 
-    // Ring telemetry: recorded whether or not the pipeline succeeded, as
-    // counters/gauges (not spans) so the span-tree structure of a trace
-    // stays deterministic under scheduling noise.
+    // Ring telemetry: recorded whether or not the pipeline succeeded.
+    // Totals land as counters/gauges; the individual waits were already
+    // captured as timed spans on the blocked thread's lane.
     let gm = to_gather.metrics();
     main_track.gauge_max("ring.gather.high_water", gm.high_water as u64);
     main_track.counter_add("ring.gather.push_stalls", gm.push_stalls);
-    main_track.counter_add("ring.gather.pop_waits", gm.pop_waits);
+    main_track.counter_add("ring.gather.pop_stalls", gm.pop_stalls);
     let bm = to_bp.metrics();
     main_track.gauge_max("ring.bp.high_water", bm.high_water as u64);
     main_track.counter_add("ring.bp.push_stalls", bm.push_stalls);
-    main_track.counter_add("ring.bp.pop_waits", bm.pop_waits);
+    main_track.counter_add("ring.bp.pop_stalls", bm.pop_stalls);
+    // The grid shape lets the offline analysis group AllGather spans by
+    // column and Reduce spans by row into collective peer groups.
+    main_track.gauge_max("grid.rows", grid.rows as u64);
+    main_track.gauge_max("grid.cols", grid.cols as u64);
     let pair_volume = scope_result?;
 
     // ------------------------------------------------------- Reduce + store
@@ -752,20 +798,80 @@ mod tests {
     fn trace_structure_is_deterministic() {
         // Two runs of the same DistConfig must capture the same span tree
         // — same (rank, role, name, index) rows — even though the
-        // durations differ.
+        // durations differ. Ring wait spans are excluded: a wait span
+        // exists only when the thread actually blocked, which depends on
+        // scheduling by design.
         let (geo, store) = setup(8, 16);
         let capture = || {
             let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
             cfg.obs = Recorder::trace();
             let output = PfsStore::memory();
-            reconstruct_distributed(&cfg, &store, &output)
+            let mut trace = reconstruct_distributed(&cfg, &store, &output)
                 .unwrap()
-                .trace
+                .trace;
+            trace
+                .events
+                .retain(|e| !e.name.ends_with(".push_wait") && !e.name.ends_with(".pop_wait"));
+            trace
         };
         let a = capture();
         let b = capture();
         assert!(!a.events.is_empty());
         assert_eq!(a.structure(), b.structure());
+    }
+
+    #[test]
+    fn trace_carries_dependency_tags_and_analysis() {
+        let (geo, store) = setup(8, 16);
+        let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        cfg.obs = Recorder::trace();
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        // Every AllGather op names the filter span it consumed; every
+        // back-projection batch names its AllGather op range.
+        let ag: Vec<_> = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.name == "allgather")
+            .collect();
+        assert!(!ag.is_empty());
+        for e in &ag {
+            let d = e.deps.expect("allgather span missing deps");
+            assert_eq!(d.stage, "filter");
+            assert_eq!(d.lo, d.hi);
+        }
+        let bp: Vec<_> = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.name == "backprojection")
+            .collect();
+        assert!(!bp.is_empty());
+        for e in &bp {
+            let d = e.deps.expect("backprojection span missing deps");
+            assert_eq!(d.stage, "allgather");
+            assert!(d.lo <= d.hi);
+        }
+        // The grid shape is recorded for collective peer grouping.
+        assert_eq!(report.trace.gauge(0, "grid.rows"), Some(2));
+        assert_eq!(report.trace.gauge(0, "grid.cols"), Some(2));
+        // The exported trace pairs producers and consumers as flow events.
+        let json = ct_obs::chrome::to_chrome_json(&report.trace);
+        let check = ct_obs::chrome::validate(&json).unwrap();
+        assert!(check.flow_events > 0, "no flow events in the export");
+        // The offline analysis runs end-to-end on the real capture.
+        let a = report.pipeline_analysis().expect("trace mode must analyze");
+        assert!(a.wall_ns > 0);
+        assert!(a.max_stage_ns <= a.critical_path_ns);
+        assert!(a.critical_path_ns <= a.wall_ns);
+        assert!(a.overlap_efficiency > 0.0 && a.overlap_efficiency <= 1.0);
+        assert!(!a.critical_path.is_empty());
+        assert!(a.report().contains("overlap efficiency"));
+        // Summary-only captures have no events, so no analysis.
+        let plain = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        let report = reconstruct_distributed(&plain, &store, &PfsStore::memory()).unwrap();
+        assert!(report.pipeline_analysis().is_none());
     }
 
     #[test]
@@ -831,9 +937,9 @@ mod tests {
             assert!(report.trace.gauge(rank, "ring.bp.high_water").unwrap() >= 1);
             for name in [
                 "ring.gather.push_stalls",
-                "ring.gather.pop_waits",
+                "ring.gather.pop_stalls",
                 "ring.bp.push_stalls",
-                "ring.bp.pop_waits",
+                "ring.bp.pop_stalls",
             ] {
                 assert!(
                     report.trace.counter(rank, name).is_some(),

@@ -6,10 +6,20 @@
 //! full (back-pressure keeps the filtering stage from racing ahead of the
 //! GPU), consumers block when it is empty, and closing it wakes everyone
 //! so pipelines drain cleanly.
+//!
+//! Stalls are first-class observations, not just counters: every blocked
+//! push or pop records its wait *duration* into a log2 histogram (read it
+//! back with [`RingBuffer::metrics`]), and a buffer built with
+//! [`RingBuffer::with_wait_spans`] additionally emits a timed
+//! `<name>.push_wait` / `<name>.pop_wait` span on the waiting thread's
+//! ambient [`ct_obs::current`] track — which is how
+//! `ct_obs::analysis` attributes pipeline stalls to specific buffers.
 
+use ct_obs::Hist;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -21,7 +31,15 @@ struct State<T> {
     push_stalls: u64,
     /// Pop calls that found the buffer empty and had to wait at least
     /// once (starvation of the consumer).
-    pop_waits: u64,
+    pop_stalls: u64,
+    /// Summed nanoseconds producers spent blocked in `push`.
+    push_stall_ns: u64,
+    /// Summed nanoseconds consumers spent blocked in `pop`.
+    pop_stall_ns: u64,
+    /// log2 histogram of individual push-stall durations.
+    push_stall_hist: Hist,
+    /// log2 histogram of individual pop-stall durations.
+    pop_stall_hist: Hist,
 }
 
 struct Shared<T> {
@@ -29,6 +47,9 @@ struct Shared<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    /// `(push_wait, pop_wait)` span names emitted on the ambient track of
+    /// a blocked thread; `None` keeps waits as bare metrics.
+    wait_spans: Option<(&'static str, &'static str)>,
 }
 
 /// A bounded blocking FIFO. Clones share the same buffer.
@@ -47,6 +68,24 @@ impl<T> Clone for RingBuffer<T> {
 impl<T> RingBuffer<T> {
     /// Create a buffer holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// Create a buffer that, in addition to the stall metrics, records a
+    /// timed span on the blocked thread's [`ct_obs::current`] track for
+    /// every stall: `push_wait` names producer-side waits, `pop_wait`
+    /// consumer-side ones. Spans carry the stall ordinal as their index.
+    /// With no ambient track bound (or the recorder off) the spans cost
+    /// nothing.
+    pub fn with_wait_spans(
+        capacity: usize,
+        push_wait: &'static str,
+        pop_wait: &'static str,
+    ) -> Self {
+        Self::build(capacity, Some((push_wait, pop_wait)))
+    }
+
+    fn build(capacity: usize, wait_spans: Option<(&'static str, &'static str)>) -> Self {
         assert!(capacity > 0, "capacity must be nonzero");
         Self {
             shared: Arc::new(Shared {
@@ -55,11 +94,16 @@ impl<T> RingBuffer<T> {
                     closed: false,
                     high_water: 0,
                     push_stalls: 0,
-                    pop_waits: 0,
+                    pop_stalls: 0,
+                    push_stall_ns: 0,
+                    pop_stall_ns: 0,
+                    push_stall_hist: Hist::default(),
+                    pop_stall_hist: Hist::default(),
                 }),
                 not_full: Condvar::new(),
                 not_empty: Condvar::new(),
                 capacity,
+                wait_spans,
             }),
         }
     }
@@ -82,46 +126,72 @@ impl<T> RingBuffer<T> {
     /// Blocking push. Returns `Err(item)` if the buffer is closed.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut st = self.shared.state.lock();
-        let mut stalled = false;
-        loop {
+        let mut wait: Option<(Instant, ct_obs::Span)> = None;
+        let result = loop {
             if st.closed {
-                return Err(item);
+                break Err(item);
             }
             if st.queue.len() < self.shared.capacity {
                 st.queue.push_back(item);
                 st.high_water = st.high_water.max(st.queue.len());
-                drop(st);
-                self.shared.not_empty.notify_one();
-                return Ok(());
+                break Ok(());
             }
-            if !stalled {
-                stalled = true;
+            if wait.is_none() {
                 st.push_stalls += 1;
+                let span = match self.shared.wait_spans {
+                    Some((name, _)) => ct_obs::current::span(name).with_index(st.push_stalls - 1),
+                    None => ct_obs::Span::disabled(),
+                };
+                wait = Some((Instant::now(), span));
             }
             self.shared.not_full.wait(&mut st);
+        };
+        if let Some((started, span)) = wait {
+            let ns = started.elapsed().as_nanos() as u64;
+            st.push_stall_ns += ns;
+            st.push_stall_hist.record(ns);
+            drop(span);
         }
+        drop(st);
+        if result.is_ok() {
+            self.shared.not_empty.notify_one();
+        }
+        result
     }
 
     /// Blocking pop. Returns `None` once the buffer is closed *and*
     /// drained.
     pub fn pop(&self) -> Option<T> {
         let mut st = self.shared.state.lock();
-        let mut waited = false;
-        loop {
+        let mut wait: Option<(Instant, ct_obs::Span)> = None;
+        let result = loop {
             if let Some(item) = st.queue.pop_front() {
-                drop(st);
-                self.shared.not_full.notify_one();
-                return Some(item);
+                break Some(item);
             }
             if st.closed {
-                return None;
+                break None;
             }
-            if !waited {
-                waited = true;
-                st.pop_waits += 1;
+            if wait.is_none() {
+                st.pop_stalls += 1;
+                let span = match self.shared.wait_spans {
+                    Some((_, name)) => ct_obs::current::span(name).with_index(st.pop_stalls - 1),
+                    None => ct_obs::Span::disabled(),
+                };
+                wait = Some((Instant::now(), span));
             }
             self.shared.not_empty.wait(&mut st);
+        };
+        if let Some((started, span)) = wait {
+            let ns = started.elapsed().as_nanos() as u64;
+            st.pop_stall_ns += ns;
+            st.pop_stall_hist.record(ns);
+            drop(span);
         }
+        drop(st);
+        if result.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        result
     }
 
     /// Pop up to `max` items in one call (at least one unless the stream
@@ -168,7 +238,11 @@ impl<T> RingBuffer<T> {
             len: st.queue.len(),
             high_water: st.high_water,
             push_stalls: st.push_stalls,
-            pop_waits: st.pop_waits,
+            pop_stalls: st.pop_stalls,
+            push_stall_ns: st.push_stall_ns,
+            pop_stall_ns: st.pop_stall_ns,
+            push_stall_hist: st.push_stall_hist.clone(),
+            pop_stall_hist: st.pop_stall_hist.clone(),
         }
     }
 }
@@ -177,9 +251,10 @@ impl<T> RingBuffer<T> {
 ///
 /// `high_water` close to `capacity` plus a large `push_stalls` means the
 /// consumer is the bottleneck (the paper's back-pressure case: filtering
-/// races ahead of back-projection); a large `pop_waits` with a low
-/// high-water mark means the producer is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// races ahead of back-projection); a large `pop_stalls` with a low
+/// high-water mark means the producer is. The `*_stall_ns` totals and
+/// histograms say how *costly* those stalls were, not just how frequent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RingMetrics {
     /// Configured capacity.
     pub capacity: usize,
@@ -190,7 +265,15 @@ pub struct RingMetrics {
     /// Push calls that blocked on a full buffer at least once.
     pub push_stalls: u64,
     /// Pop calls that blocked on an empty buffer at least once.
-    pub pop_waits: u64,
+    pub pop_stalls: u64,
+    /// Summed nanoseconds producers spent blocked.
+    pub push_stall_ns: u64,
+    /// Summed nanoseconds consumers spent blocked.
+    pub pop_stall_ns: u64,
+    /// log2 histogram of individual push-stall durations.
+    pub push_stall_hist: Hist,
+    /// log2 histogram of individual pop-stall durations.
+    pub pop_stall_hist: Hist,
 }
 
 #[cfg(test)]
@@ -345,14 +428,15 @@ mod tests {
     }
 
     #[test]
-    fn push_stalls_and_pop_waits_are_counted_once_per_call() {
+    fn push_stalls_and_pop_stalls_are_counted_once_per_call() {
         let rb = RingBuffer::new(1);
 
         // Unblocked traffic: no stalls, no waits.
         rb.push(0u32).unwrap();
         rb.pop().unwrap();
         let m = rb.metrics();
-        assert_eq!((m.push_stalls, m.pop_waits), (0, 0));
+        assert_eq!((m.push_stalls, m.pop_stalls), (0, 0));
+        assert_eq!((m.push_stall_ns, m.pop_stall_ns), (0, 0));
 
         // A push into a full buffer stalls exactly once, even though the
         // condvar may wake it spuriously several times.
@@ -370,11 +454,17 @@ mod tests {
         let rb2 = rb.clone();
         let consumer = std::thread::spawn(move || rb2.pop());
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(rb.metrics().pop_waits, 1);
+        assert_eq!(rb.metrics().pop_stalls, 1);
         rb.push(3).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(3));
         let m = rb.metrics();
-        assert_eq!((m.push_stalls, m.pop_waits), (1, 1));
+        assert_eq!((m.push_stalls, m.pop_stalls), (1, 1));
+        // Each stall blocked for ~30 ms; the durations must be recorded
+        // in the totals and the histograms.
+        assert!(m.push_stall_ns >= 1_000_000, "push stall too short: {m:?}");
+        assert!(m.pop_stall_ns >= 1_000_000, "pop stall too short: {m:?}");
+        assert_eq!(m.push_stall_hist.total(), 1);
+        assert_eq!(m.pop_stall_hist.total(), 1);
     }
 
     #[test]
@@ -399,5 +489,78 @@ mod tests {
         let m = rb.metrics();
         assert_eq!(m.high_water, 2);
         assert!(m.push_stalls > 0, "fast producer never stalled: {m:?}");
+        assert_eq!(
+            m.push_stall_hist.total(),
+            m.push_stalls,
+            "one histogram sample per stall"
+        );
+        assert!(m.push_stall_ns > 0);
+    }
+
+    #[test]
+    fn wait_spans_land_on_the_ambient_track() {
+        use ct_obs::{Recorder, ThreadRole};
+
+        let rec = Recorder::trace();
+        let rb = RingBuffer::with_wait_spans(1, "ring.test.push_wait", "ring.test.pop_wait");
+
+        // Consumer (this thread) waits on an empty buffer with an ambient
+        // track bound; producer fills it after a delay.
+        let producer = {
+            let rb = rb.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                rb.push(7u32).unwrap();
+            })
+        };
+        {
+            let track = rec.track(3, ThreadRole::Main);
+            let _cur = ct_obs::current::set_current(&track);
+            assert_eq!(rb.pop(), Some(7));
+        }
+        producer.join().unwrap();
+
+        let data = rec.collect();
+        let waits: Vec<_> = data
+            .events
+            .iter()
+            .filter(|e| e.name == "ring.test.pop_wait")
+            .collect();
+        assert_eq!(waits.len(), 1, "one stall, one span: {:?}", data.events);
+        assert_eq!(waits[0].rank, 3);
+        assert_eq!(waits[0].role, ThreadRole::Main);
+        assert_eq!(waits[0].index, Some(0));
+        assert!(
+            waits[0].dur_ns >= 1_000_000,
+            "span must cover the ~20 ms wait"
+        );
+        let m = rb.metrics();
+        assert_eq!(m.pop_stalls, 1);
+    }
+
+    #[test]
+    fn unnamed_buffers_record_no_spans() {
+        use ct_obs::{Recorder, ThreadRole};
+
+        let rec = Recorder::trace();
+        let rb = RingBuffer::new(1);
+        let producer = {
+            let rb = rb.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                rb.push(1u32).unwrap();
+            })
+        };
+        {
+            let track = rec.track(0, ThreadRole::Main);
+            let _cur = ct_obs::current::set_current(&track);
+            assert_eq!(rb.pop(), Some(1));
+        }
+        producer.join().unwrap();
+        assert!(
+            rec.collect().events.is_empty(),
+            "plain RingBuffer::new must stay span-silent"
+        );
+        assert_eq!(rb.metrics().pop_stalls, 1, "metrics still count the stall");
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-examples --bin distributed_reconstruction -- \
-//!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json]
+//!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json] [--analyze]
 //! ```
 //!
 //! Launches `rows x cols` ranks (threads), each running the three-thread
@@ -17,6 +17,12 @@
 //! `chrome://tracing`): one process per rank, one lane per pipeline
 //! thread. A model-vs-measured table (paper Eqs. 8-19) is printed either
 //! way.
+//!
+//! With `--analyze` (implies trace capture) the run is followed by the
+//! offline pipeline analysis: critical path through the
+//! filter→AllGather→back-projection dependency graph, per-lane
+//! busy/stall/idle utilization, ring-stall attribution and the Eq.-19
+//! overlap-efficiency figure.
 
 use ct_core::forward::project_all_analytic;
 use ct_core::metrics::nrmse;
@@ -29,7 +35,7 @@ use ifdk::distributed::{download_volume, upload_projections};
 use ifdk::{
     model_divergence, reconstruct, reconstruct_distributed, DistConfig, RankGrid, ReconOptions,
 };
-use ifdk_examples::{arg_str, arg_usize, ascii_slice, print_table};
+use ifdk_examples::{arg_flag, arg_str, arg_usize, ascii_slice, print_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,6 +44,7 @@ fn main() {
     let rows = arg_usize(&args, "rows", 4);
     let cols = arg_usize(&args, "cols", 4);
     let trace_path = arg_str(&args, "trace");
+    let analyze = arg_flag(&args, "analyze");
 
     let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
     let grid = RankGrid::new(rows, cols).expect("valid grid");
@@ -53,9 +60,9 @@ fn main() {
     upload_projections(&input, &stack).expect("upload");
 
     // Distributed reconstruction. Summary-mode observability is on by
-    // default; --trace upgrades to full span capture.
+    // default; --trace or --analyze upgrades to full span capture.
     let mut cfg = DistConfig::new(geo.clone(), grid);
-    if trace_path.is_some() {
+    if trace_path.is_some() || analyze {
         cfg.obs = ct_obs::Recorder::trace();
     }
     let output = PfsStore::memory();
@@ -106,6 +113,14 @@ fn main() {
     .expect("model input is valid");
     println!("\nmodel (ABCI constants) vs. measured (this machine):");
     print!("{div}");
+
+    if analyze {
+        let a = report
+            .pipeline_analysis()
+            .expect("trace-mode capture analyzes");
+        println!("\ncritical-path & overlap analysis (offline, from the capture):");
+        print!("{a}");
+    }
 
     if let Some(path) = &trace_path {
         let json = ct_obs::chrome::to_chrome_json(&report.trace);

@@ -50,6 +50,11 @@ pub fn arg_str(args: &[String], key: &str) -> Option<String> {
         .map(|w| w[1].clone())
 }
 
+/// True when the bare flag `--key` is present.
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{key}"))
+}
+
 /// Simple column-aligned table printer.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -100,5 +105,7 @@ mod tests {
         assert_eq!(arg_usize(&args, "missing", 7), 7);
         assert_eq!(arg_str(&args, "size").as_deref(), Some("32"));
         assert_eq!(arg_str(&args, "missing"), None);
+        assert!(arg_flag(&args, "size"));
+        assert!(!arg_flag(&args, "analyze"));
     }
 }

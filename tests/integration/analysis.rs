@@ -1,0 +1,233 @@
+//! Pipeline-analysis integration tests: the invariants of
+//! `ct_obs::analysis` over generated trace families, and the full
+//! capture → export → re-import → analyze loop on a real distributed
+//! run.
+
+use ct_obs::analysis::PipelineAnalysis;
+use ct_obs::{Recorder, SpanDeps, SpanEvent, ThreadRole, TraceData};
+use ct_pfs::PfsStore;
+use ifdk::distributed::upload_projections;
+use ifdk::{reconstruct_distributed, DistConfig, RankGrid};
+use ifdk_integration_tests::scene;
+
+fn ev(
+    rank: u32,
+    role: ThreadRole,
+    name: &'static str,
+    start: u64,
+    end: u64,
+    index: u64,
+    deps: Option<SpanDeps>,
+) -> SpanEvent {
+    SpanEvent {
+        rank,
+        role,
+        name,
+        start_ns: start,
+        dur_ns: end - start,
+        index: Some(index),
+        bytes: None,
+        deps,
+    }
+}
+
+/// Deterministic pseudo-random stream (xorshift64*) so the generated
+/// trace family is reproducible without a rand dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) % bound.max(1)
+    }
+}
+
+/// A random-but-valid three-lane pipeline on `ranks` ranks: per rank,
+/// `n` filter spans, each feeding an allgather, allgathers feeding
+/// back-projection batches of 2, with random jitter between spans.
+fn random_pipeline(seed: u64, ranks: u32, n: u64) -> TraceData {
+    let mut rng = Rng(seed | 1);
+    let mut data = TraceData::default();
+    for rank in 0..ranks {
+        let mut t = rng.next(50);
+        let mut filter_ends = Vec::new();
+        for i in 0..n {
+            let start = t + rng.next(20);
+            let end = start + 1 + rng.next(30);
+            data.events
+                .push(ev(rank, ThreadRole::Filter, "filter", start, end, i, None));
+            filter_ends.push(end);
+            t = end;
+        }
+        let mut ag_ends = Vec::new();
+        for i in 0..n {
+            let start = filter_ends[i as usize] + rng.next(15);
+            let start = start.max(ag_ends.last().copied().unwrap_or(0));
+            let end = start + 1 + rng.next(25);
+            data.events.push(ev(
+                rank,
+                ThreadRole::Main,
+                "allgather",
+                start,
+                end,
+                i,
+                Some(SpanDeps {
+                    stage: "filter",
+                    lo: i,
+                    hi: i,
+                }),
+            ));
+            ag_ends.push(end);
+        }
+        for (b, pair) in ag_ends.chunks(2).enumerate() {
+            let lo = 2 * b as u64;
+            let hi = lo + pair.len() as u64 - 1;
+            let start = *pair.last().unwrap() + rng.next(10);
+            let end = start + 1 + rng.next(40);
+            data.events.push(ev(
+                rank,
+                ThreadRole::Backprojection,
+                "backprojection",
+                start,
+                end,
+                b as u64,
+                Some(SpanDeps {
+                    stage: "allgather",
+                    lo,
+                    hi,
+                }),
+            ));
+        }
+    }
+    data
+}
+
+#[test]
+fn ordering_invariant_holds_over_a_trace_family() {
+    // max_stage <= critical_path <= wall, for every generated pipeline.
+    for seed in 1..=40u64 {
+        let data = random_pipeline(seed, 1 + (seed % 4) as u32, 3 + seed % 5);
+        let a = PipelineAnalysis::from_trace(&data).unwrap();
+        assert!(
+            a.max_stage_ns <= a.critical_path_ns,
+            "seed {seed}: max stage {} > critical path {}",
+            a.max_stage_ns,
+            a.critical_path_ns
+        );
+        assert!(
+            a.critical_path_ns <= a.wall_ns,
+            "seed {seed}: critical path {} > wall {}",
+            a.critical_path_ns,
+            a.wall_ns
+        );
+        assert!(a.overlap_efficiency > 0.0 && a.overlap_efficiency <= 1.0);
+    }
+}
+
+#[test]
+fn lane_time_decomposes_into_busy_stall_and_bubbles() {
+    // Per lane: busy + stall + bubble time covers the wall exactly.
+    for seed in 1..=40u64 {
+        let data = random_pipeline(seed, 2, 4);
+        let a = PipelineAnalysis::from_trace(&data).unwrap();
+        for l in &a.lanes {
+            let bubbles: u64 = l.bubbles.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(
+                l.busy_ns + l.stall_ns + bubbles,
+                a.wall_ns,
+                "seed {seed}, rank {} {:?}: lane time does not decompose",
+                l.rank,
+                l.role
+            );
+            assert_eq!(l.idle_ns, bubbles);
+        }
+    }
+}
+
+#[test]
+fn critical_path_is_chronological_and_measures_its_own_chain() {
+    for seed in 1..=20u64 {
+        let data = random_pipeline(seed, 2, 4);
+        let a = PipelineAnalysis::from_trace(&data).unwrap();
+        let path = &a.critical_path;
+        assert!(!path.is_empty());
+        // Steps never end later than their successor ends, and only the
+        // first step is an origin.
+        for w in path.windows(2) {
+            assert!(w[0].start_ns + w[0].dur_ns <= w[1].start_ns + w[1].dur_ns);
+        }
+        assert!(path[1..]
+            .iter()
+            .all(|s| s.edge != ct_obs::analysis::EdgeKind::Origin));
+        // critical_path_ns is exactly the chain's covered time: each
+        // step contributes its interval minus the overlap with its
+        // predecessor's end.
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for s in path.iter() {
+            let end = s.start_ns + s.dur_ns;
+            covered += end - s.start_ns.max(prev_end).min(end);
+            prev_end = end;
+        }
+        assert_eq!(covered, a.critical_path_ns, "seed {seed}");
+    }
+}
+
+#[test]
+fn perfectly_collapsed_pipeline_scores_one() {
+    // A single lane with back-to-back spans: the wall IS the stage, so
+    // overlap efficiency is exactly 1.0 and there are no bubbles.
+    let mut data = TraceData::default();
+    for i in 0..6u64 {
+        data.events.push(ev(
+            0,
+            ThreadRole::Filter,
+            "filter",
+            i * 10,
+            (i + 1) * 10,
+            i,
+            None,
+        ));
+    }
+    let a = PipelineAnalysis::from_trace(&data).unwrap();
+    assert_eq!(a.wall_ns, 60);
+    assert_eq!(a.max_stage_ns, 60);
+    assert_eq!(a.critical_path_ns, 60);
+    assert!((a.overlap_efficiency - 1.0).abs() < 1e-12);
+    assert!(a.lanes.iter().all(|l| l.bubbles.is_empty()));
+    assert!(a.meets_overlap(1.0));
+}
+
+#[test]
+fn real_distributed_capture_analyzes_and_survives_reimport() {
+    let (geo, _, stack) = scene(16, 32);
+    let input = PfsStore::memory();
+    upload_projections(&input, &stack).unwrap();
+    let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+    cfg.obs = Recorder::trace();
+    let output = PfsStore::memory();
+    let report = reconstruct_distributed(&cfg, &input, &output).unwrap();
+
+    let a = report.pipeline_analysis().expect("trace mode analyzes");
+    assert!(a.max_stage_ns <= a.critical_path_ns);
+    assert!(a.critical_path_ns <= a.wall_ns);
+    assert!(a.overlap_efficiency > 0.0 && a.overlap_efficiency <= 1.0);
+    // Every (rank, role) lane of the 2x2 grid appears.
+    assert_eq!(a.lanes.len(), 4 * 3);
+    let r = a.report();
+    assert!(r.contains("overlap efficiency"));
+    assert!(r.contains("per-lane utilization"));
+
+    // Export -> parse -> analyze must reproduce the same figures: the
+    // tracereport gate sees exactly what the in-process analysis saw.
+    let json = ct_obs::chrome::to_chrome_json(&report.trace);
+    let reimported = ct_obs::chrome::parse_trace(&json).expect("exporter output parses");
+    let b = PipelineAnalysis::from_trace(&reimported).expect("reimported trace analyzes");
+    assert_eq!(a.wall_ns, b.wall_ns);
+    assert_eq!(a.max_stage_ns, b.max_stage_ns);
+    assert_eq!(a.critical_path_ns, b.critical_path_ns);
+    assert_eq!(a.stalls, b.stalls);
+    assert_eq!(a.lanes, b.lanes);
+}
