@@ -5,6 +5,8 @@
 //! table and, with `--json <path>`, also write the datapoints as
 //! [`ifdk::report::RunReport`] JSON for EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use ct_core::geometry::CbctGeometry;
 use ct_core::problem::{Dims2, Dims3, ReconProblem};
 use ct_core::projection::{ProjectionImage, ProjectionStack};

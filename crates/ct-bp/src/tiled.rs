@@ -24,8 +24,8 @@ use ct_core::geometry::ProjectionMatrix;
 use ct_core::problem::Dims3;
 use ct_core::projection::{ProjectionStack, TransposedProjection};
 use ct_core::volume::{Volume, VolumeLayout};
+use ct_obs::clock::{self, Instant};
 use ct_par::Pool;
-use std::time::Instant;
 
 /// Tile-shape configuration for the blocked driver. A field set to `0`
 /// means "choose automatically" from the problem shape and pool width.
@@ -224,14 +224,14 @@ pub fn backproject_pair_tiled_reporting<S: Sampler>(
     // which worker runs the tile.
     let pieces: Vec<Option<(Volume, TileReport)>> = pool.parallel_map(tiles.len(), 1, |t| {
         let tile = tiles[t];
-        let started = Instant::now();
+        let started = clock::now();
         let vol = accumulate_tile(&tile, &rows, samplers, nv, ny, batch);
         Some((
             vol,
             TileReport {
                 tile,
                 started,
-                finished: Instant::now(),
+                finished: clock::now(),
             },
         ))
     });

@@ -6,10 +6,11 @@
 //! early arrivals), preserving per-(src, tag) FIFO order.
 
 use crate::stats::{StatsCell, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use ct_obs::clock;
+use ct_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ct_sync::Mutex;
 use std::any::Any;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Type-erased message payload.
 pub type Payload = Box<dyn Any + Send>;
@@ -114,9 +115,9 @@ impl Fabric {
             }
         }
         // Then drain the inbox until a match arrives or time runs out.
-        let deadline = Instant::now() + timeout;
+        let deadline = clock::now() + timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(clock::now());
             match mbox.rx.recv_timeout(remaining) {
                 Ok(env) => {
                     if env.src == src && env.comm == comm && env.tag == tag {

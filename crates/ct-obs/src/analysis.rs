@@ -285,8 +285,18 @@ impl PipelineAnalysis {
         if data.events.is_empty() {
             return None;
         }
-        let t0 = data.events.iter().map(|e| e.start_ns).min().unwrap();
-        let t1 = data.events.iter().map(|e| e.end_ns()).max().unwrap();
+        let t0 = data
+            .events
+            .iter()
+            .map(|e| e.start_ns)
+            .min()
+            .expect("events non-empty");
+        let t1 = data
+            .events
+            .iter()
+            .map(|e| e.end_ns())
+            .max()
+            .expect("events non-empty");
         let wall_ns = t1 - t0;
 
         // ---- group events per (rank, role) lane -------------------------
@@ -388,7 +398,7 @@ impl PipelineAnalysis {
             .iter()
             .map(|l| (l.busy_ns, (l.rank, l.role)))
             .max()
-            .unwrap();
+            .expect("at least one lane when events exist");
 
         // ---- critical path: heaviest chain in the dependency graph ------
         // The grid shape, when the run recorded it, turns AllGather and

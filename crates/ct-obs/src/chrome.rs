@@ -702,7 +702,7 @@ pub mod json {
                         // Copy one UTF-8 character verbatim.
                         let rest = std::str::from_utf8(&self.bytes[self.pos..])
                             .map_err(|_| "invalid utf-8".to_string())?;
-                        let c = rest.chars().next().unwrap();
+                        let c = rest.chars().next().expect("rest is non-empty");
                         out.push(c);
                         self.pos += c.len_utf8();
                     }

@@ -1,0 +1,37 @@
+//! The workspace's one blessed monotonic clock.
+//!
+//! Every wall-clock read outside this crate flows through [`now`] so that
+//! trace capture, replay and offline analysis stay attributable to a
+//! single time source. The repo-wide `raw-clock` lint (`cargo xtask
+//! lint`) enforces this: `Instant::now()` and `SystemTime` are banned
+//! everywhere except `ct-obs` itself and the `bench` harness, which keeps
+//! "who measured what, when" auditable and leaves one seam to virtualise
+//! time behind if deterministic replay ever needs it.
+
+pub use std::time::{Duration, Instant};
+
+/// Read the monotonic clock.
+///
+/// Exactly `Instant::now()` today; the indirection is the point — callers
+/// that time work (`ct-par` stage timers, `ct-bp` tile reports, `ct-comm`
+/// receive deadlines, the distributed driver) name this function instead
+/// of the std clock, so the lint can prove no stray time source feeds the
+/// pipeline's observations.
+#[inline]
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        assert!(a.elapsed() >= Duration::ZERO);
+    }
+}

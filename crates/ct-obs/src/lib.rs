@@ -53,6 +53,7 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod clock;
 pub mod current;
 pub mod divergence;
 pub mod recorder;

@@ -33,8 +33,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use ct_sync::cursor::ChunkCursor;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod stats;
 
@@ -88,17 +88,14 @@ impl Pool {
             }
             return;
         }
-        let cursor = AtomicUsize::new(0);
+        let cursor = ChunkCursor::new(n, grain);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + grain).min(n);
-                    for i in start..end {
-                        f(i);
+                s.spawn(|| {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            f(i);
+                        }
                     }
                 });
             }
@@ -137,10 +134,11 @@ impl Pool {
             return;
         }
         // Pre-split the buffer into disjoint chunks, then let workers claim
-        // them through a shared atomic cursor. The Option-in-Mutex is only
-        // there to move the &mut slice out; it is uncontended (each index is
-        // claimed exactly once).
-        type ChunkSlot<'a, T> = parking_lot::Mutex<Option<(usize, &'a mut [T])>>;
+        // them through a shared cursor. The Option-in-Mutex is only there to
+        // move the &mut slice out; it is uncontended (each index is claimed
+        // exactly once — the exactly-once handoff is model-checked in
+        // crates/ct-sync/tests/loom_cursor.rs).
+        type ChunkSlot<'a, T> = ct_sync::Mutex<Option<(usize, &'a mut [T])>>;
         let chunks: Vec<ChunkSlot<'_, T>> = {
             let mut out = Vec::with_capacity(n.div_ceil(chunk_len));
             let mut offset = 0;
@@ -148,22 +146,20 @@ impl Pool {
             while !rest.is_empty() {
                 let take = chunk_len.min(rest.len());
                 let (head, tail) = rest.split_at_mut(take);
-                out.push(parking_lot::Mutex::new(Some((offset, head))));
+                out.push(ct_sync::Mutex::new(Some((offset, head))));
                 offset += take;
                 rest = tail;
             }
             out
         };
-        let cursor = AtomicUsize::new(0);
+        let cursor = ChunkCursor::new(chunks.len(), 1);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= chunks.len() {
-                        break;
-                    }
-                    if let Some((start, chunk)) = chunks[idx].lock().take() {
-                        f(idx, start, chunk);
+                s.spawn(|| {
+                    while let Some(idx) = cursor.claim_one() {
+                        if let Some((start, chunk)) = chunks[idx].lock().take() {
+                            f(idx, start, chunk);
+                        }
                     }
                 });
             }
@@ -202,7 +198,7 @@ impl Pool {
             }
             return acc;
         }
-        let cursor = AtomicUsize::new(0);
+        let cursor = ChunkCursor::new(n, grain);
         let partials = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -212,13 +208,8 @@ impl Pool {
                         let f = &f;
                         move || {
                             let mut acc = init;
-                            loop {
-                                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                                if start >= n {
-                                    break;
-                                }
-                                let end = (start + grain).min(n);
-                                for i in start..end {
+                            while let Some(range) = cursor.claim() {
+                                for i in range {
                                     acc = combine(acc, f(i));
                                 }
                             }
@@ -263,7 +254,7 @@ impl Default for Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn pool_sizes() {

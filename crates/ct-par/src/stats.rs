@@ -4,9 +4,10 @@
 //! Figure 4c). [`StageTimer`] collects wall-clock samples per named stage
 //! from any thread; [`TimingReport`] summarises them.
 
-use parking_lot::Mutex;
+use ct_obs::clock;
+use ct_sync::Mutex;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Thread-safe accumulator of named stage timings.
 #[derive(Debug, Default)]
@@ -32,7 +33,7 @@ impl StageTimer {
     /// Time the closure and record the elapsed duration under `stage`,
     /// returning the closure's result.
     pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let r = f();
         self.record(stage, t0.elapsed());
         r

@@ -30,8 +30,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
-use parking_lot::Mutex;
+use ct_sync::Mutex;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::PathBuf;

@@ -1,0 +1,291 @@
+//! Unbounded MPMC channel over the facade's [`Mutex`]/[`Condvar`].
+//!
+//! API-compatible with the subset of `crossbeam_channel` the pipeline
+//! uses (`unbounded`, `Sender::send`, `Receiver::recv` /
+//! `recv_timeout`, disconnect-on-last-drop semantics), so the comm
+//! fabric needs only an import swap — and because it is built from the
+//! facade primitives, the same code is explored by the loom-mode model
+//! checker.
+
+use crate::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+#[cfg(not(loom))]
+use ct_obs::clock;
+#[cfg(not(loom))]
+use std::time::Duration;
+
+/// Sending on a channel whose receivers have all been dropped returns
+/// the message back to the caller.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Manual impl so `expect()` works on `send()` results even when the
+// payload is not `Debug` (the payload is deliberately not printed).
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Receiving on a channel that is empty with every sender dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Outcome of a non-blocking receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now; senders still exist.
+    Empty,
+    /// Empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Outcome of a bounded-time receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel is empty"),
+            TryRecvError::Disconnected => f.write_str("channel is empty with no senders"),
+        }
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty with no senders"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    st: Mutex<ChanState<T>>,
+    cv: Condvar,
+}
+
+/// The sending half; clone freely, drop to disconnect.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; clone freely, drop to disconnect.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        st: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`. Fails (returning the value) only when every
+    /// receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.st.lock();
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.st.lock().senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.st.lock();
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            // Blocked receivers must observe the disconnect.
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest message, blocking while the channel is empty
+    /// and senders remain.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.st.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            self.chan.cv.wait(&mut st);
+        }
+    }
+
+    /// Dequeue the oldest message if one is ready, without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.st.lock();
+        match st.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Like [`Receiver::recv`], but give up after `timeout`.
+    ///
+    /// Not available in loom builds: the model checker does not model
+    /// time, so bounded waits have no meaning under it.
+    #[cfg(not(loom))]
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = clock::now() + timeout;
+        let mut st = self.chan.st.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(clock::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            self.chan.cv.wait_timeout(&mut st, remaining);
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.st.lock().receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.st.lock().receivers -= 1;
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..4 {
+            tx.send(i).expect("receiver is live");
+        }
+        assert_eq!(
+            (0..4)
+                .map(|_| rx.recv().expect("queued"))
+                .collect::<Vec<i32>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn recv_observes_sender_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).expect("receiver is live");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9), "queued messages drain after disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(1).expect("receiver is live");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<u64>();
+        let h = std::thread::spawn(move || rx.recv());
+        tx.send(77).expect("receiver is live");
+        assert_eq!(h.join().expect("receiver thread"), Ok(77));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u64>();
+        let h = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(h.join().expect("receiver thread"), Err(RecvError));
+    }
+}

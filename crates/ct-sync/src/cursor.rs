@@ -1,0 +1,132 @@
+//! Lock-free work-claiming cursor for data-parallel loops.
+//!
+//! `ct_par` fans a pool of workers over `n` items (or chunks); each
+//! worker repeatedly claims the next unclaimed range until the cursor is
+//! exhausted. The protocol's whole correctness burden — every index
+//! claimed exactly once, no index skipped, workers never deadlock — sits
+//! in this one type, which is why it lives in the facade where the loom
+//! build can exhaustively check it (`tests/loom_cursor.rs`).
+
+use crate::atomic::{AtomicUsize, Ordering};
+use std::ops::Range;
+
+/// A monotone claim cursor over `0..n` in strides of `grain`.
+#[derive(Debug)]
+pub struct ChunkCursor {
+    next: AtomicUsize,
+    n: usize,
+    grain: usize,
+}
+
+impl ChunkCursor {
+    /// Cursor over `0..n`, claiming up to `grain` items at a time.
+    /// A `grain` of 0 is treated as 1.
+    pub fn new(n: usize, grain: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            n,
+            grain: grain.max(1),
+        }
+    }
+
+    /// Total number of items the cursor covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cursor covers no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Claim the next unclaimed range, or `None` once `0..n` is covered.
+    ///
+    /// `fetch_add` makes each claim unique: two workers can never
+    /// receive overlapping ranges, and the union of all returned ranges
+    /// is exactly `0..n`. `Relaxed` suffices because the returned range
+    /// is the only communication — workers touch disjoint data.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some(start..self.n.min(start + self.grain))
+    }
+
+    /// Claim a single index; equivalent to `claim()` with a grain of 1
+    /// (use one style per cursor, not both).
+    pub fn claim_one(&self) -> Option<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        (idx < self.n).then_some(idx)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_cover_exactly_once() {
+        let cursor = ChunkCursor::new(10, 3);
+        let mut seen = vec![0u32; 10];
+        while let Some(range) = cursor.claim() {
+            for i in range {
+                seen[i] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index claimed once: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn zero_grain_behaves_as_one() {
+        let cursor = ChunkCursor::new(2, 0);
+        assert_eq!(cursor.claim(), Some(0..1));
+        assert_eq!(cursor.claim(), Some(1..2));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn empty_cursor_yields_nothing() {
+        let cursor = ChunkCursor::new(0, 4);
+        assert!(cursor.is_empty());
+        assert_eq!(cursor.claim(), None);
+        assert_eq!(cursor.claim_one(), None);
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint() {
+        use std::sync::Arc;
+        let cursor = Arc::new(ChunkCursor::new(1000, 7));
+        let counts = Arc::new(
+            (0..1000)
+                .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cursor = Arc::clone(&cursor);
+                let counts = Arc::clone(&counts);
+                std::thread::spawn(move || {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            counts[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("claim worker");
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "index {i} claimed exactly once"
+            );
+        }
+    }
+}

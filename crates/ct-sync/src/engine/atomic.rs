@@ -1,0 +1,109 @@
+//! Model-checked atomic integers.
+//!
+//! Every operation is a schedule point, so the explorer interleaves
+//! peers around each access. Exploration is sequentially consistent: the
+//! `Ordering` argument is accepted for API parity but not used to weaken
+//! the search — a property that holds under SC but *relies* on a relaxed
+//! ordering for cross-location visibility is outside this checker's
+//! power (DESIGN.md §"Verification" discusses the gap).
+
+use super::current;
+pub use std::sync::atomic::Ordering;
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $int:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            pub fn new(v: $int) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            /// Load the value; a schedule point.
+            pub fn load(&self, _order: Ordering) -> $int {
+                current().exec.schedule_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Store a value; a schedule point.
+            pub fn store(&self, v: $int, _order: Ordering) {
+                current().exec.schedule_point();
+                self.inner.store(v, Ordering::SeqCst);
+            }
+
+            /// Atomically swap, returning the previous value; a schedule
+            /// point.
+            pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                current().exec.schedule_point();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange; a schedule point.
+            pub fn compare_exchange(
+                &self,
+                cur: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                current().exec.schedule_point();
+                self.inner
+                    .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Read the value without a schedule point (the non-atomic
+            /// final read a test makes after joining its threads).
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $int:ty) => {
+        impl $name {
+            /// Atomically add, returning the previous value; a schedule
+            /// point.
+            pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                current().exec.schedule_point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Atomically subtract, returning the previous value; a
+            /// schedule point.
+            pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                current().exec.schedule_point();
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Model-checked [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+model_atomic!(
+    /// Model-checked [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+model_atomic!(
+    /// Model-checked [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    AtomicBool,
+    bool
+);
+model_atomic_int!(AtomicUsize, usize);
+model_atomic_int!(AtomicU64, u64);

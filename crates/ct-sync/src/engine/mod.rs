@@ -1,0 +1,555 @@
+//! The model-checking engine behind `--cfg loom` builds.
+//!
+//! One [`Execution`] runs the user's model closure once, under one
+//! specific thread schedule. Model threads are real OS threads, but only
+//! one ever executes at a time: every synchronisation operation (mutex
+//! acquire, condvar wait/notify, atomic access, spawn/join/finish) is a
+//! *schedule point* where the engine consults the recorded decision path
+//! and hands the single execution token to the chosen thread. The
+//! [`crate::model`] driver then enumerates decision paths depth-first,
+//! so a test closure is re-run under every distinct bounded-preemption
+//! interleaving.
+//!
+//! What the engine detects:
+//!
+//! * **Deadlocks / lost wakeups** — a state where no thread is runnable
+//!   but not all have finished aborts the whole model with a per-thread
+//!   state dump (a consumer parked on a condvar that nobody will ever
+//!   notify shows up here).
+//! * **Assertion failures** — a panic on any model thread under any
+//!   explored schedule is replayed out of [`crate::model::model`].
+//! * **Leaked threads** — the closure returning while spawned threads
+//!   are still live is a model bug and fails fast.
+//!
+//! Deliberate simplifications versus the `loom` crate (documented in
+//! DESIGN.md): interleavings are explored at sequential consistency
+//! (`Ordering` arguments are accepted but not weakened), condvar wakeups
+//! are FIFO and never spurious, and timeouts are not modelled.
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Allocates process-unique ids for model mutexes and condvars.
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// One decision in a schedule: which of `alts` runnable candidates was
+/// chosen at a multi-way schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Index into the candidate list that was (or will be) taken.
+    pub chosen: usize,
+    /// Number of candidates that were available at this point.
+    pub alts: usize,
+}
+
+/// Exploration limits; see [`crate::model::Config`] for the public face.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    pub preemption_bound: usize,
+    pub max_steps: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// Schedulable.
+    Ready,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(u64),
+    /// Parked on the condvar with this id.
+    BlockedCv(u64),
+    /// Waiting for the thread with this index to finish.
+    BlockedJoin(usize),
+    /// Returned from its closure.
+    Finished,
+}
+
+struct ExecState {
+    threads: Vec<RunState>,
+    /// The one thread holding the execution token.
+    active: usize,
+    /// Decision path: replayed prefix + decisions appended this run.
+    path: Vec<Node>,
+    /// Next index into `path` to replay.
+    depth: usize,
+    preemptions: usize,
+    steps: usize,
+    /// First panic payload; once set, every schedule point unwinds.
+    abort: Option<Box<dyn Any + Send>>,
+    /// Mutex id -> owning thread (if any).
+    mutexes: BTreeMap<u64, Option<usize>>,
+    /// Condvar id -> FIFO queue of parked thread ids.
+    cv_waiters: BTreeMap<u64, Vec<usize>>,
+}
+
+enum Picked {
+    /// A thread holds the token; keep going.
+    Run,
+    /// Every thread has finished; the execution is complete.
+    Complete,
+    /// No runnable thread but unfinished threads remain.
+    Deadlock,
+}
+
+/// One run of the model closure under one schedule.
+pub struct Execution {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+    limits: Limits,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The per-OS-thread binding to the execution it is acting in.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<Execution>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Ctx {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "ct-sync loom primitives used outside model(): \
+             wrap the test body in ct_sync::model::model(|| ...)"
+        )
+    })
+}
+
+pub(crate) fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Whether the calling OS thread is already bound to an execution.
+pub(crate) fn has_current() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Execution {
+    pub fn new(limits: Limits, path: Vec<Node>) -> Self {
+        Self {
+            st: StdMutex::new(ExecState {
+                threads: vec![RunState::Ready],
+                active: 0,
+                path,
+                depth: 0,
+                preemptions: 0,
+                steps: 0,
+                abort: None,
+                mutexes: BTreeMap::new(),
+                cv_waiters: BTreeMap::new(),
+            }),
+            cv: StdCondvar::new(),
+            limits,
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a panic payload (first one wins) and wake every thread so
+    /// the whole execution unwinds.
+    pub(crate) fn abort_with(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.lock_state();
+        if st.abort.is_none() {
+            st.abort = Some(payload);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn abort_message(&self, st: &mut ExecState, msg: String) {
+        if st.abort.is_none() {
+            st.abort = Some(Box::new(msg));
+        }
+    }
+
+    /// Choose the next thread to hold the execution token. Called with
+    /// the state lock held, by the thread that currently holds the token
+    /// (or is giving it up).
+    fn pick_next(&self, st: &mut ExecState) -> Picked {
+        st.steps += 1;
+        if st.steps > self.limits.max_steps {
+            self.abort_message(
+                st,
+                format!(
+                    "model exceeded {} schedule points in one execution — \
+                     livelock in the model, or raise CT_LOOM_MAX_STEPS",
+                    self.limits.max_steps
+                ),
+            );
+            return Picked::Deadlock;
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, RunState::Ready))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.threads.iter().all(|s| matches!(s, RunState::Finished)) {
+                return Picked::Complete;
+            }
+            let dump: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("thread {i}: {s:?}"))
+                .collect();
+            self.abort_message(
+                st,
+                format!(
+                    "deadlock: no runnable thread (lost wakeup?) — {}",
+                    dump.join(", ")
+                ),
+            );
+            return Picked::Deadlock;
+        }
+        let prev = st.active;
+        let prev_enabled = enabled.contains(&prev);
+        // Preemption bounding: once the budget is spent, a thread that
+        // can keep running does keep running. This is what makes the
+        // schedule space finite-small while still covering every
+        // "interrupted at the worst moment up to N times" scenario.
+        let cands = if prev_enabled && st.preemptions >= self.limits.preemption_bound {
+            vec![prev]
+        } else {
+            enabled
+        };
+        let chosen = if cands.len() == 1 {
+            cands[0]
+        } else {
+            let idx = if st.depth < st.path.len() {
+                let node = st.path[st.depth];
+                if node.alts != cands.len() {
+                    self.abort_message(
+                        st,
+                        format!(
+                            "nondeterministic model: schedule point {} had {} \
+                             candidates on replay but {} when first explored — \
+                             model closures must be deterministic apart from \
+                             thread interleaving",
+                            st.depth,
+                            cands.len(),
+                            node.alts
+                        ),
+                    );
+                    return Picked::Deadlock;
+                }
+                node.chosen
+            } else {
+                st.path.push(Node {
+                    chosen: 0,
+                    alts: cands.len(),
+                });
+                0
+            };
+            st.depth += 1;
+            cands[idx]
+        };
+        if prev_enabled && chosen != prev {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        Picked::Run
+    }
+
+    /// Panic out of a model thread once the execution is aborting. The
+    /// panic is caught by the thread's `catch_unwind` wrapper (or by
+    /// `model()` itself for thread 0).
+    fn unwind_abort(&self) -> ! {
+        panic!("ct-sync model execution aborted");
+    }
+
+    /// Park the calling OS thread until its model thread holds the token.
+    fn wait_for_token(&self, me: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                self.unwind_abort();
+            }
+            if st.active == me && matches!(st.threads[me], RunState::Ready) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain schedule point: the running thread stays runnable but the
+    /// scheduler may hand the token to a peer first.
+    pub(crate) fn schedule_point(&self) {
+        let me = current().tid;
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            drop(st);
+            self.unwind_abort();
+        }
+        match self.pick_next(&mut st) {
+            Picked::Run => {
+                if st.active == me {
+                    return;
+                }
+            }
+            Picked::Complete => return,
+            Picked::Deadlock => {
+                drop(st);
+                self.cv.notify_all();
+                self.unwind_abort();
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+        self.wait_for_token(me);
+    }
+
+    /// Move the calling thread into `blocked`, give up the token, and
+    /// return once the thread is scheduled again.
+    fn block_and_wait(&self, me: usize, blocked: RunState) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            drop(st);
+            self.unwind_abort();
+        }
+        st.threads[me] = blocked;
+        if let Picked::Deadlock = self.pick_next(&mut st) {
+            drop(st);
+            self.cv.notify_all();
+            self.unwind_abort();
+        }
+        drop(st);
+        self.cv.notify_all();
+        self.wait_for_token(me);
+    }
+
+    /// Acquire the model mutex `mid`, blocking (in model terms) while a
+    /// peer owns it.
+    pub(crate) fn mutex_acquire(&self, mid: u64) {
+        self.schedule_point();
+        let me = current().tid;
+        loop {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                self.unwind_abort();
+            }
+            let owner = st.mutexes.entry(mid).or_insert(None);
+            if owner.is_none() {
+                *owner = Some(me);
+                return;
+            }
+            drop(st);
+            self.block_and_wait(me, RunState::BlockedMutex(mid));
+        }
+    }
+
+    /// Release `mid` and make its waiters runnable. Never panics: guard
+    /// drops run during abort unwinding too.
+    pub(crate) fn mutex_release(&self, mid: u64) {
+        let mut st = self.lock_state();
+        st.mutexes.insert(mid, None);
+        for state in st.threads.iter_mut() {
+            if *state == RunState::BlockedMutex(mid) {
+                *state = RunState::Ready;
+            }
+        }
+        // The releaser keeps the token; the woken threads compete for the
+        // lock at the next schedule point (which in the wrappers always
+        // follows immediately — a notify, an atomic op, or Finish).
+    }
+
+    /// Atomically release `mid` and park on condvar `cvid`; reacquire
+    /// `mid` after being notified.
+    pub(crate) fn condvar_wait(&self, cvid: u64, mid: u64) {
+        let me = current().tid;
+        {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                self.unwind_abort();
+            }
+            st.mutexes.insert(mid, None);
+            for state in st.threads.iter_mut() {
+                if *state == RunState::BlockedMutex(mid) {
+                    *state = RunState::Ready;
+                }
+            }
+            st.cv_waiters.entry(cvid).or_default().push(me);
+            st.threads[me] = RunState::BlockedCv(cvid);
+            if let Picked::Deadlock = self.pick_next(&mut st) {
+                drop(st);
+                self.cv.notify_all();
+                self.unwind_abort();
+            }
+        }
+        self.cv.notify_all();
+        self.wait_for_token(me);
+        // Notified and scheduled: reacquire the mutex (competing with any
+        // peer that grabbed it first, exactly like a real condvar).
+        loop {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                self.unwind_abort();
+            }
+            let owner = st.mutexes.entry(mid).or_insert(None);
+            if owner.is_none() {
+                *owner = Some(me);
+                return;
+            }
+            drop(st);
+            self.block_and_wait(me, RunState::BlockedMutex(mid));
+        }
+    }
+
+    /// Wake the longest-parked waiter of `cvid`, if any.
+    pub(crate) fn condvar_notify_one(&self, cvid: u64) {
+        self.schedule_point();
+        let mut st = self.lock_state();
+        if let Some(waiters) = st.cv_waiters.get_mut(&cvid) {
+            if !waiters.is_empty() {
+                let tid = waiters.remove(0);
+                st.threads[tid] = RunState::Ready;
+            }
+        }
+    }
+
+    /// Wake every waiter of `cvid`.
+    pub(crate) fn condvar_notify_all(&self, cvid: u64) {
+        self.schedule_point();
+        let mut st = self.lock_state();
+        let woken: Vec<usize> = st
+            .cv_waiters
+            .get_mut(&cvid)
+            .map(|waiters| waiters.drain(..).collect())
+            .unwrap_or_default();
+        for tid in woken {
+            st.threads[tid] = RunState::Ready;
+        }
+    }
+
+    /// Register a new model thread; returns its id. The OS thread backing
+    /// it must call [`Execution::wait_for_token`] before running user
+    /// code.
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(RunState::Ready);
+        st.threads.len() - 1
+    }
+
+    fn adopt_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Mark `me` finished and schedule a successor. The OS thread exits
+    /// afterwards, so it does not wait for the token again.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return;
+        }
+        st.threads[me] = RunState::Finished;
+        for state in st.threads.iter_mut() {
+            if *state == RunState::BlockedJoin(me) {
+                *state = RunState::Ready;
+            }
+        }
+        if let Picked::Deadlock = self.pick_next(&mut st) {
+            drop(st);
+            self.cv.notify_all();
+            return; // exiting anyway; peers unwind via the abort flag
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Block until model thread `target` finishes.
+    pub(crate) fn join_thread(&self, target: usize) {
+        self.schedule_point();
+        let me = current().tid;
+        loop {
+            let st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                self.unwind_abort();
+            }
+            if matches!(st.threads[target], RunState::Finished) {
+                return;
+            }
+            drop(st);
+            self.block_and_wait(me, RunState::BlockedJoin(target));
+        }
+    }
+
+    /// Thread 0's closure returned: the execution is complete if and only
+    /// if every spawned thread was joined.
+    pub(crate) fn finish_main(&self) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return;
+        }
+        st.threads[0] = RunState::Finished;
+        let leaked: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, RunState::Finished))
+            .map(|(i, _)| i)
+            .collect();
+        if !leaked.is_empty() {
+            let msg = format!(
+                "model closure returned with live threads {leaked:?} — \
+                 join every spawned thread before the model body ends"
+            );
+            self.abort_message(&mut st, msg);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Join every OS thread backing a model thread. Safe to call once the
+    /// execution is complete or aborting: completion implies all model
+    /// threads finished, and the abort flag unparks every waiter.
+    pub(crate) fn join_os_threads(&self) {
+        let handles: Vec<_> = self
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            // A panicked model thread already recorded its payload via
+            // abort_with; the OS-level join result carries nothing new.
+            let _ = h.join();
+        }
+    }
+
+    /// The panic payload that aborted this execution, if any.
+    pub(crate) fn take_abort(&self) -> Option<Box<dyn Any + Send>> {
+        self.lock_state().abort.take()
+    }
+
+    /// The decision path after the run: the replayed prefix plus every
+    /// decision first explored during this execution.
+    pub(crate) fn final_path(&self) -> Vec<Node> {
+        self.lock_state().path.clone()
+    }
+}

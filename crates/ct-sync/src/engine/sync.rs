@@ -1,0 +1,126 @@
+//! Model-checked `Mutex`/`Condvar`, API-identical to `crate::std_sync`.
+//!
+//! Mutual exclusion is enforced by the scheduler (only the token-holding
+//! thread runs, and it only proceeds past `lock()` once it logically owns
+//! the mutex), so the inner `std::sync::Mutex` protecting the data is
+//! never contended — it exists to hand out `&mut T` without `unsafe`.
+
+use super::{current, next_object_id, Execution};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+
+/// A model-checked mutual-exclusion lock.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: u64,
+    data: std::sync::Mutex<T>,
+}
+
+/// RAII guard for the model [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    exec: Arc<Execution>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new model mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: next_object_id(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock; a schedule point.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ctx = current();
+        ctx.exec.mutex_acquire(self.id);
+        MutexGuard {
+            mx: self,
+            inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+            exec: ctx.exec,
+        }
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard slot is only empty inside Condvar::wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard slot is only empty inside Condvar::wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data guard before the logical unlock so the next
+        // logical owner's `data.lock()` cannot contend.
+        self.inner = None;
+        self.exec.mutex_release(self.mx.id);
+    }
+}
+
+/// A model-checked condition variable.
+#[derive(Debug)]
+pub struct Condvar {
+    id: u64,
+}
+
+impl Condvar {
+    /// Create a new model condvar.
+    pub fn new() -> Self {
+        Self {
+            id: next_object_id(),
+        }
+    }
+
+    /// Atomically release the guard's mutex and park until notified,
+    /// reacquiring the mutex before returning. Model wakeups are FIFO
+    /// and never spurious; callers still re-check their predicate in a
+    /// loop, exactly as the production build requires.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let exec = Arc::clone(&guard.exec);
+        guard.inner = None;
+        exec.condvar_wait(self.id, guard.mx.id);
+        guard.inner = Some(guard.mx.data.lock().unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wake the longest-parked waiter, if any; a schedule point.
+    pub fn notify_one(&self) {
+        current().exec.condvar_notify_one(self.id);
+    }
+
+    /// Wake every waiter; a schedule point.
+    pub fn notify_all(&self) {
+        current().exec.condvar_notify_all(self.id);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,82 @@
+//! Model-checked thread spawn/join.
+//!
+//! Each model thread is backed by a real OS thread, but it only executes
+//! while it holds the scheduler's token, so spawning here is how a test
+//! introduces concurrency *into the model* — the explorer interleaves it
+//! against its peers at every schedule point.
+
+use super::{current, set_current, Ctx, Execution};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+    exec: Arc<Execution>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model terms) for the thread to finish and return its
+    /// result. Mirrors [`std::thread::JoinHandle::join`]; a panic on the
+    /// target thread aborts the whole model instead of surfacing as
+    /// `Err`, so the `Err` arm is never constructed here.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.exec.join_thread(self.tid);
+        let result = self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("finished model thread stored its result");
+        Ok(result)
+    }
+}
+
+/// Spawn a model thread running `f`; a schedule point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = current();
+    let exec = Arc::clone(&ctx.exec);
+    let tid = exec.register_thread();
+    let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec2 = Arc::clone(&exec);
+    let os = std::thread::Builder::new()
+        .name(format!("ct-loom-{tid}"))
+        .spawn(move || {
+            set_current(Some(Ctx {
+                exec: Arc::clone(&exec2),
+                tid,
+            }));
+            // Park until first scheduled; if the execution aborts before
+            // that, skip the body entirely.
+            if catch_unwind(AssertUnwindSafe(|| exec2.wait_for_token(tid))).is_err() {
+                set_current(None);
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    exec2.finish_thread(tid);
+                }
+                Err(payload) => exec2.abort_with(payload),
+            }
+            set_current(None);
+        })
+        .expect("failed to spawn an OS thread for the model");
+    exec.adopt_os_handle(os);
+    // Registration itself is a visible action: give the scheduler the
+    // chance to run the new thread (or anyone else) right away.
+    exec.schedule_point();
+    JoinHandle { tid, slot, exec }
+}
+
+/// A bare schedule point, for models that want to widen exploration
+/// around a plain computation step.
+pub fn yield_now() {
+    current().exec.schedule_point();
+}

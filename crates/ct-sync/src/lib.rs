@@ -1,0 +1,63 @@
+//! # ct-sync — the synchronisation facade of iFDK-rs
+//!
+//! Every blocking primitive the pipeline relies on lives behind this one
+//! crate: the mutex/condvar pair coupling the three threads of a rank,
+//! the bounded [`ring::RingBuffer`] between them (paper Section 4.1.3,
+//! Figure 4a), the atomic [`cursor::ChunkCursor`] that `ct-par` steals
+//! work through, and the unbounded [`channel`] under `ct-comm`'s message
+//! fabric.
+//!
+//! The facade exists so the *same* code can be compiled two ways:
+//!
+//! * **Normally** (`cfg(not(loom))`): thin zero-cost wrappers over
+//!   `std::sync` with a `parking_lot`-style API — `lock()` returns the
+//!   guard directly, poisoning is swallowed (a panicking pipeline thread
+//!   already aborts the run; its peers must still be able to drain).
+//! * **Under `RUSTFLAGS="--cfg loom"`**: the primitives are replaced by
+//!   the in-repo [`model`] checker, which runs a test closure under
+//!   *every* bounded-preemption thread interleaving and fails on
+//!   deadlocks, lost wakeups and violated assertions. See
+//!   `tests/loom_ring.rs` and `tests/loom_cursor.rs`.
+//!
+//! The model engine is implemented here rather than pulled from the
+//! `loom` crate so the whole verification story — like the rest of this
+//! workspace's substrate crates — has no registry dependencies and runs
+//! offline. Its scope is narrower than loom's (sequentially consistent
+//! exploration only, FIFO condvar wakeups, no spurious wakeups, no
+//! modelled timeouts); DESIGN.md §"Verification" spells out what that
+//! does and does not prove.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod cursor;
+pub mod ring;
+
+#[cfg(not(loom))]
+mod std_sync;
+#[cfg(not(loom))]
+pub use std_sync::{Condvar, Mutex, MutexGuard};
+
+/// Atomic integer types with interleaving-aware loom replacements.
+#[cfg(not(loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning, routed through the model scheduler under loom.
+#[cfg(not(loom))]
+pub mod thread {
+    pub use std::thread::{spawn, JoinHandle};
+}
+
+#[cfg(loom)]
+mod engine;
+#[cfg(loom)]
+pub mod model;
+#[cfg(loom)]
+pub use engine::atomic;
+#[cfg(loom)]
+pub use engine::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+pub use engine::thread;

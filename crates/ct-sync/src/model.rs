@@ -1,0 +1,134 @@
+//! The exhaustive-schedule test driver for `--cfg loom` builds.
+//!
+//! [`model`] runs a closure repeatedly, once per distinct bounded-
+//! preemption thread schedule, using the depth-first path enumeration in
+//! [`crate::engine`]. A test written against the `ct_sync` facade needs
+//! no changes beyond being wrapped:
+//!
+//! ```ignore
+//! ct_sync::model::model(|| {
+//!     let ring = std::sync::Arc::new(RingBuffer::new(1));
+//!     // spawn ct_sync::thread threads, assert invariants...
+//! });
+//! ```
+//!
+//! Any panic (assertion failure, detected deadlock, lost wakeup, leaked
+//! thread) under any explored schedule is replayed out of `model` after
+//! printing which schedule failed.
+
+use crate::engine::{set_current, Ctx, Execution, Limits, Node};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration bounds. The defaults are tuned so every model in
+/// `tests/loom_*.rs` finishes in seconds; override via environment for
+/// deeper sweeps (`CT_LOOM_PREEMPTIONS`, `CT_LOOM_MAX_SCHEDULES`,
+/// `CT_LOOM_MAX_STEPS`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution. 2 covers the
+    /// overwhelming majority of real concurrency bugs while keeping the
+    /// schedule count tractable.
+    pub preemptions: usize,
+    /// Abort the whole model if more schedules than this are explored.
+    pub max_schedules: usize,
+    /// Abort one execution if it passes more schedule points than this
+    /// (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Config {
+    /// Defaults, overridable from the environment.
+    pub fn from_env() -> Self {
+        fn read(name: &str, default: usize) -> usize {
+            match std::env::var(name) {
+                Ok(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} must be a non-negative integer, got {v:?}")),
+                Err(_) => default,
+            }
+        }
+        Self {
+            preemptions: read("CT_LOOM_PREEMPTIONS", 2),
+            max_schedules: read("CT_LOOM_MAX_SCHEDULES", 100_000),
+            max_steps: read("CT_LOOM_MAX_STEPS", 100_000),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Run `f` under every distinct thread schedule within the environment-
+/// configured bounds. Panics if `f` panics (or deadlocks, loses a
+/// wakeup, or leaks a thread) under any of them.
+pub fn model<F: Fn()>(f: F) {
+    model_with(Config::from_env(), f);
+}
+
+/// [`model`] with explicit bounds.
+pub fn model_with<F: Fn()>(config: Config, f: F) {
+    assert!(
+        !crate::engine::has_current(),
+        "model() does not nest: already inside a model execution"
+    );
+    let mut path: Vec<Node> = Vec::new();
+    let mut schedules: usize = 0;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= config.max_schedules,
+            "explored {} schedules without exhausting the space — \
+             simplify the model or raise CT_LOOM_MAX_SCHEDULES",
+            config.max_schedules
+        );
+        let exec = Arc::new(Execution::new(
+            Limits {
+                preemption_bound: config.preemptions,
+                max_steps: config.max_steps,
+            },
+            path,
+        ));
+        set_current(Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid: 0,
+        }));
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        match outcome {
+            Ok(()) => exec.finish_main(),
+            Err(payload) => exec.abort_with(payload),
+        }
+        set_current(None);
+        exec.join_os_threads();
+        if let Some(payload) = exec.take_abort() {
+            eprintln!(
+                "ct-sync model: failing schedule found after {schedules} \
+                 execution(s); decision path: {:?}",
+                exec.final_path()
+            );
+            resume_unwind(payload);
+        }
+        path = exec.final_path();
+        if !advance(&mut path) {
+            break;
+        }
+    }
+    eprintln!("ct-sync model: {schedules} schedule(s) explored, all passed");
+}
+
+/// Advance the decision path to the next unexplored schedule, DFS-style:
+/// bump the deepest decision that still has an untried alternative and
+/// drop everything after it. Returns `false` when the space is exhausted.
+fn advance(path: &mut Vec<Node>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}

@@ -1,0 +1,189 @@
+//! Production implementations: thin wrappers over `std::sync` with the
+//! `parking_lot`-flavoured API the workspace was written against.
+//!
+//! Two deliberate differences from raw `std::sync`:
+//!
+//! * `lock()` returns the guard directly. Poison is swallowed
+//!   ([`std::sync::PoisonError::into_inner`]): when a pipeline thread
+//!   panics the run is already lost, but sibling threads still drain
+//!   their ring buffers during unwinding and must not double-panic.
+//! * [`Condvar::wait`] takes `&mut MutexGuard` instead of consuming it,
+//!   which is what lets the loom build substitute a scheduler-aware
+//!   guard without changing any call sites.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion lock. `lock()` never fails; poison is swallowed.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can move the std guard out and back
+    // while the caller keeps holding `&mut MutexGuard`. Outside of the
+    // body of `wait` the slot is always `Some`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn std(&self) -> &std::sync::MutexGuard<'a, T> {
+        self.inner
+            .as_ref()
+            .expect("guard slot is only empty inside Condvar::wait")
+    }
+
+    fn std_mut(&mut self) -> &mut std::sync::MutexGuard<'a, T> {
+        self.inner
+            .as_mut()
+            .expect("guard slot is only empty inside Condvar::wait")
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std()
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std_mut()
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification,
+    /// reacquiring the mutex before returning. Callers must re-check
+    /// their predicate in a loop (wakeups may be spurious).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("guard slot is only empty inside Condvar::wait");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns
+    /// `true` if the wait timed out (the mutex is reacquired either way).
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("guard slot is only empty inside Condvar::wait_timeout");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        result.timed_out()
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_data() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        h.join().expect("setter thread panicked");
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_timeout(&mut g, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn poisoned_lock_still_usable() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "poison must be swallowed");
+    }
+}

@@ -1,0 +1,80 @@
+//! Negative controls for the model checker itself: seeded concurrency
+//! bugs that `model()` MUST flag. A checker that cannot fail proves
+//! nothing — if any of these stops panicking, the explorer has lost its
+//! teeth (e.g. a scheduling change stopped interleaving atomics, or
+//! deadlock detection regressed).
+
+#![cfg(loom)]
+
+use ct_sync::atomic::{AtomicUsize, Ordering};
+use ct_sync::model::model;
+use ct_sync::{thread, Condvar, Mutex};
+use std::sync::Arc;
+
+#[test]
+#[should_panic(expected = "lost-update race")]
+fn detects_unsynchronised_read_modify_write() {
+    // Classic lost update: two threads increment via separate load/store
+    // instead of fetch_add. Under the schedule where both load before
+    // either stores, the final value is 1 — the model must find it.
+    model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let bump = |counter: Arc<AtomicUsize>| {
+            thread::spawn(move || {
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let a = bump(Arc::clone(&counter));
+        let b = bump(Arc::clone(&counter));
+        a.join().expect("bumper a");
+        b.join().expect("bumper b");
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            2,
+            "lost-update race: an increment vanished"
+        );
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn detects_lost_wakeup() {
+    // The flag is set without notifying the condvar: the waiter parks
+    // forever. The explorer reaches the schedule where the waiter checks
+    // the flag before it is set, parks, and is never woken — and must
+    // report it as a deadlock instead of hanging.
+    model(|| {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                let (flag, cv) = &*shared;
+                let mut set = flag.lock();
+                while !*set {
+                    cv.wait(&mut set);
+                }
+            })
+        };
+        {
+            let (flag, _cv) = &*shared;
+            *flag.lock() = true;
+            // BUG under test: no notify_one() here.
+        }
+        waiter.join().expect("waiter thread");
+    });
+}
+
+#[test]
+#[should_panic(expected = "live threads")]
+fn detects_leaked_thread() {
+    // Returning from the model body with a spawned thread unjoined is a
+    // model bug (its interleavings were not fully explored).
+    model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let counter2 = Arc::clone(&counter);
+        let _unjoined = thread::spawn(move || {
+            counter2.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+}

@@ -59,13 +59,14 @@ use ct_core::problem::Dims3;
 use ct_core::projection::{ProjectionImage, TransposedProjection};
 use ct_core::volume::{Volume, VolumeLayout};
 use ct_filter::{FilterConfig, Filterer};
+use ct_obs::clock;
 use ct_obs::{DivergenceReport, PipelineAnalysis, Recorder, ThreadRole, TraceData};
 use ct_par::stats::{StageSummary, TimingReport};
 use ct_par::Pool;
 use ct_perfmodel::{KernelModel, MachineConfig, ModelBreakdown, ModelInput};
 use ct_pfs::PfsStore;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the partial sub-volumes of a row are combined and stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -218,7 +219,7 @@ pub fn reconstruct_distributed(
     cfg.obs.reset();
     let n_ranks = cfg.grid.n_ranks();
     let universe = Universe::with_timeout(cfg.timeout);
-    let t0 = Instant::now();
+    let t0 = clock::now();
 
     let mats = cfg.geo.projection_matrices();
     let (results, traffic) = universe

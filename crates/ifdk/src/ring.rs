@@ -1,566 +1,15 @@
 //! Bounded circular buffers — the inter-thread queues of an iFDK rank.
 //!
 //! "Those threads ... execute independently and exchange data with each
-//! other using circular buffers" (paper Section 4.1.3, Figure 4a). The
-//! buffer is a classic bounded MPMC queue: producers block when it is
-//! full (back-pressure keeps the filtering stage from racing ahead of the
-//! GPU), consumers block when it is empty, and closing it wakes everyone
-//! so pipelines drain cleanly.
+//! other using circular buffers" (paper Section 4.1.3, Figure 4a).
 //!
-//! Stalls are first-class observations, not just counters: every blocked
-//! push or pop records its wait *duration* into a log2 histogram (read it
-//! back with [`RingBuffer::metrics`]), and a buffer built with
-//! [`RingBuffer::with_wait_spans`] additionally emits a timed
-//! `<name>.push_wait` / `<name>.pop_wait` span on the waiting thread's
-//! ambient [`ct_obs::current`] track — which is how
-//! `ct_obs::analysis` attributes pipeline stalls to specific buffers.
+//! The implementation lives in [`ct_sync::ring`] so it is written
+//! against the workspace's synchronisation facade: compiled normally it
+//! wraps `std::sync`, and under `RUSTFLAGS="--cfg loom"` the facade
+//! swaps in model-checked primitives and
+//! `crates/ct-sync/tests/loom_ring.rs` exhaustively verifies the
+//! buffer's blocking/close/drain protocol under every bounded-preemption
+//! thread interleaving. This module re-exports the types at their
+//! historical path; see [`ct_sync::ring`] for the full API docs.
 
-use ct_obs::Hist;
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::Arc;
-use std::time::Instant;
-
-struct State<T> {
-    queue: VecDeque<T>,
-    closed: bool,
-    /// Largest queue length ever reached (occupancy high-water mark).
-    high_water: usize,
-    /// Push calls that found the buffer full and had to wait at least
-    /// once (back-pressure on the producer).
-    push_stalls: u64,
-    /// Pop calls that found the buffer empty and had to wait at least
-    /// once (starvation of the consumer).
-    pop_stalls: u64,
-    /// Summed nanoseconds producers spent blocked in `push`.
-    push_stall_ns: u64,
-    /// Summed nanoseconds consumers spent blocked in `pop`.
-    pop_stall_ns: u64,
-    /// log2 histogram of individual push-stall durations.
-    push_stall_hist: Hist,
-    /// log2 histogram of individual pop-stall durations.
-    pop_stall_hist: Hist,
-}
-
-struct Shared<T> {
-    state: Mutex<State<T>>,
-    not_full: Condvar,
-    not_empty: Condvar,
-    capacity: usize,
-    /// `(push_wait, pop_wait)` span names emitted on the ambient track of
-    /// a blocked thread; `None` keeps waits as bare metrics.
-    wait_spans: Option<(&'static str, &'static str)>,
-}
-
-/// A bounded blocking FIFO. Clones share the same buffer.
-pub struct RingBuffer<T> {
-    shared: Arc<Shared<T>>,
-}
-
-impl<T> Clone for RingBuffer<T> {
-    fn clone(&self) -> Self {
-        Self {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-}
-
-impl<T> RingBuffer<T> {
-    /// Create a buffer holding at most `capacity` items.
-    pub fn new(capacity: usize) -> Self {
-        Self::build(capacity, None)
-    }
-
-    /// Create a buffer that, in addition to the stall metrics, records a
-    /// timed span on the blocked thread's [`ct_obs::current`] track for
-    /// every stall: `push_wait` names producer-side waits, `pop_wait`
-    /// consumer-side ones. Spans carry the stall ordinal as their index.
-    /// With no ambient track bound (or the recorder off) the spans cost
-    /// nothing.
-    pub fn with_wait_spans(
-        capacity: usize,
-        push_wait: &'static str,
-        pop_wait: &'static str,
-    ) -> Self {
-        Self::build(capacity, Some((push_wait, pop_wait)))
-    }
-
-    fn build(capacity: usize, wait_spans: Option<(&'static str, &'static str)>) -> Self {
-        assert!(capacity > 0, "capacity must be nonzero");
-        Self {
-            shared: Arc::new(Shared {
-                state: Mutex::new(State {
-                    queue: VecDeque::with_capacity(capacity),
-                    closed: false,
-                    high_water: 0,
-                    push_stalls: 0,
-                    pop_stalls: 0,
-                    push_stall_ns: 0,
-                    pop_stall_ns: 0,
-                    push_stall_hist: Hist::default(),
-                    pop_stall_hist: Hist::default(),
-                }),
-                not_full: Condvar::new(),
-                not_empty: Condvar::new(),
-                capacity,
-                wait_spans,
-            }),
-        }
-    }
-
-    /// Capacity the buffer was created with.
-    pub fn capacity(&self) -> usize {
-        self.shared.capacity
-    }
-
-    /// Current queue length (racy; diagnostics only).
-    pub fn len(&self) -> usize {
-        self.shared.state.lock().queue.len()
-    }
-
-    /// True when currently empty (racy; diagnostics only).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Blocking push. Returns `Err(item)` if the buffer is closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
-        let mut st = self.shared.state.lock();
-        let mut wait: Option<(Instant, ct_obs::Span)> = None;
-        let result = loop {
-            if st.closed {
-                break Err(item);
-            }
-            if st.queue.len() < self.shared.capacity {
-                st.queue.push_back(item);
-                st.high_water = st.high_water.max(st.queue.len());
-                break Ok(());
-            }
-            if wait.is_none() {
-                st.push_stalls += 1;
-                let span = match self.shared.wait_spans {
-                    Some((name, _)) => ct_obs::current::span(name).with_index(st.push_stalls - 1),
-                    None => ct_obs::Span::disabled(),
-                };
-                wait = Some((Instant::now(), span));
-            }
-            self.shared.not_full.wait(&mut st);
-        };
-        if let Some((started, span)) = wait {
-            let ns = started.elapsed().as_nanos() as u64;
-            st.push_stall_ns += ns;
-            st.push_stall_hist.record(ns);
-            drop(span);
-        }
-        drop(st);
-        if result.is_ok() {
-            self.shared.not_empty.notify_one();
-        }
-        result
-    }
-
-    /// Blocking pop. Returns `None` once the buffer is closed *and*
-    /// drained.
-    pub fn pop(&self) -> Option<T> {
-        let mut st = self.shared.state.lock();
-        let mut wait: Option<(Instant, ct_obs::Span)> = None;
-        let result = loop {
-            if let Some(item) = st.queue.pop_front() {
-                break Some(item);
-            }
-            if st.closed {
-                break None;
-            }
-            if wait.is_none() {
-                st.pop_stalls += 1;
-                let span = match self.shared.wait_spans {
-                    Some((_, name)) => ct_obs::current::span(name).with_index(st.pop_stalls - 1),
-                    None => ct_obs::Span::disabled(),
-                };
-                wait = Some((Instant::now(), span));
-            }
-            self.shared.not_empty.wait(&mut st);
-        };
-        if let Some((started, span)) = wait {
-            let ns = started.elapsed().as_nanos() as u64;
-            st.pop_stall_ns += ns;
-            st.pop_stall_hist.record(ns);
-            drop(span);
-        }
-        drop(st);
-        if result.is_some() {
-            self.shared.not_full.notify_one();
-        }
-        result
-    }
-
-    /// Pop up to `max` items in one call (at least one unless the stream
-    /// is finished) — how the BP thread assembles projection batches.
-    pub fn pop_batch(&self, max: usize) -> Vec<T> {
-        let mut out = Vec::new();
-        if max == 0 {
-            return out;
-        }
-        match self.pop() {
-            Some(first) => out.push(first),
-            None => return out,
-        }
-        // Opportunistically take whatever else is already queued.
-        let mut st = self.shared.state.lock();
-        while out.len() < max {
-            match st.queue.pop_front() {
-                Some(item) => out.push(item),
-                None => break,
-            }
-        }
-        drop(st);
-        self.shared.not_full.notify_all();
-        out
-    }
-
-    /// Close the buffer: producers fail, consumers drain then see `None`.
-    pub fn close(&self) {
-        let mut st = self.shared.state.lock();
-        st.closed = true;
-        drop(st);
-        self.shared.not_full.notify_all();
-        self.shared.not_empty.notify_all();
-    }
-
-    /// Snapshot of the buffer's occupancy and stall statistics. These are
-    /// what an observability layer reads once per pipeline run — the
-    /// counters themselves are maintained inside the existing critical
-    /// sections, so tracking them costs no extra synchronisation.
-    pub fn metrics(&self) -> RingMetrics {
-        let st = self.shared.state.lock();
-        RingMetrics {
-            capacity: self.shared.capacity,
-            len: st.queue.len(),
-            high_water: st.high_water,
-            push_stalls: st.push_stalls,
-            pop_stalls: st.pop_stalls,
-            push_stall_ns: st.push_stall_ns,
-            pop_stall_ns: st.pop_stall_ns,
-            push_stall_hist: st.push_stall_hist.clone(),
-            pop_stall_hist: st.pop_stall_hist.clone(),
-        }
-    }
-}
-
-/// A point-in-time view of a buffer's occupancy statistics.
-///
-/// `high_water` close to `capacity` plus a large `push_stalls` means the
-/// consumer is the bottleneck (the paper's back-pressure case: filtering
-/// races ahead of back-projection); a large `pop_stalls` with a low
-/// high-water mark means the producer is. The `*_stall_ns` totals and
-/// histograms say how *costly* those stalls were, not just how frequent.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct RingMetrics {
-    /// Configured capacity.
-    pub capacity: usize,
-    /// Queue length at snapshot time.
-    pub len: usize,
-    /// Largest queue length ever reached.
-    pub high_water: usize,
-    /// Push calls that blocked on a full buffer at least once.
-    pub push_stalls: u64,
-    /// Pop calls that blocked on an empty buffer at least once.
-    pub pop_stalls: u64,
-    /// Summed nanoseconds producers spent blocked.
-    pub push_stall_ns: u64,
-    /// Summed nanoseconds consumers spent blocked.
-    pub pop_stall_ns: u64,
-    /// log2 histogram of individual push-stall durations.
-    pub push_stall_hist: Hist,
-    /// log2 histogram of individual pop-stall durations.
-    pub pop_stall_hist: Hist,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::time::Duration;
-
-    #[test]
-    fn fifo_order() {
-        let rb = RingBuffer::new(4);
-        rb.push(1).unwrap();
-        rb.push(2).unwrap();
-        rb.push(3).unwrap();
-        assert_eq!(rb.pop(), Some(1));
-        assert_eq!(rb.pop(), Some(2));
-        assert_eq!(rb.pop(), Some(3));
-    }
-
-    #[test]
-    fn close_drains_then_ends() {
-        let rb = RingBuffer::new(4);
-        rb.push("a").unwrap();
-        rb.close();
-        assert_eq!(rb.push("b"), Err("b"));
-        assert_eq!(rb.pop(), Some("a"));
-        assert_eq!(rb.pop(), None);
-    }
-
-    #[test]
-    fn producer_blocks_until_consumed() {
-        let rb = RingBuffer::new(1);
-        rb.push(0u32).unwrap();
-        let rb2 = rb.clone();
-        let handle = std::thread::spawn(move || {
-            // This push must block until the main thread pops.
-            rb2.push(1).unwrap();
-        });
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(rb.len(), 1, "producer should still be blocked");
-        assert_eq!(rb.pop(), Some(0));
-        handle.join().unwrap();
-        assert_eq!(rb.pop(), Some(1));
-    }
-
-    #[test]
-    fn consumer_blocks_until_produced() {
-        let rb = RingBuffer::<u64>::new(2);
-        let rb2 = rb.clone();
-        let handle = std::thread::spawn(move || rb2.pop());
-        std::thread::sleep(Duration::from_millis(30));
-        rb.push(99).unwrap();
-        assert_eq!(handle.join().unwrap(), Some(99));
-    }
-
-    #[test]
-    fn pop_batch_takes_available() {
-        let rb = RingBuffer::new(8);
-        for i in 0..5 {
-            rb.push(i).unwrap();
-        }
-        let batch = rb.pop_batch(3);
-        assert_eq!(batch, vec![0, 1, 2]);
-        let batch = rb.pop_batch(10);
-        assert_eq!(batch, vec![3, 4]);
-        rb.close();
-        assert!(rb.pop_batch(4).is_empty());
-        assert!(rb.pop_batch(0).is_empty());
-    }
-
-    #[test]
-    fn pipeline_transfers_everything() {
-        let rb = RingBuffer::new(3);
-        let producer = rb.clone();
-        let n = 1000u32;
-        let handle = std::thread::spawn(move || {
-            for i in 0..n {
-                producer.push(i).unwrap();
-            }
-            producer.close();
-        });
-        let mut got = Vec::new();
-        while let Some(x) = rb.pop() {
-            got.push(x);
-        }
-        handle.join().unwrap();
-        assert_eq!(got, (0..n).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn multi_producer_multi_consumer() {
-        let rb = RingBuffer::new(4);
-        let total: u64 = std::thread::scope(|s| {
-            for t in 0..4u64 {
-                let rb = rb.clone();
-                s.spawn(move || {
-                    for i in 0..100 {
-                        rb.push(t * 1000 + i).unwrap();
-                    }
-                });
-            }
-            let consumers: Vec<_> = (0..2)
-                .map(|_| {
-                    let rb = rb.clone();
-                    s.spawn(move || {
-                        let mut sum = 0u64;
-                        let mut count = 0;
-                        while count < 200 {
-                            if let Some(x) = rb.pop() {
-                                sum += x;
-                                count += 1;
-                            }
-                        }
-                        sum
-                    })
-                })
-                .collect();
-            consumers.into_iter().map(|c| c.join().unwrap()).sum()
-        });
-        let expect: u64 = (0..4u64)
-            .map(|t| (0..100).map(|i| t * 1000 + i).sum::<u64>())
-            .sum();
-        assert_eq!(total, expect);
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be nonzero")]
-    fn zero_capacity_rejected() {
-        RingBuffer::<u8>::new(0);
-    }
-
-    #[test]
-    fn high_water_tracks_peak_occupancy() {
-        let rb = RingBuffer::new(8);
-        assert_eq!(
-            rb.metrics(),
-            RingMetrics {
-                capacity: 8,
-                ..RingMetrics::default()
-            }
-        );
-        rb.push(1).unwrap();
-        rb.push(2).unwrap();
-        rb.push(3).unwrap();
-        assert_eq!(rb.metrics().high_water, 3);
-        // Draining does not lower the mark.
-        rb.pop().unwrap();
-        rb.pop().unwrap();
-        assert_eq!(rb.metrics().len, 1);
-        assert_eq!(rb.metrics().high_water, 3);
-        rb.push(4).unwrap();
-        assert_eq!(rb.metrics().high_water, 3, "peak was 3, now only 2 queued");
-    }
-
-    #[test]
-    fn push_stalls_and_pop_stalls_are_counted_once_per_call() {
-        let rb = RingBuffer::new(1);
-
-        // Unblocked traffic: no stalls, no waits.
-        rb.push(0u32).unwrap();
-        rb.pop().unwrap();
-        let m = rb.metrics();
-        assert_eq!((m.push_stalls, m.pop_stalls), (0, 0));
-        assert_eq!((m.push_stall_ns, m.pop_stall_ns), (0, 0));
-
-        // A push into a full buffer stalls exactly once, even though the
-        // condvar may wake it spuriously several times.
-        rb.push(1).unwrap();
-        let rb2 = rb.clone();
-        let producer = std::thread::spawn(move || rb2.push(2).unwrap());
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(rb.metrics().push_stalls, 1);
-        rb.pop().unwrap();
-        producer.join().unwrap();
-        assert_eq!(rb.metrics().push_stalls, 1);
-
-        // A pop from an empty buffer waits exactly once.
-        rb.pop().unwrap(); // drain item 2
-        let rb2 = rb.clone();
-        let consumer = std::thread::spawn(move || rb2.pop());
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(rb.metrics().pop_stalls, 1);
-        rb.push(3).unwrap();
-        assert_eq!(consumer.join().unwrap(), Some(3));
-        let m = rb.metrics();
-        assert_eq!((m.push_stalls, m.pop_stalls), (1, 1));
-        // Each stall blocked for ~30 ms; the durations must be recorded
-        // in the totals and the histograms.
-        assert!(m.push_stall_ns >= 1_000_000, "push stall too short: {m:?}");
-        assert!(m.pop_stall_ns >= 1_000_000, "pop stall too short: {m:?}");
-        assert_eq!(m.push_stall_hist.total(), 1);
-        assert_eq!(m.pop_stall_hist.total(), 1);
-    }
-
-    #[test]
-    fn backpressured_pipeline_reports_stalls() {
-        // Producer is much faster than the consumer: the buffer should
-        // saturate (high_water == capacity) and most pushes should stall.
-        let rb = RingBuffer::new(2);
-        let producer = rb.clone();
-        let handle = std::thread::spawn(move || {
-            for i in 0..50u32 {
-                producer.push(i).unwrap();
-            }
-            producer.close();
-        });
-        let mut got = 0;
-        while rb.pop().is_some() {
-            got += 1;
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        handle.join().unwrap();
-        assert_eq!(got, 50);
-        let m = rb.metrics();
-        assert_eq!(m.high_water, 2);
-        assert!(m.push_stalls > 0, "fast producer never stalled: {m:?}");
-        assert_eq!(
-            m.push_stall_hist.total(),
-            m.push_stalls,
-            "one histogram sample per stall"
-        );
-        assert!(m.push_stall_ns > 0);
-    }
-
-    #[test]
-    fn wait_spans_land_on_the_ambient_track() {
-        use ct_obs::{Recorder, ThreadRole};
-
-        let rec = Recorder::trace();
-        let rb = RingBuffer::with_wait_spans(1, "ring.test.push_wait", "ring.test.pop_wait");
-
-        // Consumer (this thread) waits on an empty buffer with an ambient
-        // track bound; producer fills it after a delay.
-        let producer = {
-            let rb = rb.clone();
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(20));
-                rb.push(7u32).unwrap();
-            })
-        };
-        {
-            let track = rec.track(3, ThreadRole::Main);
-            let _cur = ct_obs::current::set_current(&track);
-            assert_eq!(rb.pop(), Some(7));
-        }
-        producer.join().unwrap();
-
-        let data = rec.collect();
-        let waits: Vec<_> = data
-            .events
-            .iter()
-            .filter(|e| e.name == "ring.test.pop_wait")
-            .collect();
-        assert_eq!(waits.len(), 1, "one stall, one span: {:?}", data.events);
-        assert_eq!(waits[0].rank, 3);
-        assert_eq!(waits[0].role, ThreadRole::Main);
-        assert_eq!(waits[0].index, Some(0));
-        assert!(
-            waits[0].dur_ns >= 1_000_000,
-            "span must cover the ~20 ms wait"
-        );
-        let m = rb.metrics();
-        assert_eq!(m.pop_stalls, 1);
-    }
-
-    #[test]
-    fn unnamed_buffers_record_no_spans() {
-        use ct_obs::{Recorder, ThreadRole};
-
-        let rec = Recorder::trace();
-        let rb = RingBuffer::new(1);
-        let producer = {
-            let rb = rb.clone();
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(10));
-                rb.push(1u32).unwrap();
-            })
-        };
-        {
-            let track = rec.track(0, ThreadRole::Main);
-            let _cur = ct_obs::current::set_current(&track);
-            assert_eq!(rb.pop(), Some(1));
-        }
-        producer.join().unwrap();
-        assert!(
-            rec.collect().events.is_empty(),
-            "plain RingBuffer::new must stay span-silent"
-        );
-        assert_eq!(rb.metrics().pop_stalls, 1, "metrics still count the stall");
-    }
-}
+pub use ct_sync::ring::{RingBuffer, RingMetrics};

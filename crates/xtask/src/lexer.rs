@@ -1,0 +1,487 @@
+//! A small masking lexer for Rust source.
+//!
+//! The lint rules in this crate are token-level, not AST-level, so the
+//! one thing they must never do is match text inside comments or string
+//! literals (a doc comment mentioning `.unwrap()` is not a violation).
+//! [`lex`] produces a *masked* copy of the source in which every comment
+//! and every literal body is replaced by spaces — byte offsets and line
+//! numbers are preserved exactly — plus the extracted string literals
+//! (for rules that inspect literal contents, like obs-names) and any
+//! `lint: allow(rule)` escape directives found in comments.
+
+/// A string literal extracted from the source.
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte offset of the opening quote (or `r`/`b` prefix) in the
+    /// masked text.
+    pub start: usize,
+    /// The literal's body, escapes left as written.
+    pub text: String,
+}
+
+/// Result of masking one source file.
+pub struct Lexed {
+    /// Source with comments and literal bodies blanked to spaces.
+    /// Same length and line structure as the input.
+    pub masked: String,
+    /// Every string literal, in source order.
+    pub strings: Vec<StrLit>,
+    /// Lines on which a `lint: allow(<rule>)` comment suppresses a rule.
+    /// Each directive covers its own line and the following line, so it
+    /// works both as a trailing comment and on the line above.
+    pub allows: Vec<(usize, String)>,
+}
+
+impl Lexed {
+    /// True if `rule` is suppressed on 1-based `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Mask `src`, classifying comments, string/char literals and lifetimes.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(b.len());
+    let mut strings = Vec::new();
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a byte to the mask, blanking everything but newlines.
+    fn blank(masked: &mut Vec<u8>, line: &mut usize, c: u8) {
+        if c == b'\n' {
+            *line += 1;
+            masked.push(b'\n');
+        } else {
+            masked.push(b' ');
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
+                record_allows(&src[i..end], line, &mut allows);
+                for &cc in &b[i..end] {
+                    blank(&mut masked, &mut line, cc);
+                }
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                record_allows(&src[start..i], line, &mut allows);
+                for &cc in &b[start..i] {
+                    blank(&mut masked, &mut line, cc);
+                }
+            }
+            b'"' => {
+                i = take_string(src, i, line, false, &mut masked, &mut strings, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = take_prefixed_string(src, i, &mut masked, &mut strings, &mut line);
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes with a
+                // `'` within a couple of bytes (or after an escape); a
+                // lifetime never closes.
+                if is_char_literal(b, i) {
+                    let start = i;
+                    masked.push(b'\'');
+                    i += 1;
+                    if b[i] == b'\\' {
+                        i += 1; // escape introducer
+                                // Skip to the closing quote (covers \n, \x7f, \u{..}).
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        // One (possibly multi-byte) char.
+                        let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                        i += ch_len;
+                    }
+                    masked.extend(std::iter::repeat_n(b' ', i - (start + 1)));
+                    if i < b.len() {
+                        masked.push(b'\'');
+                        i += 1;
+                    }
+                } else {
+                    masked.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                blank_or_keep(&mut masked, &mut line, c);
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        strings,
+        allows,
+    }
+}
+
+/// Code bytes are kept verbatim; only newlines advance the line counter.
+fn blank_or_keep(masked: &mut Vec<u8>, line: &mut usize, c: u8) {
+    if c == b'\n' {
+        *line += 1;
+    }
+    masked.push(c);
+}
+
+/// Record `lint: allow(rule)` directives found in a comment's text.
+fn record_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        let after = &rest[pos + "lint: allow(".len()..];
+        if let Some(close) = after.find(')') {
+            allows.push((line, after[..close].trim().to_string()));
+            rest = &after[close..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Is `b[i]` the start of `r"`, `r#"`, `b"`, `br"` or `br#"`?
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Not a string prefix if preceded by an identifier char (e.g. `attr`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// Is the `'` at `b[i]` a char literal (vs a lifetime)?
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // `'x'` closes immediately after one char; `'a` (lifetime) does not.
+    // Multi-byte chars: scan at most 4 bytes for the closing quote.
+    for &c in &b[i + 2..(i + 6).min(b.len())] {
+        if c == b'\'' {
+            return true;
+        }
+        if c == b'\n' {
+            return false;
+        }
+    }
+    false
+}
+
+/// Consume an ordinary `"..."` literal starting at `i`.
+#[allow(clippy::too_many_arguments)]
+fn take_string(
+    src: &str,
+    i: usize,
+    start_line: usize,
+    _byte: bool,
+    masked: &mut Vec<u8>,
+    strings: &mut Vec<StrLit>,
+    line: &mut usize,
+) -> usize {
+    let b = src.as_bytes();
+    let start = i;
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    strings.push(StrLit {
+        line: start_line,
+        start,
+        text: src[start + 1..j.saturating_sub(1).max(start + 1)].to_string(),
+    });
+    masked.push(b'"');
+    for &cc in &b[start + 1..j.saturating_sub(1).max(start + 1)] {
+        blank(masked, line, cc);
+    }
+    if j > start + 1 {
+        masked.push(b'"');
+    }
+    return j;
+
+    fn blank(masked: &mut Vec<u8>, line: &mut usize, c: u8) {
+        if c == b'\n' {
+            *line += 1;
+            masked.push(b'\n');
+        } else {
+            masked.push(b' ');
+        }
+    }
+}
+
+/// Consume a raw/byte string (`r"..."`, `r#"..."#`, `b"..."`, ...).
+fn take_prefixed_string(
+    src: &str,
+    i: usize,
+    masked: &mut Vec<u8>,
+    strings: &mut Vec<StrLit>,
+    line: &mut usize,
+) -> usize {
+    let b = src.as_bytes();
+    let start = i;
+    let start_line = *line;
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    debug_assert!(b[j] == b'"');
+    let body_start = j + 1;
+    j += 1;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while j < b.len() {
+        if !raw && b[j] == b'\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == b'"' && b[j..].starts_with(&closer) {
+            break;
+        }
+        j += 1;
+    }
+    let body_end = j.min(b.len());
+    let end = (j + closer.len()).min(b.len());
+    strings.push(StrLit {
+        line: start_line,
+        start,
+        text: src[body_start.min(body_end)..body_end].to_string(),
+    });
+    for (k, &cc) in b[start..end].iter().enumerate() {
+        let pos = start + k;
+        if pos < body_start || pos >= body_end {
+            // Keep the prefix/quotes so rules can see a string is here.
+            if cc == b'\n' {
+                *line += 1;
+                masked.push(b'\n');
+            } else {
+                masked.push(cc);
+            }
+        } else if cc == b'\n' {
+            *line += 1;
+            masked.push(b'\n');
+        } else {
+            masked.push(b' ');
+        }
+    }
+    end
+}
+
+/// Per-line flags marking test-only code: bodies of `#[cfg(test)]`
+/// modules and `#[test]` functions. Works on masked text (no comment or
+/// string can fake an attribute) by brace matching.
+pub fn test_lines(masked: &str) -> Vec<bool> {
+    let total = masked.lines().count() + 1;
+    let mut flags = vec![false; total + 1];
+    let b = masked.as_bytes();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(marker) {
+            let at = from + pos;
+            from = at + marker.len();
+            // Skip any further attributes, then find the item's body.
+            let mut j = at + marker.len();
+            loop {
+                while j < b.len() && (b[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if j + 1 < b.len() && b[j] == b'#' && b[j + 1] == b'[' {
+                    // Skip the attribute's brackets.
+                    let mut depth = 0usize;
+                    while j < b.len() {
+                        match b[j] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Scan to the first `{` (item body) or `;` (no body).
+            let mut body = None;
+            while j < b.len() {
+                match b[j] {
+                    b'{' => {
+                        body = Some(j);
+                        break;
+                    }
+                    b';' => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body else { continue };
+            // Match braces to the end of the body.
+            let mut depth = 0usize;
+            let mut k = open;
+            while k < b.len() {
+                match b[k] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let first = line_of(masked, at);
+            let last = line_of(masked, k.min(b.len().saturating_sub(1)));
+            for f in flags.iter_mut().take(last.min(total) + 1).skip(first) {
+                *f = true;
+            }
+        }
+    }
+    flags
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(s: &str, at: usize) -> usize {
+    s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"call .unwrap() here\"; // .unwrap()\nlet y = 1;\n";
+        let out = lex(src);
+        assert!(!out.masked.contains(".unwrap()"));
+        assert!(out.masked.contains("let y = 1;"));
+        assert_eq!(out.strings.len(), 1);
+        assert_eq!(out.strings[0].text, "call .unwrap() here");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nlet s = \"x\ny\";\nfn f() {}\n";
+        let out = lex(src);
+        let lines: Vec<&str> = out.masked.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[4].contains("fn f() {}"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"no \"escape\" done\"#; let t = 2;";
+        let out = lex(src);
+        assert_eq!(out.strings[0].text, "no \"escape\" done");
+        assert!(out.masked.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\\'' }";
+        let out = lex(src);
+        assert!(out.masked.contains("fn f<'a>(x: &'a str)"));
+        let src2 = "let q = '\"'; let s = \"lit\";";
+        let out2 = lex(src2);
+        assert_eq!(out2.strings.len(), 1);
+        assert_eq!(out2.strings[0].text, "lit");
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "// lint: allow(no-unwrap)\nfoo.unwrap();\nbar.unwrap();\n";
+        let out = lex(src);
+        assert!(out.allowed(1, "no-unwrap"));
+        assert!(out.allowed(2, "no-unwrap"));
+        assert!(!out.allowed(3, "no-unwrap"));
+        assert!(!out.allowed(2, "raw-clock"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn helper() {}\n\
+                   }\n\
+                   fn lib2() {}\n";
+        let out = lex(src);
+        let flags = test_lines(&out.masked);
+        assert!(!flags[1]);
+        assert!(flags[2] && flags[3] && flags[4] && flags[5]);
+        assert!(!flags[6]);
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes() {
+        let src =
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() {\n  x();\n}\nfn lib() {}\n";
+        let out = lex(src);
+        let flags = test_lines(&out.masked);
+        assert!(flags[1] && flags[3] && flags[4] && flags[5]);
+        assert!(!flags[6]);
+    }
+}

@@ -1,0 +1,172 @@
+//! `cargo xtask` — repo-local verification tasks.
+//!
+//! The only subcommand today is `lint`, a token-level pass over every
+//! Rust source file in the workspace (plus the standalone `ct-sync` and
+//! `xtask` crates) enforcing the project conventions that rustc and
+//! clippy cannot see. See [`rules`] for the rule table. Exit codes
+//! follow the repo's gate contract: 0 = clean, 1 = violations found,
+//! 3 = usage / internal error.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use rules::Violation;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match lint(&repo_root()) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::from(3)
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// The repo root is two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+/// Run every rule over the repo; returns violations sorted by location.
+fn lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path.as_path())
+            .to_path_buf();
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let lx = lexer::lex(&src);
+        let test_flags = lexer::test_lines(&lx.masked);
+
+        if is_lib_root(&rel) {
+            rules::check_forbid_unsafe(&rel, &lx, &mut out);
+        }
+        rules::check_bench_exit(&rel, &lx, &mut out);
+        rules::check_obs_names(&rel, &lx, &mut out);
+        rules::check_raw_clock(&rel, &lx, &mut out);
+        if in_library_scope(&rel) {
+            rules::check_no_unwrap(&rel, &lx, &test_flags, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every lib
+/// target in the repo (`src/lib.rs` under crates/, plus the examples
+/// and integration-test helper libs).
+fn is_lib_root(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    (s.starts_with("crates/") && s.ends_with("/src/lib.rs"))
+        || s == "examples/lib.rs"
+        || s == "tests/src/lib.rs"
+}
+
+/// Library code for the no-unwrap rule: crate sources under crates/,
+/// excluding bin targets (bench regenerators, xtask itself) — binaries
+/// may panic on broken invariants at top level, libraries must not.
+fn in_library_scope(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.starts_with("crates/") && s.contains("/src/") && !s.contains("/src/bin/")
+}
+
+/// Recursively collect `.rs` files, skipping build output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_are_as_documented() {
+        assert!(is_lib_root(Path::new("crates/ifdk/src/lib.rs")));
+        assert!(is_lib_root(Path::new("examples/lib.rs")));
+        assert!(!is_lib_root(Path::new("crates/bench/src/bin/gups.rs")));
+        assert!(in_library_scope(Path::new("crates/ifdk/src/ring.rs")));
+        assert!(!in_library_scope(Path::new("crates/bench/src/bin/gups.rs")));
+        assert!(!in_library_scope(Path::new("examples/quickstart.rs")));
+        assert!(!in_library_scope(Path::new(
+            "tests/integration/end_to_end.rs"
+        )));
+    }
+
+    #[test]
+    fn lint_flags_a_seeded_fixture_tree() {
+        let dir = std::env::temp_dir().join("xtask-lint-fixture");
+        let src_dir = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+        )
+        .expect("write fixture");
+        let found = lint(&dir).expect("lint runs");
+        let rendered: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.starts_with("crates/demo/src/lib.rs:1: [forbid-unsafe]")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.starts_with("crates/demo/src/lib.rs:2: [no-unwrap]")),
+            "{rendered:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! The lint rules behind `cargo xtask lint`.
+//!
+//! Every rule reports `path:line: [rule-id] message` and can be
+//! suppressed for one site with a `// lint: allow(rule-id)` comment on
+//! the same line or the line above. The rules are:
+//!
+//! | id             | requirement |
+//! |----------------|-------------|
+//! | forbid-unsafe  | every lib crate starts with `#![forbid(unsafe_code)]` |
+//! | bench-exit     | no bare `std::process::exit` — return `ExitCode` / `ifdk_bench::check::Gate` |
+//! | obs-names      | observability span/counter names are lowercase dotted literals |
+//! | raw-clock      | no `Instant::now()` / `SystemTime` outside ct-obs and the bench harness |
+//! | no-unwrap      | no `.unwrap()` in library non-test code — use `.expect("why")` |
+
+use crate::lexer::Lexed;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, printed as `path:line: [rule] message`.
+pub struct Violation {
+    pub path: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Directories whose files may read the raw clock: the clock facade
+/// itself and the benchmark harness (which measures wall time by design).
+const RAW_CLOCK_ALLOWED: &[&str] = &["crates/ct-obs/src", "crates/bench/src"];
+
+/// Observability emission functions whose first argument names a span,
+/// counter, gauge or histogram.
+const OBS_EMITTERS: &[&str] = &[
+    "span",
+    "time",
+    "counter_add",
+    "gauge_max",
+    "observe_ns",
+    "with_wait_spans",
+];
+
+/// Check a lib crate root for the `#![forbid(unsafe_code)]` attribute.
+pub fn check_forbid_unsafe(rel: &Path, lx: &Lexed, out: &mut Vec<Violation>) {
+    let compact: String = lx.masked.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.contains("#![forbid(unsafe_code)]") {
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line: 1,
+            rule: "forbid-unsafe",
+            msg: "lib crate must declare #![forbid(unsafe_code)]".into(),
+        });
+    }
+}
+
+/// Forbid bare `process::exit` anywhere; exits must flow through
+/// `std::process::ExitCode` or the `ifdk_bench::check::Gate` contract so
+/// CI can tell failure classes apart.
+pub fn check_bench_exit(rel: &Path, lx: &Lexed, out: &mut Vec<Violation>) {
+    for (idx, text) in lx.masked.lines().enumerate() {
+        let line = idx + 1;
+        if text.contains("process::exit(") && !lx.allowed(line, "bench-exit") {
+            out.push(Violation {
+                path: rel.to_path_buf(),
+                line,
+                rule: "bench-exit",
+                msg: "bare process::exit bypasses the 0/1/2/3 gate contract; \
+                      return ExitCode (see ifdk_bench::check)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Span/counter names passed to obs emitters must be lowercase dotted
+/// literals (`bp.tile`, `ring.push_stalls`) so traces stay greppable.
+pub fn check_obs_names(rel: &Path, lx: &Lexed, out: &mut Vec<Violation>) {
+    let b = lx.masked.as_bytes();
+    for lit in &lx.strings {
+        // Look backwards from the literal for `ident(`.
+        let mut j = lit.start;
+        while j > 0 && (b[j - 1] as char).is_whitespace() {
+            j -= 1;
+        }
+        if j == 0 || b[j - 1] != b'(' {
+            continue;
+        }
+        j -= 1;
+        while j > 0 && (b[j - 1] as char).is_whitespace() {
+            j -= 1;
+        }
+        let end = j;
+        while j > 0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+            j -= 1;
+        }
+        let ident = &lx.masked[j..end];
+        if !OBS_EMITTERS.contains(&ident) {
+            continue;
+        }
+        let ok = !lit.text.is_empty()
+            && lit
+                .text
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+        if !ok && !lx.allowed(lit.line, "obs-names") {
+            out.push(Violation {
+                path: rel.to_path_buf(),
+                line: lit.line,
+                rule: "obs-names",
+                msg: format!(
+                    "obs name {:?} passed to {ident}() must be a lowercase dotted literal",
+                    lit.text
+                ),
+            });
+        }
+    }
+}
+
+/// Raw clock reads are confined to ct-obs (the facade) and the bench
+/// harness; everything else must go through `ct_obs::clock`.
+pub fn check_raw_clock(rel: &Path, lx: &Lexed, out: &mut Vec<Violation>) {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    if RAW_CLOCK_ALLOWED.iter().any(|d| rel_str.starts_with(d)) {
+        return;
+    }
+    for (idx, text) in lx.masked.lines().enumerate() {
+        let line = idx + 1;
+        for needle in ["Instant::now", "SystemTime"] {
+            if text.contains(needle) && !lx.allowed(line, "raw-clock") {
+                out.push(Violation {
+                    path: rel.to_path_buf(),
+                    line,
+                    rule: "raw-clock",
+                    msg: format!("{needle} outside ct-obs/bench; use ct_obs::clock"),
+                });
+            }
+        }
+    }
+}
+
+/// `.unwrap()` is banned in library non-test code; `.expect("why")`
+/// documents the invariant and is sanctioned.
+pub fn check_no_unwrap(rel: &Path, lx: &Lexed, tests: &[bool], out: &mut Vec<Violation>) {
+    for (idx, text) in lx.masked.lines().enumerate() {
+        let line = idx + 1;
+        if tests.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        if text.contains(".unwrap()") && !lx.allowed(line, "no-unwrap") {
+            out.push(Violation {
+                path: rel.to_path_buf(),
+                line,
+                rule: "no-unwrap",
+                msg: "no .unwrap() in library code; use .expect(\"why\") or propagate".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_lines};
+
+    fn run_all(rel: &str, src: &str) -> Vec<String> {
+        let lx = lex(src);
+        let tl = test_lines(&lx.masked);
+        let rel = Path::new(rel);
+        let mut out = Vec::new();
+        check_bench_exit(rel, &lx, &mut out);
+        check_obs_names(rel, &lx, &mut out);
+        check_raw_clock(rel, &lx, &mut out);
+        check_no_unwrap(rel, &lx, &tl, &mut out);
+        out.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_file_produces_no_findings() {
+        let found = run_all(
+            "crates/x/src/lib.rs",
+            "fn f() -> u32 { t.span(\"bp.tile\"); opt.expect(\"set above\") }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unwrap_flagged_with_file_and_line() {
+        let found = run_all("crates/x/src/lib.rs", "fn f() {\n    o.unwrap();\n}\n");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].starts_with("crates/x/src/lib.rs:2: [no-unwrap]"));
+    }
+
+    #[test]
+    fn unwrap_in_tests_and_comments_and_strings_is_fine() {
+        let src = "// .unwrap() is discussed here\n\
+                   fn f() { let s = \".unwrap()\"; }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { o.unwrap(); }\n}\n";
+        assert!(run_all("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_one_site() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap)\n    o.unwrap();\n    p.unwrap();\n}\n";
+        let found = run_all("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains(":4:"));
+    }
+
+    #[test]
+    fn bare_exit_flagged_exitcode_fine() {
+        let found = run_all(
+            "crates/bench/src/bin/gups.rs",
+            "fn main() { std::process::exit(1); }\n",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("[bench-exit]"));
+        assert!(run_all(
+            "crates/bench/src/bin/gups.rs",
+            "fn main() -> std::process::ExitCode { std::process::ExitCode::SUCCESS }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn obs_names_must_be_lowercase_dotted() {
+        let bad = run_all("crates/x/src/lib.rs", "fn f() { t.span(\"BP Tile\"); }\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("[obs-names]"));
+        let good = run_all(
+            "crates/x/src/lib.rs",
+            "fn f() { t.counter_add(\"ring.push_stalls\", 1); }\n",
+        );
+        assert!(good.is_empty());
+        // Unrelated literals are not name-checked.
+        let other = run_all(
+            "crates/x/src/lib.rs",
+            "fn f() { println!(\"Hello World\"); }\n",
+        );
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn raw_clock_confined_to_allowlist() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(run_all("crates/ifdk/src/lib.rs", src).len(), 1);
+        assert!(run_all("crates/ct-obs/src/clock.rs", src).is_empty());
+        assert!(run_all("crates/bench/src/gups.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_the_attribute() {
+        let lx = lex("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let mut out = Vec::new();
+        check_forbid_unsafe(Path::new("crates/x/src/lib.rs"), &lx, &mut out);
+        assert!(out.is_empty());
+        let lx2 = lex("pub fn f() {}\n");
+        let mut out2 = Vec::new();
+        check_forbid_unsafe(Path::new("crates/x/src/lib.rs"), &lx2, &mut out2);
+        assert_eq!(out2.len(), 1);
+        assert!(out2[0].to_string().contains("[forbid-unsafe]"));
+    }
+}

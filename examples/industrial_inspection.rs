@@ -14,9 +14,9 @@ use ct_core::math::Vec3;
 use ct_core::phantom::Phantom;
 use ct_core::problem::{Dims2, Dims3};
 use ct_core::CbctGeometry;
+use ct_obs::clock;
 use ifdk::{reconstruct, ReconOptions};
 use ifdk_examples::{arg_usize, ascii_slice, print_table};
-use std::time::Instant;
 
 /// A connected low-density blob found in the reconstruction.
 struct Detection {
@@ -102,7 +102,7 @@ fn detect_pores(
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let n = arg_usize(&args, "size", 48);
     let np = arg_usize(&args, "np", 96);
@@ -113,7 +113,7 @@ fn main() {
     let phantom = Phantom::casting_with_defects(scale, n_defects);
 
     println!("industrial inspection: casting with {n_defects} seeded pores");
-    let t = Instant::now();
+    let t = clock::now();
     let projections = project_all_analytic(&geo, &phantom);
     let volume =
         reconstruct(&geo, &projections, &ReconOptions::default()).expect("reconstruction succeeds");
@@ -162,6 +162,7 @@ fn main() {
     println!("\nslice through the part (z = {}):", n / 2);
     print!("{}", ascii_slice(&volume, n / 2, 64));
     if found < seeded.len() {
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
+    std::process::ExitCode::SUCCESS
 }

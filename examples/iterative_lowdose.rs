@@ -19,10 +19,10 @@ use ct_core::problem::{Dims2, Dims3};
 use ct_core::volume::VolumeLayout;
 use ct_core::CbctGeometry;
 use ct_iter::{sart, sirt, IterConfig, Operators};
+use ct_obs::clock;
 use ct_par::Pool;
 use ifdk::{reconstruct, ReconOptions};
 use ifdk_examples::{arg_usize, ascii_slice, print_table};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,7 +39,7 @@ fn main() {
     println!("sparse-view study: {np} projections of a {n}^3 Shepp-Logan\n");
 
     // FDK baseline.
-    let t = Instant::now();
+    let t = clock::now();
     let fdk = reconstruct(&geo, &stack, &ReconOptions::default()).unwrap();
     let fdk_time = t.elapsed().as_secs_f64();
     let fdk_err = nrmse(truth.data(), fdk.data()).unwrap();
@@ -51,12 +51,12 @@ fn main() {
         subsets: np.min(6),
         ..IterConfig::default()
     };
-    let t = Instant::now();
+    let t = clock::now();
     let (sart_vol, sart_rep) = sart(&ops, &stack, &cfg).unwrap();
     let sart_time = t.elapsed().as_secs_f64();
     let sart_err = nrmse(truth.data(), sart_vol.data()).unwrap();
 
-    let t = Instant::now();
+    let t = clock::now();
     let (sirt_vol, _) = sirt(&ops, &stack, &cfg).unwrap();
     let sirt_time = t.elapsed().as_secs_f64();
     let sirt_err = nrmse(truth.data(), sirt_vol.data()).unwrap();

@@ -1,6 +1,8 @@
 //! Shared helpers for the iFDK-rs examples: terminal rendering of slices
 //! and small argument parsing without external dependencies.
 
+#![forbid(unsafe_code)]
+
 use ct_core::volume::Volume;
 
 /// Render the XY slice at height `k` as ASCII art (darker character =

@@ -19,9 +19,9 @@ use ct_core::problem::{Dims2, Dims3};
 use ct_core::volume::VolumeLayout;
 use ct_core::CbctGeometry;
 use ct_filter::{FilterConfig, RampKind};
+use ct_obs::clock;
 use ifdk::{reconstruct, ReconOptions};
 use ifdk_examples::{arg_usize, print_table};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -63,7 +63,7 @@ fn main() {
             },
             ..ReconOptions::default()
         };
-        let t = Instant::now();
+        let t = clock::now();
         let noisy_rec = reconstruct(&geo, &noisy, &opts).unwrap();
         let secs = t.elapsed().as_secs_f64();
         let clean_rec = reconstruct(&geo, &clean, &opts).unwrap();

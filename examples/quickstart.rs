@@ -15,9 +15,9 @@ use ct_core::metrics::{gups, nrmse, psnr};
 use ct_core::phantom::Phantom;
 use ct_core::problem::{Dims2, Dims3, ReconProblem};
 use ct_core::CbctGeometry;
+use ct_obs::clock;
 use ifdk::{reconstruct, ReconOptions};
 use ifdk_examples::{arg_usize, ascii_slice};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,7 +34,7 @@ fn main() {
     );
 
     let phantom = Phantom::shepp_logan(0.45 * n as f64);
-    let t = Instant::now();
+    let t = clock::now();
     let projections = project_all_analytic(&geo, &phantom);
     println!(
         "  forward : {} exact projections in {:.2?}",
@@ -42,7 +42,7 @@ fn main() {
         t.elapsed()
     );
 
-    let t = Instant::now();
+    let t = clock::now();
     let volume =
         reconstruct(&geo, &projections, &ReconOptions::default()).expect("reconstruction succeeds");
     let secs = t.elapsed().as_secs_f64();

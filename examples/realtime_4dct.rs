@@ -16,9 +16,9 @@ use ct_core::math::Vec3;
 use ct_core::phantom::{Ellipsoid, Phantom};
 use ct_core::problem::{Dims2, Dims3};
 use ct_core::CbctGeometry;
+use ct_obs::clock;
 use ifdk::{reconstruct_pipelined, ReconOptions};
 use ifdk_examples::{arg_usize, print_table};
-use std::time::Instant;
 
 /// Phantom at time-fraction `t` in [0, 1]: a block with one moving pore.
 fn frame_phantom(scale: f64, t: f64) -> (Phantom, Vec3) {
@@ -93,7 +93,7 @@ fn main() {
         let t = f as f64 / frames as f64;
         let (phantom, true_pos) = frame_phantom(scale, t);
         let stack = project_all_analytic(&geo, &phantom);
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let vol = reconstruct_pipelined(&geo, &stack, &ReconOptions::default()).unwrap();
         let latency = t0.elapsed().as_secs_f64();
         let found = find_pore(&vol, &geo, scale);

@@ -1,5 +1,7 @@
 //! Shared fixtures for the cross-crate integration tests.
 
+#![forbid(unsafe_code)]
+
 use ct_core::forward::project_all_analytic;
 use ct_core::geometry::CbctGeometry;
 use ct_core::phantom::Phantom;
