@@ -65,7 +65,10 @@ impl TileConfig {
         };
         let sub_nz = 2 * pair.len.div_ceil(parts);
         let i_block = if self.i_block == 0 {
-            let cache_cap = (CACHE_BUDGET / (dims.ny * sub_nz * 4)).max(1);
+            let cache_cap = CACHE_BUDGET
+                .checked_div(dims.ny * sub_nz * 4)
+                .unwrap_or(usize::MAX)
+                .max(1);
             let steal_cap = dims.nx.div_ceil(target_tiles.div_ceil(parts)).max(1);
             cache_cap.min(steal_cap).min(dims.nx)
         } else {
@@ -116,8 +119,8 @@ pub fn partition_pairs(pair: SlabPair, parts: usize) -> Result<Vec<SlabPair>> {
             pair.len
         )));
     }
-    let base = pair.len / parts;
-    let extra = pair.len % parts;
+    let base = pair.len.checked_div(parts).unwrap_or(0);
+    let extra = pair.len.checked_rem(parts).unwrap_or(0);
     let mut out = Vec::with_capacity(parts);
     let mut k0 = pair.k0;
     for p in 0..parts {
@@ -164,27 +167,26 @@ fn accumulate_tile<S: Sampler>(
 ) -> Volume {
     let sub = tile.pair;
     let local_nz = sub.local_nz();
-    let np = rows.len();
     let vmax = nv as f32 - 1.0;
     let mut vol = Volume::zeros(Dims3::new(tile.i_len, ny, local_nz), VolumeLayout::KMajor);
     let data = vol.data_mut();
     let mut buf = SweepBuffers::new(sub.len);
-    for i in 0..tile.i_len {
+    for (i, plane) in data.chunks_exact_mut(ny * local_nz).enumerate() {
         let ifl = (tile.i0 + i) as f32;
-        let plane = &mut data[i * ny * local_nz..(i + 1) * ny * local_nz];
-        for s0 in (0..np).step_by(batch) {
-            let s1 = (s0 + batch).min(np);
-            for j in 0..ny {
+        for (rows_b, samplers_b) in rows.chunks(batch).zip(samplers.chunks(batch)) {
+            for (j, col) in plane.chunks_exact_mut(local_nz).enumerate() {
                 let jf = j as f32;
-                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
+                let cb = ColumnBatch::compute(rows_b, ifl, jf);
                 // Same depth-sweep structure (and therefore the same bits)
                 // as the untiled drivers, offset by the sub pair's origin.
                 buf.reset();
-                cb.accumulate_into(&samplers[s0..s1], sub.k0, vmax, &mut buf);
-                let col = &mut plane[j * local_nz..(j + 1) * local_nz];
-                for k in 0..sub.len {
-                    col[k] += buf.up[k];
-                    col[local_nz - 1 - k] += buf.down[k];
+                cb.accumulate_into(samplers_b, sub.k0, vmax, &mut buf);
+                let (up_half, down_half) = col.split_at_mut(sub.len);
+                for (dst, src) in up_half.iter_mut().zip(&buf.up) {
+                    *dst += *src;
+                }
+                for (dst, src) in down_half.iter_mut().rev().zip(&buf.down) {
+                    *dst += *src;
                 }
             }
         }
@@ -211,19 +213,24 @@ pub fn backproject_pair_tiled_reporting<S: Sampler>(
     batch: usize,
     cfg: TileConfig,
 ) -> (Volume, Vec<TileReport>) {
+    // analyze: allow(panic, reason = "caller-contract validation at the public driver entry; fires before any work starts")
     assert_eq!(mats.len(), samplers.len(), "one matrix per projection");
+    // analyze: allow(panic, reason = "caller-contract validation at the public driver entry; fires before any work starts")
     assert_eq!(dims.nz, pair.nz_full, "pair must match volume Nz");
+    // analyze: allow(panic, reason = "caller-contract validation at the public driver entry; fires before any work starts")
     assert!((1..=WARP_BATCH).contains(&batch), "batch must be in 1..=32");
     let ny = dims.ny;
     let (i_block, parts) = cfg.resolve(dims, pair, pool.threads());
-    let tiles = tiles_for(dims, pair, i_block, parts).expect("resolved tile shape is valid");
+    let tiles = tiles_for(dims, pair, i_block, parts)
+        // analyze: allow(panic, reason = "resolve() clamps i_block and parts into the range tiles_for accepts")
+        .expect("resolved tile shape is valid");
     let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
 
     // Each tile owns a private output volume: disjoint writes, no false
     // sharing, and a fixed accumulation order per voxel regardless of
     // which worker runs the tile.
     let pieces: Vec<Option<(Volume, TileReport)>> = pool.parallel_map(tiles.len(), 1, |t| {
-        let tile = tiles[t];
+        let tile = *tiles.get(t)?;
         let started = clock::now();
         let vol = accumulate_tile(&tile, &rows, samplers, nv, ny, batch);
         Some((
@@ -242,8 +249,7 @@ pub fn backproject_pair_tiled_reporting<S: Sampler>(
     let mut out = Volume::zeros(Dims3::new(dims.nx, ny, local_nz), VolumeLayout::KMajor);
     let data = out.data_mut();
     let mut reports = Vec::with_capacity(tiles.len());
-    for piece in pieces {
-        let (vol, report) = piece.expect("parallel_map fills every slot");
+    for (vol, report) in pieces.into_iter().flatten() {
         let tile = report.tile;
         let sub_nz = tile.pair.local_nz();
         let r = tile.pair.k0 - pair.k0;
@@ -252,13 +258,18 @@ pub fn backproject_pair_tiled_reporting<S: Sampler>(
         let up = r;
         let down = 2 * pair.len - r - tile.pair.len;
         let src = vol.data();
+        let mut cols = src.chunks_exact(sub_nz);
         for i in 0..tile.i_len {
             for j in 0..ny {
-                let col = &src[(i * ny + j) * sub_nz..(i * ny + j + 1) * sub_nz];
+                let Some(col) = cols.next() else { break };
+                let (col_up, col_down) = col.split_at(tile.pair.len);
                 let dst0 = ((tile.i0 + i) * ny + j) * local_nz;
-                data[dst0 + up..dst0 + up + tile.pair.len].copy_from_slice(&col[..tile.pair.len]);
-                data[dst0 + down..dst0 + down + tile.pair.len]
-                    .copy_from_slice(&col[tile.pair.len..]);
+                if let Some(dst) = data.get_mut(dst0 + up..dst0 + up + tile.pair.len) {
+                    dst.copy_from_slice(col_up);
+                }
+                if let Some(dst) = data.get_mut(dst0 + down..dst0 + down + tile.pair.len) {
+                    dst.copy_from_slice(col_down);
+                }
             }
         }
         reports.push(report);
@@ -295,8 +306,12 @@ pub fn backproject_tiled_with<S: Sampler>(
     batch: usize,
     cfg: TileConfig,
 ) -> Volume {
+    // analyze: allow(panic, reason = "caller-contract validation at the public driver entry; fires before any work starts")
     assert!(dims.nz.is_multiple_of(2), "tiled kernel needs even Nz");
-    let pair = SlabPair::new(dims.nz, 0, dims.nz / 2).expect("even nonzero Nz");
+    let Ok(pair) = SlabPair::new(dims.nz, 0, dims.nz / 2) else {
+        // Only reachable for a degenerate zero-depth volume.
+        return Volume::zeros(dims, VolumeLayout::KMajor);
+    };
     backproject_pair_tiled_with(pool, mats, samplers, nv, dims, pair, batch, cfg)
 }
 

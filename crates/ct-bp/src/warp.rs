@@ -95,24 +95,34 @@ impl Sampler for TransposedProjection {
         }
         let iu = iu as usize;
         let data = self.data();
-        let row0 = &data[iu * nv..(iu + 1) * nv];
-        let row1 = &data[(iu + 1) * nv..(iu + 2) * nv];
+        let Some(rows) = data.get(iu * nv..(iu + 2) * nv) else {
+            // `iu + 1 < nu` was just checked, so the rows always exist;
+            // fall back to the reference path rather than trusting that.
+            for (o, &v) in out.iter_mut().zip(vs) {
+                *o += w * self.sample(u, v);
+            }
+            return;
+        };
+        let (row0, row1) = rows.split_at(nv);
         for (o, &v) in out.iter_mut().zip(vs) {
             let fv = v.floor();
             let d = v - fv;
             let iv = fv as isize;
-            let (a0, a1, b0, b1) = if iv >= 0 && iv + 1 < nv as isize {
-                let i = iv as usize;
-                (row0[i], row0[i + 1], row1[i], row1[i + 1])
-            } else {
-                let s = |r: &[f32], x: isize| {
-                    if x < 0 || x >= nv as isize {
-                        0.0
-                    } else {
-                        r[x as usize]
-                    }
-                };
-                (s(row0, iv), s(row0, iv + 1), s(row1, iv), s(row1, iv + 1))
+            let fast = usize::try_from(iv)
+                .ok()
+                .and_then(|i| Some((row0.get(i..i + 2)?, row1.get(i..i + 2)?)));
+            let (a0, a1, b0, b1) = match fast {
+                Some((&[a0, a1], &[b0, b1])) => (a0, a1, b0, b1),
+                _ => {
+                    let s = |r: &[f32], x: isize| {
+                        usize::try_from(x)
+                            .ok()
+                            .and_then(|i| r.get(i))
+                            .copied()
+                            .unwrap_or(0.0)
+                    };
+                    (s(row0, iv), s(row0, iv + 1), s(row1, iv), s(row1, iv + 1))
+                }
             };
             let t1 = a0 * (1.0 - d) + a1 * d;
             let t2 = b0 * (1.0 - d) + b1 * d;
@@ -204,17 +214,23 @@ impl ColumnBatch {
             chunks: width.div_ceil(LANE_WIDTH),
             width,
         };
-        for (lane, mat) in rows.iter().enumerate() {
-            let x = mat[0][0] * ifl + mat[0][1] * jf + mat[0][3];
-            let z = mat[2][0] * ifl + mat[2][1] * jf + mat[2][3];
+        let lanes =
+            cb.u.iter_mut()
+                .zip(cb.f.iter_mut())
+                .zip(cb.w.iter_mut())
+                .zip(cb.y0.iter_mut().zip(cb.yk.iter_mut()));
+        for ((((u, f_), w), (y0, yk)), mat) in lanes.zip(rows) {
+            let [[xx, xy, _, xc], [yx, yy, ydz, yc], [zx, zy, _, zc]] = *mat;
+            let x = xx * ifl + xy * jf + xc;
+            let z = zx * ifl + zy * jf + zc;
             let f = 1.0 / z;
-            cb.u[lane] = x * f;
-            cb.f[lane] = f;
-            cb.w[lane] = f * f;
+            *u = x * f;
+            *f_ = f;
+            *w = f * f;
             // y(k) is affine in k: y0 + k * dy (the "1 inner product" of
             // Algorithm 4 line 12, hoisted).
-            cb.y0[lane] = mat[1][0] * ifl + mat[1][1] * jf + mat[1][3];
-            cb.yk[lane] = mat[1][2];
+            *y0 = yx * ifl + yy * jf + yc;
+            *yk = ydz;
         }
         cb
     }
@@ -232,24 +248,34 @@ impl ColumnBatch {
         debug_assert_eq!(samplers.len(), self.width, "one sampler per lane");
         let mut acc = [0.0f32; LANE_WIDTH];
         let mut acc_m = [0.0f32; LANE_WIDTH];
-        for c in 0..self.chunks {
+        let chunks = self
+            .y0
+            .chunks_exact(LANE_WIDTH)
+            .zip(self.yk.chunks_exact(LANE_WIDTH))
+            .zip(self.f.chunks_exact(LANE_WIDTH))
+            .zip(self.u.chunks_exact(LANE_WIDTH))
+            .zip(self.w.chunks_exact(LANE_WIDTH))
+            .take(self.chunks);
+        for (c, ((((y0c, ykc), fc), uc), wc)) in chunks.enumerate() {
             let base = c * LANE_WIDTH;
             // Detector-row arithmetic for 8 lanes at once — constant trip
             // count over fixed arrays, the auto-vectorization target.
             let mut v = [0.0f32; LANE_WIDTH];
-            for (l, vl) in v.iter_mut().enumerate() {
-                let lane = base + l;
-                *vl = (self.y0[lane] + self.yk[lane] * kf) * self.f[lane];
+            for (vl, ((&y0, &yk), &f)) in v.iter_mut().zip(y0c.iter().zip(ykc).zip(fc)) {
+                *vl = (y0 + yk * kf) * f;
             }
-            for (l, &vl) in v.iter().enumerate() {
-                let lane = base + l;
+            let lanes = v.iter().zip(uc).zip(wc).zip(acc.iter_mut().zip(&mut acc_m));
+            for (l, (((&vl, &u), &w), (a, am))) in lanes.enumerate() {
                 // Padded lanes clamp to the last real sampler; their
                 // weight is exactly 0.0 so they contribute nothing.
-                let q = &samplers[lane.min(self.width - 1)];
-                let w = self.w[lane];
-                let u = self.u[lane];
-                acc[l] += w * q.sample(u, vl);
-                acc_m[l] += w * q.sample(u, vmax - vl);
+                let Some(q) = samplers
+                    .get((base + l).min(self.width - 1))
+                    .or_else(|| samplers.last())
+                else {
+                    continue;
+                };
+                *a += w * q.sample(u, vl);
+                *am += w * q.sample(u, vmax - vl);
             }
         }
         (tree8(&acc), tree8(&acc_m))
@@ -276,17 +302,17 @@ impl ColumnBatch {
         buf: &mut SweepBuffers,
     ) {
         debug_assert_eq!(samplers.len(), self.width, "one sampler per lane");
-        for (lane, q) in samplers.iter().enumerate() {
-            let f = self.f[lane];
-            let w = self.w[lane];
-            let u = self.u[lane];
-            let y0 = self.y0[lane];
-            let yk = self.yk[lane];
-            for k in 0..buf.vs.len() {
+        let lanes = samplers
+            .iter()
+            .zip(self.f.iter().zip(&self.w).zip(&self.u))
+            .zip(self.y0.iter().zip(&self.yk));
+        for ((q, ((&f, &w), &u)), (&y0, &yk)) in lanes {
+            let rows = buf.vs.iter_mut().zip(buf.vs_m.iter_mut()).enumerate();
+            for (k, (vs, vs_m)) in rows {
                 let kf = (k0 + k) as f32;
                 let vl = (y0 + yk * kf) * f;
-                buf.vs[k] = vl;
-                buf.vs_m[k] = vmax - vl;
+                *vs = vl;
+                *vs_m = vmax - vl;
             }
             q.accumulate_column(u, &buf.vs, w, &mut buf.up);
             q.accumulate_column(u, &buf.vs_m, w, &mut buf.down);
@@ -298,7 +324,8 @@ impl ColumnBatch {
 /// runtime state, keeping every kernel bit-deterministic).
 #[inline]
 fn tree8(a: &[f32; LANE_WIDTH]) -> f32 {
-    ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]))
+    let [a0, a1, a2, a3, a4, a5, a6, a7] = *a;
+    ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7))
 }
 
 /// Generic batched kernel: Algorithm 4 loop structure with Listing 1's
@@ -313,37 +340,39 @@ pub fn backproject_warp_with<S: Sampler>(
     dims: Dims3,
     batch: usize,
 ) -> Volume {
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert_eq!(mats.len(), samplers.len(), "one matrix per projection");
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert!(dims.nz.is_multiple_of(2), "warp kernel needs even Nz");
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert!((1..=WARP_BATCH).contains(&batch), "batch must be in 1..=32");
     let (ny, nz) = (dims.ny, dims.nz);
     let half = nz / 2;
-    let np = mats.len();
     let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
 
     let vmax = nv as f32 - 1.0;
     let mut vol = Volume::zeros(dims, VolumeLayout::KMajor);
     let chunk = ny * nz;
-    pool.parallel_chunks_mut(vol.data_mut(), chunk, |start, slice| {
-        let i = start / chunk;
+    pool.parallel_chunks_mut_indexed(vol.data_mut(), chunk, |i, _start, slice| {
         let ifl = i as f32;
         let mut buf = SweepBuffers::new(half);
-        for s0 in (0..np).step_by(batch) {
-            let s1 = (s0 + batch).min(np);
-            for j in 0..ny {
+        for (rows_b, samplers_b) in rows.chunks(batch).zip(samplers.chunks(batch)) {
+            for (j, col) in slice.chunks_exact_mut(nz).enumerate().take(ny) {
                 let jf = j as f32;
                 // "Lane" setup: per projection of the batch, the constants
                 // of the voxel column (Listing 1 lines 11-14).
-                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
+                let cb = ColumnBatch::compute(rows_b, ifl, jf);
                 // Listing 1 lines 15-30 as a depth sweep: batch-local
                 // accumulation, then one volume update per voxel and its
                 // Theorem-1 mirror.
                 buf.reset();
-                cb.accumulate_into(&samplers[s0..s1], 0, vmax, &mut buf);
-                let col = &mut slice[j * nz..(j + 1) * nz];
-                for k in 0..half {
-                    col[k] += buf.up[k];
-                    col[nz - 1 - k] += buf.down[k];
+                cb.accumulate_into(samplers_b, 0, vmax, &mut buf);
+                let (col_up, col_down) = col.split_at_mut(half);
+                for (dst, src) in col_up.iter_mut().zip(&buf.up) {
+                    *dst += *src;
+                }
+                for (dst, src) in col_down.iter_mut().rev().zip(&buf.down) {
+                    *dst += *src;
                 }
             }
         }

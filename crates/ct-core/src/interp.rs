@@ -50,7 +50,9 @@ pub fn interp2_strided(
         if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
             0.0
         } else {
-            img[y as usize * row_stride + x as usize]
+            img.get(y as usize * row_stride + x as usize)
+                .copied()
+                .unwrap_or(0.0)
         }
     };
 

@@ -207,13 +207,8 @@ impl Mat4 {
     /// Transpose.
     #[inline]
     pub fn transposed(&self) -> Mat4 {
-        let r = &self.rows;
-        Mat4::from_rows([
-            [r[0][0], r[1][0], r[2][0], r[3][0]],
-            [r[0][1], r[1][1], r[2][1], r[3][1]],
-            [r[0][2], r[1][2], r[2][2], r[3][2]],
-            [r[0][3], r[1][3], r[2][3], r[3][3]],
-        ])
+        let [[a, b, c, d], [e, f, g, h], [i, j, k, l], [m, n, o, p]] = self.rows;
+        Mat4::from_rows([[a, e, i, m], [b, f, j, n], [c, g, k, o], [d, h, l, p]])
     }
 
     /// Extract the upper three rows as a 3x4 matrix (the paper's
@@ -276,13 +271,7 @@ impl Mat3x4 {
     /// Cast every entry to `f32` in row-major order, the shape stored in the
     /// (simulated) constant memory of the paper's Listing 1 (`ProjMat`).
     pub fn to_f32_rows(&self) -> [[f32; 4]; 3] {
-        let mut out = [[0.0f32; 4]; 3];
-        for (i, row) in self.rows.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                out[i][j] = v as f32;
-            }
-        }
-        out
+        self.rows.map(|row| row.map(|v| v as f32))
     }
 }
 

@@ -115,7 +115,11 @@ impl ProjectionImage {
                 let u1 = (u0 + TILE).min(nu);
                 for v in v0..v1 {
                     for u in u0..u1 {
-                        out[u * nv + v] = self.data[v * nu + u];
+                        if let (Some(dst), Some(&src)) =
+                            (out.get_mut(u * nv + v), self.data.get(v * nu + u))
+                        {
+                            *dst = src;
+                        }
                     }
                 }
             }
@@ -261,7 +265,10 @@ impl BlockedProjection {
         if u < 0 || v < 0 || u >= self.dims.nu as isize || v >= self.dims.nv as isize {
             return 0.0;
         }
-        self.data[Self::index_for(self.tiles_u, u as usize, v as usize)]
+        self.data
+            .get(Self::index_for(self.tiles_u, u as usize, v as usize))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Bilinear sample at sub-pixel `(u, v)` — the texture-unit fetch of
@@ -354,15 +361,19 @@ impl ProjectionStack {
         Ok(())
     }
 
-    /// Projection `i`.
+    /// Projection `i`. Panics if `i` is out of range, matching `Vec`
+    /// indexing semantics.
     #[inline]
     pub fn get(&self, i: usize) -> &ProjectionImage {
+        // analyze: allow(panic, reason = "std-slice-style accessor: an out-of-range index is a caller bug and panics like Vec indexing")
         &self.images[i]
     }
 
-    /// Mutable projection `i`.
+    /// Mutable projection `i`. Panics if `i` is out of range, matching
+    /// `Vec` indexing semantics.
     #[inline]
     pub fn get_mut(&mut self, i: usize) -> &mut ProjectionImage {
+        // analyze: allow(panic, reason = "std-slice-style accessor: an out-of-range index is a caller bug and panics like Vec indexing")
         &mut self.images[i]
     }
 

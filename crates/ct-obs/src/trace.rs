@@ -86,7 +86,9 @@ impl Hist {
 
     /// Record one sample.
     pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)] += 1;
+        if let Some(b) = self.buckets.get_mut(Self::bucket_of(ns)) {
+            *b += 1;
+        }
     }
 
     /// Merge another histogram into this one.

@@ -157,7 +157,8 @@ impl Pool {
             for _ in 0..workers {
                 s.spawn(|| {
                     while let Some(idx) = cursor.claim_one() {
-                        if let Some((start, chunk)) = chunks[idx].lock().take() {
+                        let Some(slot) = chunks.get(idx) else { break };
+                        if let Some((start, chunk)) = slot.lock().take() {
                             f(idx, start, chunk);
                         }
                     }

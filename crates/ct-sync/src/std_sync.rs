@@ -101,6 +101,7 @@ impl Condvar {
         let std_guard = guard
             .inner
             .take()
+            // analyze: allow(panic, reason = "guard slot is refilled before wait/wait_timeout return, so it can never be observed empty here")
             .expect("guard slot is only empty inside Condvar::wait");
         let std_guard = self
             .inner

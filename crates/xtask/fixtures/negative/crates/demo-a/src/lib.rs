@@ -1,0 +1,17 @@
+//! Negative control: a panic source reachable from the declared root
+//! `demo_a::engine` through a cross-module call edge.
+
+pub mod engine {
+    /// The analyzer root. Does not panic itself; the defect is one call
+    /// edge away, so catching it requires the call graph to work.
+    pub fn run(values: &[u32]) -> u32 {
+        crate::util::first(values)
+    }
+}
+
+pub mod util {
+    /// Seeded defect: an unexempted `unwrap` reachable from the root.
+    pub fn first(values: &[u32]) -> u32 {
+        values.first().copied().unwrap()
+    }
+}

@@ -1,0 +1,7 @@
+//! Negative control: this crate exists to close the layering cycle
+//! declared in the fixture's `ci/analyze.conf` and `Cargo.toml`s.
+
+/// Innocuous by itself — the defect lives in the dependency graph.
+pub fn touch() -> u32 {
+    7
+}

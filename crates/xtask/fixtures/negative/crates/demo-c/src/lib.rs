@@ -1,0 +1,10 @@
+//! Negative control: a result-producing crate whose export depends on
+//! hash-map iteration order.
+
+use std::collections::HashMap;
+
+/// Seeded defect: the returned vector's order is whatever the hasher
+/// felt like today.
+pub fn export(counts: HashMap<String, u64>) -> Vec<(String, u64)> {
+    counts.into_iter().collect()
+}

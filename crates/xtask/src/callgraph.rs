@@ -1,0 +1,645 @@
+//! Workspace call graph, name-resolved and deliberately conservative.
+//!
+//! Path calls (`mod::f(..)`, `Type::assoc(..)`) resolve through the
+//! file's `use` map, `crate`/`self`/`super`/`Self` heads, glob imports
+//! and the module chain. Method calls (`.m(..)`) cannot be typed by a
+//! token-level analyzer, so every method named `m` whose non-`self`
+//! arity matches the call's argument count — in a crate the caller's
+//! crate (transitively) depends on — becomes an edge; the graph
+//! over-approximates, never under-approximates, within the workspace. Calls that resolve to nothing are external (std or
+//! dependencies) and out of the soundness envelope by design.
+//! Test-only (`#[cfg(test)]`, `#[test]`) and compiled-out
+//! (`#[cfg(loom)]`) functions are not nodes.
+
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+pub struct CallGraph {
+    /// `edges[f]` = call targets of fn `f`, with the call's 1-based line.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+/// Rust keywords that look like `ident (` in expression position.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "else", "in", "move", "fn", "as",
+    "break", "continue", "where", "impl", "dyn", "ref", "mut", "box", "await", "unsafe",
+];
+
+impl CallGraph {
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut by_qual: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut assoc: BTreeMap<(&str, &str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            if f.is_test || f.cfg_off {
+                continue;
+            }
+            by_qual.insert(f.qual.as_str(), i);
+            let crate_ident = f.module.first().map(String::as_str).unwrap_or("");
+            if f.has_self {
+                methods.entry(f.name.as_str()).or_default().push(i);
+            }
+            match &f.self_type {
+                Some(t) => assoc
+                    .entry((crate_ident, t.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(i),
+                None => free
+                    .entry((crate_ident, f.name.as_str()))
+                    .or_default()
+                    .push(i),
+            }
+        }
+
+        let mut edges = vec![Vec::new(); ws.fns.len()];
+        for (i, f) in ws.fns.iter().enumerate() {
+            if f.is_test || f.cfg_off {
+                continue;
+            }
+            let Some((b0, b1)) = f.body else { continue };
+            let file = &ws.files[f.file];
+            let masked = &file.lexed.masked;
+            let mut out: BTreeSet<(usize, usize)> = BTreeSet::new();
+            for call in extract_calls(masked, b0, b1) {
+                let line = line_of(masked, call.at);
+                match call.kind {
+                    CallKind::Method { name, args } => {
+                        // A method call in crate C can only dispatch to
+                        // an impl in C's declared dependency cone — a
+                        // crate C does not depend on is not in scope.
+                        let caller_crate = file.crate_idx;
+                        for &t in methods.get(name.as_str()).into_iter().flatten() {
+                            let callee_crate = ws.files[ws.fns[t].file].crate_idx;
+                            if ws.fns[t].arity == args
+                                && ws.dep_closure[caller_crate].contains(&callee_crate)
+                            {
+                                out.insert((t, line));
+                            }
+                        }
+                    }
+                    CallKind::Path { segs } => {
+                        for t in resolve_path(ws, f.file, i, &segs, &by_qual, &assoc, &free) {
+                            out.insert((t, line));
+                        }
+                    }
+                }
+            }
+            edges[i] = out.into_iter().collect();
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS over the graph from `roots` (fn indices); returns, for every
+    /// reachable fn, the predecessor on a shortest path (roots map to
+    /// themselves).
+    pub fn reach(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &(t, _) in &self.edges[f] {
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(t) {
+                    e.insert(f);
+                    queue.push_back(t);
+                }
+            }
+        }
+        pred
+    }
+}
+
+/// Shortest call chain `root -> ... -> target` as qualified names.
+pub fn chain(ws: &Workspace, pred: &BTreeMap<usize, usize>, target: usize) -> Vec<String> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(&p) = pred.get(&cur) {
+        if p == cur {
+            break;
+        }
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path.into_iter().map(|i| ws.fns[i].qual.clone()).collect()
+}
+
+enum CallKind {
+    Method { name: String, args: usize },
+    Path { segs: Vec<String> },
+}
+
+struct CallSite {
+    at: usize,
+    kind: CallKind,
+}
+
+/// Token-scan one fn body for call sites.
+fn extract_calls(masked: &str, b0: usize, b1: usize) -> Vec<CallSite> {
+    let b = masked.as_bytes();
+    let end = b1.min(b.len());
+    let mut out = Vec::new();
+    let mut i = b0;
+    while i < end {
+        let c = b[i];
+        // Method call: `.name` [`::<..>`] `(`.
+        if c == b'.' && i + 1 < end && is_ident_start(b[i + 1]) {
+            let at = i;
+            let mut j = i + 1;
+            while j < end && is_ident(b[j]) {
+                j += 1;
+            }
+            let name = &masked[i + 1..j];
+            let mut k = skip_ws(b, j, end);
+            k = skip_turbofish(b, k, end);
+            if k < end && b[k] == b'(' && !NON_CALLS.contains(&name) {
+                out.push(CallSite {
+                    at,
+                    kind: CallKind::Method {
+                        name: name.to_string(),
+                        args: count_args(b, k, end),
+                    },
+                });
+            }
+            i = j;
+            continue;
+        }
+        // Path or plain call: `a::b::f` [`::<..>`] `(`, not preceded by
+        // `.` (method) or an ident char (mid-token).
+        if is_ident_start(c) && (i == b0 || (!is_ident(b[i - 1]) && b[i - 1] != b'.')) {
+            let at = i;
+            let mut segs = Vec::new();
+            let mut j = i;
+            loop {
+                let s = j;
+                while j < end && is_ident(b[j]) {
+                    j += 1;
+                }
+                if j == s {
+                    break;
+                }
+                segs.push(masked[s..j].to_string());
+                let k = skip_ws(b, j, end);
+                if k + 1 < end && b[k] == b':' && b[k + 1] == b':' {
+                    let n = skip_ws(b, k + 2, end);
+                    if n < end && b[n] == b'<' {
+                        // Turbofish ends the path; leave `j` at `::` so
+                        // `skip_turbofish` below consumes it.
+                        j = k;
+                        break;
+                    }
+                    if n < end && is_ident_start(b[n]) {
+                        j = n;
+                        continue;
+                    }
+                }
+                break;
+            }
+            let k = skip_ws(b, j, end);
+            let k = skip_turbofish(b, k, end);
+            let prev_word_is_fn = prev_word(masked, at) == Some("fn");
+            if k < end
+                && b[k] == b'('
+                && !prev_word_is_fn
+                && !segs.iter().any(|s| NON_CALLS.contains(&s.as_str()))
+            {
+                out.push(CallSite {
+                    at,
+                    kind: CallKind::Path { segs },
+                });
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Resolve a path call in the context of `file`/`caller` to candidate
+/// fn indices. Unresolvable paths are external: no edges.
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    ws: &Workspace,
+    file: usize,
+    caller: usize,
+    segs: &[String],
+    by_qual: &BTreeMap<&str, usize>,
+    assoc: &BTreeMap<(&str, &str, &str), Vec<usize>>,
+    free: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    let f = &ws.fns[caller];
+    let module = &f.module;
+    let mut candidates: Vec<Vec<String>> = Vec::new();
+    let head = segs[0].as_str();
+    match head {
+        "crate" => {
+            let mut p = vec![module[0].clone()];
+            p.extend(segs[1..].iter().cloned());
+            candidates.push(p);
+        }
+        "self" => {
+            let mut p = module.clone();
+            p.extend(segs[1..].iter().cloned());
+            candidates.push(p);
+        }
+        "super" => {
+            let mut base = module.clone();
+            let mut rest = segs;
+            while rest.first().map(String::as_str) == Some("super") {
+                base.pop();
+                rest = &rest[1..];
+            }
+            base.extend(rest.iter().cloned());
+            candidates.push(base);
+        }
+        "Self" => {
+            if let Some(t) = &f.self_type {
+                let mut p = module.clone();
+                p.push(t.clone());
+                p.extend(segs[1..].iter().cloned());
+                candidates.push(p);
+            }
+        }
+        _ => {
+            // Import binding for the first segment.
+            for (name, path) in &ws.files[file].imports {
+                if name == head {
+                    let mut p = path.clone();
+                    p.extend(segs[1..].iter().cloned());
+                    candidates.push(p);
+                }
+            }
+            // A workspace (or external) crate ident.
+            if ws.crate_idents.contains(head) {
+                candidates.push(segs.to_vec());
+            }
+            // Relative to the current module and its ancestors.
+            for depth in (1..=module.len()).rev() {
+                let mut p = module[..depth].to_vec();
+                p.extend(segs.iter().cloned());
+                candidates.push(p);
+            }
+            // Glob imports.
+            for g in &ws.files[file].globs {
+                let mut p = g.clone();
+                p.extend(segs.iter().cloned());
+                candidates.push(p);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for cand in &candidates {
+        let qual = cand.join("::");
+        if let Some(&t) = by_qual.get(qual.as_str()) {
+            out.push(t);
+            continue;
+        }
+        // Re-export fallbacks: match by (crate, Type, fn) or (crate, fn)
+        // ignoring the module in between (`pub use volume::Volume`).
+        if cand.len() >= 3 && ws.crate_idents.contains(&cand[0]) {
+            let key = (
+                cand[0].as_str(),
+                cand[cand.len() - 2].as_str(),
+                cand[cand.len() - 1].as_str(),
+            );
+            if let Some(v) = assoc.get(&key) {
+                out.extend(v.iter().copied());
+                continue;
+            }
+        }
+        if cand.len() == 2 && ws.crate_idents.contains(&cand[0]) {
+            if let Some(v) = free.get(&(cand[0].as_str(), cand[1].as_str())) {
+                out.extend(v.iter().copied());
+            }
+        }
+    }
+    // Last resort for a bare `f(...)`: any free fn named `f` in the same
+    // crate (sibling modules re-exported or pub(crate)-visible). This
+    // over-approximates, which is the safe direction.
+    if out.is_empty() && segs.len() == 1 {
+        if let Some(m0) = module.first() {
+            if let Some(v) = free.get(&(m0.as_str(), segs[0].as_str())) {
+                out.extend(v.iter().copied());
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Count call arguments at the `(` at `open`: top-level commas + 1.
+/// Closure parameter lists (`|a, b|`) and turbofish generics are
+/// skipped so their commas do not split arguments.
+fn count_args(b: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut saw_token = false;
+    let mut trailing = false;
+    let mut i = open;
+    while i < end {
+        let c = b[i];
+        match c {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if c == b')' && depth == 0 {
+                    break;
+                }
+            }
+            b':' if i + 2 < end && b[i + 1] == b':' && b[i + 2] == b'<' => {
+                // Turbofish inside an argument expression.
+                angle += 1;
+                i += 3;
+                continue;
+            }
+            b'<' if angle > 0 => angle += 1,
+            b'>' if angle > 0 => angle -= 1,
+            b'|' if depth == 1 => {
+                if b.get(i + 1) == Some(&b'|') {
+                    i += 2; // `||` — logical or, or an empty closure head
+                    continue;
+                }
+                // Closure head: skip to the matching `|`.
+                let mut j = i + 1;
+                while j < end && b[j] != b'|' && b[j] != b'\n' {
+                    j += 1;
+                }
+                i = (j + 1).min(end);
+                saw_token = true;
+                trailing = false;
+                continue;
+            }
+            b',' if depth == 1 && angle == 0 => {
+                commas += 1;
+                trailing = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if i != open && !c.is_ascii_whitespace() {
+            saw_token = true;
+            trailing = false;
+        }
+        i += 1;
+    }
+    if !saw_token {
+        return 0;
+    }
+    commas + 1 - usize::from(trailing)
+}
+
+fn skip_turbofish(b: &[u8], mut i: usize, end: usize) -> usize {
+    if i + 2 < end && b[i] == b':' && b[i + 1] == b':' {
+        let k = skip_ws(b, i + 2, end);
+        if k < end && b[k] == b'<' {
+            let mut depth = 0i32;
+            i = k;
+            while i < end {
+                match b[i] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return skip_ws(b, i + 1, end);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn skip_ws(b: &[u8], mut i: usize, end: usize) -> usize {
+    while i < end && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// The word immediately before byte `at`, if any (used to skip nested
+/// `fn name(` declarations).
+fn prev_word(s: &str, at: usize) -> Option<&str> {
+    let b = s.as_bytes();
+    let mut j = at;
+    while j > 0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let e = j;
+    while j > 0 && is_ident(b[j - 1]) {
+        j -= 1;
+    }
+    (j < e).then(|| &s[j..e])
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+pub fn line_of(s: &str, at: usize) -> usize {
+    s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calls(src: &str) -> Vec<String> {
+        extract_calls(src, 0, src.len())
+            .into_iter()
+            .map(|c| match c.kind {
+                CallKind::Method { name, args } => format!(".{name}/{args}"),
+                CallKind::Path { segs } => segs.join("::"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn method_and_path_calls_are_extracted() {
+        let got = calls("{ let x = pair::SlabPair::new(nz); x.decompose(1, 2); free(); }");
+        assert!(got.contains(&"pair::SlabPair::new".to_string()));
+        assert!(got.contains(&".decompose/2".to_string()));
+        assert!(got.contains(&"free".to_string()));
+    }
+
+    #[test]
+    fn keywords_macros_and_fn_decls_are_not_calls() {
+        let got = calls("{ if (a) { return (b); } vec![1]; fn helper(x: u8) {} helper(1); }");
+        assert_eq!(got, vec!["helper".to_string()]);
+    }
+
+    #[test]
+    fn closure_commas_do_not_split_args() {
+        let got = calls("{ items.sort_by(|a, b| a.cmp(b)); acc.fold(0, |s, x| s + x); }");
+        assert!(got.contains(&".sort_by/1".to_string()), "{got:?}");
+        assert!(got.contains(&".fold/2".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn turbofish_is_skipped() {
+        let got = calls("{ parse::<u32>(s); v.collect::<Vec<u8>>(); }");
+        assert!(got.contains(&"parse".to_string()), "{got:?}");
+        assert!(got.contains(&".collect/0".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn empty_and_trailing_comma_arg_counts() {
+        let got = calls("{ a.f(); b.g(x,); c.h(x, y); }");
+        assert!(got.contains(&".f/0".to_string()));
+        assert!(got.contains(&".g/1".to_string()), "{got:?}");
+        assert!(got.contains(&".h/2".to_string()));
+    }
+
+    #[test]
+    fn calls_inside_macro_arguments_still_become_edges() {
+        // Macro bodies are not expanded; the token scan reads through
+        // them, so the macro itself is never an edge but a call spelled
+        // out in its arguments is — over-approximation, the safe
+        // direction for reachability.
+        let got = calls("{ format!(\"x {}\", compute()); write_all!(sink); }");
+        assert!(!got.contains(&"format".to_string()), "{got:?}");
+        assert!(!got.contains(&"write_all".to_string()), "{got:?}");
+        assert!(got.contains(&"compute".to_string()), "{got:?}");
+    }
+
+    /// Write `files` under a temp dir, load it as a workspace, build
+    /// the graph. `tag` keeps parallel tests from sharing a directory.
+    fn graph_fixture(tag: &str, files: &[(&str, &str)]) -> (Workspace, CallGraph) {
+        let dir = std::env::temp_dir().join(format!("xtask-cg-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (rel, content) in files {
+            let p = dir.join(rel);
+            std::fs::create_dir_all(p.parent().expect("rel path has a parent"))
+                .expect("fixture dir");
+            std::fs::write(p, content).expect("fixture file");
+        }
+        let ws = crate::workspace::load(&dir).expect("fixture workspace loads");
+        std::fs::remove_dir_all(&dir).ok();
+        let graph = CallGraph::build(&ws);
+        (ws, graph)
+    }
+
+    fn fn_idx(ws: &Workspace, qual: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qual == qual)
+            .unwrap_or_else(|| panic!("fn {qual} not found"))
+    }
+
+    fn targets(ws: &Workspace, graph: &CallGraph, from: &str) -> Vec<String> {
+        graph.edges[fn_idx(ws, from)]
+            .iter()
+            .map(|&(t, _)| ws.fns[t].qual.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cross_crate_use_resolves_and_dep_cone_limits_methods() {
+        let (ws, graph) = graph_fixture(
+            "depcone",
+            &[
+                ("crates/base/Cargo.toml", "[package]\nname = \"base\"\n"),
+                (
+                    "crates/base/src/lib.rs",
+                    "pub mod util {\n    pub fn helper() -> u32 { 1 }\n}\n\
+                     pub struct Gadget;\nimpl Gadget {\n    pub fn gulp(&self, x: u32) -> u32 { x }\n}\n",
+                ),
+                ("crates/iso/Cargo.toml", "[package]\nname = \"iso\"\n"),
+                (
+                    "crates/iso/src/lib.rs",
+                    "pub struct Island;\nimpl Island {\n    pub fn gulp(&self, x: u32) -> u32 { x + 1 }\n}\n",
+                ),
+                (
+                    "crates/app/Cargo.toml",
+                    "[package]\nname = \"app\"\n\n[dependencies]\nbase = { path = \"../base\" }\n",
+                ),
+                (
+                    "crates/app/src/lib.rs",
+                    "use base::util::helper;\n\npub fn run(g: &base::Gadget) -> u32 {\n    helper() + g.gulp(2)\n}\n",
+                ),
+            ],
+        );
+        let got = targets(&ws, &graph, "app::run");
+        // The `use`-imported path call resolves across the crate edge.
+        assert!(got.contains(&"base::util::helper".to_string()), "{got:?}");
+        // `.gulp(_)` dispatches into the dependency cone only: `base`
+        // is a declared dep of `app`, `iso` is not.
+        assert!(got.contains(&"base::Gadget::gulp".to_string()), "{got:?}");
+        assert!(!got.contains(&"iso::Island::gulp".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn shadowed_name_over_approximates_to_both_candidates() {
+        // `helper` is both `use`-imported and defined locally; a
+        // token-level resolver cannot know which one the compiler
+        // picks, so the graph keeps both edges.
+        let (ws, graph) = graph_fixture(
+            "shadow",
+            &[
+                ("crates/dep/Cargo.toml", "[package]\nname = \"dep\"\n"),
+                ("crates/dep/src/lib.rs", "pub fn helper() -> u32 { 1 }\n"),
+                (
+                    "crates/app/Cargo.toml",
+                    "[package]\nname = \"app\"\n\n[dependencies]\ndep = { path = \"../dep\" }\n",
+                ),
+                (
+                    "crates/app/src/lib.rs",
+                    "use dep::helper;\n\npub fn helper_local() -> u32 { 2 }\n\
+                     pub fn helper() -> u32 { helper_local() }\n\
+                     pub fn run() -> u32 { helper() }\n",
+                ),
+            ],
+        );
+        let got = targets(&ws, &graph, "app::run");
+        assert!(got.contains(&"dep::helper".to_string()), "{got:?}");
+        assert!(got.contains(&"app::helper".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn reachability_walks_nested_mod_chains() {
+        let (ws, graph) = graph_fixture(
+            "reach",
+            &[
+                ("crates/solo/Cargo.toml", "[package]\nname = \"solo\"\n"),
+                (
+                    "crates/solo/src/lib.rs",
+                    "pub mod outer {\n    pub mod inner {\n        pub fn leaf() -> u32 { 3 }\n    }\n    pub fn mid() -> u32 { inner::leaf() }\n}\n\
+                     pub fn entry() -> u32 { outer::mid() }\n",
+                ),
+            ],
+        );
+        let root = fn_idx(&ws, "solo::entry");
+        let pred = graph.reach(&[root]);
+        let leaf = fn_idx(&ws, "solo::outer::inner::leaf");
+        assert!(pred.contains_key(&leaf), "leaf not reached");
+        let chain = chain(&ws, &pred, leaf);
+        assert_eq!(
+            chain,
+            vec![
+                "solo::entry".to_string(),
+                "solo::outer::mid".to_string(),
+                "solo::outer::inner::leaf".to_string(),
+            ]
+        );
+    }
+}

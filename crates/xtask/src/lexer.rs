@@ -20,6 +20,18 @@ pub struct StrLit {
     pub text: String,
 }
 
+/// An `analyze: allow(<pass>, reason = "...")` directive found in a
+/// comment. Unlike `lint: allow`, analyzer exemptions must carry a
+/// reason string; a directive without one is itself reported.
+pub struct AnalyzeAllow {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// The pass being exempted (`panic`, `layering`, `determinism`).
+    pub pass: String,
+    /// The quoted reason, if one was written.
+    pub reason: Option<String>,
+}
+
 /// Result of masking one source file.
 pub struct Lexed {
     /// Source with comments and literal bodies blanked to spaces.
@@ -31,6 +43,9 @@ pub struct Lexed {
     /// Each directive covers its own line and the following line, so it
     /// works both as a trailing comment and on the line above.
     pub allows: Vec<(usize, String)>,
+    /// Analyzer exemption directives (pass name + mandatory reason),
+    /// same coverage rule as `allows` (own line plus the next).
+    pub analyze_allows: Vec<AnalyzeAllow>,
 }
 
 impl Lexed {
@@ -40,6 +55,13 @@ impl Lexed {
             .iter()
             .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
     }
+
+    /// The analyzer exemption covering 1-based `line` for `pass`, if any.
+    pub fn analyze_allowed(&self, line: usize, pass: &str) -> Option<&AnalyzeAllow> {
+        self.analyze_allows
+            .iter()
+            .find(|a| a.pass == pass && (a.line == line || a.line + 1 == line))
+    }
 }
 
 /// Mask `src`, classifying comments, string/char literals and lifetimes.
@@ -48,6 +70,7 @@ pub fn lex(src: &str) -> Lexed {
     let mut masked: Vec<u8> = Vec::with_capacity(b.len());
     let mut strings = Vec::new();
     let mut allows = Vec::new();
+    let mut analyze_allows = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
 
@@ -67,6 +90,7 @@ pub fn lex(src: &str) -> Lexed {
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
                 let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
                 record_allows(&src[i..end], line, &mut allows);
+                record_analyze_allows(&src[i..end], line, &mut analyze_allows);
                 for &cc in &b[i..end] {
                     blank(&mut masked, &mut line, cc);
                 }
@@ -89,6 +113,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
                 record_allows(&src[start..i], line, &mut allows);
+                record_analyze_allows(&src[start..i], line, &mut analyze_allows);
                 for &cc in &b[start..i] {
                     blank(&mut masked, &mut line, cc);
                 }
@@ -139,6 +164,7 @@ pub fn lex(src: &str) -> Lexed {
         masked: String::from_utf8_lossy(&masked).into_owned(),
         strings,
         allows,
+        analyze_allows,
     }
 }
 
@@ -160,6 +186,48 @@ fn record_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) 
             rest = &after[close..];
         } else {
             break;
+        }
+    }
+}
+
+/// Record analyzer exemption directives — `allow(panic, reason = "..")`
+/// behind the analyzer's marker prefix. The reason clause is optional
+/// at the syntax level — the panic pass reports a missing reason as its
+/// own violation, so a bare `allow(panic)` is recorded here with
+/// `reason: None` rather than dropped. A "pass name" that is not a
+/// plain identifier (prose like `<pass>` in documentation) is not a
+/// directive and is skipped.
+fn record_analyze_allows(comment: &str, line: usize, out: &mut Vec<AnalyzeAllow>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("analyze: allow(") {
+        rest = &rest[pos + "analyze: allow(".len()..];
+        // Pass name: up to `,` or `)`.
+        let name_end = rest.find([',', ')']).unwrap_or(rest.len());
+        let pass = rest[..name_end].trim().to_string();
+        let mut reason = None;
+        if rest[name_end..].starts_with(',') {
+            let clause = &rest[name_end + 1..];
+            // Expect `reason = "..."`; the string may contain `)`.
+            let ok = clause.trim_start().starts_with("reason");
+            if ok {
+                if let Some(q0) = clause.find('"') {
+                    let body = &clause[q0 + 1..];
+                    if let Some(q1) = body.find('"') {
+                        let text = &body[..q1];
+                        if !text.trim().is_empty() {
+                            reason = Some(text.to_string());
+                        }
+                        rest = &body[q1..];
+                    }
+                }
+            }
+        }
+        let is_ident = !pass.is_empty()
+            && pass
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        if is_ident {
+            out.push(AnalyzeAllow { line, pass, reason });
         }
     }
 }
@@ -458,6 +526,31 @@ mod tests {
         assert!(out.allowed(2, "no-unwrap"));
         assert!(!out.allowed(3, "no-unwrap"));
         assert!(!out.allowed(2, "raw-clock"));
+    }
+
+    #[test]
+    fn analyze_allow_directives_capture_pass_and_reason() {
+        let src = "// analyze: allow(panic, reason = \"divisor checked (see above)\")\n\
+                   let q = a / b;\n\
+                   // analyze: allow(determinism)\n\
+                   map.iter();\n";
+        let out = lex(src);
+        let a = out.analyze_allowed(2, "panic").expect("directive found");
+        assert_eq!(a.reason.as_deref(), Some("divisor checked (see above)"));
+        let d = out
+            .analyze_allowed(4, "determinism")
+            .expect("directive found");
+        assert!(d.reason.is_none());
+        assert!(out.analyze_allowed(2, "determinism").is_none());
+        assert!(out.analyze_allowed(1, "panic").is_some());
+        assert!(out.analyze_allowed(3, "panic").is_none());
+    }
+
+    #[test]
+    fn analyze_allow_empty_reason_counts_as_missing() {
+        let out = lex("// analyze: allow(panic, reason = \"\")\nx[0];\n");
+        let a = out.analyze_allowed(2, "panic").expect("directive found");
+        assert!(a.reason.is_none());
     }
 
     #[test]

@@ -1,46 +1,118 @@
 //! `cargo xtask` — repo-local verification tasks.
 //!
-//! The only subcommand today is `lint`, a token-level pass over every
-//! Rust source file in the workspace (plus the standalone `ct-sync` and
-//! `xtask` crates) enforcing the project conventions that rustc and
-//! clippy cannot see. See [`rules`] for the rule table. Exit codes
-//! follow the repo's gate contract: 0 = clean, 1 = violations found,
-//! 3 = usage / internal error.
+//! Two subcommands:
+//!
+//! * `lint` — a token-level pass over every Rust source file in the
+//!   workspace (plus the standalone `ct-sync` and `xtask` crates)
+//!   enforcing the project conventions rustc and clippy cannot see.
+//!   See [`rules`] for the rule table.
+//! * `analyze` — the static analyzer: a recursive-descent item parser
+//!   ([`parser`]) over the masking lexer, a conservative workspace call
+//!   graph ([`callgraph`]), and three passes ([`passes`]):
+//!   panic-reachability from the back-projection hot-path roots,
+//!   crate-layering DAG checks, and hash-order determinism lints.
+//!   Roots and the declared layering live in `ci/analyze.conf`;
+//!   `--roots a,b` overrides the roots for ad-hoc queries and
+//!   `--dir <path>` analyzes another tree (used by CI to assert the
+//!   negative-control fixtures still fail).
+//!
+//! Exit codes follow the repo's gate contract for both subcommands:
+//! 0 = clean, 1 = violations found, 3 = usage / internal error.
 
 #![forbid(unsafe_code)]
 
+mod callgraph;
+mod config;
 mod lexer;
+mod parser;
+mod passes;
 mod rules;
+mod workspace;
 
 use rules::Violation;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: cargo xtask <lint | analyze [--roots <qual,..>] [--dir <path>]>";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match lint(&repo_root()) {
-            Ok(violations) if violations.is_empty() => {
-                eprintln!("xtask lint: clean");
-                ExitCode::SUCCESS
-            }
-            Ok(violations) => {
-                for v in &violations {
-                    println!("{v}");
-                }
-                eprintln!("xtask lint: {} violation(s)", violations.len());
-                ExitCode::from(1)
+        Some("lint") if args.len() == 1 => report("lint", lint(&repo_root())),
+        Some("analyze") => match parse_analyze_args(&args[1..]) {
+            Ok((root_override, roots)) => {
+                let root = root_override.unwrap_or_else(repo_root);
+                report("analyze", analyze(&root, roots.as_deref()))
             }
             Err(e) => {
-                eprintln!("xtask lint: {e}");
+                eprintln!("xtask analyze: {e}");
+                eprintln!("{USAGE}");
                 ExitCode::from(3)
             }
         },
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::from(3)
         }
     }
+}
+
+/// Shared 0/1/3 reporting for both subcommands.
+fn report(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask {what}: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("xtask {what}: {} violation(s)", violations.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("xtask {what}: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+type AnalyzeArgs = (Option<PathBuf>, Option<Vec<String>>);
+
+fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut dir = None;
+    let mut roots = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--roots" => {
+                let v = it.next().ok_or("--roots needs a value")?;
+                roots = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--dir" => {
+                dir = Some(PathBuf::from(it.next().ok_or("--dir needs a value")?));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok((dir, roots))
+}
+
+/// Run the static analyzer over the tree at `root`.
+fn analyze(root: &Path, roots_override: Option<&[String]>) -> Result<Vec<Violation>, String> {
+    let mut conf = config::Config::load(root)?;
+    if let Some(roots) = roots_override {
+        conf.roots = roots.to_vec();
+    }
+    let ws = workspace::load(root)?;
+    let graph = callgraph::CallGraph::build(&ws);
+    let cx = passes::Analysis {
+        ws: &ws,
+        graph: &graph,
+        conf: &conf,
+    };
+    Ok(passes::run_all(&cx))
 }
 
 /// The repo root is two levels above this crate's manifest.
@@ -103,7 +175,8 @@ fn in_library_scope(rel: &Path) -> bool {
     s.starts_with("crates/") && s.contains("/src/") && !s.contains("/src/bin/")
 }
 
-/// Recursively collect `.rs` files, skipping build output.
+/// Recursively collect `.rs` files, skipping build output and analyzer
+/// fixtures (which deliberately seed violations).
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     if !dir.is_dir() {
         return Ok(());
@@ -115,7 +188,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs(&path, out)?;
@@ -168,5 +241,70 @@ mod tests {
             "{rendered:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn negative_fixture() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/negative")
+    }
+
+    #[test]
+    fn negative_control_fixture_trips_every_pass() {
+        let found = analyze(&negative_fixture(), None).expect("analyze runs");
+        let rendered: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[panic-reachable]") && v.contains("demo_a::util::first")),
+            "seeded unwrap not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[layering]") && v.contains("cycle")),
+            "seeded layering cycle not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[determinism]") && v.contains("counts")),
+            "seeded hash-order export not caught: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn roots_override_narrows_the_panic_pass() {
+        // Pointing the roots at demo-b (which never panics) silences
+        // the reachability finding; the seeded layering and determinism
+        // defects still fire, so the tree stays red either way.
+        let roots = vec!["demo_b".to_string()];
+        let found = analyze(&negative_fixture(), Some(&roots)).expect("analyze runs");
+        let rendered: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+        assert!(
+            !rendered.iter().any(|v| v.contains("[panic-reachable]")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|v| v.contains("[layering]")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn self_hosting_lint_and_analyze_are_clean() {
+        // xtask is part of the workspace it checks: both subcommands
+        // must pass over the repo, exemptions carrying reasons.
+        let root = repo_root();
+        let lint_found: Vec<String> = lint(&root)
+            .expect("lint runs")
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(lint_found.is_empty(), "{lint_found:?}");
+        let analyze_found: Vec<String> = analyze(&root, None)
+            .expect("analyze runs")
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(analyze_found.is_empty(), "{analyze_found:?}");
     }
 }

@@ -1,0 +1,927 @@
+//! A recursive-descent item parser over masked Rust source.
+//!
+//! This is deliberately not a full Rust grammar: the analyzer needs the
+//! *item tree* — modules, functions (with arity and body spans), impl
+//! and trait blocks, `use` declarations, integer consts — and nothing
+//! else. It runs on [`crate::lexer::lex`]'s masked text, so comments and
+//! literal bodies are already spaces and brace matching cannot be fooled
+//! by strings. Anything the parser does not understand is skipped one
+//! token at a time; an unparsed item simply contributes no call-graph
+//! nodes, which keeps the analysis conservative (unknown code is opaque,
+//! never trusted).
+
+/// One parsed item.
+pub struct Item {
+    pub kind: ItemKind,
+}
+
+pub enum ItemKind {
+    /// `mod name { ... }` (inline). `mod name;` declarations are not
+    /// recorded — file-backed module paths come from file paths.
+    Mod { name: String, items: Vec<Item> },
+    /// A free function (or method, when nested in an impl/trait).
+    Fn(FnDecl),
+    /// `impl Type { ... }` or `impl Trait for Type { ... }`; methods are
+    /// namespaced under the *type* name.
+    Impl { type_name: String, items: Vec<Item> },
+    /// `trait Name { ... }` — default method bodies are analyzable.
+    Trait { name: String, items: Vec<Item> },
+    /// Flattened `use` declaration: local name → absolute-ish path.
+    Use {
+        bindings: Vec<UseBinding>,
+        globs: Vec<Vec<String>>,
+    },
+    /// `const NAME: T = <int literal>;` — the analyzer uses these to
+    /// prove divisors nonzero. `value` is `None` for non-integer or
+    /// non-literal initializers.
+    Const { name: String, value: Option<u128> },
+}
+
+/// `use a::b::c as d` ⇒ `name: "d", path: ["a", "b", "c"]`.
+pub struct UseBinding {
+    pub name: String,
+    pub path: Vec<String>,
+}
+
+pub struct FnDecl {
+    pub name: String,
+    pub line: usize,
+    /// Number of non-`self` parameters.
+    pub arity: usize,
+    pub has_self: bool,
+    /// Byte span of the body in the masked text, braces included.
+    /// `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Marked `#[test]` / under `#[cfg(test)]` — excluded from analysis.
+    pub is_test: bool,
+    /// Compiled out of the production build (`#[cfg(loom)]` et al).
+    pub cfg_off: bool,
+}
+
+/// Parse the items of one masked source file.
+pub fn parse(masked: &str) -> Vec<Item> {
+    let mut p = Parser {
+        b: masked.as_bytes(),
+        s: masked,
+        pos: 0,
+    };
+    p.items(masked.len())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    s: &'a str,
+    pos: usize,
+}
+
+/// Item-level modifier words that may precede a keyword we care about.
+const MODIFIERS: &[&str] = &["pub", "const", "async", "unsafe", "extern", "default"];
+
+impl<'a> Parser<'a> {
+    fn items(&mut self, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.pos < end {
+            self.skip_ws(end);
+            if self.pos >= end {
+                break;
+            }
+            let attrs = self.attributes(end);
+            self.skip_ws(end);
+            let line = self.line();
+            let is_test = attrs_mark_test(&attrs);
+            let cfg_off = attrs_mark_off(&attrs);
+            let Some(kw) = self.item_keyword(end) else {
+                self.bump_token(end);
+                continue;
+            };
+            let item = match kw.as_str() {
+                "fn" => self.fn_item(end).map(|mut f| {
+                    f.line = line;
+                    f.is_test |= is_test;
+                    f.cfg_off |= cfg_off;
+                    ItemKind::Fn(f)
+                }),
+                "mod" => self.mod_item(end),
+                "impl" => self.impl_item(end),
+                "trait" => self.trait_item(end),
+                "use" => self.use_item(end),
+                "const" | "static" => self.const_item(end),
+                _ => {
+                    self.skip_item_body(end);
+                    None
+                }
+            };
+            if let Some(kind) = item {
+                // Test/cfg flags inherit downward onto every nested fn.
+                let mut it = Item { kind };
+                if is_test || cfg_off {
+                    mark_nested(&mut it, is_test, cfg_off);
+                }
+                out.push(it);
+            }
+        }
+        out
+    }
+
+    /// Consume modifier words, returning the first item keyword found.
+    /// Leaves `pos` just after the keyword.
+    fn item_keyword(&mut self, end: usize) -> Option<String> {
+        loop {
+            self.skip_ws(end);
+            let word = self.peek_word(end)?;
+            match word.as_str() {
+                "const" | "static" => {
+                    // `const fn f` vs `const X: T`. Peek past the word.
+                    let save = self.pos;
+                    self.take_word(end);
+                    self.skip_ws(end);
+                    if self.peek_word(end).as_deref() == Some("fn") {
+                        continue; // treat as a modifier
+                    }
+                    self.pos = save;
+                    self.take_word(end);
+                    return Some(word);
+                }
+                w if MODIFIERS.contains(&w) => {
+                    self.take_word(end);
+                    self.skip_ws(end);
+                    // `pub(crate)`, `extern "C"` operands.
+                    if self.cur() == Some(b'(') {
+                        self.skip_group(b'(', b')', end);
+                    } else if self.cur() == Some(b'"') {
+                        self.pos += 1;
+                        while self.pos < end && self.cur() != Some(b'"') {
+                            self.pos += 1;
+                        }
+                        self.pos = (self.pos + 1).min(end);
+                    }
+                }
+                _ => {
+                    self.take_word(end);
+                    return Some(word);
+                }
+            }
+        }
+    }
+
+    fn fn_item(&mut self, end: usize) -> Option<FnDecl> {
+        self.skip_ws(end);
+        let name = self.take_word(end)?;
+        self.skip_ws(end);
+        if self.cur() == Some(b'<') {
+            self.skip_angles(end);
+        }
+        self.skip_ws(end);
+        if self.cur() != Some(b'(') {
+            return None;
+        }
+        let (arity, has_self) = self.param_list(end);
+        // Return type / where clause: scan to `{` or `;` at depth 0.
+        let mut depth = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break,
+                b';' if depth == 0 => {
+                    self.pos += 1;
+                    return Some(FnDecl {
+                        name,
+                        line: 0,
+                        arity,
+                        has_self,
+                        body: None,
+                        is_test: false,
+                        cfg_off: false,
+                    });
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let start = self.pos;
+        self.skip_group(b'{', b'}', end);
+        Some(FnDecl {
+            name,
+            line: 0,
+            arity,
+            has_self,
+            body: Some((start, self.pos.min(end))),
+            is_test: false,
+            cfg_off: false,
+        })
+    }
+
+    /// Parse `( ... )`, returning (non-self arity, has_self). Commas are
+    /// counted at top level only; `<...>` generic arguments in parameter
+    /// types are tracked so `HashMap<K, V>` does not split a parameter.
+    fn param_list(&mut self, end: usize) -> (usize, bool) {
+        let open = self.pos;
+        self.pos += 1; // consume `(`
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut commas = 0usize;
+        let mut trailing_comma = false;
+        let mut saw_token = false;
+        while self.pos < end {
+            let c = self.b[self.pos];
+            match c {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    if c == b')' && depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b'<' => angle += 1,
+                b'-' if self.b.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    continue;
+                }
+                b'>' => angle = (angle - 1).max(0),
+                b',' if depth == 0 && angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if !c.is_ascii_whitespace() {
+                if c != b',' {
+                    trailing_comma = false;
+                }
+                saw_token = true;
+            }
+            self.pos += 1;
+        }
+        self.pos = (self.pos + 1).min(end); // consume `)`
+        if !saw_token {
+            return (0, false);
+        }
+        let params = commas + 1 - usize::from(trailing_comma);
+        // `self` receiver: first tokens are `self` / `&self` /
+        // `&'a mut self` / `mut self` / `self: Arc<Self>`.
+        let head = &self.s[open + 1..self.pos.saturating_sub(1).max(open + 1)];
+        let head = head.trim_start().trim_start_matches('&').trim_start();
+        let head = head.strip_prefix('\'').map_or(head, |h| {
+            h.split_once(char::is_whitespace).map_or("", |(_, r)| r)
+        });
+        let head = head.trim_start();
+        let head = head.strip_prefix("mut ").unwrap_or(head).trim_start();
+        let has_self = head == "self"
+            || head.starts_with("self,")
+            || head.starts_with("self ")
+            || head.starts_with("self:")
+            || head.starts_with("self)");
+        (params - usize::from(has_self), has_self)
+    }
+
+    fn mod_item(&mut self, end: usize) -> Option<ItemKind> {
+        self.skip_ws(end);
+        let name = self.take_word(end)?;
+        self.skip_ws(end);
+        match self.cur() {
+            Some(b'{') => {
+                let body_end = self.group_end(b'{', b'}', end);
+                self.pos += 1;
+                let items = self.items(body_end.saturating_sub(1));
+                self.pos = body_end;
+                Some(ItemKind::Mod { name, items })
+            }
+            _ => {
+                // `mod name;` — path comes from the file layout.
+                self.skip_to_semicolon(end);
+                None
+            }
+        }
+    }
+
+    fn impl_item(&mut self, end: usize) -> Option<ItemKind> {
+        let header_start = self.pos;
+        // Scan the header to the body `{`, tracking angle depth so
+        // `impl Sampler for Projection<'_>` does not stop early.
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'<' => angle += 1,
+                b'-' if self.b.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    continue;
+                }
+                b'>' => angle = (angle - 1).max(0),
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if angle == 0 && depth == 0 => break,
+                b';' if angle == 0 && depth == 0 => {
+                    self.pos += 1;
+                    return None;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let header = &self.s[header_start..self.pos.min(end)];
+        let type_name = impl_type_name(header);
+        let body_end = self.group_end(b'{', b'}', end);
+        self.pos += 1;
+        let items = self.items(body_end.saturating_sub(1));
+        self.pos = body_end;
+        Some(ItemKind::Impl { type_name, items })
+    }
+
+    fn trait_item(&mut self, end: usize) -> Option<ItemKind> {
+        self.skip_ws(end);
+        let name = self.take_word(end)?;
+        // Generics / supertrait bounds / where clause up to `{` or `;`.
+        let mut angle = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'<' => angle += 1,
+                b'-' if self.b.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    continue;
+                }
+                b'>' => angle = (angle - 1).max(0),
+                b'{' if angle == 0 => break,
+                b';' if angle == 0 => {
+                    self.pos += 1;
+                    return None;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let body_end = self.group_end(b'{', b'}', end);
+        self.pos += 1;
+        let items = self.items(body_end.saturating_sub(1));
+        self.pos = body_end;
+        Some(ItemKind::Trait { name, items })
+    }
+
+    fn use_item(&mut self, end: usize) -> Option<ItemKind> {
+        let mut bindings = Vec::new();
+        let mut globs = Vec::new();
+        self.use_tree(Vec::new(), end, &mut bindings, &mut globs);
+        self.skip_to_semicolon(end);
+        Some(ItemKind::Use { bindings, globs })
+    }
+
+    /// One `use` subtree: `a::b::{c, d as e, f::*}` relative to `prefix`.
+    fn use_tree(
+        &mut self,
+        mut prefix: Vec<String>,
+        end: usize,
+        bindings: &mut Vec<UseBinding>,
+        globs: &mut Vec<Vec<String>>,
+    ) {
+        loop {
+            self.skip_ws(end);
+            match self.cur() {
+                Some(b'{') => {
+                    let group_end = self.group_end(b'{', b'}', end);
+                    self.pos += 1;
+                    loop {
+                        self.skip_ws(group_end.saturating_sub(1));
+                        if self.pos >= group_end.saturating_sub(1) {
+                            break;
+                        }
+                        self.use_tree(prefix.clone(), group_end.saturating_sub(1), bindings, globs);
+                        self.skip_ws(group_end.saturating_sub(1));
+                        if self.cur() == Some(b',') {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.pos = group_end;
+                    return;
+                }
+                Some(b'*') => {
+                    self.pos += 1;
+                    globs.push(prefix);
+                    return;
+                }
+                _ => {}
+            }
+            let Some(seg) = self.take_word(end) else {
+                return;
+            };
+            self.skip_ws(end);
+            if seg == "as" {
+                // `prefix as rename` — previous segment was the target.
+                if let Some(name) = self.take_word(end) {
+                    bindings.push(UseBinding { name, path: prefix });
+                }
+                return;
+            }
+            if seg == "self" && !prefix.is_empty() {
+                // `a::b::{self}` binds `b`.
+                let name = prefix.last().cloned().unwrap_or_default();
+                bindings.push(UseBinding { name, path: prefix });
+                return;
+            }
+            prefix.push(seg);
+            if self.cur() == Some(b':') && self.b.get(self.pos + 1) == Some(&b':') {
+                self.pos += 2;
+                continue;
+            }
+            // Path ends here; an `as rename` may follow, otherwise the
+            // last segment is the bound name.
+            let save = self.pos;
+            if self.take_word(end).as_deref() == Some("as") {
+                if let Some(name) = self.take_word(end) {
+                    bindings.push(UseBinding { name, path: prefix });
+                    return;
+                }
+            }
+            self.pos = save;
+            let name = prefix.last().cloned().unwrap_or_default();
+            bindings.push(UseBinding { name, path: prefix });
+            return;
+        }
+    }
+
+    fn const_item(&mut self, end: usize) -> Option<ItemKind> {
+        self.skip_ws(end);
+        let name = self.take_word(end)?;
+        let start = self.pos;
+        self.skip_to_semicolon(end);
+        let text = &self.s[start..self.pos.min(end)];
+        let value = text
+            .split_once('=')
+            .and_then(|(_, v)| parse_int_literal(v.trim().trim_end_matches(';').trim()));
+        Some(ItemKind::Const { name, value })
+    }
+
+    /// Skip an item we do not model (struct/enum/type/macro_rules/...):
+    /// advance to the first `;` or matched `{...}` at depth 0.
+    fn skip_item_body(&mut self, end: usize) {
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'<' => angle += 1,
+                b'-' if self.b.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    continue;
+                }
+                b'>' => angle = (angle - 1).max(0),
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 && angle == 0 => {
+                    self.skip_group(b'{', b'}', end);
+                    return;
+                }
+                b';' if depth == 0 && angle == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn attributes(&mut self, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws(end);
+            if self.cur() == Some(b'#')
+                && matches!(self.b.get(self.pos + 1), Some(b'[') | Some(b'!'))
+            {
+                let start = self.pos;
+                self.pos += 1;
+                if self.cur() == Some(b'!') {
+                    self.pos += 1;
+                }
+                if self.cur() == Some(b'[') {
+                    self.skip_group(b'[', b']', end);
+                }
+                out.push(self.s[start..self.pos.min(end)].to_string());
+            } else {
+                return out;
+            }
+        }
+    }
+
+    fn skip_ws(&mut self, end: usize) {
+        while self.pos < end && self.b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn cur(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn peek_word(&self, end: usize) -> Option<String> {
+        let mut j = self.pos;
+        while j < end && is_ident(self.b[j]) {
+            j += 1;
+        }
+        (j > self.pos).then(|| self.s[self.pos..j].to_string())
+    }
+
+    fn take_word(&mut self, end: usize) -> Option<String> {
+        self.skip_ws(end);
+        let w = self.peek_word(end)?;
+        self.pos += w.len();
+        Some(w)
+    }
+
+    /// Advance past one uninterpreted token (error recovery).
+    fn bump_token(&mut self, end: usize) {
+        if self.take_word(end).is_none() && self.pos < end {
+            match self.cur() {
+                Some(b'{') => self.skip_group(b'{', b'}', end),
+                Some(b'(') => self.skip_group(b'(', b')', end),
+                Some(b'[') => self.skip_group(b'[', b']', end),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Byte just past the group closed by `close`, assuming `pos` is at
+    /// `open`.
+    fn group_end(&self, open: u8, close: u8, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = self.pos;
+        while j < end {
+            let c = self.b[j];
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    fn skip_group(&mut self, open: u8, close: u8, end: usize) {
+        self.pos = self.group_end(open, close, end);
+    }
+
+    /// Skip `<...>` generics, treating `->` as an opaque token so
+    /// `fn f<F: Fn() -> u8>` closes at the right angle bracket.
+    fn skip_angles(&mut self, end: usize) {
+        let mut depth = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'<' => depth += 1,
+                b'-' if self.b.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    continue;
+                }
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_to_semicolon(&mut self, end: usize) {
+        let mut depth = 0i32;
+        while self.pos < end {
+            match self.b[self.pos] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth <= 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.b[..self.pos.min(self.b.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count()
+            + 1
+    }
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `impl<T> Trait for a::b::Type<'x>` → `Type`.
+fn impl_type_name(header: &str) -> String {
+    // The subject type is everything after the last top-level ` for `;
+    // if there is none, it is the whole header (minus leading generics).
+    let mut angle = 0i32;
+    let b = header.as_bytes();
+    let mut subject_start = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'<' => angle += 1,
+            b'-' if b.get(i + 1) == Some(&b'>') => {
+                i += 2;
+                continue;
+            }
+            b'>' => angle = (angle - 1).max(0),
+            b'f' if angle == 0
+                && header[i..].starts_with("for")
+                && header[..i].ends_with(char::is_whitespace)
+                && header[i + 3..].starts_with(char::is_whitespace) =>
+            {
+                subject_start = i + 3;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut subject = header[subject_start..].trim();
+    // Strip leading generics (`impl<T, const N: usize> Type<..>`): skip
+    // the balanced `<..>` group so the subject starts at the type.
+    if subject.starts_with('<') {
+        let mut depth = 0i32;
+        let mut cut = subject.len();
+        let sb = subject.as_bytes();
+        let mut j = 0usize;
+        while j < sb.len() {
+            match sb[j] {
+                b'<' => depth += 1,
+                b'-' if sb.get(j + 1) == Some(&b'>') => {
+                    j += 2;
+                    continue;
+                }
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        subject = subject[cut..].trim();
+    }
+    // Strip refs and path prefix; the name is the last `::` segment
+    // before any `<`.
+    let subject = subject.trim_start_matches(['&', ' ']);
+    let no_args = subject.split('<').next().unwrap_or(subject).trim();
+    no_args
+        .rsplit("::")
+        .next()
+        .unwrap_or(no_args)
+        .trim()
+        .to_string()
+}
+
+/// Parse `123`, `0x10`, `1_000`, `64usize` → value. `None` otherwise.
+fn parse_int_literal(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let t = t
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .to_string();
+    let digits_end_trimmed = {
+        // Re-attach hex digits eaten by the suffix trim (`0xff` → `0x`).
+        let raw: String = text.chars().filter(|&c| c != '_').collect();
+        if raw.starts_with("0x") || raw.starts_with("0X") {
+            let hex: String = raw[2..]
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .collect();
+            return u128::from_str_radix(&hex, 16).ok();
+        }
+        t
+    };
+    digits_end_trimmed.parse().ok()
+}
+
+/// Inherit test/cfg-off flags onto every fn nested under an item.
+fn mark_nested(item: &mut Item, is_test: bool, cfg_off: bool) {
+    match &mut item.kind {
+        ItemKind::Fn(f) => {
+            f.is_test |= is_test;
+            f.cfg_off |= cfg_off;
+        }
+        ItemKind::Mod { items, .. }
+        | ItemKind::Impl { items, .. }
+        | ItemKind::Trait { items, .. } => {
+            for it in items {
+                mark_nested(it, is_test, cfg_off);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Does this attribute set mark test-only code?
+fn attrs_mark_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| {
+        let c: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+        c == "#[test]"
+            || c.ends_with("::test]")
+            || (c.starts_with("#[cfg(") && c.contains("test"))
+            || c.starts_with("#[should_panic")
+    })
+}
+
+/// Does this attribute set compile the item out of the production build
+/// (`#[cfg(loom)]`)? `#[cfg(not(loom))]` is the production side.
+fn attrs_mark_off(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| {
+        let c: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+        c.starts_with("#[cfg(") && c.contains("loom") && !c.contains("not(loom)")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Vec<Item> {
+        parse(&lex(src).masked)
+    }
+
+    fn find_fn<'a>(items: &'a [Item], name: &str) -> &'a FnDecl {
+        fn walk<'a>(items: &'a [Item], name: &str) -> Option<&'a FnDecl> {
+            for it in items {
+                match &it.kind {
+                    ItemKind::Fn(f) if f.name == name => return Some(f),
+                    ItemKind::Mod { items, .. }
+                    | ItemKind::Impl { items, .. }
+                    | ItemKind::Trait { items, .. } => {
+                        if let Some(f) = walk(items, name) {
+                            return Some(f);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        walk(items, name).expect("fn present")
+    }
+
+    #[test]
+    fn free_fn_arity_and_body() {
+        let items = parse_src("pub fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        let f = find_fn(&items, "add");
+        assert_eq!(f.arity, 2);
+        assert!(!f.has_self);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn generic_params_do_not_split_arity() {
+        let items =
+            parse_src("fn f<F: Fn(u8, u8) -> u8>(m: std::vec::Vec<(u8, u8)>, g: F) -> u8 { 0 }\n");
+        assert_eq!(find_fn(&items, "f").arity, 2);
+    }
+
+    #[test]
+    fn methods_detect_self_and_land_under_the_type() {
+        let src =
+            "struct S;\nimpl S {\n  pub fn m(&mut self, x: u32) {}\n  fn assoc() -> S { S }\n}\n";
+        let items = parse_src(src);
+        let ItemKind::Impl { type_name, items } = &items[0].kind else {
+            panic!("impl parsed");
+        };
+        assert_eq!(type_name, "S");
+        assert_eq!(items.len(), 2);
+        let m = find_fn(items, "m");
+        assert!(m.has_self);
+        assert_eq!(m.arity, 1);
+        assert!(!find_fn(items, "assoc").has_self);
+    }
+
+    #[test]
+    fn generic_impl_header_keeps_the_type_name() {
+        let src = "impl<T, const N: usize> RingBuffer<T, N> {\n  pub fn push(&self, v: T) {}\n}\n";
+        let items = parse_src(src);
+        let ItemKind::Impl { type_name, .. } = &items[0].kind else {
+            panic!("impl parsed");
+        };
+        assert_eq!(type_name, "RingBuffer");
+    }
+
+    #[test]
+    fn trait_impl_lands_under_the_subject_type() {
+        let src = "impl<'a> Sampler for Projection<'a> {\n  fn sample(&self, u: f32, v: f32) -> f32 { 0.0 }\n}\n";
+        let items = parse_src(src);
+        let ItemKind::Impl { type_name, .. } = &items[0].kind else {
+            panic!("impl parsed");
+        };
+        assert_eq!(type_name, "Projection");
+    }
+
+    #[test]
+    fn nested_mods_nest() {
+        let src = "mod outer {\n  pub mod inner {\n    pub fn leaf() {}\n  }\n}\n";
+        let items = parse_src(src);
+        let ItemKind::Mod { name, items } = &items[0].kind else {
+            panic!("mod parsed");
+        };
+        assert_eq!(name, "outer");
+        let ItemKind::Mod { name, items } = &items[0].kind else {
+            panic!("inner mod parsed");
+        };
+        assert_eq!(name, "inner");
+        assert_eq!(find_fn(items, "leaf").arity, 0);
+    }
+
+    #[test]
+    fn use_renames_and_groups_flatten() {
+        let src = "use crate::pair::{SlabPair, stitch as join};\nuse ct_core::Volume;\nuse crate::warp::*;\n";
+        let items = parse_src(src);
+        let mut bindings = Vec::new();
+        let mut globs = Vec::new();
+        for it in &items {
+            if let ItemKind::Use {
+                bindings: b,
+                globs: g,
+            } = &it.kind
+            {
+                bindings.extend(b.iter().map(|u| (u.name.clone(), u.path.join("::"))));
+                globs.extend(g.iter().map(|p| p.join("::")));
+            }
+        }
+        assert!(bindings.contains(&("SlabPair".into(), "crate::pair::SlabPair".into())));
+        assert!(bindings.contains(&("join".into(), "crate::pair::stitch".into())));
+        assert!(bindings.contains(&("Volume".into(), "ct_core::Volume".into())));
+        assert_eq!(globs, vec!["crate::warp".to_string()]);
+    }
+
+    #[test]
+    fn macro_bodied_fns_keep_their_body_and_do_not_desync_the_parser() {
+        // A fn whose body is one macro invocation stays a normal node
+        // (the braces balance), and the items after it still parse —
+        // macro content is never expanded, only read through.
+        let src = "fn generated() -> u32 {\n  build_table! { 0 => 4, |i| i * 2 }\n}\npub fn after(x: u32) -> u32 { x }\n";
+        let items = parse_src(src);
+        let f = find_fn(&items, "generated");
+        assert!(f.body.is_some(), "macro-bodied fn keeps a body range");
+        assert_eq!(find_fn(&items, "after").arity, 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_nested_fns() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t() {}\n}\nfn lib() {}\n";
+        let items = parse_src(src);
+        let ItemKind::Mod { items: inner, .. } = &items[0].kind else {
+            panic!("mod parsed");
+        };
+        assert!(find_fn(inner, "helper").is_test);
+        assert!(find_fn(inner, "t").is_test);
+        assert!(!find_fn(&items, "lib").is_test);
+    }
+
+    #[test]
+    fn cfg_loom_marks_items_off_but_not_cfg_not_loom() {
+        let src = "#[cfg(loom)]\nfn model_only() {}\n#[cfg(not(loom))]\nfn production() {}\n";
+        let items = parse_src(src);
+        assert!(find_fn(&items, "model_only").cfg_off);
+        assert!(!find_fn(&items, "production").cfg_off);
+    }
+
+    #[test]
+    fn int_consts_are_captured() {
+        let items =
+            parse_src("const A: usize = 1_024;\nconst B: usize = 0x20;\npub const C: f32 = 1.5;\n");
+        let vals: Vec<(String, Option<u128>)> = items
+            .iter()
+            .filter_map(|it| match &it.kind {
+                ItemKind::Const { name, value } => Some((name.clone(), *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals[0], ("A".into(), Some(1024)));
+        assert_eq!(vals[1], ("B".into(), Some(32)));
+        assert_eq!(vals[2], ("C".into(), None));
+    }
+
+    #[test]
+    fn trait_default_methods_have_bodies_declarations_do_not() {
+        let src = "trait T {\n  fn required(&self, x: u32) -> u32;\n  fn provided(&self) -> u32 { self.required(1) }\n}\n";
+        let items = parse_src(src);
+        let ItemKind::Trait { name, items } = &items[0].kind else {
+            panic!("trait parsed");
+        };
+        assert_eq!(name, "T");
+        assert!(find_fn(items, "required").body.is_none());
+        assert!(find_fn(items, "provided").body.is_some());
+    }
+}

@@ -1,0 +1,275 @@
+//! Crate-layering: the dependency structure is a contract, not an
+//! accident.
+//!
+//! `ci/analyze.conf` declares the allowed dependency DAG (`layer`
+//! lines). The pass checks three things:
+//!
+//! 1. the *declared* graph is acyclic and mentions only real crates;
+//! 2. every *actual* edge — a `[dependencies]` entry in a crate's
+//!    `Cargo.toml`, or a source-level `other_crate::` path in
+//!    non-test code — is declared;
+//! 3. every workspace crate has a layering entry at all (so a new crate
+//!    cannot land without declaring its place in the stack).
+//!
+//! Dev-dependencies are exempt: tests may reach across layers.
+
+use super::{Analysis, Pass};
+use crate::rules::Violation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+pub struct CrateLayering;
+
+impl Pass for CrateLayering {
+    fn name(&self) -> &'static str {
+        "layering"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+        let ws = cx.ws;
+        let conf = cx.conf;
+        let conf_rel = conf
+            .path
+            .strip_prefix(&ws.root)
+            .unwrap_or(&conf.path)
+            .to_path_buf();
+        let names: BTreeSet<&str> = ws.crates.iter().map(|c| c.name.as_str()).collect();
+        let ident_to_name: BTreeMap<&str, &str> = ws
+            .crates
+            .iter()
+            .map(|c| (c.ident.as_str(), c.name.as_str()))
+            .collect();
+
+        // 1a. Declared entries must name real crates…
+        for (layer, deps) in &conf.layers {
+            for n in std::iter::once(layer).chain(deps) {
+                if !names.contains(n.as_str()) {
+                    out.push(Violation {
+                        path: conf_rel.clone(),
+                        line: 1,
+                        rule: "layering",
+                        msg: format!("declared layer mentions unknown crate `{n}`"),
+                    });
+                }
+            }
+        }
+        // 1b. …every crate must have an entry…
+        for c in &ws.crates {
+            if !conf.layers.contains_key(&c.name) {
+                out.push(Violation {
+                    path: conf_rel.clone(),
+                    line: 1,
+                    rule: "layering",
+                    msg: format!(
+                        "crate `{}` has no layering entry in ci/analyze.conf",
+                        c.name
+                    ),
+                });
+            }
+        }
+        // 1c. …and the declared graph must be a DAG.
+        let declared: BTreeMap<&str, Vec<&str>> = conf
+            .layers
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.iter().map(String::as_str).collect()))
+            .collect();
+        if let Some(cycle) = find_cycle(&declared) {
+            out.push(Violation {
+                path: conf_rel.clone(),
+                line: 1,
+                rule: "layering",
+                msg: format!("declared layering has a cycle: {}", cycle.join(" -> ")),
+            });
+        }
+
+        // 2a. Cargo.toml edges must be declared.
+        let mut actual: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for c in &ws.crates {
+            let allowed = conf.layers.get(&c.name);
+            for dep in &c.deps {
+                if !names.contains(dep.as_str()) {
+                    continue; // external crate — not a layering concern
+                }
+                actual.entry(c.name.as_str()).or_default().push(dep);
+                if allowed.is_none_or(|a| !a.contains(dep)) {
+                    out.push(Violation {
+                        path: c.dir.join("Cargo.toml"),
+                        line: 1,
+                        rule: "layering",
+                        msg: format!(
+                            "undeclared dependency edge `{}` -> `{dep}` \
+                             (declare it in ci/analyze.conf or remove the dep)",
+                            c.name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 2b. Source-level `other_crate::` references must be declared
+        // too — a path dependency you forgot in Cargo.toml cannot hide,
+        // and neither can a `use` that sneaks in an undeclared layer.
+        for file in &ws.files {
+            let this = &ws.crates[file.crate_idx];
+            let allowed = conf.layers.get(&this.name);
+            for (idx, text) in file.lexed.masked.lines().enumerate() {
+                let line = idx + 1;
+                if file.test_lines.get(line).copied().unwrap_or(false) {
+                    continue;
+                }
+                for (ident, dep_name) in &ident_to_name {
+                    if *dep_name == this.name {
+                        continue;
+                    }
+                    let Some(pos) = find_crate_ref(text, ident) else {
+                        continue;
+                    };
+                    let _ = pos;
+                    let declared_edge = allowed.is_some_and(|a| a.iter().any(|d| d == dep_name));
+                    let in_actual = actual
+                        .get(this.name.as_str())
+                        .is_some_and(|v| v.contains(dep_name));
+                    if !declared_edge {
+                        out.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "layering",
+                            msg: format!(
+                                "`{}` uses `{ident}::` but the edge `{}` -> `{dep_name}` \
+                                 is not declared",
+                                this.name, this.name
+                            ),
+                        });
+                    } else if !in_actual {
+                        out.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "layering",
+                            msg: format!(
+                                "`{}` uses `{ident}::` but `{dep_name}` is not in its \
+                                 Cargo.toml [dependencies]",
+                                this.name
+                            ),
+                        });
+                    }
+                    break; // one finding per line is enough
+                }
+            }
+        }
+
+        // 2c. The actual edge set must itself be acyclic (a cycle built
+        // from edges that are individually declared-in-error).
+        if let Some(cycle) = find_cycle(&actual) {
+            out.push(Violation {
+                path: PathBuf::from("Cargo.toml"),
+                line: 1,
+                rule: "layering",
+                msg: format!(
+                    "actual crate dependencies form a cycle: {}",
+                    cycle.join(" -> ")
+                ),
+            });
+        }
+    }
+}
+
+/// Find `ident::` in a masked source line as a standalone path head.
+fn find_crate_ref(text: &str, ident: &str) -> Option<usize> {
+    let b = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find(ident) {
+        let at = from + p;
+        from = at + ident.len();
+        let before_ok = at == 0 || {
+            let c = b[at - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_' || c == b':')
+        };
+        let after = at + ident.len();
+        let after_ok = text[after..].starts_with("::");
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// DFS cycle detection; returns one cycle as a crate-name path.
+fn find_cycle<'a>(graph: &BTreeMap<&'a str, Vec<&'a str>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = graph.keys().map(|&k| (k, Mark::White)).collect();
+
+    fn visit<'a>(
+        node: &'a str,
+        graph: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        match marks.get(node) {
+            Some(Mark::Black) => return None,
+            Some(Mark::Grey) => {
+                let start = stack.iter().position(|&n| n == node).unwrap_or(0);
+                let mut cycle: Vec<String> = stack[start..].iter().map(|s| s.to_string()).collect();
+                cycle.push(node.to_string());
+                return Some(cycle);
+            }
+            _ => {}
+        }
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        if let Some(deps) = graph.get(node) {
+            for &d in deps {
+                if let Some(c) = visit(d, graph, marks, stack) {
+                    return Some(c);
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+
+    let keys: Vec<&str> = graph.keys().copied().collect();
+    for k in keys {
+        if marks.get(k) == Some(&Mark::White) {
+            let mut stack = Vec::new();
+            if let Some(c) = visit(k, graph, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_detection_finds_a_cycle_and_passes_a_dag() {
+        let mut g: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        g.insert("a", vec!["b"]);
+        g.insert("b", vec!["c"]);
+        g.insert("c", vec!["a"]);
+        let cycle = find_cycle(&g).expect("cycle found");
+        assert!(cycle.len() >= 3);
+        let mut dag: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        dag.insert("a", vec!["b", "c"]);
+        dag.insert("b", vec!["c"]);
+        dag.insert("c", vec![]);
+        assert!(find_cycle(&dag).is_none());
+    }
+
+    #[test]
+    fn crate_refs_need_path_position() {
+        assert!(find_crate_ref("use ct_core::Volume;", "ct_core").is_some());
+        assert!(find_crate_ref("let x = ct_core::Volume::zeros(d);", "ct_core").is_some());
+        assert!(find_crate_ref("my_ct_core::f()", "ct_core").is_none());
+        assert!(find_crate_ref("ct_core_ext::f()", "ct_core").is_none());
+        assert!(find_crate_ref("// just words", "ct_core").is_none());
+    }
+}

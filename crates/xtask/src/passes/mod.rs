@@ -1,0 +1,62 @@
+//! The analysis-pass framework behind `cargo xtask analyze`.
+//!
+//! A [`Pass`] sees the loaded [`Workspace`], the shared [`CallGraph`]
+//! and the declared [`Config`], and appends [`Violation`]s. Passes are
+//! independent; `run_all` runs every registered pass and returns the
+//! combined, location-sorted findings — the same reporting contract as
+//! `xtask lint`.
+
+pub mod determinism;
+pub mod layering;
+pub mod panics;
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::rules::Violation;
+use crate::workspace::Workspace;
+
+pub struct Analysis<'a> {
+    pub ws: &'a Workspace,
+    pub graph: &'a CallGraph,
+    pub conf: &'a Config,
+}
+
+pub trait Pass {
+    fn name(&self) -> &'static str;
+    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>);
+}
+
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(panics::PanicReachability),
+        Box::new(layering::CrateLayering),
+        Box::new(determinism::Determinism),
+    ]
+}
+
+pub fn run_all(cx: &Analysis<'_>) -> Vec<Violation> {
+    let passes = default_passes();
+    let mut out = Vec::new();
+    // An exemption naming a pass that does not exist is a typo that
+    // would silently exempt nothing — reject it up front.
+    for file in &cx.ws.files {
+        for a in &file.lexed.analyze_allows {
+            if !passes
+                .iter()
+                .any(|p| p.name() == a.pass || (p.name() == "panic-reachable" && a.pass == "panic"))
+            {
+                out.push(Violation {
+                    path: file.rel.clone(),
+                    line: a.line,
+                    rule: "analyze-allow",
+                    msg: format!("allow directive names unknown pass `{}`", a.pass),
+                });
+            }
+        }
+    }
+    for pass in &passes {
+        pass.run(cx, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}

@@ -1,0 +1,384 @@
+//! Panic-reachability: prove the reconstruction hot path total.
+//!
+//! From the declared roots (`root` lines in `ci/analyze.conf`, or
+//! `--roots` on the command line) the pass walks the conservative call
+//! graph and token-scans every reachable function body for panic
+//! sources:
+//!
+//! * panicking macros — `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!`
+//!   (`debug_assert*` compiles out of release builds and is exempt)
+//! * `.unwrap()` / `.unwrap_err()` / `.expect(..)` / `.expect_err(..)`
+//! * `[..]` indexing and slicing (the `Index` operator panics on
+//!   out-of-range)
+//! * integer `/` and `%` whose divisor is not provably nonzero — a
+//!   nonzero integer literal and workspace consts defined as nonzero
+//!   integer literals are accepted; float arithmetic is skipped when
+//!   either operand shows float evidence (literal, `f32`/`f64` cast,
+//!   or an identifier declared with a float type in the workspace)
+//!
+//! A site can be exempted with `// analyze: allow(panic, reason =
+//! "...")`; the reason is mandatory and a bare exemption is itself a
+//! violation. Each finding names the shortest root→site call chain so
+//! the report is actionable without re-running the graph by hand.
+
+use super::{Analysis, Pass};
+use crate::callgraph;
+use crate::rules::Violation;
+use std::collections::BTreeSet;
+
+pub struct PanicReachability;
+
+const PANIC_MACROS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+const PANIC_METHODS: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
+
+impl Pass for PanicReachability {
+    fn name(&self) -> &'static str {
+        "panic-reachable"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+        let ws = cx.ws;
+        let roots: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                !f.is_test
+                    && !f.cfg_off
+                    && cx
+                        .conf
+                        .roots
+                        .iter()
+                        .any(|r| f.qual == *r || f.qual.starts_with(&format!("{r}::")))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pred = cx.graph.reach(&roots);
+
+        for &fi in pred.keys() {
+            let f = &ws.fns[fi];
+            let Some((b0, b1)) = f.body else { continue };
+            let file = &ws.files[f.file];
+            let masked = &file.lexed.masked;
+            for (at, what) in scan_panics(masked, b0, b1, &ws.nonzero_consts, &ws.float_idents) {
+                let line = callgraph::line_of(masked, at);
+                if file.test_lines.get(line).copied().unwrap_or(false) {
+                    continue;
+                }
+                match file.lexed.analyze_allowed(line, "panic") {
+                    Some(a) if a.reason.is_some() => continue,
+                    Some(_) => out.push(Violation {
+                        path: file.rel.clone(),
+                        line,
+                        rule: "panic-allow",
+                        msg: format!(
+                            "exemption for {what} is missing its reason — write \
+                             analyze: allow(panic, reason = \"...\")"
+                        ),
+                    }),
+                    None => {
+                        let chain = callgraph::chain(ws, &pred, fi);
+                        out.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "panic-reachable",
+                            msg: format!("{what} in `{}` ({})", f.qual, render_chain(&chain)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn render_chain(chain: &[String]) -> String {
+    if chain.len() <= 1 {
+        return "a declared root".to_string();
+    }
+    let shown: Vec<&str> = if chain.len() > 5 {
+        let mut v: Vec<&str> = chain[..2].iter().map(String::as_str).collect();
+        v.push("...");
+        v.push(chain[chain.len() - 1].as_str());
+        v
+    } else {
+        chain.iter().map(String::as_str).collect()
+    };
+    format!("via {}", shown.join(" -> "))
+}
+
+/// Token-scan one body span for panic sources. Returns (offset, label).
+pub fn scan_panics(
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nonzero_consts: &BTreeSet<String>,
+    float_idents: &BTreeSet<String>,
+) -> Vec<(usize, String)> {
+    let b = masked.as_bytes();
+    let end = b1.min(b.len());
+    let body = &masked[b0..end];
+    let mut out = Vec::new();
+
+    for needle in PANIC_MACROS {
+        let mut from = 0usize;
+        while let Some(p) = body[from..].find(needle) {
+            let at = b0 + from + p;
+            from += p + needle.len();
+            // Word boundary: `debug_assert!` must not match `assert!`.
+            if at > 0 && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+                continue;
+            }
+            out.push((at, format!("panicking macro `{needle}`")));
+        }
+    }
+
+    for needle in PANIC_METHODS {
+        let mut from = 0usize;
+        while let Some(p) = body[from..].find(needle) {
+            let at = b0 + from + p;
+            from += p + needle.len();
+            out.push((at, format!("`{}`", needle.trim_end_matches('('))));
+        }
+    }
+
+    // Indexing / slicing: `[` preceded (modulo whitespace) by an
+    // identifier char, `)`, `]` or `?`. Attribute (`#[`), macro
+    // (`vec![`) and literal/type brackets have other predecessors.
+    for (i, &c) in b[b0..end].iter().enumerate() {
+        let at = b0 + i;
+        if c != b'[' {
+            continue;
+        }
+        let mut j = at;
+        while j > b0 && b[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j == b0 {
+            continue;
+        }
+        let p = b[j - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' || p == b'?' {
+            // `let [a, b] = ..` / `for [x, y] in ..` destructuring
+            // patterns follow a keyword, not a place expression.
+            if p.is_ascii_alphanumeric() || p == b'_' {
+                let e = j;
+                let mut s = j;
+                while s > b0 && (b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_') {
+                    s -= 1;
+                }
+                const KEYWORDS: &[&str] = &[
+                    "let", "in", "return", "if", "else", "match", "loop", "while", "for", "move",
+                    "as", "break", "continue", "where", "unsafe", "ref", "mut",
+                ];
+                if KEYWORDS.contains(&&masked[s..e]) {
+                    continue;
+                }
+            }
+            out.push((at, "`[..]` indexing/slicing".to_string()));
+        }
+    }
+
+    // Integer division / remainder with an unproven divisor.
+    for (i, &c) in b[b0..end].iter().enumerate() {
+        let at = b0 + i;
+        if c != b'/' && c != b'%' {
+            continue;
+        }
+        let op = c as char;
+        let mut rhs = at + 1;
+        if b.get(rhs) == Some(&b'=') {
+            rhs += 1; // `/=`, `%=`
+        }
+        if lhs_is_float(masked, b0, at, float_idents) {
+            continue;
+        }
+        match divisor_class(masked, rhs, end, nonzero_consts, float_idents) {
+            DivisorClass::ProvenNonzero | DivisorClass::Float => {}
+            DivisorClass::Unproven(tok) => {
+                out.push((at, format!("integer `{op}` with unproven divisor `{tok}`")));
+            }
+        }
+    }
+
+    out.sort();
+    out
+}
+
+/// Backward float evidence for the dividend: a float literal
+/// (`1.0`, `2e3`), an `f32`/`f64` cast immediately to the left, or an
+/// identifier declared with a float type somewhere in the workspace.
+fn lhs_is_float(masked: &str, b0: usize, at: usize, float_idents: &BTreeSet<String>) -> bool {
+    let b = masked.as_bytes();
+    let mut j = at;
+    while j > b0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let e = j;
+    while j > b0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_' || b[j - 1] == b'.') {
+        j -= 1;
+    }
+    if j == e {
+        return false;
+    }
+    let tok = &masked[j..e];
+    let last = tok.rsplit('.').next().unwrap_or(tok);
+    tok == "f32"
+        || tok == "f64"
+        || tok.ends_with("f32")
+        || tok.ends_with("f64")
+        || (tok.starts_with(|c: char| c.is_ascii_digit()) && tok.contains('.'))
+        || float_idents.contains(last)
+}
+
+enum DivisorClass {
+    ProvenNonzero,
+    Float,
+    Unproven(String),
+}
+
+/// Classify the token(s) to the right of a `/` or `%`.
+fn divisor_class(
+    masked: &str,
+    mut i: usize,
+    end: usize,
+    nonzero_consts: &BTreeSet<String>,
+    float_idents: &BTreeSet<String>,
+) -> DivisorClass {
+    let b = masked.as_bytes();
+    while i < end && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= end {
+        return DivisorClass::Unproven("<eof>".to_string());
+    }
+    if b[i].is_ascii_digit() {
+        let s = i;
+        while i < end && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+            i += 1;
+        }
+        let tok = &masked[s..i];
+        if tok.contains('.') || tok.ends_with("f32") || tok.ends_with("f64") || tok.contains('e') {
+            return DivisorClass::Float;
+        }
+        let digits: String = tok.chars().filter(|c| c.is_ascii_digit()).collect();
+        return if digits.chars().all(|c| c == '0') {
+            DivisorClass::Unproven(tok.to_string())
+        } else {
+            DivisorClass::ProvenNonzero
+        };
+    }
+    if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+        // Identifier chain: `self.width`, `cfg::TEXTURE_TILE`.
+        let s = i;
+        while i < end
+            && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.' || b[i] == b':')
+        {
+            i += 1;
+        }
+        let chain = &masked[s..i];
+        if i < end && b[i] == b'(' {
+            return DivisorClass::Unproven(format!("{chain}(..)"));
+        }
+        let last = chain
+            .rsplit(['.', ':'])
+            .next()
+            .unwrap_or(chain);
+        if nonzero_consts.contains(last) {
+            return DivisorClass::ProvenNonzero;
+        }
+        if float_idents.contains(last) {
+            return DivisorClass::Float;
+        }
+        // `x / n as f32` — a float cast of the divisor.
+        let mut j = i;
+        while j < end && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if masked[j..].starts_with("as f32") || masked[j..].starts_with("as f64") {
+            return DivisorClass::Float;
+        }
+        return DivisorClass::Unproven(last.to_string());
+    }
+    DivisorClass::Unproven(
+        masked[i..(i + 8).min(end)]
+            .split_whitespace()
+            .next()
+            .unwrap_or("<expr>")
+            .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<String> {
+        let lx = crate::lexer::lex(src);
+        let mut consts = BTreeSet::new();
+        consts.insert("LANE_WIDTH".to_string());
+        let mut floats = BTreeSet::new();
+        floats.insert("sigma".to_string());
+        scan_panics(&lx.masked, 0, lx.masked.len(), &consts, &floats)
+            .into_iter()
+            .map(|(_, w)| w)
+            .collect()
+    }
+
+    #[test]
+    fn macros_flagged_debug_assert_exempt() {
+        let got = scan("fn f() { assert!(a); debug_assert!(b); assert_eq!(c, d); }");
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|w| w.contains("assert")));
+    }
+
+    #[test]
+    fn unwrap_expect_family() {
+        let got =
+            scan("fn f() { a.unwrap(); b.expect(\"why\"); c.unwrap_or(0); d.unwrap_or_else(e); }");
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_attributes_macros_or_types() {
+        let got = scan("#[derive(Debug)]\nfn f(v: &[f32], a: [f32; 8]) { let x = v[0]; let y = vec![1]; let z: [u8; 2] = [0, 1]; }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("indexing"));
+    }
+
+    #[test]
+    fn division_literal_and_const_divisors_are_proven() {
+        let got = scan("fn f(a: usize) { let x = a / 2; let y = a % LANE_WIDTH; let z = a / n; }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains('n'), "{got:?}");
+    }
+
+    #[test]
+    fn float_division_is_skipped() {
+        let got = scan("fn f(z: f32, n: usize) { let a = 1.0 / z; let b = x / n as f32; let c = y as f32 / w; }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn float_typed_identifiers_are_float_evidence() {
+        let got =
+            scan("fn f(x: u32) { let a = p / self.sigma; let b = obj.sigma / q; let c = x / q; }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains('q'), "{got:?}");
+    }
+
+    #[test]
+    fn slicing_after_calls_and_question_mark() {
+        let got = scan("fn f() { rows[s0..s1]; g()[0]; h?[1]; }");
+        assert_eq!(got.len(), 3, "{got:?}");
+    }
+}

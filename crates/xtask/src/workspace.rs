@@ -1,0 +1,552 @@
+//! Workspace model for `cargo xtask analyze`.
+//!
+//! Discovers every crate in the analyzed tree (including the standalone
+//! `ct-sync` and `xtask` workspaces), reads the fraction of each
+//! `Cargo.toml` the analyzer needs (package name, `[dependencies]`
+//! keys), lexes and parses every production source file, and flattens
+//! the item trees into a workspace-wide function table with per-file
+//! import scopes. Test targets (`tests/`, `benches/`, `[[test]]`
+//! integration files) are deliberately out of scope: the analysis
+//! covers what ships.
+
+use crate::lexer::{self, Lexed};
+use crate::parser::{self, FnDecl, Item, ItemKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+pub struct CrateInfo {
+    /// Package name as written in Cargo.toml (`ct-bp`).
+    pub name: String,
+    /// Rust identifier form (`ct_bp`).
+    pub ident: String,
+    /// Crate directory relative to the analyze root.
+    pub dir: PathBuf,
+    /// `[dependencies]` keys that name other workspace crates.
+    pub deps: Vec<String>,
+}
+
+pub struct FileInfo {
+    pub crate_idx: usize,
+    /// Path relative to the analyze root (for diagnostics).
+    pub rel: PathBuf,
+    pub lexed: Lexed,
+    pub test_lines: Vec<bool>,
+    /// Import map: local name → absolute path segments (first segment
+    /// is a crate ident, workspace or external).
+    pub imports: Vec<(String, Vec<String>)>,
+    /// Glob imports, as absolute path prefixes.
+    pub globs: Vec<Vec<String>>,
+}
+
+pub struct FnInfo {
+    pub file: usize,
+    /// Fully qualified name: `ct_bp::tiled::TileConfig::resolve`.
+    pub qual: String,
+    /// Last segment.
+    pub name: String,
+    /// Module chain, crate ident first, excluding type and fn name.
+    pub module: Vec<String>,
+    /// Enclosing impl/trait type, if this is an associated fn.
+    pub self_type: Option<String>,
+    pub arity: usize,
+    pub has_self: bool,
+    pub body: Option<(usize, usize)>,
+    pub is_test: bool,
+    pub cfg_off: bool,
+}
+
+pub struct Workspace {
+    pub root: PathBuf,
+    pub crates: Vec<CrateInfo>,
+    pub files: Vec<FileInfo>,
+    pub fns: Vec<FnInfo>,
+    /// Const names (last segment) every definition of which is a
+    /// nonzero integer literal — provably safe divisors.
+    pub nonzero_consts: BTreeSet<String>,
+    /// Identifier names declared with an `f32`/`f64` type anywhere in
+    /// the workspace (fields, params, let bindings). Used as float
+    /// evidence by the division check; name-based, not scoped, which is
+    /// a documented envelope trade-off.
+    pub float_idents: BTreeSet<String>,
+    /// All workspace crate idents, for path resolution.
+    pub crate_idents: BTreeSet<String>,
+    /// `dep_closure[c]` = crate indices reachable from crate `c` over
+    /// declared `[dependencies]` edges, including `c` itself. A method
+    /// call in crate `c` can only dispatch to an impl `c` can see.
+    pub dep_closure: Vec<BTreeSet<usize>>,
+}
+
+/// Directory names never descended into when collecting crate sources.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "tests", "benches", "integration"];
+
+/// Load the workspace rooted at `root`.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let mut crates = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            crates.push(read_crate(root, &dir)?);
+        }
+    }
+    for extra in ["examples", "tests"] {
+        let dir = root.join(extra);
+        if dir.join("Cargo.toml").is_file() {
+            crates.push(read_crate(root, &dir)?);
+        }
+    }
+    if crates.is_empty() {
+        return Err(format!("no crates found under {}", root.display()));
+    }
+
+    let crate_idents: BTreeSet<String> = crates.iter().map(|c| c.ident.clone()).collect();
+    let dep_closure = dep_closure(&crates);
+    let mut ws = Workspace {
+        root: root.to_path_buf(),
+        crates,
+        files: Vec::new(),
+        fns: Vec::new(),
+        nonzero_consts: BTreeSet::new(),
+        float_idents: BTreeSet::new(),
+        crate_idents,
+        dep_closure,
+    };
+
+    let mut const_values: BTreeMap<String, Vec<Option<u128>>> = BTreeMap::new();
+    for ci in 0..ws.crates.len() {
+        let dir = ws.root.join(&ws.crates[ci].dir);
+        let src = dir.join("src");
+        let mut files = Vec::new();
+        if src.is_dir() {
+            collect_sources(&src, &mut files)?;
+        } else {
+            // Flat layout (the examples crate): targets sit next to the
+            // manifest.
+            let entries =
+                std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            for e in entries.filter_map(|e| e.ok()) {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "rs") {
+                    files.push(p);
+                }
+            }
+        }
+        files.sort();
+        for path in files {
+            load_file(&mut ws, ci, &path, &mut const_values)?;
+        }
+    }
+
+    ws.nonzero_consts = const_values
+        .into_iter()
+        .filter(|(_, vals)| vals.iter().all(|v| matches!(v, Some(n) if *n != 0)))
+        .map(|(k, _)| k)
+        .collect();
+    for file in &ws.files {
+        collect_float_idents(&file.lexed.masked, &mut ws.float_idents);
+    }
+    // Out-of-line modules declared `#[cfg(loom)] mod name;` are compiled
+    // out of normal builds; the files they own are parsed separately and
+    // cannot see the parent's attribute, so mark their fns off here.
+    let mut off_mods: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ws.crates.len()];
+    for file in &ws.files {
+        collect_cfg_off_mod_decls(&file.lexed.masked, &mut off_mods[file.crate_idx]);
+    }
+    for f in &mut ws.fns {
+        let ci = ws.files[f.file].crate_idx;
+        if f.module.iter().skip(1).any(|m| off_mods[ci].contains(m)) {
+            f.cfg_off = true;
+        }
+    }
+    Ok(ws)
+}
+
+/// Collect names from `#[cfg(loom)] mod name;` declarations (semicolon
+/// form — the brace form is handled by the parser's attribute marking).
+fn collect_cfg_off_mod_decls(masked: &str, out: &mut BTreeSet<String>) {
+    let mut off_pending = false;
+    for line in masked.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with("#[") {
+            if t.starts_with("#[cfg(") && t.contains("loom") && !t.contains("not(loom)") {
+                off_pending = true;
+            }
+            continue;
+        }
+        if off_pending {
+            let rest = t.strip_prefix("pub ").unwrap_or(t);
+            if let Some(name) = rest
+                .strip_prefix("mod ")
+                .and_then(|n| n.trim().strip_suffix(';'))
+            {
+                out.insert(name.trim().to_string());
+            }
+        }
+        off_pending = false;
+    }
+}
+
+/// Transitive closure of declared dependency edges, self-inclusive.
+fn dep_closure(crates: &[CrateInfo]) -> Vec<BTreeSet<usize>> {
+    let by_name: BTreeMap<&str, usize> = crates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    let direct: Vec<Vec<usize>> = crates
+        .iter()
+        .map(|c| {
+            c.deps
+                .iter()
+                .filter_map(|d| by_name.get(d.as_str()).copied())
+                .collect()
+        })
+        .collect();
+    (0..crates.len())
+        .map(|start| {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(c) = stack.pop() {
+                if seen.insert(c) {
+                    stack.extend(direct[c].iter().copied());
+                }
+            }
+            seen
+        })
+        .collect()
+}
+
+/// Record identifiers declared `name: f32` / `name: f64` (with optional
+/// `&` / `mut` between the colon and the type).
+fn collect_float_idents(masked: &str, out: &mut BTreeSet<String>) {
+    for line in masked.lines() {
+        let b = line.as_bytes();
+        for (i, &c) in b.iter().enumerate() {
+            if c != b':' {
+                continue;
+            }
+            // Single `:` only — `::` is a path separator.
+            if b.get(i + 1) == Some(&b':') || (i > 0 && b[i - 1] == b':') {
+                continue;
+            }
+            let mut tail = line[i + 1..].trim_start();
+            loop {
+                let t = tail
+                    .strip_prefix('&')
+                    .or_else(|| tail.strip_prefix("mut "))
+                    .or_else(|| tail.strip_prefix("'_ "));
+                match t {
+                    Some(t) => tail = t.trim_start(),
+                    None => break,
+                }
+            }
+            let is_float = ["f32", "f64"].iter().any(|ty| {
+                tail.strip_prefix(ty).is_some_and(|rest| {
+                    !rest.starts_with(|ch: char| ch.is_ascii_alphanumeric() || ch == '_')
+                })
+            });
+            if !is_float {
+                continue;
+            }
+            let head = line[..i].trim_end();
+            let start = head
+                .rfind(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            if start < head.len() && !head[start..].starts_with(|ch: char| ch.is_ascii_digit()) {
+                out.insert(head[start..].to_string());
+            }
+        }
+    }
+}
+
+fn read_crate(root: &Path, dir: &Path) -> Result<CrateInfo, String> {
+    let manifest = dir.join("Cargo.toml");
+    let text = std::fs::read_to_string(&manifest)
+        .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+    let (name, deps) = parse_manifest(&text);
+    let name = name.ok_or_else(|| format!("{}: no package name", manifest.display()))?;
+    Ok(CrateInfo {
+        ident: name.replace('-', "_"),
+        name,
+        dir: dir.strip_prefix(root).unwrap_or(dir).to_path_buf(),
+        deps,
+    })
+}
+
+/// Extract the package name and `[dependencies]` keys from a manifest.
+/// Dev-dependencies are ignored: the layering contract covers the
+/// shipped dependency DAG, not test scaffolding.
+fn parse_manifest(text: &str) -> (Option<String>, Vec<String>) {
+    let mut section = String::new();
+    let mut name = None;
+    let mut deps = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        if section == "package" && key == "name" {
+            name = Some(value.trim().trim_matches('"').to_string());
+        }
+        if section == "dependencies" {
+            // `ct-obs = { path = ".." }` or `serde.workspace = true`.
+            let dep = key.split('.').next().unwrap_or(key).trim();
+            deps.push(dep.to_string());
+        }
+    }
+    (name, deps)
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn load_file(
+    ws: &mut Workspace,
+    crate_idx: usize,
+    path: &Path,
+    const_values: &mut BTreeMap<String, Vec<Option<u128>>>,
+) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let lexed = lexer::lex(&src);
+    let test_lines = lexer::test_lines(&lexed.masked);
+    let items = parser::parse(&lexed.masked);
+
+    let crate_ident = ws.crates[crate_idx].ident.clone();
+    let module = file_module(&ws.root.join(&ws.crates[crate_idx].dir), path);
+    let rel = path.strip_prefix(&ws.root).unwrap_or(path).to_path_buf();
+
+    let file_idx = ws.files.len();
+    let mut file = FileInfo {
+        crate_idx,
+        rel,
+        lexed,
+        test_lines,
+        imports: Vec::new(),
+        globs: Vec::new(),
+    };
+
+    let mut chain = vec![crate_ident];
+    chain.extend(module);
+    flatten(ws, &mut file, file_idx, &items, &chain, None, const_values);
+    ws.files.push(file);
+    Ok(())
+}
+
+/// Module segments for a file within its crate (`src/foo/bar.rs` →
+/// `["foo", "bar"]`; `src/lib.rs` → `[]`; flat-layout `quickstart.rs`
+/// → `["quickstart"]`).
+fn file_module(crate_dir: &Path, path: &Path) -> Vec<String> {
+    let rel = path.strip_prefix(crate_dir).unwrap_or(path);
+    let rel = rel.strip_prefix("src").unwrap_or(rel);
+    let mut segs: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if let Some(last) = segs.last_mut() {
+        *last = last.trim_end_matches(".rs").to_string();
+        if last == "lib" || last == "main" || last == "mod" {
+            segs.pop();
+        }
+    }
+    segs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten(
+    ws: &mut Workspace,
+    file: &mut FileInfo,
+    file_idx: usize,
+    items: &[Item],
+    module: &[String],
+    self_type: Option<&str>,
+    const_values: &mut BTreeMap<String, Vec<Option<u128>>>,
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) => push_fn(ws, file_idx, f, module, self_type),
+            ItemKind::Mod { name, items } => {
+                let mut chain = module.to_vec();
+                chain.push(name.clone());
+                flatten(ws, file, file_idx, items, &chain, None, const_values);
+            }
+            ItemKind::Impl { type_name, items }
+            | ItemKind::Trait {
+                name: type_name,
+                items,
+            } => {
+                flatten(
+                    ws,
+                    file,
+                    file_idx,
+                    items,
+                    module,
+                    Some(type_name),
+                    const_values,
+                );
+            }
+            ItemKind::Use { bindings, globs } => {
+                for b in bindings {
+                    if let Some(abs) = absolutize(&b.path, module) {
+                        file.imports.push((b.name.clone(), abs));
+                    }
+                }
+                for g in globs {
+                    if let Some(abs) = absolutize(g, module) {
+                        file.globs.push(abs);
+                    }
+                }
+            }
+            ItemKind::Const { name, value } => {
+                const_values.entry(name.clone()).or_default().push(*value);
+            }
+        }
+    }
+}
+
+fn push_fn(
+    ws: &mut Workspace,
+    file_idx: usize,
+    f: &FnDecl,
+    module: &[String],
+    self_type: Option<&str>,
+) {
+    let mut qual = module.join("::");
+    if let Some(t) = self_type {
+        qual.push_str("::");
+        qual.push_str(t);
+    }
+    qual.push_str("::");
+    qual.push_str(&f.name);
+    ws.fns.push(FnInfo {
+        file: file_idx,
+        qual,
+        name: f.name.clone(),
+        module: module.to_vec(),
+        self_type: self_type.map(str::to_string),
+        arity: f.arity,
+        has_self: f.has_self,
+        body: f.body,
+        is_test: f.is_test,
+        cfg_off: f.cfg_off,
+    });
+}
+
+/// Resolve `crate` / `self` / `super` path heads against the module the
+/// `use` appears in. Returns `None` for degenerate paths.
+fn absolutize(path: &[String], module: &[String]) -> Option<Vec<String>> {
+    let mut out: Vec<String> = Vec::new();
+    let mut segs = path.iter();
+    match path.first().map(String::as_str) {
+        Some("crate") => {
+            out.push(module.first()?.clone());
+            segs.next();
+        }
+        Some("self") => {
+            out.extend(module.iter().cloned());
+            segs.next();
+        }
+        Some("super") => {
+            let mut base = module.to_vec();
+            while segs.clone().next().map(String::as_str) == Some("super") {
+                base.pop();
+                segs.next();
+            }
+            if base.is_empty() {
+                return None;
+            }
+            out.extend(base);
+        }
+        Some(_) => {}
+        None => return None,
+    }
+    out.extend(segs.cloned());
+    (!out.is_empty()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parse_extracts_name_and_runtime_deps() {
+        let text = "[package]\nname = \"ct-bp\"\n\n[dependencies]\n\
+                    ct-core = { workspace = true }\nct-obs.workspace = true\n\
+                    serde = { version = \"1\" }\n\n[dev-dependencies]\nproptest = \"1\"\n";
+        let (name, deps) = parse_manifest(text);
+        assert_eq!(name.as_deref(), Some("ct-bp"));
+        assert_eq!(deps, vec!["ct-core", "ct-obs", "serde"]);
+    }
+
+    #[test]
+    fn file_module_paths() {
+        let d = Path::new("/w/crates/ct-bp");
+        assert!(file_module(d, Path::new("/w/crates/ct-bp/src/lib.rs")).is_empty());
+        assert_eq!(
+            file_module(d, Path::new("/w/crates/ct-bp/src/tiled.rs")),
+            vec!["tiled"]
+        );
+        assert_eq!(
+            file_module(d, Path::new("/w/crates/ct-bp/src/a/mod.rs")),
+            vec!["a"]
+        );
+        assert_eq!(
+            file_module(d, Path::new("/w/crates/ct-bp/src/bin/gups.rs")),
+            vec!["bin", "gups"]
+        );
+    }
+
+    #[test]
+    fn absolutize_resolves_crate_self_super() {
+        let m: Vec<String> = vec!["ct_bp".into(), "tiled".into()];
+        assert_eq!(
+            absolutize(&["crate".into(), "pair".into(), "SlabPair".into()], &m),
+            Some(vec!["ct_bp".into(), "pair".into(), "SlabPair".into()])
+        );
+        assert_eq!(
+            absolutize(&["super".into(), "warp".into()], &m),
+            Some(vec!["ct_bp".into(), "warp".into()])
+        );
+        assert_eq!(
+            absolutize(&["self".into(), "helper".into()], &m),
+            Some(vec!["ct_bp".into(), "tiled".into(), "helper".into()])
+        );
+        assert_eq!(
+            absolutize(&["ct_core".into(), "Volume".into()], &m),
+            Some(vec!["ct_core".into(), "Volume".into()])
+        );
+    }
+}
