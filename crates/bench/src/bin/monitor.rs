@@ -1,0 +1,461 @@
+//! Live-metrics monitor and CI gate over a `ct_obs::live` JSONL stream.
+//!
+//! ```text
+//! cargo run --release -p ifdk-bench --bin monitor -- live_metrics.jsonl \
+//!     [--format text|json|prom] [--max-stall-ms <ms>] [--max-trips <n>] \
+//!     [--follow [--idle-timeout-secs <s>]]
+//! ```
+//!
+//! Reads the frames a live run streamed (`--live` on the distributed
+//! example, or `LiveConfig::jsonl_path`), pretty-prints the latest one —
+//! progress/ETA, per-stage completion and latency quantiles, ring
+//! occupancy and stall attribution — and optionally *gates*:
+//!
+//! * `--max-stall-ms <ms>` fails if any ring's worst observed wait
+//!   (completed-stall maxima or an in-flight wait captured in a frame)
+//!   exceeds the bound;
+//! * `--max-trips <n>` fails if the run recorded more than `n`
+//!   watchdog trips.
+//!
+//! With `--follow` the file is tailed: each new frame prints a one-line
+//! summary as it lands, until the stream has been idle for
+//! `--idle-timeout-secs` (default 5). Gates then apply to everything
+//! seen. Exit codes follow `ifdk_bench::check`: 0 ok, 1 gate failed,
+//! 2 unreadable file, 3 usage.
+
+use ct_obs::live::MetricsSnapshot;
+use ct_obs::trace::fmt_ns;
+use ifdk_bench::check::{read_input, Gate};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Prom,
+}
+
+struct Opts {
+    path: String,
+    format: Format,
+    max_stall_ms: Option<u64>,
+    max_trips: Option<u64>,
+    follow: bool,
+    idle_timeout: Duration,
+}
+
+const USAGE: &str = "usage: monitor <metrics.jsonl> [--format text|json|prom] \
+     [--max-stall-ms <ms>] [--max-trips <n>] [--follow] [--idle-timeout-secs <s>]";
+
+fn parse_args(args: &[String]) -> Result<Opts, Gate> {
+    let mut path: Option<String> = None;
+    let mut format = Format::Text;
+    let mut max_stall_ms = None;
+    let mut max_trips = None;
+    let mut follow = false;
+    let mut idle_timeout = Duration::from_secs(5);
+    let mut i = 0;
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, Gate> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| Gate::Usage(format!("{flag} needs a value\n{USAGE}")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                format = match need(args, i, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "prom" => Format::Prom,
+                    other => {
+                        return Err(Gate::Usage(format!(
+                            "--format must be text, json or prom, got {other:?}\n{USAGE}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--max-stall-ms" => {
+                let v = need(args, i, "--max-stall-ms")?;
+                max_stall_ms = Some(v.parse::<u64>().map_err(|_| {
+                    Gate::Usage(format!(
+                        "--max-stall-ms must be an integer, got {v:?}\n{USAGE}"
+                    ))
+                })?);
+                i += 2;
+            }
+            "--max-trips" => {
+                let v = need(args, i, "--max-trips")?;
+                max_trips = Some(v.parse::<u64>().map_err(|_| {
+                    Gate::Usage(format!(
+                        "--max-trips must be an integer, got {v:?}\n{USAGE}"
+                    ))
+                })?);
+                i += 2;
+            }
+            "--follow" => {
+                follow = true;
+                i += 1;
+            }
+            "--idle-timeout-secs" => {
+                let v = need(args, i, "--idle-timeout-secs")?;
+                idle_timeout = Duration::from_secs(v.parse::<u64>().map_err(|_| {
+                    Gate::Usage(format!(
+                        "--idle-timeout-secs must be an integer, got {v:?}\n{USAGE}"
+                    ))
+                })?);
+                i += 2;
+            }
+            a if a.starts_with("--") => {
+                return Err(Gate::Usage(format!("unknown flag {a:?}\n{USAGE}")));
+            }
+            a => {
+                if path.is_some() {
+                    return Err(Gate::Usage(USAGE.into()));
+                }
+                path = Some(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    let path = path.ok_or_else(|| Gate::Usage(USAGE.into()))?;
+    Ok(Opts {
+        path,
+        format,
+        max_stall_ms,
+        max_trips,
+        follow,
+        idle_timeout,
+    })
+}
+
+/// Parse every non-empty line; a malformed line is a failed check (the
+/// stream is the artifact under test), naming the 1-based line.
+fn parse_frames(text: &str, path: &str) -> Result<Vec<MetricsSnapshot>, Gate> {
+    let mut frames = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match MetricsSnapshot::from_json(line) {
+            Ok(f) => frames.push(f),
+            Err(e) => {
+                return Err(Gate::CheckFailed(format!(
+                    "{path}:{}: not a metrics frame: {e}",
+                    n + 1
+                )))
+            }
+        }
+    }
+    Ok(frames)
+}
+
+fn one_liner(f: &MetricsSnapshot) -> String {
+    let progress = match &f.progress {
+        Some(p) if p.eta_ns > 0 => {
+            format!("{:5.1}% eta {}", p.frac * 100.0, fmt_ns(p.eta_ns))
+        }
+        Some(p) => format!("{:5.1}%", p.frac * 100.0),
+        None => "  -  ".to_string(),
+    };
+    let worst = f
+        .rings
+        .iter()
+        .map(|r| r.state.worst_wait_ns())
+        .max()
+        .unwrap_or(0);
+    format!(
+        "#{:<4} t={:<10} {} stages={} rings={} worst-stall={} trips={}",
+        f.seq,
+        fmt_ns(f.t_ns),
+        progress,
+        f.stages.len(),
+        f.rings.len(),
+        fmt_ns(worst),
+        f.watchdog_trips,
+    )
+}
+
+fn print_text(f: &MetricsSnapshot) {
+    println!(
+        "frame #{} (schema v{}) at t={}",
+        f.seq,
+        f.version,
+        fmt_ns(f.t_ns)
+    );
+    if let Some(p) = &f.progress {
+        let eta = if p.eta_ns > 0 {
+            format!(", eta {}", fmt_ns(p.eta_ns))
+        } else {
+            String::new()
+        };
+        println!("progress: {:.1}%{eta}", p.frac * 100.0);
+        for (stage, ratio) in &p.divergence {
+            println!("  model divergence {stage}: x{ratio:.2}");
+        }
+    }
+    if !f.stages.is_empty() {
+        println!("stages:");
+        for s in &f.stages {
+            let planned = if s.planned > 0 {
+                format!("{}/{}", s.done, s.planned)
+            } else {
+                format!("{}", s.done)
+            };
+            println!(
+                "  {:<20} {:>12}  busy {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}",
+                s.name,
+                planned,
+                fmt_ns(s.busy_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.p99_ns),
+            );
+        }
+    }
+    if !f.rings.is_empty() {
+        println!("rings:");
+        for r in &f.rings {
+            println!(
+                "  {:<24} {:>2}/{:<2} (hw {:>2})  push stalls {} ({})  pop stalls {} ({})  worst {}",
+                r.name,
+                r.state.len,
+                r.state.capacity,
+                r.state.high_water,
+                r.state.push_stalls,
+                fmt_ns(r.state.push_stall_ns),
+                r.state.pop_stalls,
+                fmt_ns(r.state.pop_stall_ns),
+                fmt_ns(r.state.worst_wait_ns()),
+            );
+        }
+    }
+    for (name, v) in &f.counters {
+        println!("counter {name} = {v}");
+    }
+    for (name, v) in &f.gauges {
+        println!("gauge {name} = {v}");
+    }
+    println!("watchdog trips: {}", f.watchdog_trips);
+}
+
+/// Apply the `--max-stall-ms` / `--max-trips` gates over every frame.
+fn gate_frames(frames: &[MetricsSnapshot], opts: &Opts) -> Gate {
+    if let Some(ms) = opts.max_stall_ms {
+        let bound_ns = ms.saturating_mul(1_000_000);
+        for f in frames {
+            for r in &f.rings {
+                let worst = r.state.worst_wait_ns();
+                if worst > bound_ns {
+                    return Gate::CheckFailed(format!(
+                        "ring {} stalled {} (frame #{}), over the --max-stall-ms {ms} bound",
+                        r.name,
+                        fmt_ns(worst),
+                        f.seq
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(max) = opts.max_trips {
+        let trips = frames.last().map_or(0, |f| f.watchdog_trips);
+        if trips > max {
+            return Gate::CheckFailed(format!(
+                "{trips} watchdog trips recorded, over the --max-trips {max} bound"
+            ));
+        }
+    }
+    Gate::Ok
+}
+
+fn finish(frames: &[MetricsSnapshot], opts: &Opts) -> Gate {
+    let Some(last) = frames.last() else {
+        return Gate::CheckFailed(format!("{}: no metrics frames", opts.path));
+    };
+    match opts.format {
+        Format::Text => print_text(last),
+        Format::Json => println!("{}", last.to_json()),
+        Format::Prom => print!("{}", last.to_prometheus()),
+    }
+    gate_frames(frames, opts)
+}
+
+fn run_once(opts: &Opts) -> Gate {
+    let text = match read_input(&opts.path) {
+        Ok(s) => s,
+        Err(g) => return g,
+    };
+    let frames = match parse_frames(&text, &opts.path) {
+        Ok(f) => f,
+        Err(g) => return g,
+    };
+    finish(&frames, opts)
+}
+
+/// Tail the file: print a line per new frame until it goes idle.
+fn run_follow(opts: &Opts) -> Gate {
+    let mut seen = 0usize;
+    let mut frames: Vec<MetricsSnapshot> = Vec::new();
+    let mut last_growth = Instant::now();
+    loop {
+        let text = match read_input(&opts.path) {
+            Ok(s) => s,
+            Err(g) => return g,
+        };
+        let all = match parse_frames(&text, &opts.path) {
+            Ok(f) => f,
+            Err(g) => return g,
+        };
+        if all.len() > seen {
+            for f in &all[seen..] {
+                println!("{}", one_liner(f));
+            }
+            seen = all.len();
+            frames = all;
+            last_growth = Instant::now();
+        }
+        if last_growth.elapsed() >= opts.idle_timeout {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    finish(&frames, opts)
+}
+
+fn run(args: &[String]) -> Gate {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(g) => return g,
+    };
+    if opts.follow {
+        run_follow(&opts)
+    } else {
+        run_once(&opts)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args).exit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_obs::live::LiveRegistry;
+
+    fn frames_file(name: &str, stall_ns: u64, trips: u64) -> String {
+        let reg = LiveRegistry::new();
+        let cell = reg.stage("bp");
+        reg.plan_stage("bp", 4, None);
+        cell.record_batch(2, 1_000_000);
+        reg.watch_ring(ct_obs::live::RingProbe::new("ring.test", move || {
+            let mut st = ct_obs::live::RingLiveState {
+                capacity: 4,
+                len: 1,
+                high_water: 3,
+                ..Default::default()
+            };
+            st.max_push_stall_ns = stall_ns;
+            st
+        }));
+        let mut lines = String::new();
+        for _ in 0..3 {
+            let mut f = reg.snapshot();
+            f.watchdog_trips = trips;
+            lines.push_str(&f.to_json());
+            lines.push('\n');
+        }
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, lines).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn missing_path_is_usage_and_bad_flags_are_usage() {
+        assert!(matches!(run(&[]), Gate::Usage(_)));
+        for bad in [
+            vec!["--format".to_string()],
+            vec![
+                "x.jsonl".to_string(),
+                "--format".to_string(),
+                "yaml".to_string(),
+            ],
+            vec![
+                "x.jsonl".to_string(),
+                "--max-stall-ms".to_string(),
+                "soon".to_string(),
+            ],
+            vec!["x.jsonl".to_string(), "--nope".to_string()],
+        ] {
+            assert!(matches!(run(&bad), Gate::Usage(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_unreadable() {
+        let args = vec!["/nonexistent/ifdk-monitor-test.jsonl".to_string()];
+        assert!(matches!(run(&args), Gate::Unreadable(_)));
+    }
+
+    #[test]
+    fn malformed_line_fails_the_check_with_its_line_number() {
+        let path = std::env::temp_dir().join("ifdk-monitor-bad.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        let gate = run(&[path.to_str().unwrap().to_string()]);
+        match gate {
+            Gate::CheckFailed(msg) => assert!(msg.contains(":1:"), "{msg}"),
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clean_stream_passes_the_gates() {
+        let path = frames_file("ifdk-monitor-clean.jsonl", 2_000_000, 0);
+        let args = vec![
+            path.clone(),
+            "--max-stall-ms".to_string(),
+            "100".to_string(),
+            "--max-trips".to_string(),
+            "0".to_string(),
+        ];
+        assert_eq!(run(&args), Gate::Ok);
+        // All three output formats render the same stream fine.
+        for fmt in ["text", "json", "prom"] {
+            let args = vec![path.clone(), "--format".to_string(), fmt.to_string()];
+            assert_eq!(run(&args), Gate::Ok, "{fmt}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn long_stall_and_trips_fail_their_gates() {
+        let path = frames_file("ifdk-monitor-stall.jsonl", 250_000_000, 2);
+        let stall = run(&[
+            path.clone(),
+            "--max-stall-ms".to_string(),
+            "100".to_string(),
+        ]);
+        match stall {
+            Gate::CheckFailed(msg) => assert!(msg.contains("ring.test"), "{msg}"),
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
+        let trips = run(&[path.clone(), "--max-trips".to_string(), "0".to_string()]);
+        match trips {
+            Gate::CheckFailed(msg) => assert!(msg.contains("watchdog"), "{msg}"),
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
+        // Loose bounds still pass.
+        let ok = run(&[
+            path.clone(),
+            "--max-stall-ms".to_string(),
+            "1000".to_string(),
+            "--max-trips".to_string(),
+            "2".to_string(),
+        ]);
+        assert_eq!(ok, Gate::Ok);
+        let _ = std::fs::remove_file(&path);
+    }
+}

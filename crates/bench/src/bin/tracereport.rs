@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-bench --bin tracereport -- trace.json \
-//!     [--min-overlap 0.5]
+//!     [--min-overlap 0.5] [--format text|json]
 //! ```
 //!
 //! Re-imports the trace with `ct_obs::chrome::parse_trace`, runs
@@ -11,7 +11,10 @@
 //! per-lane busy/stall/idle utilization, ring-stall attribution and the
 //! Eq.-19 overlap-efficiency figure (`max_stage / wall`). With
 //! `--min-overlap <frac>` the report doubles as a CI gate: overlap
-//! efficiency below the threshold fails the check. Exit codes follow
+//! efficiency below the threshold fails the check. `--format json`
+//! emits the analysis as machine-readable JSON instead of the text
+//! report (the same hand-rolled serializer the live metrics frames
+//! use), for dashboards and diffing. Exit codes follow
 //! `ifdk_bench::check`: 0 ok, 1 gate failed (or unanalyzable trace),
 //! 2 unreadable file, 3 usage.
 
@@ -19,12 +22,28 @@ use ifdk_bench::check::{read_input, Gate};
 use std::process::ExitCode;
 
 fn run(args: &[String]) -> Gate {
-    let usage = "usage: tracereport <trace.json> [--min-overlap <0..=1>]";
+    let usage = "usage: tracereport <trace.json> [--min-overlap <0..=1>] [--format text|json]";
     let mut path: Option<&str> = None;
     let mut min_overlap: Option<f64> = None;
+    let mut json_out = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--format" => {
+                let Some(v) = args.get(i + 1) else {
+                    return Gate::Usage(format!("--format needs a value\n{usage}"));
+                };
+                match v.as_str() {
+                    "text" => json_out = false,
+                    "json" => json_out = true,
+                    other => {
+                        return Gate::Usage(format!(
+                            "--format must be text or json, got {other:?}\n{usage}"
+                        ))
+                    }
+                }
+                i += 2;
+            }
             "--min-overlap" => {
                 let Some(v) = args.get(i + 1) else {
                     return Gate::Usage(format!("--min-overlap needs a value\n{usage}"));
@@ -72,8 +91,12 @@ fn run(args: &[String]) -> Gate {
         ));
     };
 
-    println!("{path}:");
-    print!("{}", analysis.report());
+    if json_out {
+        println!("{}", analysis.to_json());
+    } else {
+        println!("{path}:");
+        print!("{}", analysis.report());
+    }
 
     if let Some(min) = min_overlap {
         if !analysis.meets_overlap(min) {
@@ -82,10 +105,12 @@ fn run(args: &[String]) -> Gate {
                 analysis.overlap_efficiency
             ));
         }
-        println!(
-            "\noverlap gate: {:.3} >= {min:.3} OK",
-            analysis.overlap_efficiency
-        );
+        if !json_out {
+            println!(
+                "\noverlap gate: {:.3} >= {min:.3} OK",
+                analysis.overlap_efficiency
+            );
+        }
     }
     Gate::Ok
 }
@@ -147,6 +172,22 @@ mod tests {
         std::fs::write(&path, "{not json").unwrap();
         let gate = run(&[path.to_str().unwrap().to_string()]);
         assert!(matches!(gate, Gate::CheckFailed(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_format_still_gates_and_rejects_unknown_formats() {
+        let path = trace_file("ifdk-tracereport-json.json");
+        let ok = run(&[
+            path.clone(),
+            "--format".into(),
+            "json".into(),
+            "--min-overlap".into(),
+            "0.5".into(),
+        ]);
+        assert_eq!(ok, Gate::Ok);
+        let bad = run(&[path.clone(), "--format".into(), "yaml".into()]);
+        assert!(matches!(bad, Gate::Usage(_)));
         let _ = std::fs::remove_file(&path);
     }
 

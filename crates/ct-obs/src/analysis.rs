@@ -560,6 +560,66 @@ impl PipelineAnalysis {
         self.stalls.iter().map(|s| s.total_ns).sum::<u64>() as f64 / 1e9
     }
 
+    /// Serialize the complete analysis as one compact JSON object —
+    /// the machine-readable twin of [`PipelineAnalysis::report`], used
+    /// by `tracereport --format json`. Shares the [`crate::jsonw`]
+    /// serializer with the live [`crate::live::MetricsSnapshot`]
+    /// frames, so downstream tooling parses one dialect.
+    pub fn to_json(&self) -> String {
+        let (mr, ml) = self.max_stage_lane;
+        let lanes = crate::jsonw::arr(self.lanes.iter().map(|l| {
+            let mut o = crate::jsonw::Obj::new();
+            o.field_u64("rank", u64::from(l.rank))
+                .field_str("role", l.role.as_str())
+                .field_u64("busy_ns", l.busy_ns)
+                .field_u64("stall_ns", l.stall_ns)
+                .field_u64("idle_ns", l.idle_ns)
+                .field_f64("busy_frac", l.busy_frac())
+                .field_u64("bubbles", l.bubbles.len() as u64);
+            o.finish()
+        }));
+        let stalls = crate::jsonw::arr(self.stalls.iter().map(|s| {
+            let mut o = crate::jsonw::Obj::new();
+            o.field_u64("rank", u64::from(s.rank))
+                .field_str("role", s.role.as_str())
+                .field_str("buffer", s.buffer)
+                .field_str("kind", s.kind.as_str())
+                .field_u64("count", s.count)
+                .field_u64("total_ns", s.total_ns)
+                .field_u64("max_ns", s.max_ns);
+            o.finish()
+        }));
+        let path = crate::jsonw::arr(self.critical_path.iter().map(|p| {
+            let mut o = crate::jsonw::Obj::new();
+            o.field_u64("rank", u64::from(p.rank))
+                .field_str("role", p.role.as_str())
+                .field_str("name", p.name);
+            if let Some(ix) = p.index {
+                o.field_u64("index", ix);
+            }
+            o.field_u64("start_ns", p.start_ns)
+                .field_u64("dur_ns", p.dur_ns)
+                .field_str("edge", p.edge.as_str());
+            o.finish()
+        }));
+        let mut o = crate::jsonw::Obj::new();
+        o.field_u64("start_ns", self.start_ns)
+            .field_u64("wall_ns", self.wall_ns)
+            .field_u64("max_stage_ns", self.max_stage_ns)
+            .field_raw("max_stage_lane", &{
+                let mut lane = crate::jsonw::Obj::new();
+                lane.field_u64("rank", u64::from(mr))
+                    .field_str("role", ml.as_str());
+                lane.finish()
+            })
+            .field_u64("critical_path_ns", self.critical_path_ns)
+            .field_f64("overlap_efficiency", self.overlap_efficiency)
+            .field_raw("lanes", &lanes)
+            .field_raw("stalls", &stalls)
+            .field_raw("critical_path", &path);
+        o.finish()
+    }
+
     /// Render the analysis as a human-readable report: the headline
     /// overlap figure, per-lane utilization, top ring stalls, and the
     /// tail of the critical path.
@@ -899,6 +959,28 @@ mod tests {
         let ranks: Vec<_> = a.critical_path.iter().map(|s| s.rank).collect();
         assert_eq!(ranks, vec![1, 0]);
         assert_eq!(a.critical_path[1].edge, EdgeKind::Collective);
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_the_headline_numbers() {
+        let a = PipelineAnalysis::from_trace(&perfect_pipeline()).unwrap();
+        let json = a.to_json();
+        let v = crate::chrome::json::parse(&json).expect("analysis json parses");
+        assert_eq!(
+            v.get("wall_ns").and_then(|x| x.as_f64()),
+            Some(a.wall_ns as f64)
+        );
+        assert_eq!(
+            v.get("overlap_efficiency").and_then(|x| x.as_f64()),
+            Some(a.overlap_efficiency)
+        );
+        let lane = v.get("max_stage_lane").expect("lane object");
+        assert_eq!(lane.get("role").and_then(|x| x.as_str()), Some("filter"));
+        let lanes = v.get("lanes").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(lanes.len(), a.lanes.len());
+        let path = v.get("critical_path").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(path.len(), a.critical_path.len());
+        assert_eq!(path[0].get("edge").and_then(|x| x.as_str()), Some("origin"));
     }
 
     #[test]

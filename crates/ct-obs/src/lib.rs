@@ -29,6 +29,11 @@
 //!   capture: per-role busy/stall/idle timelines, the producer→consumer
 //!   dependency graph from span `deps` tags, ring-stall attribution and
 //!   the Eq.-19 overlap-efficiency figure (`max_stage / wall`).
+//! * [`live`] — live telemetry for *running* reconstructions: periodic
+//!   versioned [`MetricsSnapshot`] frames (JSONL / Prometheus text), an
+//!   always-on bounded flight recorder dumpable into a normal
+//!   [`TraceData`], a ring-stall watchdog, and a model-weighted
+//!   progress/ETA estimator ([`live::ProgressSnapshot`]).
 //! * [`current`] — a thread-bound ambient track so leaf substrates
 //!   (e.g. `ct-pfs`) can record spans without threading a handle through
 //!   every call signature.
@@ -56,10 +61,16 @@ pub mod chrome;
 pub mod clock;
 pub mod current;
 pub mod divergence;
+pub mod jsonw;
+pub mod live;
 pub mod recorder;
 pub mod trace;
 
 pub use analysis::PipelineAnalysis;
 pub use divergence::{DivergenceReport, StageDivergence};
+pub use live::{
+    FlightRecorder, LiveOptions, LiveOutcome, LiveRegistry, LiveSession, MetricsSnapshot,
+    RingLiveState, RingProbe, WatchdogTrip,
+};
 pub use recorder::{Mode, Recorder, Span, ThreadRole, Track};
 pub use trace::{Hist, MetricStat, SpanDeps, SpanEvent, StageStat, TraceData};

@@ -85,11 +85,21 @@ struct Global {
     gauges: BTreeMap<(u32, ThreadRole, &'static str), u64>,
 }
 
+/// Live-telemetry hooks attached to a recorder. Read once per
+/// [`Recorder::track`] call; tracks opened before an attach do not feed
+/// the hooks (attach before launching the pipeline).
+#[derive(Debug, Default)]
+struct LiveHooks {
+    live: Option<crate::live::LiveRegistry>,
+    flight: Option<crate::live::FlightRecorder>,
+}
+
 #[derive(Debug)]
 struct Inner {
     mode: Mode,
     origin: Instant,
     state: Mutex<Global>,
+    hooks: Mutex<LiveHooks>,
 }
 
 impl Inner {
@@ -177,6 +187,7 @@ impl Recorder {
                 mode,
                 origin: Instant::now(),
                 state: Mutex::new(Global::default()),
+                hooks: Mutex::new(LiveHooks::default()),
             })),
         }
     }
@@ -197,13 +208,54 @@ impl Recorder {
     pub fn track(&self, rank: u32, role: ThreadRole) -> Track {
         Track {
             shared: self.inner.as_ref().map(|inner| {
+                let (live, flight) = {
+                    let hooks = inner.hooks.lock().unwrap_or_else(|p| p.into_inner());
+                    (
+                        hooks.live.clone(),
+                        hooks.flight.as_ref().map(|f| f.lane(rank, role)),
+                    )
+                };
                 Rc::new(TrackShared {
                     inner: Arc::clone(inner),
                     rank,
                     role,
                     local: RefCell::new(Local::default()),
+                    live,
+                    flight,
+                    live_cells: RefCell::new(BTreeMap::new()),
+                    live_counters: RefCell::new(BTreeMap::new()),
+                    live_gauges: RefCell::new(BTreeMap::new()),
                 })
             }),
+        }
+    }
+
+    /// Attach a live-metrics registry: tracks opened *after* this call
+    /// mirror their completed spans, counters and gauges into it as they
+    /// record (see [`crate::live`]). No-op on an `off` recorder (a
+    /// disabled recorder hands out disabled tracks).
+    pub fn attach_live(&self, registry: &crate::live::LiveRegistry) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.hooks.lock().unwrap_or_else(|p| p.into_inner()).live = Some(registry.clone());
+        }
+    }
+
+    /// Attach a flight recorder: tracks opened after this call feed
+    /// every completed span into their `(rank, role)` flight lane —
+    /// in every mode, including `summary` (the flight window is bounded,
+    /// so this does not reintroduce unbounded capture).
+    pub fn attach_flight(&self, flight: &crate::live::FlightRecorder) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.hooks.lock().unwrap_or_else(|p| p.into_inner()).flight = Some(flight.clone());
+        }
+    }
+
+    /// Detach both live hooks (registry and flight recorder). Tracks
+    /// opened after this call stop mirroring; already-open tracks keep
+    /// their handles until dropped.
+    pub fn detach_live(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            *inner.hooks.lock().unwrap_or_else(|p| p.into_inner()) = LiveHooks::default();
         }
     }
 
@@ -281,6 +333,76 @@ struct TrackShared {
     rank: u32,
     role: ThreadRole,
     local: RefCell<Local>,
+    /// Live registry handle, when one was attached at track-open time.
+    live: Option<crate::live::LiveRegistry>,
+    /// This lane's flight ring, when a flight recorder was attached.
+    flight: Option<crate::live::FlightLane>,
+    /// Per-name caches so the hot path hits the registry's maps once per
+    /// `(track, name)` rather than once per record.
+    live_cells: RefCell<BTreeMap<&'static str, Arc<crate::live::StageCell>>>,
+    live_counters: RefCell<BTreeMap<&'static str, Arc<std::sync::atomic::AtomicU64>>>,
+    live_gauges: RefCell<BTreeMap<&'static str, Arc<std::sync::atomic::AtomicU64>>>,
+}
+
+impl TrackShared {
+    fn live_cell(&self, name: &'static str) -> Option<Arc<crate::live::StageCell>> {
+        let reg = self.live.as_ref()?;
+        let mut cells = self.live_cells.borrow_mut();
+        Some(Arc::clone(
+            cells.entry(name).or_insert_with(|| reg.stage(name)),
+        ))
+    }
+
+    /// Mirror one completed span into the live hooks: the stage's
+    /// completion cell and this lane's flight ring.
+    #[allow(clippy::too_many_arguments)]
+    fn live_span(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        index: Option<u64>,
+        bytes: Option<u64>,
+        deps: Option<SpanDeps>,
+    ) {
+        if let Some(cell) = self.live_cell(name) {
+            cell.record(dur_ns);
+        }
+        if let Some(lane) = self.flight.as_ref() {
+            lane.record(SpanEvent {
+                rank: self.rank,
+                role: self.role,
+                name,
+                start_ns,
+                dur_ns,
+                index,
+                bytes,
+                deps,
+            });
+        }
+    }
+
+    fn live_counter_add(&self, name: &'static str, delta: u64) {
+        let Some(reg) = self.live.as_ref() else {
+            return;
+        };
+        let mut counters = self.live_counters.borrow_mut();
+        counters
+            .entry(name)
+            .or_insert_with(|| reg.counter(name))
+            .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn live_gauge_max(&self, name: &'static str, value: u64) {
+        let Some(reg) = self.live.as_ref() else {
+            return;
+        };
+        let mut gauges = self.live_gauges.borrow_mut();
+        gauges
+            .entry(name)
+            .or_insert_with(|| reg.gauge(name))
+            .fetch_max(value, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl Drop for TrackShared {
@@ -365,15 +487,19 @@ impl Track {
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if let Some(sh) = self.shared.as_ref() {
             *sh.local.borrow_mut().counters.entry(name).or_insert(0) += delta;
+            sh.live_counter_add(name, delta);
         }
     }
 
     /// Raise a high-water-mark gauge (e.g. ring-buffer occupancy).
     pub fn gauge_max(&self, name: &'static str, value: u64) {
         if let Some(sh) = self.shared.as_ref() {
-            let mut local = sh.local.borrow_mut();
-            let e = local.gauges.entry(name).or_insert(0);
-            *e = (*e).max(value);
+            {
+                let mut local = sh.local.borrow_mut();
+                let e = local.gauges.entry(name).or_insert(0);
+                *e = (*e).max(value);
+            }
+            sh.live_gauge_max(name, value);
         }
     }
 
@@ -398,24 +524,27 @@ impl Track {
         let start_ns = started.saturating_duration_since(origin).as_nanos() as u64;
         let end_ns = finished.saturating_duration_since(origin).as_nanos() as u64;
         let dur_ns = end_ns.saturating_sub(start_ns);
-        let mut local = sh.local.borrow_mut();
-        local
-            .stages
-            .entry(name)
-            .or_default()
-            .record(dur_ns, bytes.unwrap_or(0));
-        if sh.inner.mode == Mode::Trace {
-            local.events.push(SpanEvent {
-                rank: sh.rank,
-                role: sh.role,
-                name,
-                start_ns,
-                dur_ns,
-                index,
-                bytes,
-                deps: None,
-            });
+        {
+            let mut local = sh.local.borrow_mut();
+            local
+                .stages
+                .entry(name)
+                .or_default()
+                .record(dur_ns, bytes.unwrap_or(0));
+            if sh.inner.mode == Mode::Trace {
+                local.events.push(SpanEvent {
+                    rank: sh.rank,
+                    role: sh.role,
+                    name,
+                    start_ns,
+                    dur_ns,
+                    index,
+                    bytes,
+                    deps: None,
+                });
+            }
         }
+        sh.live_span(name, start_ns, dur_ns, index, bytes, None);
     }
 
     /// Record one sample into `name`'s latency histogram without opening
@@ -428,6 +557,9 @@ impl Track {
                 .entry(name)
                 .or_default()
                 .record(ns, 0);
+            if let Some(cell) = sh.live_cell(name) {
+                cell.record(ns);
+            }
         }
     }
 }
@@ -497,24 +629,28 @@ impl Drop for Span {
         };
         let end_ns = s.track.inner.now_ns();
         let dur_ns = end_ns.saturating_sub(s.start_ns);
-        let mut local = s.track.local.borrow_mut();
-        local
-            .stages
-            .entry(s.name)
-            .or_default()
-            .record(dur_ns, s.bytes.unwrap_or(0));
-        if s.track.inner.mode == Mode::Trace {
-            local.events.push(SpanEvent {
-                rank: s.track.rank,
-                role: s.track.role,
-                name: s.name,
-                start_ns: s.start_ns,
-                dur_ns,
-                index: s.index,
-                bytes: s.bytes,
-                deps: s.deps,
-            });
+        {
+            let mut local = s.track.local.borrow_mut();
+            local
+                .stages
+                .entry(s.name)
+                .or_default()
+                .record(dur_ns, s.bytes.unwrap_or(0));
+            if s.track.inner.mode == Mode::Trace {
+                local.events.push(SpanEvent {
+                    rank: s.track.rank,
+                    role: s.track.role,
+                    name: s.name,
+                    start_ns: s.start_ns,
+                    dur_ns,
+                    index: s.index,
+                    bytes: s.bytes,
+                    deps: s.deps,
+                });
+            }
         }
+        s.track
+            .live_span(s.name, s.start_ns, dur_ns, s.index, s.bytes, s.deps);
     }
 }
 
@@ -653,8 +789,50 @@ mod tests {
         assert_eq!(h.count, 2);
         assert_eq!(h.min_ns, 1_000);
         assert_eq!(h.max_ns, 1_000_000);
-        assert_eq!(h.hist.total(), 2);
+        assert_eq!(h.hist.count(), 2);
         assert!(h.hist.bucket_count(Hist::bucket_of(1_000)) >= 1);
+    }
+
+    #[test]
+    fn attached_hooks_mirror_spans_counters_gauges() {
+        use crate::live::{FlightRecorder, LiveRegistry};
+        let rec = Recorder::summary();
+        let reg = LiveRegistry::new();
+        let flight = FlightRecorder::new(4);
+        rec.attach_live(&reg);
+        rec.attach_flight(&flight);
+        {
+            let track = rec.track(1, ThreadRole::Filter);
+            for i in 0..6u64 {
+                let _sp = track.span("filter").with_index(i);
+            }
+            track.counter_add("msgs", 2);
+            track.gauge_max("hw", 9);
+            track.observe_ns("ring.gather.push_wait", 5_000);
+            let now = Instant::now();
+            track.record_completed("bp.tile", Some(0), Some(64), now, now);
+        }
+        // Live cells saw every span as it completed — even though the
+        // recorder is in summary mode (no events in the final capture).
+        assert_eq!(reg.stage("filter").done(), 6);
+        assert_eq!(reg.stage("ring.gather.push_wait").done(), 1);
+        assert_eq!(reg.stage("bp.tile").done(), 1);
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(reg.counter("msgs").load(Relaxed), 2);
+        assert_eq!(reg.gauge("hw").load(Relaxed), 9);
+        // The flight lane kept the last `capacity` spans, drop-oldest.
+        let dump = flight.dump();
+        assert!(rec.collect().events.is_empty(), "summary mode");
+        let filter_lane: Vec<_> = dump.events.iter().filter(|e| e.name == "filter").collect();
+        assert_eq!(filter_lane.len(), 3, "4-capacity lane minus bp.tile");
+        assert_eq!(filter_lane[0].index, Some(3), "oldest spans evicted");
+        // Detach: tracks opened afterwards stop mirroring.
+        rec.detach_live();
+        {
+            let track = rec.track(1, ThreadRole::Filter);
+            let _sp = track.span("filter");
+        }
+        assert_eq!(reg.stage("filter").done(), 6);
     }
 
     #[test]

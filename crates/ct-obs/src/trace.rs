@@ -84,6 +84,17 @@ impl Hist {
         1u64 << bucket.min(63)
     }
 
+    /// Upper bound (exclusive) of a bucket, in nanoseconds. The top
+    /// bucket saturates at `u64::MAX`.
+    pub fn bucket_ceil_ns(bucket: usize) -> u64 {
+        let b = bucket.min(63);
+        if b >= 63 {
+            u64::MAX
+        } else {
+            1u64 << (b + 1)
+        }
+    }
+
     /// Record one sample.
     pub fn record(&mut self, ns: u64) {
         if let Some(b) = self.buckets.get_mut(Self::bucket_of(ns)) {
@@ -98,9 +109,16 @@ impl Hist {
         }
     }
 
-    /// Total number of samples.
-    pub fn total(&self) -> u64 {
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Number of samples recorded.
+    #[deprecated(note = "`total` reads like a summed duration but is a sample count; \
+                         use `count()`")]
+    pub fn total(&self) -> u64 {
+        self.count()
     }
 
     /// Count in one bucket.
@@ -118,33 +136,48 @@ impl Hist {
             .collect()
     }
 
-    /// Estimate the `q`-quantile (`q` in `[0, 1]`) in nanoseconds,
-    /// interpolating linearly inside the winning log2 bucket. The
-    /// estimate is exact to within one octave — the resolution the
-    /// histogram keeps — and returns 0 for an empty histogram.
+    /// Estimate the `q`-quantile in nanoseconds.
+    ///
+    /// The histogram only knows which log2 bucket each sample fell in,
+    /// so estimates resolve to one octave. Within the winning bucket the
+    /// *midpoint* `(floor + ceiling) / 2` is returned — the unbiased
+    /// choice for samples spread inside the bucket, where returning the
+    /// floor biased low by up to 2x at coarse buckets.
+    ///
+    /// Edge behavior (documented contract, covered by tests):
+    /// * empty histogram → `0`;
+    /// * `q <= 0` → the floor of the first non-empty bucket (the
+    ///   smallest value the histogram can still attribute);
+    /// * `q >= 1` → the ceiling of the last non-empty bucket (the
+    ///   largest it can attribute);
+    /// * other `q` → midpoint of the bucket holding the
+    ///   `ceil(q * count)`-th sample.
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.total();
-        if total == 0 {
+        if self.count() == 0 {
             return 0;
         }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            let first = self.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+            return Self::bucket_floor_ns(first);
+        }
+        if q >= 1.0 {
+            let last = 63 - self.buckets.iter().rev().position(|&c| c > 0).unwrap_or(0);
+            return Self::bucket_ceil_ns(last);
+        }
         // The rank of the sample we are after, 1-based.
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let total = self.count();
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            let before = cum;
             cum += c;
             if cum >= target {
-                let lo = Self::bucket_floor_ns(i) as f64;
-                let hi = if i >= 63 {
-                    u64::MAX as f64
-                } else {
-                    (1u64 << (i + 1)) as f64
-                };
-                let frac = (target - before) as f64 / c as f64;
-                return (lo + frac * (hi - lo)) as u64;
+                let lo = Self::bucket_floor_ns(i);
+                let hi = Self::bucket_ceil_ns(i);
+                return lo + (hi - lo) / 2;
             }
         }
         unreachable!("target rank is within total count")
@@ -152,7 +185,7 @@ impl Hist {
 }
 
 /// Render nanoseconds with a unit that keeps 3-4 significant digits.
-pub(crate) fn fmt_ns(ns: u64) -> String {
+pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -193,6 +226,11 @@ impl StageStat {
         self.total_ns as f64 / 1e9
     }
 
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
     /// Mean duration in seconds (0 when empty).
     pub fn mean_secs(&self) -> f64 {
         if self.count == 0 {
@@ -200,6 +238,16 @@ impl StageStat {
         } else {
             self.total_secs() / self.count as f64
         }
+    }
+
+    /// Shortest observation in seconds.
+    pub fn min_secs(&self) -> f64 {
+        self.min_ns as f64 / 1e9
+    }
+
+    /// Longest observation in seconds.
+    pub fn max_secs(&self) -> f64 {
+        self.max_ns as f64 / 1e9
     }
 
     /// Median duration estimate from the log2 histogram, nanoseconds.
@@ -215,6 +263,21 @@ impl StageStat {
     /// 99th-percentile duration estimate, nanoseconds.
     pub fn p99_ns(&self) -> u64 {
         self.hist.quantile_ns(0.99)
+    }
+
+    /// Median duration estimate in seconds.
+    pub fn p50_secs(&self) -> f64 {
+        self.p50_ns() as f64 / 1e9
+    }
+
+    /// 95th-percentile duration estimate in seconds.
+    pub fn p95_secs(&self) -> f64 {
+        self.p95_ns() as f64 / 1e9
+    }
+
+    /// 99th-percentile duration estimate in seconds.
+    pub fn p99_secs(&self) -> f64 {
+        self.p99_ns() as f64 / 1e9
     }
 }
 
@@ -246,6 +309,45 @@ pub struct TraceData {
 }
 
 impl TraceData {
+    /// Build a capture from bare span events, rebuilding the per-stage
+    /// aggregates the events imply. This is how the live flight
+    /// recorder's bounded span rings become a first-class capture: the
+    /// result feeds [`crate::analysis`] and [`crate::chrome`] exactly
+    /// like a `Recorder::collect()` trace (counters and gauges are
+    /// empty — a span ring does not retain them).
+    pub fn from_events(mut events: Vec<SpanEvent>) -> TraceData {
+        events.sort_by_key(|e| (e.rank, e.role, e.start_ns, e.name, e.index));
+        let mut stages: std::collections::BTreeMap<(u32, ThreadRole, &'static str), StageStat> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            let s = stages
+                .entry((e.rank, e.role, e.name))
+                .or_insert_with(|| StageStat {
+                    rank: e.rank,
+                    role: e.role,
+                    name: e.name,
+                    count: 0,
+                    total_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                    bytes: 0,
+                    hist: Hist::default(),
+                });
+            s.count += 1;
+            s.total_ns += e.dur_ns;
+            s.min_ns = s.min_ns.min(e.dur_ns);
+            s.max_ns = s.max_ns.max(e.dur_ns);
+            s.bytes += e.bytes.unwrap_or(0);
+            s.hist.record(e.dur_ns);
+        }
+        TraceData {
+            events,
+            stages: stages.into_values().collect(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+        }
+    }
+
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -504,7 +606,7 @@ mod tests {
         h.record(3);
         h.record(1000);
         h.record(1024);
-        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(), 3);
         assert_eq!(h.bucket_count(1), 1);
         assert_eq!(h.bucket_count(9), 1); // 512..1024 holds 1000
         assert_eq!(h.bucket_count(10), 1);
@@ -513,6 +615,86 @@ mod tests {
         h2.record(3);
         h2.merge(&h);
         assert_eq!(h2.bucket_count(1), 2);
+    }
+
+    #[test]
+    fn quantile_edges_and_midpoint() {
+        // Empty histogram: every quantile is 0.
+        let empty = Hist::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile_ns(q), 0);
+        }
+
+        // One sample at 1000 ns lands in bucket 9 (512..1024):
+        // q=0 → bucket floor, q=1 → bucket ceiling, interior → midpoint.
+        let mut one = Hist::default();
+        one.record(1000);
+        assert_eq!(one.quantile_ns(0.0), 512);
+        assert_eq!(one.quantile_ns(0.5), 768);
+        assert_eq!(one.quantile_ns(1.0), 1024);
+        // Out-of-range q clamps to the same edges.
+        assert_eq!(one.quantile_ns(-3.0), 512);
+        assert_eq!(one.quantile_ns(7.0), 1024);
+
+        // Two buckets: p50 resolves to the low bucket's midpoint, p99 to
+        // the high bucket's midpoint, q=0/q=1 to the extreme bounds.
+        let mut two = Hist::default();
+        two.record(3); // bucket 1: 2..4
+        two.record(1000); // bucket 9: 512..1024
+        assert_eq!(two.quantile_ns(0.5), 3); // midpoint of 2..4
+        assert_eq!(two.quantile_ns(0.99), 768);
+        assert_eq!(two.quantile_ns(0.0), 2);
+        assert_eq!(two.quantile_ns(1.0), 1024);
+
+        // The midpoint can never bias below the bucket floor.
+        let mut h = Hist::default();
+        h.record(600);
+        assert!(h.quantile_ns(0.5) >= Hist::bucket_floor_ns(Hist::bucket_of(600)));
+
+        // Top bucket saturates instead of overflowing.
+        let mut top = Hist::default();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile_ns(1.0), u64::MAX);
+        assert!(top.quantile_ns(0.5) >= 1u64 << 63);
+    }
+
+    #[test]
+    fn from_events_rebuilds_aggregates() {
+        let ev = |start: u64, dur: u64, idx: u64| SpanEvent {
+            rank: 1,
+            role: ThreadRole::Backprojection,
+            name: "backprojection",
+            start_ns: start,
+            dur_ns: dur,
+            index: Some(idx),
+            bytes: Some(10),
+            deps: None,
+        };
+        // Deliberately unsorted input: from_events must sort.
+        let data = TraceData::from_events(vec![ev(500, 40, 1), ev(100, 60, 0)]);
+        assert_eq!(data.events[0].index, Some(0));
+        let s = data
+            .stage(1, ThreadRole::Backprojection, "backprojection")
+            .unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 100);
+        assert_eq!(s.min_ns, 40);
+        assert_eq!(s.max_ns, 60);
+        assert_eq!(s.bytes, 20);
+        assert_eq!(s.hist.count(), 2);
+        assert!(data.counters.is_empty() && data.gauges.is_empty());
+    }
+
+    #[test]
+    fn stage_stat_suffixed_accessors_agree() {
+        let data = sample_capture();
+        let s = data.stage(0, ThreadRole::Main, "allgather").unwrap();
+        assert_eq!(s.mean_ns(), s.total_ns / s.count);
+        assert!((s.min_secs() - s.min_ns as f64 / 1e9).abs() < 1e-15);
+        assert!((s.max_secs() - s.max_ns as f64 / 1e9).abs() < 1e-15);
+        assert!((s.p50_secs() - s.p50_ns() as f64 / 1e9).abs() < 1e-15);
+        assert!((s.p95_secs() - s.p95_ns() as f64 / 1e9).abs() < 1e-15);
+        assert!((s.p99_secs() - s.p99_ns() as f64 / 1e9).abs() < 1e-15);
     }
 
     fn sample_capture() -> TraceData {

@@ -42,10 +42,26 @@ struct State<T> {
     push_stall_ns: u64,
     /// Summed nanoseconds consumers spent blocked in `pop`.
     pop_stall_ns: u64,
+    /// Longest single completed push stall, nanoseconds.
+    push_stall_max_ns: u64,
+    /// Longest single completed pop stall, nanoseconds.
+    pop_stall_max_ns: u64,
     /// log2 histogram of individual push-stall durations.
     push_stall_hist: Hist,
     /// log2 histogram of individual pop-stall durations.
     pop_stall_hist: Hist,
+    /// Producers currently blocked inside `push`.
+    blocked_pushers: usize,
+    /// Consumers currently blocked inside `pop`.
+    blocked_poppers: usize,
+    /// When the *oldest* currently blocked producer started waiting.
+    /// `None` while no producer is blocked. When one of several blocked
+    /// producers completes, this conservatively resets to "now" — exact
+    /// for the 1-producer/1-consumer rings the iFDK pipeline uses, an
+    /// underestimate (never a false stall) otherwise.
+    push_wait_since: Option<Instant>,
+    /// Same, consumer side.
+    pop_wait_since: Option<Instant>,
 }
 
 struct Shared<T> {
@@ -103,8 +119,14 @@ impl<T> RingBuffer<T> {
                     pop_stalls: 0,
                     push_stall_ns: 0,
                     pop_stall_ns: 0,
+                    push_stall_max_ns: 0,
+                    pop_stall_max_ns: 0,
                     push_stall_hist: Hist::default(),
                     pop_stall_hist: Hist::default(),
+                    blocked_pushers: 0,
+                    blocked_poppers: 0,
+                    push_wait_since: None,
+                    pop_wait_since: None,
                 }),
                 not_full: Condvar::new(),
                 not_empty: Condvar::new(),
@@ -144,18 +166,30 @@ impl<T> RingBuffer<T> {
             }
             if wait.is_none() {
                 st.push_stalls += 1;
+                st.blocked_pushers += 1;
+                let started = clock::now();
+                if st.push_wait_since.is_none() {
+                    st.push_wait_since = Some(started);
+                }
                 let span = match self.shared.wait_spans {
                     Some((name, _)) => ct_obs::current::span(name).with_index(st.push_stalls - 1),
                     None => ct_obs::Span::disabled(),
                 };
-                wait = Some((clock::now(), span));
+                wait = Some((started, span));
             }
             self.shared.not_full.wait(&mut st);
         };
         if let Some((started, span)) = wait {
             let ns = started.elapsed().as_nanos() as u64;
             st.push_stall_ns += ns;
+            st.push_stall_max_ns = st.push_stall_max_ns.max(ns);
             st.push_stall_hist.record(ns);
+            st.blocked_pushers -= 1;
+            st.push_wait_since = if st.blocked_pushers == 0 {
+                None
+            } else {
+                Some(clock::now())
+            };
             drop(span);
         }
         drop(st);
@@ -179,18 +213,30 @@ impl<T> RingBuffer<T> {
             }
             if wait.is_none() {
                 st.pop_stalls += 1;
+                st.blocked_poppers += 1;
+                let started = clock::now();
+                if st.pop_wait_since.is_none() {
+                    st.pop_wait_since = Some(started);
+                }
                 let span = match self.shared.wait_spans {
                     Some((_, name)) => ct_obs::current::span(name).with_index(st.pop_stalls - 1),
                     None => ct_obs::Span::disabled(),
                 };
-                wait = Some((clock::now(), span));
+                wait = Some((started, span));
             }
             self.shared.not_empty.wait(&mut st);
         };
         if let Some((started, span)) = wait {
             let ns = started.elapsed().as_nanos() as u64;
             st.pop_stall_ns += ns;
+            st.pop_stall_max_ns = st.pop_stall_max_ns.max(ns);
             st.pop_stall_hist.record(ns);
+            st.blocked_poppers -= 1;
+            st.pop_wait_since = if st.blocked_poppers == 0 {
+                None
+            } else {
+                Some(clock::now())
+            };
             drop(span);
         }
         drop(st);
@@ -247,9 +293,51 @@ impl<T> RingBuffer<T> {
             pop_stalls: st.pop_stalls,
             push_stall_ns: st.push_stall_ns,
             pop_stall_ns: st.pop_stall_ns,
+            max_push_stall_ns: st.push_stall_max_ns,
+            max_pop_stall_ns: st.pop_stall_max_ns,
             push_stall_hist: st.push_stall_hist.clone(),
             pop_stall_hist: st.pop_stall_hist.clone(),
         }
+    }
+
+    /// Live-telemetry snapshot: the [`RingBuffer::metrics`] counters
+    /// plus the *in-flight* waits — how long the currently blocked
+    /// producer/consumer (if any) has already been waiting. Completed
+    /// stalls only show up in the histograms after the waiter wakes; a
+    /// deadlocked or throttled lane never wakes, so a stall watchdog
+    /// must see the wait *while it is happening*. This is what
+    /// [`RingBuffer::live_probe`] samples.
+    pub fn live_state(&self) -> ct_obs::live::RingLiveState {
+        let st = self.shared.state.lock();
+        let now = clock::now();
+        let cur = |since: Option<Instant>| -> u64 {
+            since.map_or(0, |s| now.saturating_duration_since(s).as_nanos() as u64)
+        };
+        ct_obs::live::RingLiveState {
+            capacity: self.shared.capacity,
+            len: st.queue.len(),
+            high_water: st.high_water,
+            push_stalls: st.push_stalls,
+            pop_stalls: st.pop_stalls,
+            push_stall_ns: st.push_stall_ns,
+            pop_stall_ns: st.pop_stall_ns,
+            max_push_stall_ns: st.push_stall_max_ns,
+            max_pop_stall_ns: st.pop_stall_max_ns,
+            cur_push_wait_ns: cur(st.push_wait_since),
+            cur_pop_wait_ns: cur(st.pop_wait_since),
+        }
+    }
+}
+
+impl<T: Send + 'static> RingBuffer<T> {
+    /// A named [`ct_obs::live::RingProbe`] over this buffer, ready for
+    /// [`ct_obs::live::LiveRegistry::watch_ring`]. The probe holds a
+    /// clone of the buffer (shared state, not data), so it keeps the
+    /// ring's metrics alive for the sampler even after the pipeline
+    /// drops its handles.
+    pub fn live_probe(&self, name: impl Into<String>) -> ct_obs::live::RingProbe {
+        let rb = self.clone();
+        ct_obs::live::RingProbe::new(name, move || rb.live_state())
     }
 }
 
@@ -276,10 +364,36 @@ pub struct RingMetrics {
     pub push_stall_ns: u64,
     /// Summed nanoseconds consumers spent blocked.
     pub pop_stall_ns: u64,
+    /// Longest single completed push stall, nanoseconds.
+    pub max_push_stall_ns: u64,
+    /// Longest single completed pop stall, nanoseconds.
+    pub max_pop_stall_ns: u64,
     /// log2 histogram of individual push-stall durations.
     pub push_stall_hist: Hist,
     /// log2 histogram of individual pop-stall durations.
     pub pop_stall_hist: Hist,
+}
+
+impl RingMetrics {
+    /// Summed producer blocked time in seconds.
+    pub fn push_stall_secs(&self) -> f64 {
+        self.push_stall_ns as f64 / 1e9
+    }
+
+    /// Summed consumer blocked time in seconds.
+    pub fn pop_stall_secs(&self) -> f64 {
+        self.pop_stall_ns as f64 / 1e9
+    }
+
+    /// Longest single completed push stall in seconds.
+    pub fn max_push_stall_secs(&self) -> f64 {
+        self.max_push_stall_ns as f64 / 1e9
+    }
+
+    /// Longest single completed pop stall in seconds.
+    pub fn max_pop_stall_secs(&self) -> f64 {
+        self.max_pop_stall_ns as f64 / 1e9
+    }
 }
 
 #[cfg(all(test, not(loom)))]
@@ -492,8 +606,13 @@ mod tests {
         // histograms (one sample each).
         assert!(m.push_stall_ns > 0, "push stall unrecorded: {m:?}");
         assert!(m.pop_stall_ns > 0, "pop stall unrecorded: {m:?}");
-        assert_eq!(m.push_stall_hist.total(), 1);
-        assert_eq!(m.pop_stall_hist.total(), 1);
+        assert_eq!(m.push_stall_hist.count(), 1);
+        assert_eq!(m.pop_stall_hist.count(), 1);
+        // The single stall is also the longest one so far.
+        assert_eq!(m.max_push_stall_ns, m.push_stall_ns);
+        assert_eq!(m.max_pop_stall_ns, m.pop_stall_ns);
+        assert!((m.push_stall_secs() - m.push_stall_ns as f64 / 1e9).abs() < 1e-12);
+        assert!(m.max_push_stall_secs() > 0.0);
     }
 
     #[test]
@@ -524,11 +643,53 @@ mod tests {
         assert_eq!(m.high_water, 2);
         assert!(m.push_stalls > 0, "fast producer never stalled: {m:?}");
         assert_eq!(
-            m.push_stall_hist.total(),
+            m.push_stall_hist.count(),
             m.push_stalls,
             "one histogram sample per stall"
         );
         assert!(m.push_stall_ns > 0);
+    }
+
+    #[test]
+    fn live_state_exposes_in_flight_waits() {
+        let rb = RingBuffer::new(1);
+        rb.push(0u32).expect("open buffer accepts");
+
+        // No one blocked: both in-flight waits read zero.
+        let s = rb.live_state();
+        assert_eq!((s.cur_push_wait_ns, s.cur_pop_wait_ns), (0, 0));
+        assert_eq!(s.worst_wait_ns(), 0);
+
+        // Block a producer; its wait must be visible *while it waits* —
+        // before any histogram sample exists.
+        let producer = {
+            let rb = rb.clone();
+            std::thread::spawn(move || rb.push(1).expect("buffer never closes"))
+        };
+        wait_until("producer stalls on the full buffer", || {
+            rb.metrics().push_stalls == 1
+        });
+        wait_until("in-flight push wait becomes visible", || {
+            rb.live_state().cur_push_wait_ns > 0
+        });
+        let s = rb.live_state();
+        assert_eq!(s.push_stall_ns, 0, "stall has not completed yet");
+        assert_eq!(s.push_stalls, 1, "but it is already counted");
+        assert!(s.worst_wait_ns() >= s.cur_push_wait_ns);
+
+        // Unblock; the in-flight wait clears and the completed maximum
+        // takes over.
+        assert_eq!(rb.pop(), Some(0));
+        producer.join().expect("producer thread");
+        let s = rb.live_state();
+        assert_eq!(s.cur_push_wait_ns, 0);
+        assert!(s.max_push_stall_ns > 0);
+        assert_eq!(s.worst_wait_ns(), s.max_push_stall_ns);
+
+        // The probe wraps the same state under a name.
+        let probe = rb.live_probe("ring.test");
+        assert_eq!(probe.name(), "ring.test");
+        assert_eq!(probe.read(), rb.live_state());
     }
 
     #[test]

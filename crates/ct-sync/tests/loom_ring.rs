@@ -155,8 +155,8 @@ fn stall_counters_are_monotone_and_consistent() {
         // The producer stalled at most once (it is one push call), and
         // each stall put exactly one sample in the histogram.
         assert!(end.push_stalls <= 1);
-        assert_eq!(end.push_stall_hist.total(), end.push_stalls);
-        assert_eq!(end.pop_stall_hist.total(), end.pop_stalls);
+        assert_eq!(end.push_stall_hist.count(), end.push_stalls);
+        assert_eq!(end.pop_stall_hist.count(), end.pop_stalls);
         assert_eq!(end.high_water, 1, "capacity-1 ring never exceeds 1");
     });
 }

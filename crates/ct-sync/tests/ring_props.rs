@@ -153,12 +153,12 @@ fn run_case(case: Case) -> (usize, usize, usize) {
         "high water above capacity for {case:?}: {m:?}"
     );
     assert_eq!(
-        m.push_stall_hist.total(),
+        m.push_stall_hist.count(),
         m.push_stalls,
         "one histogram sample per push stall for {case:?}"
     );
     assert_eq!(
-        m.pop_stall_hist.total(),
+        m.pop_stall_hist.count(),
         m.pop_stalls,
         "one histogram sample per pop stall for {case:?}"
     );

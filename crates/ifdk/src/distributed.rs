@@ -60,12 +60,14 @@ use ct_core::projection::{ProjectionImage, TransposedProjection};
 use ct_core::volume::{Volume, VolumeLayout};
 use ct_filter::{FilterConfig, Filterer};
 use ct_obs::clock;
+use ct_obs::live::{FlightRecorder, LiveOptions, LiveOutcome, LiveRegistry, LiveSession};
 use ct_obs::{DivergenceReport, PipelineAnalysis, Recorder, ThreadRole, TraceData};
 use ct_par::stats::{StageSummary, TimingReport};
 use ct_par::Pool;
 use ct_perfmodel::{KernelModel, MachineConfig, ModelBreakdown, ModelInput};
 use ct_pfs::PfsStore;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// How the partial sub-volumes of a row are combined and stored.
@@ -80,6 +82,49 @@ pub enum PostMode {
     /// as the Reduce, `C`-way parallel storing (the post-back-projection
     /// overlap the paper leaves as future work, Section 4.1.4).
     ReduceScatter,
+}
+
+/// Live-telemetry configuration for a distributed run
+/// ([`DistConfig::live`]). While the run executes, a sampler thread
+/// periodically snapshots per-stage completion counters, ring occupancy
+/// and in-flight stall waits into versioned [`ct_obs::live::MetricsSnapshot`]
+/// frames, runs the stall watchdog, and keeps the flight recorder's
+/// bounded per-lane span window. The outcome lands in
+/// [`DistReport::live`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Sampling period for metrics frames.
+    pub period: Duration,
+    /// Stall-watchdog deadline: a ring side blocked longer than this
+    /// trips the watchdog (flight dump + `watchdog.trip` event). `None`
+    /// disables the watchdog.
+    pub stall_deadline: Option<Duration>,
+    /// Flight-recorder window: most recent completed spans kept per
+    /// `(rank, role)` lane.
+    pub flight_capacity: usize,
+    /// Stream one JSON frame per sample to this file (JSONL). `None`
+    /// keeps frames in memory only (the final frame is still returned).
+    pub jsonl_path: Option<PathBuf>,
+    /// Machine side of the analytic model (Eqs. 8-19). With both
+    /// `machine` and `kernel` set, progress/ETA weights stages by
+    /// predicted seconds and each frame carries live model-vs-measured
+    /// divergence; otherwise progress weights by planned item counts.
+    pub machine: Option<MachineConfig>,
+    /// Kernel side of the analytic model.
+    pub kernel: Option<KernelModel>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            period: Duration::from_millis(100),
+            stall_deadline: Some(Duration::from_secs(30)),
+            flight_capacity: 512,
+            jsonl_path: None,
+            machine: None,
+            kernel: None,
+        }
+    }
 }
 
 /// Distributed-run configuration.
@@ -115,6 +160,16 @@ pub struct DistConfig {
     /// `Recorder::off()` disables all recording at zero cost — the
     /// per-rank reports then come back empty.
     pub obs: Recorder,
+    /// Live telemetry for the run: periodic metrics frames, stall
+    /// watchdog and flight recorder. `None` (the default) runs without
+    /// a sampler thread.
+    pub live: Option<LiveConfig>,
+    /// Artificially delay the back-projection thread before each batch.
+    /// A fault-injection hook for exercising back-pressure and the
+    /// stall watchdog (used by tests and
+    /// `examples/distributed_reconstruction --throttle-bp-ms`); leave
+    /// `None` for real runs.
+    pub bp_throttle: Option<Duration>,
 }
 
 impl DistConfig {
@@ -133,6 +188,8 @@ impl DistConfig {
             apply_scale: true,
             timeout: Duration::from_secs(120),
             obs: Recorder::summary(),
+            live: None,
+            bp_throttle: None,
         }
     }
 
@@ -177,6 +234,10 @@ pub struct DistReport {
     /// the recorder is on), individual span events in trace mode. Export
     /// with `ct_obs::chrome::to_chrome_json`.
     pub trace: TraceData,
+    /// Live-telemetry outcome when [`DistConfig::live`] was set: frame
+    /// count, final frame, watchdog trips (with the flight dump captured
+    /// at the first trip) and the end-of-run flight dump.
+    pub live: Option<LiveOutcome>,
 }
 
 impl DistReport {
@@ -218,15 +279,68 @@ pub fn reconstruct_distributed(
     // reused across runs.
     cfg.obs.reset();
     let n_ranks = cfg.grid.n_ranks();
+
+    // Live telemetry: attach the registry + flight recorder *before*
+    // any pipeline track opens (tracks bind the hooks at creation), and
+    // start the sampler so frames cover the whole run.
+    let mut session: Option<LiveSession> = None;
+    let live_reg: Option<LiveRegistry> = match &cfg.live {
+        Some(lc) => {
+            let registry = LiveRegistry::new();
+            plan_live_stages(cfg, lc, &registry)?;
+            let flight = FlightRecorder::new(lc.flight_capacity);
+            cfg.obs.attach_live(&registry);
+            cfg.obs.attach_flight(&flight);
+            let sink: Option<Box<dyn std::io::Write + Send>> = match &lc.jsonl_path {
+                Some(p) => {
+                    let f = std::fs::File::create(p).map_err(|e| {
+                        CtError::InvalidConfig(format!(
+                            "creating live metrics sink {}: {e}",
+                            p.display()
+                        ))
+                    })?;
+                    Some(Box::new(std::io::BufWriter::new(f)))
+                }
+                None => None,
+            };
+            let opts = LiveOptions {
+                period: lc.period,
+                stall_deadline: lc.stall_deadline,
+            };
+            session = Some(LiveSession::start(
+                registry.clone(),
+                Some(flight),
+                &cfg.obs,
+                opts,
+                sink,
+            ));
+            Some(registry)
+        }
+        None => {
+            // A recorder reused from an earlier live run must not keep
+            // feeding that run's registry.
+            cfg.obs.detach_live();
+            None
+        }
+    };
+
     let universe = Universe::with_timeout(cfg.timeout);
     let t0 = clock::now();
 
     let mats = cfg.geo.projection_matrices();
-    let (results, traffic) = universe
-        .launch_with_stats(n_ranks, |comm| run_rank(cfg, input, output, &mats, comm))
-        .map_err(|e| CtError::InvalidConfig(format!("distributed run failed: {e}")))?;
+    let launched = universe
+        .launch_with_stats(n_ranks, |comm| {
+            run_rank(cfg, input, output, &mats, comm, live_reg.as_ref())
+        })
+        .map_err(|e| CtError::InvalidConfig(format!("distributed run failed: {e}")));
 
     let runtime = t0.elapsed().as_secs_f64();
+    // Join the sampler before surfacing any launch error: the thread
+    // must never outlive the call, and its final frame/trips are wanted
+    // even (especially) for failed runs.
+    let live = session.map(LiveSession::stop);
+    cfg.obs.detach_live();
+    let (results, traffic) = launched?;
     for r in results {
         r?;
     }
@@ -244,7 +358,68 @@ pub fn reconstruct_distributed(
         comm_messages,
         comm_bytes,
         trace,
+        live,
     })
+}
+
+/// Declare the run's planned per-stage item counts (and, with a model
+/// configured, predicted aggregate busy seconds) on the live registry —
+/// what the progress/ETA estimator weighs live completion against.
+/// Counts are cluster-wide: `Np` loads/filters/AllGather ops, the total
+/// back-projection batch count, one reduce per rank, and one store per
+/// storing rank. Predictions are likewise aggregate: the model's
+/// per-rank stage seconds times the number of ranks doing that stage.
+fn plan_live_stages(cfg: &DistConfig, lc: &LiveConfig, reg: &LiveRegistry) -> Result<()> {
+    let np = cfg.geo.num_projections as u64;
+    let n = cfg.grid.n_ranks() as u64;
+    let rows = cfg.grid.rows as u64;
+    let cols = cfg.grid.cols as u64;
+    // Each rank back-projects its column's Np/C projections in batches.
+    let batches = n * (np / cols).div_ceil(cfg.batch as u64);
+    let store_ranks = match cfg.post {
+        PostMode::RootReduce => rows,
+        PostMode::ReduceScatter => n,
+    };
+    let model = match (&lc.machine, &lc.kernel) {
+        (Some(machine), Some(kernel)) => {
+            let input = ModelInput {
+                nu: cfg.geo.detector.nu,
+                nv: cfg.geo.detector.nv,
+                np: cfg.geo.num_projections,
+                nx: cfg.geo.volume.nx,
+                ny: cfg.geo.volume.ny,
+                nz: cfg.geo.volume.nz,
+                r: cfg.grid.rows,
+                c: cfg.grid.cols,
+                machine: machine.clone(),
+                kernel: *kernel,
+            };
+            input.validate().map_err(CtError::InvalidConfig)?;
+            Some(ModelBreakdown::evaluate(&input))
+        }
+        _ => None,
+    };
+    let nf = n as f64;
+    let plan: [(&str, u64, Option<f64>); 6] = [
+        ("load", np, model.as_ref().map(|m| m.t_load * nf)),
+        ("filter", np, model.as_ref().map(|m| m.t_flt * nf)),
+        ("allgather", np, model.as_ref().map(|m| m.t_allgather * nf)),
+        (
+            "backprojection",
+            batches,
+            model.as_ref().map(|m| m.t_bp * nf),
+        ),
+        ("reduce", n, model.as_ref().map(|m| m.t_reduce * nf)),
+        (
+            "store",
+            store_ranks,
+            model.as_ref().map(|m| m.t_store * store_ranks as f64),
+        ),
+    ];
+    for (name, planned, predicted) in plan {
+        reg.plan_stage(name, planned, predicted);
+    }
+    Ok(())
 }
 
 /// Rebuild one rank's [`TimingReport`] from the capture, combining the
@@ -316,6 +491,7 @@ fn run_rank(
     output: &PfsStore,
     mats: &[ProjectionMatrix],
     comm: &Comm,
+    live: Option<&LiveRegistry>,
 ) -> Result<()> {
     let rank = comm.rank();
     let grid = cfg.grid;
@@ -356,6 +532,13 @@ fn run_rank(
         "ring.bp.push_wait",
         "ring.bp.pop_wait",
     );
+    // Expose each ring's occupancy and *in-flight* stall waits to the
+    // sampler — completed stalls only reach the histograms after the
+    // waiter wakes, so the watchdog needs these live probes.
+    if let Some(reg) = live {
+        reg.watch_ring(to_gather.live_probe(format!("rank{rank}.ring.gather")));
+        reg.watch_ring(to_bp.live_probe(format!("rank{rank}.ring.bp")));
+    }
 
     let scope_result = std::thread::scope(|s| -> Result<Volume> {
         // ------------------------------------------------ Filtering thread
@@ -404,6 +587,7 @@ fn run_rank(
         let bp_pool = pool;
         let batch = cfg.batch;
         let tile_cfg = cfg.tile;
+        let throttle = cfg.bp_throttle;
         let dims = geo.volume;
         let nv = geo.detector.nv;
         let bp_per = geo.detector.len();
@@ -426,6 +610,12 @@ fn run_rank(
             );
             let mut batch_idx = 0u64;
             loop {
+                // Fault injection: delay each batch so the inbound ring
+                // fills and the main thread's pushes stall (watchdog and
+                // back-pressure testing).
+                if let Some(d) = throttle {
+                    std::thread::sleep(d);
+                }
                 let mut items: Vec<(usize, u64, TransposedProjection)> = Vec::with_capacity(batch);
                 while items.len() < batch {
                     match bp_ring.pop() {
@@ -1040,6 +1230,83 @@ mod tests {
         assert_eq!(merged.stage("load").unwrap().count, total);
         // Every rank loads Np / (R*C) projections.
         assert_eq!(total, geo.num_projections);
+    }
+
+    #[test]
+    fn live_session_samples_and_reports_progress() {
+        let (geo, store) = setup(8, 16);
+        let mut cfg = DistConfig::new(geo.clone(), RankGrid::new(2, 2).unwrap());
+        cfg.obs = Recorder::trace();
+        cfg.live = Some(LiveConfig {
+            period: Duration::from_millis(5),
+            ..LiveConfig::default()
+        });
+        let output = PfsStore::memory();
+        let report = reconstruct_distributed(&cfg, &store, &output).unwrap();
+        let live = report.live.expect("live outcome present");
+        assert!(live.snapshots >= 1, "final frame always emitted");
+        assert!(
+            live.trips.is_empty(),
+            "clean run must not trip the watchdog: {:?}",
+            live.trips
+        );
+        assert!(live.write_error.is_none());
+        let last = live.last.expect("final frame retained");
+        assert_eq!(last.watchdog_trips, 0);
+        // All planned stages completed: progress is exactly 1.0 and the
+        // ETA has collapsed to zero.
+        let progress = last.progress.expect("planned stages yield progress");
+        assert!(
+            (progress.frac - 1.0).abs() < 1e-9,
+            "final progress {}",
+            progress.frac
+        );
+        assert_eq!(progress.eta_ns, 0);
+        // Both rings of every rank were sampled.
+        assert_eq!(last.rings.len(), 8, "2 rings x 4 ranks");
+        // The always-on flight recorder dump is a normal capture: the
+        // offline analysis runs on it unchanged.
+        let dump = live.flight_dump.expect("flight recorder attached");
+        let a = PipelineAnalysis::from_trace(&dump).expect("dump has span events");
+        assert!(a.wall_ns > 0);
+        assert!(!a.critical_path.is_empty());
+    }
+
+    #[test]
+    fn live_stage_plan_covers_the_whole_run() {
+        let (geo, _) = setup(8, 16);
+        let mut cfg = DistConfig::new(geo, RankGrid::new(2, 2).unwrap());
+        cfg.live = Some(LiveConfig {
+            machine: Some(MachineConfig::abci()),
+            kernel: Some(KernelModel::v100_proposed()),
+            ..LiveConfig::default()
+        });
+        let reg = LiveRegistry::new();
+        plan_live_stages(&cfg, cfg.live.as_ref().unwrap(), &reg).unwrap();
+        // Np = 16, 4 ranks in a 2x2 grid, batch 32: every rank's column
+        // share (8 projections) fits one batch.
+        assert_eq!(reg.stage("load").planned(), 16);
+        assert_eq!(reg.stage("filter").planned(), 16);
+        assert_eq!(reg.stage("allgather").planned(), 16);
+        assert_eq!(reg.stage("backprojection").planned(), 4);
+        assert_eq!(reg.stage("reduce").planned(), 4);
+        // RootReduce: only the two row roots store.
+        assert_eq!(reg.stage("store").planned(), 2);
+        // With machine + kernel set, every planned stage carries a
+        // model prediction (aggregate seconds across ranks).
+        for s in [
+            "load",
+            "filter",
+            "allgather",
+            "backprojection",
+            "reduce",
+            "store",
+        ] {
+            assert!(
+                reg.stage(s).predicted_secs().is_some(),
+                "stage {s} missing prediction"
+            );
+        }
     }
 
     #[test]

@@ -53,9 +53,11 @@ pub mod ring;
 pub mod single;
 pub mod streaming;
 
-pub use distributed::{model_divergence, reconstruct_distributed, DistConfig, DistReport};
+pub use distributed::{
+    model_divergence, reconstruct_distributed, DistConfig, DistReport, LiveConfig,
+};
 pub use grid::RankGrid;
 pub use plan::{plan_rank_grid, GridChoice};
 pub use ring::RingBuffer;
-pub use single::{reconstruct, reconstruct_pipelined, ReconOptions};
+pub use single::{reconstruct, reconstruct_pipelined, reconstruct_pipelined_live, ReconOptions};
 pub use streaming::StreamingReconstructor;

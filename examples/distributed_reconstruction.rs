@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-examples --bin distributed_reconstruction -- \
-//!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json] [--analyze]
+//!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json] [--analyze] \
+//!     [--live metrics.jsonl] [--live-period-ms 100] [--stall-ms 30000] \
+//!     [--flight-dump flight.json] [--throttle-bp-ms 0]
 //! ```
 //!
 //! Launches `rows x cols` ranks (threads), each running the three-thread
@@ -23,6 +25,18 @@
 //! filter→AllGather→back-projection dependency graph, per-lane
 //! busy/stall/idle utilization, ring-stall attribution and the Eq.-19
 //! overlap-efficiency figure.
+//!
+//! With `--live <path>` the run streams one metrics frame per sampling
+//! period (`--live-period-ms`) to the file as JSONL — progress/ETA,
+//! per-stage quantiles, ring occupancy/stalls — for
+//! `ifdk-bench --bin monitor` to tail and gate. The stall watchdog
+//! (`--stall-ms`, 0 disables) trips on any ring side blocked past the
+//! deadline and snapshots the flight recorder; `--flight-dump <path>`
+//! writes the end-of-run flight window as a Chrome trace.
+//! `--throttle-bp-ms` injects a per-batch delay into every
+//! back-projection thread and `--ring-capacity` shrinks the circular
+//! buffers — together a fault injector for demonstrating back-pressure
+//! and a watchdog trip (see EXPERIMENTS.md).
 
 use ct_core::forward::project_all_analytic;
 use ct_core::metrics::nrmse;
@@ -33,9 +47,12 @@ use ct_perfmodel::{KernelModel, MachineConfig};
 use ct_pfs::PfsStore;
 use ifdk::distributed::{download_volume, upload_projections};
 use ifdk::{
-    model_divergence, reconstruct, reconstruct_distributed, DistConfig, RankGrid, ReconOptions,
+    model_divergence, reconstruct, reconstruct_distributed, DistConfig, LiveConfig, RankGrid,
+    ReconOptions,
 };
 use ifdk_examples::{arg_flag, arg_str, arg_usize, ascii_slice, print_table};
+use std::path::PathBuf;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -45,6 +62,12 @@ fn main() {
     let cols = arg_usize(&args, "cols", 4);
     let trace_path = arg_str(&args, "trace");
     let analyze = arg_flag(&args, "analyze");
+    let live_path = arg_str(&args, "live");
+    let live_period_ms = arg_usize(&args, "live-period-ms", 100);
+    let stall_ms = arg_usize(&args, "stall-ms", 30_000);
+    let flight_dump = arg_str(&args, "flight-dump");
+    let throttle_bp_ms = arg_usize(&args, "throttle-bp-ms", 0);
+    let ring_capacity = arg_usize(&args, "ring-capacity", 0);
 
     let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
     let grid = RankGrid::new(rows, cols).expect("valid grid");
@@ -64,6 +87,25 @@ fn main() {
     let mut cfg = DistConfig::new(geo.clone(), grid);
     if trace_path.is_some() || analyze {
         cfg.obs = ct_obs::Recorder::trace();
+    }
+    if live_path.is_some() || flight_dump.is_some() {
+        let mut live = LiveConfig {
+            period: Duration::from_millis(live_period_ms as u64),
+            stall_deadline: (stall_ms > 0).then(|| Duration::from_millis(stall_ms as u64)),
+            jsonl_path: live_path.as_ref().map(PathBuf::from),
+            ..LiveConfig::default()
+        };
+        // Feed the paper's analytic model in so progress/ETA weights
+        // stages by predicted time and frames carry live divergence.
+        live.machine = Some(MachineConfig::abci());
+        live.kernel = Some(KernelModel::v100_proposed());
+        cfg.live = Some(live);
+    }
+    if throttle_bp_ms > 0 {
+        cfg.bp_throttle = Some(Duration::from_millis(throttle_bp_ms as u64));
+    }
+    if ring_capacity > 0 {
+        cfg.ring_capacity = ring_capacity;
     }
     let output = PfsStore::memory();
     let report = reconstruct_distributed(&cfg, &input, &output).expect("distributed run");
@@ -120,6 +162,45 @@ fn main() {
             .expect("trace-mode capture analyzes");
         println!("\ncritical-path & overlap analysis (offline, from the capture):");
         print!("{a}");
+    }
+
+    if let Some(live) = &report.live {
+        println!("\nlive telemetry:");
+        println!("  frames sampled : {}", live.snapshots);
+        if let Some(err) = &live.write_error {
+            println!("  stream error   : {err}");
+        } else if let Some(path) = &live_path {
+            println!("  metrics stream : {path} (monitor: ifdk-bench --bin monitor)");
+        }
+        if let Some(last) = &live.last {
+            if let Some(p) = &last.progress {
+                println!("  final progress : {:.1}%", p.frac * 100.0);
+            }
+        }
+        if live.trips.is_empty() {
+            println!("  watchdog       : no trips");
+        } else {
+            for trip in &live.trips {
+                println!(
+                    "  watchdog TRIP  : ring {} {:?} blocked {:.1} ms (frame #{})",
+                    trip.ring,
+                    trip.kind,
+                    trip.wait_ns as f64 / 1e6,
+                    trip.seq
+                );
+            }
+        }
+        if let Some(path) = &flight_dump {
+            let dump = live.flight_dump.as_ref().or(live.trip_dump.as_ref());
+            if let Some(dump) = dump {
+                let json = ct_obs::chrome::to_chrome_json(dump);
+                std::fs::write(path, &json).expect("writing flight dump");
+                println!(
+                    "  flight dump    : {} spans -> {path} (open in Perfetto)",
+                    dump.events.len()
+                );
+            }
+        }
     }
 
     if let Some(path) = &trace_path {
