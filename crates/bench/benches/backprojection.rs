@@ -59,6 +59,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
         let cfg = BpConfig {
             variant: KernelVariant::L1Tran,
             batch,
+            ..BpConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(batch), &cfg, |b, cfg| {
             b.iter(|| backproject(&pool, *cfg, &mats, &stack, problem.volume));

@@ -2,20 +2,39 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-bench --bin benchdiff -- \
-//!     baseline.json candidate.json [--threshold 0.4]
+//!     baseline.json candidate.json [--threshold 0.4] \
+//!     [--min-speedup 25 --improve cand_key=base_key ...] [--format json]
 //! ```
 //!
 //! Every cell of the baseline must exist in the candidate with a median
 //! GUPS of at least `baseline * (1 - threshold)`; the generous default
 //! threshold absorbs shared-runner noise while still catching order-of-
-//! magnitude regressions. Exit codes follow `ifdk_bench::check`: 0 pass,
-//! 1 regression/missing cell, 2 unreadable input, 3 usage.
+//! magnitude regressions.
+//!
+//! `--improve` adds *improvement* gates on top of the regression floor:
+//! each `cand_key=base_key` pair (keys are `kernel/layout@threads`;
+//! `=base_key` defaults to the candidate key) requires the candidate
+//! cell to beat the baseline cell by at least `--min-speedup` percent
+//! (default 25). This is how CI pins the lane-array kernel at a
+//! minimum advantage over the checked-in scalar warp baseline rather
+//! than merely "not regressed".
+//!
+//! `--format json` prints the comparison as a machine-readable JSON
+//! object on stdout (the human-readable lines move to stderr), for
+//! upload as a CI artifact. Exit codes follow `ifdk_bench::check`
+//! either way: 0 pass, 1 regression/missing cell/failed improvement,
+//! 2 unreadable input, 3 usage.
 
 use ifdk_bench::check::{read_input, Gate};
-use ifdk_bench::gups::{compare, GupsReport};
+use ifdk_bench::gups::{check_improvements, compare, GupsReport, ImprovePair};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: benchdiff <baseline.json> <candidate.json> [--threshold 0.4]";
+const USAGE: &str = "usage: benchdiff <baseline.json> <candidate.json> [--threshold 0.4] \
+[--min-speedup PCT] [--improve cand_key=base_key ...] [--format text|json]";
+
+/// Flags that consume the following argument (the positional-path
+/// filter must skip their values).
+const VALUE_FLAGS: [&str; 4] = ["--threshold", "--min-speedup", "--improve", "--format"];
 
 fn parse_threshold(args: &[String]) -> Result<f64, Gate> {
     let Some(pos) = args.iter().position(|a| a == "--threshold") else {
@@ -27,6 +46,43 @@ fn parse_threshold(args: &[String]) -> Result<f64, Gate> {
         .ok_or_else(|| Gate::Usage(format!("--threshold needs a value in [0, 1)\n{USAGE}")))
 }
 
+/// `--min-speedup` is given in percent (25 = +25%); returned as a
+/// fraction.
+fn parse_min_speedup(args: &[String]) -> Result<f64, Gate> {
+    let Some(pos) = args.iter().position(|a| a == "--min-speedup") else {
+        return Ok(0.25);
+    };
+    args.get(pos + 1)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .map(|pct| pct / 100.0)
+        .ok_or_else(|| Gate::Usage(format!("--min-speedup needs a percentage >= 0\n{USAGE}")))
+}
+
+fn parse_improves(args: &[String]) -> Result<Vec<ImprovePair>, Gate> {
+    let mut pairs = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--improve" {
+            let spec = args.get(i + 1).ok_or_else(|| {
+                Gate::Usage(format!("--improve needs cand_key=base_key\n{USAGE}"))
+            })?;
+            pairs.push(ImprovePair::parse(spec).map_err(|e| Gate::Usage(format!("{e}\n{USAGE}")))?);
+        }
+    }
+    Ok(pairs)
+}
+
+fn parse_format(args: &[String]) -> Result<bool, Gate> {
+    let Some(pos) = args.iter().position(|a| a == "--format") else {
+        return Ok(false);
+    };
+    match args.get(pos + 1).map(String::as_str) {
+        Some("json") => Ok(true),
+        Some("text") => Ok(false),
+        _ => Err(Gate::Usage(format!("--format needs text or json\n{USAGE}"))),
+    }
+}
+
 fn load(path: &str) -> Result<GupsReport, Gate> {
     let text = read_input(path)?;
     GupsReport::from_json(&text).map_err(|e| Gate::Unreadable(format!("{path}: {e}")))
@@ -36,7 +92,9 @@ fn run(args: &[String]) -> Gate {
     let paths: Vec<&String> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threshold"))
+        .filter(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
+        })
         .map(|(_, a)| a)
         .collect();
     let [baseline_path, candidate_path] = paths.as_slice() else {
@@ -44,6 +102,18 @@ fn run(args: &[String]) -> Gate {
     };
     let threshold = match parse_threshold(args) {
         Ok(t) => t,
+        Err(g) => return g,
+    };
+    let min_speedup = match parse_min_speedup(args) {
+        Ok(t) => t,
+        Err(g) => return g,
+    };
+    let improves = match parse_improves(args) {
+        Ok(p) => p,
+        Err(g) => return g,
+    };
+    let json = match parse_format(args) {
+        Ok(j) => j,
         Err(g) => return g,
     };
     let baseline = match load(baseline_path) {
@@ -55,8 +125,9 @@ fn run(args: &[String]) -> Gate {
         Err(g) => return g,
     };
 
-    let rep = compare(&baseline, &candidate, threshold);
-    println!(
+    let mut rep = compare(&baseline, &candidate, threshold);
+    check_improvements(&mut rep, &baseline, &candidate, &improves, min_speedup);
+    eprintln!(
         "benchdiff: {} cells checked against {} ({}), threshold {:.0}%",
         rep.checked,
         baseline_path,
@@ -69,14 +140,26 @@ fn run(args: &[String]) -> Gate {
     for r in &rep.regressions {
         eprintln!("benchdiff: regression {r}");
     }
+    for i in &rep.improvements {
+        eprintln!("benchdiff: improvement held {i}");
+    }
+    for f in &rep.improvement_failures {
+        eprintln!("benchdiff: improvement gate FAILED {f}");
+    }
+    if json {
+        println!("{}", rep.to_json());
+    }
     if rep.passed() {
-        println!("OK");
+        if !json {
+            println!("OK");
+        }
         Gate::Ok
     } else {
         Gate::CheckFailed(format!(
-            "{} regressions, {} missing cells",
+            "{} regressions, {} missing cells, {} failed improvement gates",
             rep.regressions.len(),
-            rep.missing.len()
+            rep.missing.len(),
+            rep.improvement_failures.len()
         ))
     }
 }

@@ -1,7 +1,9 @@
 //! Kernel equivalence gate: every back-projection variant must agree
 //! with the serial `standard` kernel (Algorithm 2) on randomized
-//! geometries, and the tiled driver must be bit-identical across thread
-//! counts.
+//! geometries, the tiled driver must be bit-identical across thread
+//! counts, and the lane-array kernel must match its scalar oracle —
+//! bit-identical in strict mode, within the documented FMA tolerance
+//! otherwise.
 //!
 //! ```text
 //! cargo run --release -p ifdk-bench --bin equivalence -- \
@@ -12,8 +14,14 @@
 //! count, back-projects a synthetic stack with all five Table 3 variants
 //! plus the tiled driver at 1/2/4 threads, and requires normalised RMSE
 //! against `standard` below 1e-5 plus exact equality of the tiled
-//! outputs across pool widths. Exit codes follow `ifdk_bench::check`.
+//! outputs across pool widths. The lane-array checks then run the
+//! strict lane kernel at 1/2/4 threads, tiled and untiled, requiring
+//! bitwise equality with the scalar warp kernel, and the FMA lane
+//! kernel requiring NRMSE below [`ct_bp::lanes::FMA_NRMSE_BOUND`]. The
+//! seed is printed so any failure replays with `--seed`. Exit codes
+//! follow `ifdk_bench::check`.
 
+use ct_bp::lanes::{backproject_batch, KernelImpl, LaneMode, FMA_NRMSE_BOUND};
 use ct_bp::tiled::{backproject_tiled_with, TileConfig};
 use ct_bp::warp::WARP_BATCH;
 use ct_bp::{backproject, backproject_standard, BpConfig, KernelVariant};
@@ -75,6 +83,7 @@ fn run(args: &[String]) -> Gate {
                     variant,
                     batch: WARP_BATCH,
                     tile,
+                    kernel: KernelImpl::Scalar,
                 };
                 let v = backproject(&serial, cfg, &mats, &stack, dims)
                     .into_layout(VolumeLayout::IMajor);
@@ -119,10 +128,66 @@ fn run(args: &[String]) -> Gate {
                 ));
             }
         }
+
+        // Lane-array kernel vs its scalar oracle: strict mode must be
+        // bit-identical on every dispatch route and thread count; FMA
+        // mode must stay inside the documented tolerance.
+        let refs: Vec<&ct_core::projection::TransposedProjection> = transposed.iter().collect();
+        let scalar = backproject_batch(
+            &serial,
+            KernelImpl::Scalar,
+            &mats,
+            &refs,
+            nv,
+            dims,
+            WARP_BATCH,
+            None,
+        );
+        for tile in [None, Some(TileConfig::AUTO)] {
+            let tag = if tile.is_some() { "tiled" } else { "untiled" };
+            for threads in [1usize, 2, 4] {
+                let pool = ct_par::Pool::new(threads);
+                let lanes = backproject_batch(
+                    &pool,
+                    KernelImpl::Lanes(LaneMode::Strict),
+                    &mats,
+                    &refs,
+                    nv,
+                    dims,
+                    WARP_BATCH,
+                    tile,
+                );
+                if lanes.data() != scalar.data() {
+                    failures.push(format!(
+                        "trial {trial}: strict lanes ({tag}, {threads} threads) \
+                         not bit-identical to scalar warp"
+                    ));
+                }
+            }
+        }
+        let fma = backproject_batch(
+            &serial,
+            KernelImpl::Lanes(LaneMode::Fma),
+            &mats,
+            &refs,
+            nv,
+            dims,
+            WARP_BATCH,
+            None,
+        );
+        let e = nrmse(scalar.data(), fma.data()).expect("same shape");
+        if e >= FMA_NRMSE_BOUND {
+            failures.push(format!(
+                "trial {trial}: lanes-fma vs scalar: nrmse {e:.3e} >= {FMA_NRMSE_BOUND:.0e}"
+            ));
+        }
     }
 
     if failures.is_empty() {
-        println!("OK: all variants agree with standard (nrmse < {TOLERANCE:.0e})");
+        println!(
+            "OK: all variants agree with standard (nrmse < {TOLERANCE:.0e}); \
+             strict lanes bit-identical to scalar; lanes-fma nrmse < {FMA_NRMSE_BOUND:.0e}"
+        );
         Gate::Ok
     } else {
         for f in &failures {

@@ -6,13 +6,15 @@
 //! ```
 //!
 //! Back-projects a synthetic stack with every kernel (`standard`,
-//! `proposed`, `warp`, `tiled`), every projection layout the kernel
-//! supports (`rowmajor`, `transposed`, `blocked`) and pool widths 1/2/4,
-//! reporting median and median-absolute-deviation GUPS over warmed-up
-//! repeats (Section 5.3.3's metric). `--json` writes the machine-readable
-//! report `benchdiff` consumes; `--quick` shrinks the problem and the
-//! layout sweep for CI smoke runs.
+//! `proposed`, `warp`, `lanes`, `lanes-fma`, `tiled`), every projection
+//! layout the kernel supports (`rowmajor`, `transposed`, `blocked`) and
+//! pool widths 1/2/4, reporting median and median-absolute-deviation
+//! GUPS over warmed-up repeats (Section 5.3.3's metric). `--json`
+//! writes the machine-readable report `benchdiff` consumes (with
+//! machine provenance in the header); `--quick` shrinks the problem and
+//! the layout sweep for CI smoke runs.
 
+use ct_bp::lanes::{backproject_lanes_with, LaneMode, LaneSampler, LanesBlocking};
 use ct_bp::tiled::{backproject_tiled_with, TileConfig};
 use ct_bp::warp::{backproject_warp_with, WARP_BATCH};
 use ct_bp::{backproject_proposed, backproject_standard};
@@ -21,7 +23,7 @@ use ct_core::metrics::gups;
 use ct_core::problem::{Dims2, Dims3, ReconProblem};
 use ct_core::volume::Volume;
 use ct_par::Pool;
-use ifdk_bench::gups::{mad, median, GupsCell, GupsReport};
+use ifdk_bench::gups::{mad, median, GupsCell, GupsReport, MachineInfo};
 use ifdk_bench::{arg_usize, geometry_for, print_table, synthetic_stack};
 use std::time::Instant;
 
@@ -125,7 +127,39 @@ fn main() {
                 TileConfig::AUTO,
             )
         };
+        let lane_strict: Vec<LaneSampler> = transposed
+            .iter()
+            .map(|q| LaneSampler::new(q, LaneMode::Strict))
+            .collect();
+        let lane_fma: Vec<LaneSampler> = transposed
+            .iter()
+            .map(|q| LaneSampler::new(q, LaneMode::Fma))
+            .collect();
+        let lanes_t = |p: &Pool| {
+            backproject_lanes_with(
+                p,
+                &mats,
+                &lane_strict,
+                nv,
+                dims,
+                WARP_BATCH,
+                LanesBlocking::default(),
+            )
+        };
+        let lanes_f = |p: &Pool| {
+            backproject_lanes_with(
+                p,
+                &mats,
+                &lane_fma,
+                nv,
+                dims,
+                WARP_BATCH,
+                LanesBlocking::default(),
+            )
+        };
         batched.push(("warp/transposed", &warp_t));
+        batched.push(("lanes/transposed", &lanes_t));
+        batched.push(("lanes-fma/transposed", &lanes_f));
         batched.push(("tiled/transposed", &tiled_t));
         // The full sweep also covers the layouts the paper rejects
         // (Table 3's untransposed and texture-blocked accesses).
@@ -160,6 +194,7 @@ fn main() {
     let report = GupsReport {
         problem: problem.label(),
         updates,
+        machine: Some(MachineInfo::detect()),
         cells,
     };
 
@@ -198,6 +233,17 @@ fn main() {
         eprintln!(
             "tiled/transposed@4 vs standard/rowmajor@1: {:.2}x",
             tiled.gups_median / base.gups_median
+        );
+    }
+    // The kernel-generation comparison: lane-array vs scalar warp,
+    // single thread (no scheduler noise).
+    if let (Some(lanes), Some(warp)) = (
+        report.find("lanes", "transposed", 1),
+        report.find("warp", "transposed", 1),
+    ) {
+        eprintln!(
+            "lanes/transposed@1 vs warp/transposed@1: {:+.1}%",
+            (lanes.gups_median / warp.gups_median - 1.0) * 100.0
         );
     }
     eprintln!("(checksum {sink:.3e})");

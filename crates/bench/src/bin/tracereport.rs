@@ -200,7 +200,7 @@ mod tests {
         // No trace can beat a 1.0 threshold by definition unless the
         // pipeline is perfectly collapsed; this one is, so probe with a
         // report-only invocation instead and assert Ok.
-        assert_eq!(run(&[path.clone()]), Gate::Ok);
+        assert_eq!(run(std::slice::from_ref(&path)), Gate::Ok);
         let _ = std::fs::remove_file(&path);
     }
 }

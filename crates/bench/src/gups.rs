@@ -38,6 +38,63 @@ impl GupsCell {
     }
 }
 
+/// Provenance of the machine a sweep ran on, stamped into the report
+/// header so a checked-in baseline documents what produced it. The
+/// field is optional in the JSON (schema stays `v1`): old reports
+/// parse, new gates know their hardware.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MachineInfo {
+    /// CPU model string (`model name` from `/proc/cpuinfo`).
+    pub cpu_model: String,
+    /// SIMD-relevant ISA flags the CPU advertises (filtered from the
+    /// `flags` line: sse4.2/avx/avx2/fma/avx512f and friends).
+    pub cpu_flags: Vec<String>,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+}
+
+impl MachineInfo {
+    /// Flags worth recording for a back-projection kernel: the vector
+    /// ISA levels that change what the autovectorizer can emit.
+    const INTERESTING_FLAGS: [&'static str; 8] = [
+        "sse4_1", "sse4_2", "avx", "avx2", "fma", "avx512f", "avx512vl", "neon",
+    ];
+
+    /// Detect the current machine. Falls back to `"unknown"` fields on
+    /// platforms without `/proc/cpuinfo`.
+    pub fn detect() -> Self {
+        let logical_cpus = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let field = |name: &str| -> Option<String> {
+            cpuinfo.lines().find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                (k.trim() == name).then(|| v.trim().to_string())
+            })
+        };
+        let cpu_model = field("model name")
+            .or_else(|| field("Processor"))
+            .unwrap_or_else(|| "unknown".to_string());
+        let cpu_flags = field("flags")
+            .or_else(|| field("Features"))
+            .map(|f| {
+                let have: Vec<&str> = f.split_whitespace().collect();
+                Self::INTERESTING_FLAGS
+                    .iter()
+                    .filter(|want| have.contains(want))
+                    .map(|s| s.to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Self {
+            cpu_model,
+            cpu_flags,
+            logical_cpus,
+        }
+    }
+}
+
 /// A full sweep: one problem, many cells.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct GupsReport {
@@ -45,6 +102,9 @@ pub struct GupsReport {
     pub problem: String,
     /// Voxel updates per full back-projection (`Nx*Ny*Nz*Np`).
     pub updates: u128,
+    /// Where the sweep ran (`None` in reports from before the field
+    /// existed).
+    pub machine: Option<MachineInfo>,
     /// The measured cells.
     pub cells: Vec<GupsCell>,
 }
@@ -96,6 +156,20 @@ impl GupsReport {
         let _ = writeln!(out, "  \"schema\": \"{}\",", esc(SCHEMA));
         let _ = writeln!(out, "  \"problem\": \"{}\",", esc(&self.problem));
         let _ = writeln!(out, "  \"updates\": {},", self.updates);
+        if let Some(m) = &self.machine {
+            let flags: Vec<String> = m
+                .cpu_flags
+                .iter()
+                .map(|f| format!("\"{}\"", esc(f)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  \"machine\": {{ \"cpu_model\": \"{}\", \"cpu_flags\": [{}], \"logical_cpus\": {} }},",
+                esc(&m.cpu_model),
+                flags.join(", "),
+                m.logical_cpus,
+            );
+        }
         let _ = writeln!(out, "  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
@@ -138,6 +212,23 @@ impl GupsReport {
             .get("updates")
             .and_then(Value::as_f64)
             .ok_or("missing updates")? as u128;
+        let machine = v.get("machine").map(|m| MachineInfo {
+            cpu_model: m
+                .get("cpu_model")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            cpu_flags: m
+                .get("cpu_flags")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|f| f.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            logical_cpus: m.get("logical_cpus").and_then(Value::as_f64).unwrap_or(0.0) as usize,
+        });
         let cells = v
             .get("cells")
             .and_then(Value::as_array)
@@ -170,6 +261,7 @@ impl GupsReport {
         Ok(GupsReport {
             problem,
             updates,
+            machine,
             cells,
         })
     }
@@ -179,6 +271,11 @@ impl GupsReport {
         self.cells
             .iter()
             .find(|c| c.kernel == kernel && c.layout == layout && c.threads == threads)
+    }
+
+    /// Look a cell up by its `kernel/layout@threads` key.
+    pub fn find_key(&self, key: &str) -> Option<&GupsCell> {
+        self.cells.iter().find(|c| c.key() == key)
     }
 }
 
@@ -191,12 +288,119 @@ pub struct CompareReport {
     pub regressions: Vec<String>,
     /// Baseline cells the candidate is missing.
     pub missing: Vec<String>,
+    /// Improvement-gate pairs that held (`cand >= base * (1 + min)`),
+    /// as human-readable lines.
+    pub improvements: Vec<String>,
+    /// Improvement-gate pairs that failed (too slow, or either cell
+    /// absent), as human-readable lines.
+    pub improvement_failures: Vec<String>,
 }
 
 impl CompareReport {
-    /// True when no regression and no missing cell was found.
+    /// True when no regression, no missing cell, and no failed
+    /// improvement gate was found.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty()
+            && self.missing.is_empty()
+            && self.improvement_failures.is_empty()
+    }
+
+    /// Machine-readable rendering for CI artifacts: the same facts the
+    /// text output states, as one JSON object.
+    pub fn to_json(&self) -> String {
+        let list = |xs: &[String]| -> String {
+            let items: Vec<String> = xs.iter().map(|x| format!("\"{}\"", esc(x))).collect();
+            format!("[{}]", items.join(", "))
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"ifdk-bench/compare/v1\",");
+        let _ = writeln!(out, "  \"passed\": {},", self.passed());
+        let _ = writeln!(out, "  \"checked\": {},", self.checked);
+        let _ = writeln!(out, "  \"regressions\": {},", list(&self.regressions));
+        let _ = writeln!(out, "  \"missing\": {},", list(&self.missing));
+        let _ = writeln!(out, "  \"improvements\": {},", list(&self.improvements));
+        let _ = writeln!(
+            out,
+            "  \"improvement_failures\": {}",
+            list(&self.improvement_failures)
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One improvement-gate requirement: the candidate report's
+/// `candidate` cell must beat the baseline report's `baseline` cell by
+/// the configured speedup (both are `kernel/layout@threads` keys; a
+/// cell may be gated against a *different* cell, e.g. the lane kernel
+/// against the scalar warp baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImprovePair {
+    /// Key looked up in the candidate report.
+    pub candidate: String,
+    /// Key looked up in the baseline report.
+    pub baseline: String,
+}
+
+impl ImprovePair {
+    /// Parse `candidate=baseline` (a bare `key` gates a key against
+    /// itself).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (cand, base) = s.split_once('=').unwrap_or((s, s));
+        if cand.is_empty() || base.is_empty() {
+            return Err(format!(
+                "bad improve pair {s:?}: expected cand_key=base_key"
+            ));
+        }
+        Ok(Self {
+            candidate: cand.to_string(),
+            baseline: base.to_string(),
+        })
+    }
+}
+
+/// Check the improvement gates: each pair's candidate cell must reach
+/// `baseline * (1 + min_speedup)` median GUPS. A missing cell on either
+/// side fails the pair — an improvement gate that silently stops
+/// measuring is worse than a red one. Results land in
+/// `report.improvements` / `report.improvement_failures`.
+pub fn check_improvements(
+    report: &mut CompareReport,
+    baseline: &GupsReport,
+    candidate: &GupsReport,
+    pairs: &[ImprovePair],
+    min_speedup: f64,
+) {
+    for p in pairs {
+        let Some(b) = baseline.find_key(&p.baseline) else {
+            report.improvement_failures.push(format!(
+                "{}: baseline cell {} absent",
+                p.candidate, p.baseline
+            ));
+            continue;
+        };
+        let Some(c) = candidate.find_key(&p.candidate) else {
+            report
+                .improvement_failures
+                .push(format!("{}: candidate cell absent", p.candidate));
+            continue;
+        };
+        let need = b.gups_median * (1.0 + min_speedup);
+        let line = format!(
+            "{} vs {}: {:.4} vs {:.4} GUPS ({:+.1}%, need {:+.0}%)",
+            p.candidate,
+            p.baseline,
+            c.gups_median,
+            b.gups_median,
+            (c.gups_median / b.gups_median - 1.0) * 100.0,
+            min_speedup * 100.0
+        );
+        if c.gups_median >= need {
+            report.improvements.push(line);
+        } else {
+            report.improvement_failures.push(line);
+        }
     }
 }
 
@@ -247,6 +451,7 @@ mod tests {
         GupsReport {
             problem: "16^3 x 8p".into(),
             updates: 32768,
+            machine: None,
             cells,
         }
     }
@@ -304,6 +509,78 @@ mod tests {
         assert!(!c.passed());
         assert_eq!(c.regressions.len(), 1);
         assert!(c.regressions[0].contains("tiled/transposed@4"));
+    }
+
+    #[test]
+    fn machine_provenance_round_trips_and_is_optional() {
+        let mut r = report(vec![cell("warp", 1, 1.0)]);
+        r.machine = Some(MachineInfo {
+            cpu_model: "Example CPU \"X\"".into(),
+            cpu_flags: vec!["avx2".into(), "fma".into()],
+            logical_cpus: 8,
+        });
+        let parsed = GupsReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // Reports without the field (pre-provenance baselines) parse.
+        let old = report(vec![cell("warp", 1, 1.0)]);
+        let parsed = GupsReport::from_json(&old.to_json()).unwrap();
+        assert_eq!(parsed.machine, None);
+    }
+
+    #[test]
+    fn detect_reports_cpus() {
+        assert!(MachineInfo::detect().logical_cpus >= 1);
+    }
+
+    #[test]
+    fn improve_pair_parsing() {
+        let p = ImprovePair::parse("lanes/transposed@1=warp/transposed@1").unwrap();
+        assert_eq!(p.candidate, "lanes/transposed@1");
+        assert_eq!(p.baseline, "warp/transposed@1");
+        let p = ImprovePair::parse("warp/transposed@1").unwrap();
+        assert_eq!(p.candidate, p.baseline);
+        assert!(ImprovePair::parse("=x").is_err());
+        assert!(ImprovePair::parse("x=").is_err());
+    }
+
+    #[test]
+    fn improvement_gate_passes_and_fails() {
+        let base = report(vec![cell("warp", 1, 1.0)]);
+        let cand = report(vec![cell("warp", 1, 1.0), cell("lanes", 1, 1.3)]);
+        let pair = ImprovePair::parse("lanes/transposed@1=warp/transposed@1").unwrap();
+        let mut rep = compare(&base, &cand, 0.4);
+        check_improvements(&mut rep, &base, &cand, std::slice::from_ref(&pair), 0.25);
+        assert!(rep.passed(), "{:?}", rep.improvement_failures);
+        assert_eq!(rep.improvements.len(), 1);
+        // 30% required beats the 30% measured? 1.3 < 1.0 * 1.35 -> fail.
+        let mut rep = compare(&base, &cand, 0.4);
+        check_improvements(&mut rep, &base, &cand, std::slice::from_ref(&pair), 0.35);
+        assert!(!rep.passed());
+        assert_eq!(rep.improvement_failures.len(), 1);
+        // A missing candidate cell fails rather than silently passing.
+        let mut rep = compare(&base, &base, 0.4);
+        check_improvements(&mut rep, &base, &base, &[pair], 0.25);
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn compare_json_is_parseable_and_states_outcome() {
+        let base = report(vec![cell("warp", 1, 1.0)]);
+        let cand = report(vec![cell("warp", 1, 0.4)]);
+        let rep = compare(&base, &cand, 0.4);
+        let j = rep.to_json();
+        let v = ct_obs::chrome::json::parse(&j).unwrap();
+        assert_eq!(
+            v.get("passed"),
+            Some(&ct_obs::chrome::json::Value::Bool(false))
+        );
+        assert_eq!(v.get("checked").and_then(|x| x.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("regressions")
+                .and_then(|x| x.as_array())
+                .map(|a| a.len()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -121,33 +121,37 @@ pub fn backproject_pair_with<S: Sampler>(
     pair: SlabPair,
     batch: usize,
 ) -> Volume {
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert_eq!(mats.len(), samplers.len(), "one matrix per projection");
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert_eq!(dims.nz, pair.nz_full, "pair must match volume Nz");
+    // analyze: allow(panic, reason = "caller-contract validation at the public kernel entry; fires before any work starts")
     assert!((1..=WARP_BATCH).contains(&batch), "batch must be in 1..=32");
     let (nx, ny) = (dims.nx, dims.ny);
     let local_nz = pair.local_nz();
-    let np = mats.len();
     let rows: Vec<[[f32; 4]; 3]> = mats.iter().map(|m| m.rows_f32()).collect();
 
     let vmax = nv as f32 - 1.0;
     let mut vol = Volume::zeros(Dims3::new(nx, ny, local_nz), VolumeLayout::KMajor);
     let chunk = ny * local_nz;
-    pool.parallel_chunks_mut(vol.data_mut(), chunk, |start, slice| {
-        let i = start / chunk;
+    pool.parallel_chunks_mut_indexed(vol.data_mut(), chunk, |i, _start, slice| {
         let ifl = i as f32;
         let mut buf = SweepBuffers::new(pair.len);
-        for s0 in (0..np).step_by(batch) {
-            let s1 = (s0 + batch).min(np);
-            for j in 0..ny {
+        for (rows_b, samplers_b) in rows.chunks(batch).zip(samplers.chunks(batch)) {
+            for (j, col) in slice.chunks_exact_mut(local_nz).enumerate().take(ny) {
                 let jf = j as f32;
-                let cb = ColumnBatch::compute(&rows[s0..s1], ifl, jf);
-                // Depth sweep starting at the pair's global z offset.
+                let cb = ColumnBatch::compute(rows_b, ifl, jf);
+                // Depth sweep starting at the pair's global z offset;
+                // the local column is the upper slab followed by its
+                // Theorem-1 mirror in ascending global order.
                 buf.reset();
-                cb.accumulate_into(&samplers[s0..s1], pair.k0, vmax, &mut buf);
-                let col = &mut slice[j * local_nz..(j + 1) * local_nz];
-                for k in 0..pair.len {
-                    col[k] += buf.up[k];
-                    col[local_nz - 1 - k] += buf.down[k];
+                cb.accumulate_into(samplers_b, pair.k0, vmax, &mut buf);
+                let (col_up, col_down) = col.split_at_mut(pair.len);
+                for (dst, src) in col_up.iter_mut().zip(&buf.up) {
+                    *dst += *src;
+                }
+                for (dst, src) in col_down.iter_mut().rev().zip(&buf.down) {
+                    *dst += *src;
                 }
             }
         }

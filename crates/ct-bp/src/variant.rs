@@ -17,6 +17,7 @@
 //! locality is sampling the *untransposed* row-major buffer, whose inner
 //! v-loop strides by `Nu` floats — so that is what `Bp-L1` does here.
 
+use crate::lanes::{backproject_batch, KernelImpl};
 use crate::tiled::{backproject_tiled_with, TileConfig};
 use crate::warp::{backproject_warp_with, Sampler, WARP_BATCH};
 use ct_core::geometry::ProjectionMatrix;
@@ -96,6 +97,12 @@ pub struct BpConfig {
     /// the tiled driver does not produce. Either way the output bits are
     /// identical — tiling changes scheduling, not arithmetic.
     pub tile: Option<TileConfig>,
+    /// Which column-sweep implementation runs the hot loop (scalar
+    /// oracle vs lane-array; see [`crate::lanes`]). Only `L1-Tran`
+    /// dispatches on this — the other Table 3 variants are layout
+    /// ablations and always run the scalar kernel. Strict lanes is
+    /// bit-identical to scalar, so the default is safe everywhere.
+    pub kernel: KernelImpl,
 }
 
 impl Default for BpConfig {
@@ -104,6 +111,7 @@ impl Default for BpConfig {
             variant: KernelVariant::L1Tran,
             batch: WARP_BATCH,
             tile: Some(TileConfig::AUTO),
+            kernel: KernelImpl::from_env(),
         }
     }
 }
@@ -166,9 +174,10 @@ pub fn backproject(
             run_batched(pool, cfg, mats, &samplers, nv, dims)
         }
         KernelVariant::L1Tran => {
-            let samplers: Vec<ct_core::projection::TransposedProjection> =
+            let transposed: Vec<ct_core::projection::TransposedProjection> =
                 projs.iter().map(|p| p.transposed()).collect();
-            run_batched(pool, cfg, mats, &samplers, nv, dims)
+            let refs: Vec<&ct_core::projection::TransposedProjection> = transposed.iter().collect();
+            backproject_batch(pool, cfg.kernel, mats, &refs, nv, dims, cfg.batch, cfg.tile)
         }
     }
 }
@@ -313,6 +322,36 @@ mod tests {
         assert_eq!(cfg.variant, KernelVariant::L1Tran);
         assert_eq!(cfg.batch, 32);
         assert_eq!(cfg.tile, Some(TileConfig::AUTO));
+        // Default kernel comes from IFDK_KERNEL; with the variable unset
+        // (the test environment) that is the strict lane kernel.
+        assert_eq!(cfg.kernel, KernelImpl::from_env());
+    }
+
+    #[test]
+    fn kernel_impls_are_bit_identical_through_dispatch() {
+        use crate::lanes::LaneMode;
+        let (geo, mats, stack) = setup(12, 8);
+        let scalar = backproject(
+            &Pool::serial(),
+            BpConfig {
+                kernel: KernelImpl::Scalar,
+                ..Default::default()
+            },
+            &mats,
+            &stack,
+            geo.volume,
+        );
+        let lanes = backproject(
+            &Pool::new(2),
+            BpConfig {
+                kernel: KernelImpl::Lanes(LaneMode::Strict),
+                ..Default::default()
+            },
+            &mats,
+            &stack,
+            geo.volume,
+        );
+        assert_eq!(scalar.data(), lanes.data());
     }
 
     #[test]

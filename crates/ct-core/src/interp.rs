@@ -62,6 +62,66 @@ pub fn interp2_strided(
     t1 * (1.0 - dv) + t2 * dv
 }
 
+/// Precomputed bilinear interpolation weight for **one axis** of one
+/// sub-pixel coordinate: the left sample index and the fractional blend
+/// weight toward the right sample.
+///
+/// The batched kernels resolve the slow axis (`u`) once per *column
+/// sweep* — once per `(u, projection)` pair instead of once per voxel —
+/// which is the weight-precomputation scheme of the performance-portable
+/// CPU back-projection literature (arXiv:2104.13248 §4). The arithmetic
+/// (`floor`, subtract, `as isize`) is exactly what [`interp2`] performs
+/// inline, so paths built on `AxisWeight` stay bit-identical to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxisWeight {
+    /// Index of the left (floor) sample; may be out of range.
+    pub i: isize,
+    /// Fractional distance past the left sample, in `[0, 1)`.
+    pub frac: f32,
+}
+
+impl AxisWeight {
+    /// Resolve the weight for coordinate `x` (the per-axis half of
+    /// Algorithm 3 lines 2-3).
+    #[inline]
+    pub fn resolve(x: f32) -> Self {
+        let fx = x.floor();
+        Self {
+            i: fx as isize,
+            frac: x - fx,
+        }
+    }
+
+    /// True when both samples (`i` and `i + 1`) lie inside an axis of
+    /// length `n` — i.e. no zero-border blending is needed on this axis.
+    #[inline]
+    pub fn interior(&self, n: usize) -> bool {
+        self.i >= 0 && self.i + 1 < n as isize
+    }
+
+    /// Blend the two already-fetched axis samples exactly as [`interp2`]
+    /// does: `a * (1 - frac) + b * frac`.
+    #[inline]
+    pub fn blend(&self, a: f32, b: f32) -> f32 {
+        a * (1.0 - self.frac) + b * self.frac
+    }
+
+    /// Fetch-and-blend against a zero border: samples outside `[0, len)`
+    /// of `row` contribute `0.0`, matching [`interp2`]'s
+    /// `cudaAddressModeBorder` behaviour.
+    #[inline]
+    pub fn blend_bordered(&self, row: &[f32]) -> f32 {
+        let s = |x: isize| {
+            usize::try_from(x)
+                .ok()
+                .and_then(|i| row.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        };
+        self.blend(s(self.i), s(self.i + 1))
+    }
+}
+
 /// Nearest-neighbour fetch, the `cudaFilterModePoint` configuration the
 /// paper uses for the 32-bit RTK texture kernel (Section 5.2).
 #[inline]

@@ -50,8 +50,8 @@
 use crate::grid::RankGrid;
 use crate::ring::RingBuffer;
 use ct_bp::fdk_scale;
-use ct_bp::pair::backproject_pair_with;
-use ct_bp::tiled::{backproject_pair_tiled_reporting, TileConfig};
+use ct_bp::lanes::{backproject_pair_batch_reporting, KernelImpl};
+use ct_bp::tiled::TileConfig;
 use ct_comm::{AllGatherAlgorithm, Comm, Universe};
 use ct_core::error::{CtError, Result};
 use ct_core::geometry::{CbctGeometry, ProjectionMatrix};
@@ -142,6 +142,10 @@ pub struct DistConfig {
     /// the untiled per-plane path. Output bits are identical either way;
     /// tiling changes scheduling and adds per-tile `bp.tile` spans.
     pub tile: Option<TileConfig>,
+    /// Column-sweep implementation for the kernel (scalar oracle vs
+    /// lane-array; see [`ct_bp::lanes`]). The default reads the
+    /// `IFDK_KERNEL` env var; strict lanes is bit-identical to scalar.
+    pub kernel: KernelImpl,
     /// Worker threads per rank for filtering and the kernel.
     pub threads_per_rank: usize,
     /// Circular-buffer capacity (projections).
@@ -181,6 +185,7 @@ impl DistConfig {
             filter: FilterConfig::default(),
             batch: 32,
             tile: Some(TileConfig::AUTO),
+            kernel: KernelImpl::from_env(),
             threads_per_rank: 1,
             ring_capacity: 64,
             allgather: AllGatherAlgorithm::Ring,
@@ -587,6 +592,7 @@ fn run_rank(
         let bp_pool = pool;
         let batch = cfg.batch;
         let tile_cfg = cfg.tile;
+        let kernel = cfg.kernel;
         let throttle = cfg.bp_throttle;
         let dims = geo.volume;
         let nv = geo.detector.nv;
@@ -640,45 +646,32 @@ fn run_rank(
                         .with_index(batch_idx)
                         .with_deps("allgather", op_lo, op_hi);
                     sp.set_bytes((items.len() * bp_per * 4) as u64);
-                    let part = match tile_cfg {
-                        Some(tc) => {
-                            let (part, reports) = backproject_pair_tiled_reporting(
-                                &bp_pool,
-                                &batch_mats,
-                                &samplers,
-                                nv,
-                                dims,
-                                pair,
-                                batch,
-                                tc,
-                            );
-                            // Tile intervals were measured on pool workers
-                            // (which cannot own a track); attribute them
-                            // here, tagged by tile index, so traces show
-                            // tile-level load balance. The tile set is a
-                            // pure function of the config, keeping the
-                            // span structure deterministic.
-                            for r in &reports {
-                                track.record_completed(
-                                    "bp.tile",
-                                    Some(r.tile.index as u64),
-                                    None,
-                                    r.started,
-                                    r.finished,
-                                );
-                            }
-                            part
-                        }
-                        None => backproject_pair_with(
-                            &bp_pool,
-                            &batch_mats,
-                            &samplers,
-                            nv,
-                            dims,
-                            pair,
-                            batch,
-                        ),
-                    };
+                    let (part, reports) = backproject_pair_batch_reporting(
+                        &bp_pool,
+                        kernel,
+                        &batch_mats,
+                        &samplers,
+                        nv,
+                        dims,
+                        pair,
+                        batch,
+                        tile_cfg,
+                    );
+                    // Tile intervals were measured on pool workers (which
+                    // cannot own a track); attribute them here, tagged by
+                    // tile index, so traces show tile-level load balance
+                    // (`reports` is empty on the untiled path). The tile
+                    // set is a pure function of the config, keeping the
+                    // span structure deterministic.
+                    for r in &reports {
+                        track.record_completed(
+                            "bp.tile",
+                            Some(r.tile.index as u64),
+                            None,
+                            r.started,
+                            r.finished,
+                        );
+                    }
                     acc.accumulate(&part)?;
                 }
                 batch_idx += 1;

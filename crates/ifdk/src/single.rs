@@ -8,8 +8,8 @@
 //! latency hides behind the much heavier back-projection.
 
 use crate::ring::RingBuffer;
-use ct_bp::tiled::backproject_tiled_with;
-use ct_bp::warp::{backproject_warp_with, WARP_BATCH};
+use ct_bp::lanes::backproject_batch;
+use ct_bp::warp::WARP_BATCH;
 use ct_bp::{backproject, fdk_scale, BpConfig};
 use ct_core::error::{CtError, Result};
 use ct_core::geometry::CbctGeometry;
@@ -194,15 +194,20 @@ fn reconstruct_pipelined_impl(
             }
             let batch_mats: Vec<_> = batch_items.iter().map(|(i, _)| mats[*i]).collect();
             let samplers: Vec<&TransposedProjection> = batch_items.iter().map(|(_, q)| q).collect();
-            // The tiled and untiled drivers are bit-identical; tiling only
-            // changes how the batch is scheduled over the pool.
+            // All dispatch routes (tiled/untiled x scalar/strict-lanes)
+            // are bit-identical; the config only changes scheduling and
+            // instruction mix, not arithmetic.
             let started = bp_cell.as_ref().map(|_| clock::now());
-            let part = match opts.bp.tile {
-                Some(t) => {
-                    backproject_tiled_with(&pool, &batch_mats, &samplers, nv, dims, batch, t)
-                }
-                None => backproject_warp_with(&pool, &batch_mats, &samplers, nv, dims, batch),
-            };
+            let part = backproject_batch(
+                &pool,
+                opts.bp.kernel,
+                &batch_mats,
+                &samplers,
+                nv,
+                dims,
+                batch,
+                opts.bp.tile,
+            );
             acc.accumulate(&part)?;
             if let (Some(cell), Some(started)) = (&bp_cell, started) {
                 cell.record_batch(

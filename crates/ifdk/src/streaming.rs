@@ -8,7 +8,9 @@
 //! running volume, so the work left at scan end is at most one partial
 //! batch plus the final reshape.
 
-use ct_bp::warp::{backproject_warp_with, WARP_BATCH};
+use ct_bp::lanes::{backproject_batch, KernelImpl};
+use ct_bp::tiled::TileConfig;
+use ct_bp::warp::WARP_BATCH;
 use ct_bp::{fdk_scale, BpConfig};
 use ct_core::error::{CtError, Result};
 use ct_core::geometry::{CbctGeometry, ProjectionMatrix};
@@ -24,6 +26,8 @@ pub struct StreamingReconstructor {
     filterer: Filterer,
     pool: Pool,
     batch: usize,
+    tile: Option<TileConfig>,
+    kernel: KernelImpl,
     apply_scale: bool,
     pending: Vec<(usize, TransposedProjection)>,
     acc: Volume,
@@ -50,6 +54,8 @@ impl StreamingReconstructor {
         let acc = Volume::zeros(geo.volume, VolumeLayout::KMajor);
         Ok(Self {
             batch: bp.batch.clamp(1, WARP_BATCH),
+            tile: bp.tile,
+            kernel: bp.kernel,
             geo,
             mats,
             filterer,
@@ -101,13 +107,15 @@ impl StreamingReconstructor {
         }
         let mats: Vec<ProjectionMatrix> = self.pending.iter().map(|(i, _)| self.mats[*i]).collect();
         let samplers: Vec<&TransposedProjection> = self.pending.iter().map(|(_, q)| q).collect();
-        let part = backproject_warp_with(
+        let part = backproject_batch(
             &self.pool,
+            self.kernel,
             &mats,
             &samplers,
             self.geo.detector.nv,
             self.geo.volume,
             self.batch,
+            self.tile,
         );
         self.acc.accumulate(&part)?;
         self.pending.clear();

@@ -1,0 +1,276 @@
+//! In-tree stand-in for `criterion` (see `vendor/rand` for why the
+//! workspace vendors its registry dependencies).
+//!
+//! Implements the API surface the `crates/bench/benches/*` files use —
+//! groups, throughput annotation, `bench_function`/`bench_with_input`,
+//! the `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock harness: warm up for `warm_up_time`, then time batches
+//! until `measurement_time` elapses and report the mean per-iteration
+//! time plus derived throughput to stdout, one line per benchmark.
+//!
+//! No statistics engine, no HTML reports, no regression store. The
+//! serious perf gate in this repo is the `gups` binary plus
+//! `benchdiff` (median + MAD over pinned repeats); these benches are
+//! profiling probes, and a stable one-line-per-bench text format is
+//! all they need.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work performed per iteration, used to derive a rate from the mean
+/// iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled by [`Bencher::iter`]: (iterations, total elapsed).
+    result: &'a mut Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`: warm up, then measure batches until the measurement
+    /// window closes.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_start.elapsed() < self.warm_up {
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                *self.result = Some((iters, elapsed));
+                return;
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measurement window (after warm-up).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its sample by
+    /// time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benches with per-iteration work for rate
+    /// reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, None, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        match result {
+            Some((iters, elapsed)) if iters > 0 => {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Bytes(n)) => {
+                        format!(
+                            "  {:>10.3} MiB/s",
+                            n as f64 / per_iter / (1u64 << 20) as f64
+                        )
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>10.3} Melem/s", n as f64 / per_iter / 1e6)
+                    }
+                    None => String::new(),
+                };
+                println!("bench {label:<50} {:>12.3} us/iter{rate}", per_iter * 1e6);
+            }
+            _ => println!("bench {label:<50} (no measurement: iter() never called)"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("k", 8).id, "k/8");
+        assert_eq!(BenchmarkId::from_parameter(256).id, "256");
+    }
+}

@@ -1,0 +1,337 @@
+//! In-tree stand-in for `serde` (see `vendor/rand` for why the
+//! workspace vendors its registry dependencies).
+//!
+//! Instead of the real crate's visitor architecture, this shim uses a
+//! concrete value tree: [`Serialize`] renders a type into a [`Value`],
+//! [`Deserialize`] rebuilds it from one, and `serde_json` (also
+//! shimmed) formats/parses that tree. The trait and derive names match
+//! the real crate, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.
+//!
+//! [`Value::Map`] is an order-preserving `Vec` of pairs, not a hash
+//! map: derived struct output keeps declaration order, keeping exports
+//! deterministic (the property `cargo xtask analyze` checks for
+//! result-producing crates).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: what JSON can represent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (serialized without a decimal point).
+    I64(i64),
+    /// Unsigned integer (serialized without a decimal point).
+    U64(u64),
+    /// Binary floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of a [`Value::Map`], erroring with the field
+    /// name when missing or when `self` is not a map.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(&format!("missing field `{name}`"))),
+            other => Error::type_mismatch("map", other),
+        }
+    }
+
+    /// View as a string, erroring otherwise.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Error::type_mismatch("string", other),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a caller-supplied message.
+    pub fn custom(msg: &str) -> Self {
+        Self(msg.to_string())
+    }
+
+    fn type_mismatch<T>(expected: &str, got: &Value) -> Result<T, Error> {
+        Err(Self(format!("expected {expected}, found {}", got.kind())))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the serialization data model.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the serialization data model.
+pub trait Deserialize: Sized {
+    /// Parse the value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls --------------------------------------------------
+
+macro_rules! int_impls {
+    ($variant:ident: $($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as _)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let (val, ok) = match *v {
+                    Value::I64(x) => (x as $t, <$t>::try_from(x).is_ok()),
+                    Value::U64(x) => (x as $t, <$t>::try_from(x).is_ok()),
+                    ref other => return Error::type_mismatch("integer", other),
+                };
+                if ok {
+                    Ok(val)
+                } else {
+                    Err(Error::custom(&format!(
+                        "integer out of range for {}", stringify!($t)
+                    )))
+                }
+            }
+        }
+    )+};
+}
+
+int_impls!(I64: i8, i16, i32, i64, isize);
+int_impls!(U64: u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::I64(x) => Ok(x as $t),
+                    Value::U64(x) => Ok(x as $t),
+                    ref other => Error::type_mismatch("number", other),
+                }
+            }
+        }
+    )+};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Error::type_mismatch("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// --- composite impls --------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => Err(Error::custom(&format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            ))),
+            other => Error::type_mismatch("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Error::type_mismatch("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Error::type_mismatch("map", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()),
+            Ok(String::from("hi"))
+        );
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<f64>::from_value(&Value::F64(2.0)), Ok(Some(2.0)));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2.0f64);
+        m.insert("a".to_string(), 1.0);
+        // BTreeMap iterates sorted; Value::Map preserves that order.
+        match m.to_value() {
+            Value::Map(pairs) => {
+                assert_eq!(pairs[0].0, "a");
+                assert_eq!(pairs[1].0, "b");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+}

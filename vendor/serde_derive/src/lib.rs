@@ -1,0 +1,274 @@
+//! In-tree stand-in for `serde_derive` (see `vendor/rand` for why the
+//! workspace vendors its registry dependencies).
+//!
+//! Supports exactly the shapes this workspace derives on: structs with
+//! named fields and enums whose variants are all unit variants, no
+//! generics, no `#[serde(...)]` attributes. Anything else is rejected
+//! with a `compile_error!` naming the limitation, so drift is caught at
+//! build time rather than producing a wrong impl.
+//!
+//! The generated code targets the in-tree `serde` shim's data model:
+//! `Serialize::to_value(&self) -> serde::Value` and
+//! `Deserialize::from_value(&serde::Value) -> Result<Self, serde::Error>`.
+//! The derive is written against `proc_macro` alone — input is walked
+//! token by token and output is assembled as source text — because
+//! `syn`/`quote` live in the unreachable registry too.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Serialize)
+}
+
+/// Derive `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Impl {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Impl) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, which)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde shim derive produced unparsable code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Walk the item tokens: skip attributes and visibility, identify
+/// `struct`/`enum`, capture the name, reject generics, then parse the
+/// brace-delimited body.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute (`#[...]`, including doc comments): skip
+            // the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    // Visibility: a following parenthesis group
+                    // (`pub(crate)`) is consumed with its delimiter
+                    // check below.
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(s);
+                        match iter.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => {
+                                return Err(format!("expected type name, found {other:?}"));
+                            }
+                        }
+                    }
+                    other => return Err(format!("unexpected token `{other}` before item")),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("serde shim derive does not support generic types".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let kind = kind.ok_or("found a brace body before `struct`/`enum`")?;
+                let name = name.ok_or("found a brace body before the type name")?;
+                let shape = if kind == "struct" {
+                    Shape::Struct(parse_named_fields(g.stream())?)
+                } else {
+                    Shape::Enum(parse_unit_variants(g.stream())?)
+                };
+                return Ok((name, shape));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde shim derive does not support tuple structs".into());
+            }
+            other => return Err(format!("unexpected token {other} in item header")),
+        }
+    }
+    Err("no struct/enum body found (unit structs are unsupported)".into())
+}
+
+/// `name: Type, ...` — attributes and visibility allowed per field.
+/// Commas inside angle brackets (`BTreeMap<String, f64>`) are type
+/// punctuation, so `<`/`>` depth is tracked while scanning past types.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field head: skip attributes and visibility until the name.
+        let name = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token {other} in field list")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume to the next comma at angle depth 0.
+        let mut angle_depth = 0isize;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// `VariantA, VariantB, ...` — any payload is rejected.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    return Err(format!(
+                        "serde shim derive supports only unit enum variants; `{id}` has a payload"
+                    ));
+                }
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '=' {
+                        return Err(format!(
+                            "serde shim derive does not support discriminants (variant `{id}`)"
+                        ));
+                    }
+                }
+                variants.push(id.to_string());
+            }
+            other => return Err(format!("unexpected token {other} in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, which: Impl) -> String {
+    match (which, shape) {
+        (Impl::Serialize, Shape::Struct(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Impl::Deserialize, Shape::Struct(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Impl::Serialize, Shape::Enum(variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        (Impl::Deserialize, Shape::Enum(variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str()? {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(&format!(\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

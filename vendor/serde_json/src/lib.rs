@@ -1,0 +1,181 @@
+//! In-tree stand-in for `serde_json` (see `vendor/rand` for why the
+//! workspace vendors its registry dependencies).
+//!
+//! Renders the `serde` shim's [`Value`](serde::Value) tree as JSON
+//! text, matching the real crate's conventions where they are
+//! observable: 2-space pretty indentation, floats always printed with
+//! a decimal point or exponent, non-finite floats rendered as `null`,
+//! strings escaped per RFC 8259.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization failure. The shim's rendering is total, so this is
+/// currently never produced, but the signature matches the real crate
+/// so call sites keep their error handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON with 2-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(pairs) => write_block(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+            let (k, v) = &pairs[i];
+            write_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, indent, depth + 1);
+        }),
+    }
+}
+
+/// Shared layout for arrays and objects: one element per line when
+/// pretty, comma-separated when compact.
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut elem: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        elem(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // serde_json's arbitrary-precision-off behaviour.
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // Rust's shortest-round-trip Display prints integral floats bare
+    // ("3"); JSON consumers expect the float marker serde_json emits.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Seq(vec![Value::F64(1.0), Value::F64(2.5)]),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Raw(v.clone())).expect("total");
+        assert_eq!(compact, r#"{"a":1,"b":[1.0,2.5]}"#);
+        let pretty = to_string_pretty(&Raw(v)).expect("total");
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": [\n    1.0,\n    2.5\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_marker_and_nonfinite_is_null() {
+        assert_eq!(to_string(&3.0f64).expect("total"), "3.0");
+        assert_eq!(to_string(&f64::NAN).expect("total"), "null");
+        assert_eq!(to_string(&0.1f64).expect("total"), "0.1");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_string("a\"b\\c\nd").expect("total"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v: Vec<f64> = Vec::new();
+        assert_eq!(to_string_pretty(&v).expect("total"), "[]");
+    }
+}
