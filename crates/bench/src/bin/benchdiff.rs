@@ -125,6 +125,20 @@ fn run(args: &[String]) -> Gate {
         Err(g) => return g,
     };
 
+    // Cross-machine comparisons are legal (CI runners rotate) but worth
+    // a loud note: the thresholds assume comparable hardware. The
+    // fingerprint is the same one the perf trajectory store keys by.
+    if let (Some(b), Some(c)) = (&baseline.machine, &candidate.machine) {
+        let (bfp, cfp) = (b.fingerprint(), c.fingerprint());
+        if bfp != cfp {
+            eprintln!(
+                "benchdiff: WARNING machine fingerprint mismatch: baseline {bfp} \
+                 ({}) vs candidate {cfp} ({}) — thresholds assume comparable hardware",
+                b.cpu_model, c.cpu_model
+            );
+        }
+    }
+
     let mut rep = compare(&baseline, &candidate, threshold);
     check_improvements(&mut rep, &baseline, &candidate, &improves, min_speedup);
     eprintln!(

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-bench --bin gups -- \
-//!     [--quick] [--size N] [--np N] [--repeats R] [--json BENCH_gups.json]
+//!     [--quick] [--size N] [--np N] [--repeats R] [--json BENCH_gups.json] \
+//!     [--record perf_trajectory.jsonl]
 //! ```
 //!
 //! Back-projects a synthetic stack with every kernel (`standard`,
@@ -11,8 +12,10 @@
 //! pool widths 1/2/4, reporting median and median-absolute-deviation
 //! GUPS over warmed-up repeats (Section 5.3.3's metric). `--json`
 //! writes the machine-readable report `benchdiff` consumes (with
-//! machine provenance in the header); `--quick` shrinks the problem and
-//! the layout sweep for CI smoke runs.
+//! machine provenance in the header); `--record` appends one
+//! `ifdk-run/v1` record per cell to the perf trajectory store
+//! (`perfscope` queries it); `--quick` shrinks the problem and the
+//! layout sweep for CI smoke runs.
 
 use ct_bp::lanes::{backproject_lanes_with, LaneMode, LaneSampler, LanesBlocking};
 use ct_bp::tiled::{backproject_tiled_with, TileConfig};
@@ -252,6 +255,15 @@ fn main() {
         if let Some(path) = args.get(pos + 1) {
             std::fs::write(path, report.to_json()).expect("write gups json");
             eprintln!("wrote {path}");
+        }
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--record") {
+        if let Some(path) = args.get(pos + 1) {
+            let records = report.run_records(ct_obs::clock::unix_millis());
+            ct_perfdb::PerfDb::append(std::path::Path::new(path), &records)
+                .expect("append perf trajectory");
+            eprintln!("recorded {} run(s) -> {path}", records.len());
         }
     }
 }

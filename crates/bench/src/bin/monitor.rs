@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p ifdk-bench --bin monitor -- live_metrics.jsonl \
 //!     [--format text|json|prom] [--max-stall-ms <ms>] [--max-trips <n>] \
-//!     [--follow [--idle-timeout-secs <s>]]
+//!     [--follow [--idle-timeout-secs <s>]] [--record <trajectory.jsonl>]
 //! ```
 //!
 //! Reads the frames a live run streamed (`--live` on the distributed
@@ -20,8 +20,12 @@
 //! With `--follow` the file is tailed: each new frame prints a one-line
 //! summary as it lands, until the stream has been idle for
 //! `--idle-timeout-secs` (default 5). Gates then apply to everything
-//! seen. Exit codes follow `ifdk_bench::check`: 0 ok, 1 gate failed,
-//! 2 unreadable file, 3 usage.
+//! seen. `--record <path>` appends the final frame's stage quantiles,
+//! ring stalls and watchdog trips as an `ifdk-run/v1` record to the
+//! `ct-perfdb` trajectory store (appended before gating, so failed
+//! runs leave trajectory evidence too). Exit codes follow
+//! `ifdk_bench::check`: 0 ok, 1 gate failed, 2 unreadable file,
+//! 3 usage.
 
 use ct_obs::live::MetricsSnapshot;
 use ct_obs::trace::fmt_ns;
@@ -43,10 +47,12 @@ struct Opts {
     max_trips: Option<u64>,
     follow: bool,
     idle_timeout: Duration,
+    record: Option<String>,
 }
 
 const USAGE: &str = "usage: monitor <metrics.jsonl> [--format text|json|prom] \
-     [--max-stall-ms <ms>] [--max-trips <n>] [--follow] [--idle-timeout-secs <s>]";
+     [--max-stall-ms <ms>] [--max-trips <n>] [--follow] [--idle-timeout-secs <s>] \
+     [--record <trajectory.jsonl>]";
 
 fn parse_args(args: &[String]) -> Result<Opts, Gate> {
     let mut path: Option<String> = None;
@@ -55,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Opts, Gate> {
     let mut max_trips = None;
     let mut follow = false;
     let mut idle_timeout = Duration::from_secs(5);
+    let mut record = None;
     let mut i = 0;
     let need = |args: &[String], i: usize, flag: &str| -> Result<String, Gate> {
         args.get(i + 1)
@@ -98,6 +105,10 @@ fn parse_args(args: &[String]) -> Result<Opts, Gate> {
                 follow = true;
                 i += 1;
             }
+            "--record" => {
+                record = Some(need(args, i, "--record")?);
+                i += 2;
+            }
             "--idle-timeout-secs" => {
                 let v = need(args, i, "--idle-timeout-secs")?;
                 idle_timeout = Duration::from_secs(v.parse::<u64>().map_err(|_| {
@@ -127,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Opts, Gate> {
         max_trips,
         follow,
         idle_timeout,
+        record,
     })
 }
 
@@ -269,6 +281,42 @@ fn gate_frames(frames: &[MetricsSnapshot], opts: &Opts) -> Gate {
     Gate::Ok
 }
 
+/// Fold the final frame into an `ifdk-run/v1` trajectory record.
+fn run_record(last: &MetricsSnapshot, t_unix_ms: u64) -> ct_perfdb::RunRecord {
+    let mut r = ct_perfdb::RunRecord::new("monitor", t_unix_ms, ct_perfdb::MachineInfo::detect());
+    r.set_metric("watchdog_trips", last.watchdog_trips as f64)
+        .set_metric("uptime_secs", last.t_ns as f64 * 1e-9);
+    if let Some(p) = &last.progress {
+        r.set_metric("progress_frac", p.frac);
+    }
+    for s in &last.stages {
+        r.set_metric(&format!("stage.{}.done", s.name), s.done as f64)
+            .set_metric(
+                &format!("stage.{}.busy_secs", s.name),
+                s.busy_ns as f64 * 1e-9,
+            )
+            .set_metric(
+                &format!("stage.{}.p50_secs", s.name),
+                s.p50_ns as f64 * 1e-9,
+            )
+            .set_metric(
+                &format!("stage.{}.p95_secs", s.name),
+                s.p95_ns as f64 * 1e-9,
+            )
+            .set_metric(
+                &format!("stage.{}.p99_secs", s.name),
+                s.p99_ns as f64 * 1e-9,
+            );
+    }
+    for ring in &last.rings {
+        r.set_metric(
+            &format!("ring.{}.worst_wait_secs", ring.name),
+            ring.state.worst_wait_ns() as f64 * 1e-9,
+        );
+    }
+    r
+}
+
 fn finish(frames: &[MetricsSnapshot], opts: &Opts) -> Gate {
     let Some(last) = frames.last() else {
         return Gate::CheckFailed(format!("{}: no metrics frames", opts.path));
@@ -277,6 +325,13 @@ fn finish(frames: &[MetricsSnapshot], opts: &Opts) -> Gate {
         Format::Text => print_text(last),
         Format::Json => println!("{}", last.to_json()),
         Format::Prom => print!("{}", last.to_prometheus()),
+    }
+    if let Some(db) = &opts.record {
+        let rec = run_record(last, ct_obs::clock::unix_millis());
+        if let Err(e) = ct_perfdb::PerfDb::append(std::path::Path::new(db), &[rec]) {
+            return Gate::Unreadable(format!("{db}: {e}"));
+        }
+        eprintln!("recorded monitor run -> {db}");
     }
     gate_frames(frames, opts)
 }
@@ -428,6 +483,32 @@ mod tests {
             assert_eq!(run(&args), Gate::Ok, "{fmt}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_sink_captures_stages_rings_and_trips() {
+        let path = frames_file("ifdk-monitor-record.jsonl", 250_000_000, 2);
+        let db = std::env::temp_dir().join("ifdk-monitor-record-db.jsonl");
+        let _ = std::fs::remove_file(&db);
+        // Recording happens even when the gate fails — the trajectory
+        // must keep evidence of bad runs.
+        let gate = run(&[
+            path.clone(),
+            "--record".to_string(),
+            db.to_str().unwrap().to_string(),
+            "--max-trips".to_string(),
+            "0".to_string(),
+        ]);
+        assert!(matches!(gate, Gate::CheckFailed(_)));
+        let store = ct_perfdb::PerfDb::load(&db).unwrap();
+        assert_eq!(store.records.len(), 1);
+        let r = &store.records[0];
+        assert_eq!(r.source, "monitor");
+        assert_eq!(r.metric("watchdog_trips"), Some(2.0));
+        assert!(r.metric("stage.bp.p95_secs").is_some());
+        assert!(r.metric("ring.ring.test.worst_wait_secs").unwrap() > 0.2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&db);
     }
 
     #[test]

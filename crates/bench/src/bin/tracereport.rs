@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p ifdk-bench --bin tracereport -- trace.json \
-//!     [--min-overlap 0.5] [--format text|json]
+//!     [--min-overlap 0.5] [--format text|json] [--record trajectory.jsonl]
 //! ```
 //!
 //! Re-imports the trace with `ct_obs::chrome::parse_trace`, runs
@@ -14,21 +14,33 @@
 //! efficiency below the threshold fails the check. `--format json`
 //! emits the analysis as machine-readable JSON instead of the text
 //! report (the same hand-rolled serializer the live metrics frames
-//! use), for dashboards and diffing. Exit codes follow
-//! `ifdk_bench::check`: 0 ok, 1 gate failed (or unanalyzable trace),
-//! 2 unreadable file, 3 usage.
+//! use), for dashboards and diffing. `--record <path>` appends an
+//! `ifdk-run/v1` record (overlap efficiency, wall/critical-path
+//! seconds) to the `ct-perfdb` trajectory store so `perfscope` can
+//! trend overlap across runs. Exit codes follow `ifdk_bench::check`:
+//! 0 ok, 1 gate failed (or unanalyzable trace), 2 unreadable file,
+//! 3 usage.
 
 use ifdk_bench::check::{read_input, Gate};
 use std::process::ExitCode;
 
 fn run(args: &[String]) -> Gate {
-    let usage = "usage: tracereport <trace.json> [--min-overlap <0..=1>] [--format text|json]";
+    let usage = "usage: tracereport <trace.json> [--min-overlap <0..=1>] \
+                 [--format text|json] [--record <trajectory.jsonl>]";
     let mut path: Option<&str> = None;
     let mut min_overlap: Option<f64> = None;
     let mut json_out = false;
+    let mut record: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--record" => {
+                let Some(v) = args.get(i + 1) else {
+                    return Gate::Usage(format!("--record needs a path\n{usage}"));
+                };
+                record = Some(v);
+                i += 2;
+            }
             "--format" => {
                 let Some(v) = args.get(i + 1) else {
                     return Gate::Usage(format!("--format needs a value\n{usage}"));
@@ -96,6 +108,26 @@ fn run(args: &[String]) -> Gate {
     } else {
         println!("{path}:");
         print!("{}", analysis.report());
+    }
+
+    if let Some(db) = record {
+        let mut r = ct_perfdb::RunRecord::new(
+            "tracereport",
+            ct_obs::clock::unix_millis(),
+            ct_perfdb::MachineInfo::detect(),
+        );
+        r.set_metric("overlap_efficiency", analysis.overlap_efficiency)
+            .set_metric("wall_secs", analysis.wall_ns as f64 * 1e-9)
+            .set_metric("max_stage_secs", analysis.max_stage_ns as f64 * 1e-9)
+            .set_metric(
+                "critical_path_secs",
+                analysis.critical_path_ns as f64 * 1e-9,
+            )
+            .set_metric("lanes", analysis.lanes.len() as f64);
+        if let Err(e) = ct_perfdb::PerfDb::append(std::path::Path::new(db), &[r]) {
+            return Gate::Unreadable(format!("{db}: {e}"));
+        }
+        eprintln!("recorded overlap run -> {db}");
     }
 
     if let Some(min) = min_overlap {
@@ -189,6 +221,28 @@ mod tests {
         let bad = run(&[path.clone(), "--format".into(), "yaml".into()]);
         assert!(matches!(bad, Gate::Usage(_)));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_sink_appends_an_overlap_record() {
+        let path = trace_file("ifdk-tracereport-record.json");
+        let db = std::env::temp_dir().join("ifdk-tracereport-record.jsonl");
+        let _ = std::fs::remove_file(&db);
+        let gate = run(&[
+            path.clone(),
+            "--record".into(),
+            db.to_str().unwrap().to_string(),
+        ]);
+        assert_eq!(gate, Gate::Ok);
+        let store = ct_perfdb::PerfDb::load(&db).unwrap();
+        assert_eq!(store.records.len(), 1);
+        let r = &store.records[0];
+        assert_eq!(r.source, "tracereport");
+        let eff = r.metric("overlap_efficiency").unwrap();
+        assert!((0.0..=1.0).contains(&eff), "{eff}");
+        assert!(r.metric("wall_secs").unwrap() > 0.0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&db);
     }
 
     #[test]

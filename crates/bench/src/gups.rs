@@ -38,62 +38,14 @@ impl GupsCell {
     }
 }
 
-/// Provenance of the machine a sweep ran on, stamped into the report
-/// header so a checked-in baseline documents what produced it. The
-/// field is optional in the JSON (schema stays `v1`): old reports
-/// parse, new gates know their hardware.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct MachineInfo {
-    /// CPU model string (`model name` from `/proc/cpuinfo`).
-    pub cpu_model: String,
-    /// SIMD-relevant ISA flags the CPU advertises (filtered from the
-    /// `flags` line: sse4.2/avx/avx2/fma/avx512f and friends).
-    pub cpu_flags: Vec<String>,
-    /// Logical CPUs visible to the process.
-    pub logical_cpus: usize,
-}
-
-impl MachineInfo {
-    /// Flags worth recording for a back-projection kernel: the vector
-    /// ISA levels that change what the autovectorizer can emit.
-    const INTERESTING_FLAGS: [&'static str; 8] = [
-        "sse4_1", "sse4_2", "avx", "avx2", "fma", "avx512f", "avx512vl", "neon",
-    ];
-
-    /// Detect the current machine. Falls back to `"unknown"` fields on
-    /// platforms without `/proc/cpuinfo`.
-    pub fn detect() -> Self {
-        let logical_cpus = std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(1);
-        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
-        let field = |name: &str| -> Option<String> {
-            cpuinfo.lines().find_map(|l| {
-                let (k, v) = l.split_once(':')?;
-                (k.trim() == name).then(|| v.trim().to_string())
-            })
-        };
-        let cpu_model = field("model name")
-            .or_else(|| field("Processor"))
-            .unwrap_or_else(|| "unknown".to_string());
-        let cpu_flags = field("flags")
-            .or_else(|| field("Features"))
-            .map(|f| {
-                let have: Vec<&str> = f.split_whitespace().collect();
-                Self::INTERESTING_FLAGS
-                    .iter()
-                    .filter(|want| have.contains(want))
-                    .map(|s| s.to_string())
-                    .collect()
-            })
-            .unwrap_or_default();
-        Self {
-            cpu_model,
-            cpu_flags,
-            logical_cpus,
-        }
-    }
-}
+/// Machine provenance, stamped into the report header so a checked-in
+/// baseline documents what produced it. The probe itself now lives in
+/// `ct-perfdb` (one definition shared by `gups`, `perfscope`,
+/// `benchdiff` and the trajectory records); this re-export keeps the
+/// historical `ifdk_bench::gups::MachineInfo` path working. The field
+/// stays optional in the JSON (schema stays `v1`): old reports parse,
+/// new gates know their hardware.
+pub use ct_perfdb::MachineInfo;
 
 /// A full sweep: one problem, many cells.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -276,6 +228,33 @@ impl GupsReport {
     /// Look a cell up by its `kernel/layout@threads` key.
     pub fn find_key(&self, key: &str) -> Option<&GupsCell> {
         self.cells.iter().find(|c| c.key() == key)
+    }
+
+    /// Flatten this sweep into trajectory records (`--record` sink):
+    /// one `ifdk-run/v1` record per cell, all stamped `t_unix_ms` and
+    /// the report's machine provenance (detected on the spot when the
+    /// report predates the field, so the fingerprint is never empty).
+    pub fn run_records(&self, t_unix_ms: u64) -> Vec<ct_perfdb::RunRecord> {
+        let machine = self
+            .machine
+            .clone()
+            .unwrap_or_else(ct_perfdb::MachineInfo::detect);
+        self.cells
+            .iter()
+            .map(|c| {
+                let mut r = ct_perfdb::RunRecord::new("gups", t_unix_ms, machine.clone());
+                r.config.kernel = c.kernel.clone();
+                r.config.layout = c.layout.clone();
+                r.config.threads = c.threads as u64;
+                r.config.problem = self.problem.clone();
+                r.set_metric("gups_median", c.gups_median)
+                    .set_metric("gups_mad", c.gups_mad)
+                    .set_metric("secs_median", c.secs_median)
+                    .set_metric("repeats", c.repeats as f64)
+                    .set_metric("updates", self.updates as f64);
+                r
+            })
+            .collect()
     }
 }
 
@@ -528,8 +507,29 @@ mod tests {
     }
 
     #[test]
-    fn detect_reports_cpus() {
-        assert!(MachineInfo::detect().logical_cpus >= 1);
+    fn run_records_flatten_every_cell() {
+        let mut r = report(vec![cell("lanes", 1, 1.3), cell("warp", 1, 1.0)]);
+        r.machine = Some(MachineInfo {
+            cpu_model: "Example CPU".into(),
+            cpu_flags: vec!["avx2".into()],
+            logical_cpus: 8,
+        });
+        let recs = r.run_records(42);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].source, "gups");
+        assert_eq!(recs[0].t_unix_ms, 42);
+        assert_eq!(recs[0].config.kernel, "lanes");
+        assert_eq!(recs[0].config.layout, "transposed");
+        assert_eq!(recs[0].config.threads, 1);
+        assert_eq!(recs[0].config.problem, r.problem);
+        assert_eq!(recs[0].metric("gups_median"), Some(1.3));
+        assert_eq!(recs[0].metric("updates"), Some(32768.0));
+        assert_eq!(recs[0].fingerprint(), recs[1].fingerprint());
+        // A machine-less (pre-provenance) report still yields a usable
+        // fingerprint via on-the-spot detection.
+        let old = report(vec![cell("warp", 1, 1.0)]);
+        let recs = old.run_records(7);
+        assert!(!recs[0].fingerprint().is_empty());
     }
 
     #[test]

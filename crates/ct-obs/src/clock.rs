@@ -23,6 +23,23 @@ pub fn now() -> Instant {
     Instant::now()
 }
 
+/// Read the wall clock as unix milliseconds.
+///
+/// The perf trajectory store (`ct-perfdb`) timestamps run records with
+/// wall time so cross-run trends line up across machines and restarts —
+/// a monotonic instant is meaningless outside its own process. This is
+/// the one sanctioned `SystemTime` read; producers (`gups --record`,
+/// `tracereport --record`, the distributed example) take the value from
+/// here instead of touching `SystemTime` themselves, keeping the
+/// `raw-clock` lint's single-time-source guarantee intact.
+#[must_use]
+pub fn unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +50,11 @@ mod tests {
         let b = now();
         assert!(b >= a);
         assert!(a.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn unix_millis_is_past_2020() {
+        // 2020-01-01 in unix ms; a sane host clock is well past it.
+        assert!(unix_millis() > 1_577_836_800_000);
     }
 }

@@ -688,47 +688,116 @@ impl MetricsSnapshot {
         })
     }
 
-    /// Render as a Prometheus-style text exposition (`ifdk_*` metric
-    /// families, one `# TYPE` line each, labels for stage/ring names).
+    /// Render as a Prometheus text exposition: every `ifdk_*` family
+    /// carries `# HELP` and `# TYPE` lines, counters end in `_total`,
+    /// and time/size series use base-unit suffixes (`_seconds`,
+    /// `_bytes`) per the exposition-format conventions, so the output
+    /// scrapes cleanly into a real Prometheus without relabelling.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "# TYPE ifdk_snapshot_seq counter");
+        fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+        family(
+            &mut out,
+            "ifdk_snapshot_seq",
+            "Sequence number of this metrics frame.",
+            "gauge",
+        );
         let _ = writeln!(out, "ifdk_snapshot_seq {}", self.seq);
-        let _ = writeln!(out, "# TYPE ifdk_uptime_seconds gauge");
+        family(
+            &mut out,
+            "ifdk_uptime_seconds",
+            "Seconds since the live registry started sampling.",
+            "gauge",
+        );
         let _ = writeln!(out, "ifdk_uptime_seconds {}", self.t_ns as f64 / 1e9);
-        let _ = writeln!(out, "# TYPE ifdk_watchdog_trips counter");
-        let _ = writeln!(out, "ifdk_watchdog_trips {}", self.watchdog_trips);
+        family(
+            &mut out,
+            "ifdk_watchdog_trips_total",
+            "Stall-watchdog trips recorded so far.",
+            "counter",
+        );
+        let _ = writeln!(out, "ifdk_watchdog_trips_total {}", self.watchdog_trips);
         if !self.stages.is_empty() {
-            let _ = writeln!(out, "# TYPE ifdk_stage_done counter");
-            for s in &self.stages {
-                let _ = writeln!(out, "ifdk_stage_done{{stage=\"{}\"}} {}", s.name, s.done);
-            }
-            let _ = writeln!(out, "# TYPE ifdk_stage_busy_seconds counter");
+            family(
+                &mut out,
+                "ifdk_stage_done_total",
+                "Work items completed per pipeline stage.",
+                "counter",
+            );
             for s in &self.stages {
                 let _ = writeln!(
                     out,
-                    "ifdk_stage_busy_seconds{{stage=\"{}\"}} {}",
+                    "ifdk_stage_done_total{{stage=\"{}\"}} {}",
+                    s.name, s.done
+                );
+            }
+            family(
+                &mut out,
+                "ifdk_stage_busy_seconds_total",
+                "Cumulative busy seconds per pipeline stage.",
+                "counter",
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "ifdk_stage_busy_seconds_total{{stage=\"{}\"}} {}",
                     s.name,
                     s.busy_ns as f64 / 1e9
                 );
             }
-            let _ = writeln!(out, "# TYPE ifdk_stage_p95_seconds gauge");
-            for s in &self.stages {
-                let _ = writeln!(
-                    out,
-                    "ifdk_stage_p95_seconds{{stage=\"{}\"}} {}",
-                    s.name,
-                    s.p95_ns as f64 / 1e9
+            for (suffix, help, pick) in [
+                (
+                    "p50",
+                    "Median per-item latency per stage, seconds.",
+                    (|s: &StageSnapshot| s.p50_ns) as fn(&StageSnapshot) -> u64,
+                ),
+                (
+                    "p95",
+                    "95th-percentile per-item latency per stage, seconds.",
+                    |s: &StageSnapshot| s.p95_ns,
+                ),
+                (
+                    "p99",
+                    "99th-percentile per-item latency per stage, seconds.",
+                    |s: &StageSnapshot| s.p99_ns,
+                ),
+            ] {
+                family(
+                    &mut out,
+                    &format!("ifdk_stage_{suffix}_seconds"),
+                    help,
+                    "gauge",
                 );
+                for s in &self.stages {
+                    let _ = writeln!(
+                        out,
+                        "ifdk_stage_{suffix}_seconds{{stage=\"{}\"}} {}",
+                        s.name,
+                        pick(s) as f64 / 1e9
+                    );
+                }
             }
         }
         if !self.rings.is_empty() {
-            let _ = writeln!(out, "# TYPE ifdk_ring_len gauge");
+            family(
+                &mut out,
+                "ifdk_ring_len",
+                "Current occupancy of each circular buffer.",
+                "gauge",
+            );
             for r in &self.rings {
                 let _ = writeln!(out, "ifdk_ring_len{{ring=\"{}\"}} {}", r.name, r.state.len);
             }
-            let _ = writeln!(out, "# TYPE ifdk_ring_worst_wait_seconds gauge");
+            family(
+                &mut out,
+                "ifdk_ring_worst_wait_seconds",
+                "Worst observed blocked wait per ring (completed or in flight), seconds.",
+                "gauge",
+            );
             for r in &self.rings {
                 let _ = writeln!(
                     out,
@@ -737,17 +806,71 @@ impl MetricsSnapshot {
                     r.state.worst_wait_ns() as f64 / 1e9
                 );
             }
+            family(
+                &mut out,
+                "ifdk_ring_push_stall_seconds_total",
+                "Cumulative seconds producers spent blocked on a full ring.",
+                "counter",
+            );
+            for r in &self.rings {
+                let _ = writeln!(
+                    out,
+                    "ifdk_ring_push_stall_seconds_total{{ring=\"{}\"}} {}",
+                    r.name,
+                    r.state.push_stall_ns as f64 / 1e9
+                );
+            }
+            family(
+                &mut out,
+                "ifdk_ring_pop_stall_seconds_total",
+                "Cumulative seconds consumers spent blocked on an empty ring.",
+                "counter",
+            );
+            for r in &self.rings {
+                let _ = writeln!(
+                    out,
+                    "ifdk_ring_pop_stall_seconds_total{{ring=\"{}\"}} {}",
+                    r.name,
+                    r.state.pop_stall_ns as f64 / 1e9
+                );
+            }
         }
-        for (name, v) in &self.counters {
-            let _ = writeln!(out, "ifdk_counter{{name=\"{name}\"}} {v}");
+        if !self.counters.is_empty() {
+            family(
+                &mut out,
+                "ifdk_counter_total",
+                "Named application counters mirrored from the recorder.",
+                "counter",
+            );
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "ifdk_counter_total{{name=\"{name}\"}} {v}");
+            }
         }
-        for (name, v) in &self.gauges {
-            let _ = writeln!(out, "ifdk_gauge{{name=\"{name}\"}} {v}");
+        if !self.gauges.is_empty() {
+            family(
+                &mut out,
+                "ifdk_gauge",
+                "Named application gauges mirrored from the recorder.",
+                "gauge",
+            );
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "ifdk_gauge{{name=\"{name}\"}} {v}");
+            }
         }
         if let Some(p) = &self.progress {
-            let _ = writeln!(out, "# TYPE ifdk_progress_frac gauge");
-            let _ = writeln!(out, "ifdk_progress_frac {}", p.frac);
-            let _ = writeln!(out, "# TYPE ifdk_eta_seconds gauge");
+            family(
+                &mut out,
+                "ifdk_progress_ratio",
+                "Fraction of planned pipeline work completed, 0 to 1.",
+                "gauge",
+            );
+            let _ = writeln!(out, "ifdk_progress_ratio {}", p.frac);
+            family(
+                &mut out,
+                "ifdk_eta_seconds",
+                "Estimated seconds until pipeline completion.",
+                "gauge",
+            );
             let _ = writeln!(out, "ifdk_eta_seconds {}", p.eta_ns as f64 / 1e9);
         }
         out
@@ -1179,10 +1302,42 @@ mod tests {
         reg.stage("filter").record(1_000);
         reg.watch_ring(RingProbe::new("ring.x", RingLiveState::default));
         let text = reg.prometheus();
-        assert!(text.contains("ifdk_stage_done{stage=\"filter\"} 1"));
+        assert!(text.contains("ifdk_stage_done_total{stage=\"filter\"} 1"));
         assert!(text.contains("ifdk_ring_len{ring=\"ring.x\"} 0"));
-        assert!(text.contains("ifdk_progress_frac 0.25"));
-        assert!(text.contains("# TYPE ifdk_watchdog_trips counter"));
+        assert!(text.contains("ifdk_progress_ratio 0.25"));
+        assert!(text.contains("# TYPE ifdk_watchdog_trips_total counter"));
+        assert!(text.contains("ifdk_stage_p50_seconds{stage=\"filter\"}"));
+        assert!(text.contains("ifdk_stage_p99_seconds{stage=\"filter\"}"));
+        assert!(text.contains("ifdk_ring_push_stall_seconds_total{ring=\"ring.x\"} 0"));
+        assert!(text.contains("ifdk_ring_pop_stall_seconds_total{ring=\"ring.x\"} 0"));
+        // Exposition-format hygiene: every exported family has HELP and
+        // TYPE, every TYPE'd family is exported, and counters end in
+        // `_total`.
+        let mut typed = std::collections::BTreeSet::new();
+        let mut helped = std::collections::BTreeSet::new();
+        let mut exported = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().unwrap_or_default().to_string();
+                if it.next() == Some("counter") {
+                    assert!(name.ends_with("_total"), "counter without _total: {name}");
+                }
+                typed.insert(name);
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(
+                    rest.split_whitespace()
+                        .next()
+                        .unwrap_or_default()
+                        .to_string(),
+                );
+            } else if !line.is_empty() {
+                let name = line.split(['{', ' ']).next().unwrap_or_default();
+                exported.insert(name.to_string());
+            }
+        }
+        assert_eq!(typed, exported, "every exported family is TYPE'd");
+        assert_eq!(typed, helped, "every TYPE'd family has HELP");
     }
 
     fn ev(name: &'static str, start: u64) -> SpanEvent {

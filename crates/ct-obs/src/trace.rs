@@ -114,13 +114,6 @@ impl Hist {
         self.buckets.iter().sum()
     }
 
-    /// Number of samples recorded.
-    #[deprecated(note = "`total` reads like a summed duration but is a sample count; \
-                         use `count()`")]
-    pub fn total(&self) -> u64 {
-        self.count()
-    }
-
     /// Count in one bucket.
     pub fn bucket_count(&self, bucket: usize) -> u64 {
         self.buckets[bucket.min(63)]

@@ -1,0 +1,296 @@
+//! Robust trajectory analytics: median/MAD statistics, latest-run
+//! regression verdicts and change-point scans.
+//!
+//! Perf series are heavy-tailed — one noisy-neighbour run should not
+//! move the baseline — so everything here is built on the median and
+//! the median absolute deviation (MAD) rather than mean/stddev. The MAD
+//! is rescaled by 1.4826 (the normal-consistency constant) so `nsigma`
+//! thresholds read like familiar z-scores, and a relative floor keeps a
+//! near-zero MAD (identical repeated measurements) from flagging
+//! harmless jitter as a regression.
+
+/// Median of `values` (ignores non-finite entries). `None` when no
+/// finite values remain.
+pub fn median(values: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    })
+}
+
+/// Median absolute deviation around the median. `None` when `values`
+/// has no finite entries.
+pub fn mad(values: &[f64]) -> Option<f64> {
+    let m = median(values)?;
+    let dev: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .map(|x| (x - m).abs())
+        .collect();
+    median(&dev)
+}
+
+/// Which direction of change is *bad* for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better (throughput: GUPS, overlap efficiency). A drop
+    /// is a regression.
+    Higher,
+    /// Lower is better (latency: stage p95, stall seconds). A rise is
+    /// a regression.
+    Lower,
+}
+
+impl Direction {
+    /// Parse a CLI spelling (`higher` / `lower`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "higher" => Ok(Self::Higher),
+            "lower" => Ok(Self::Lower),
+            other => Err(format!(
+                "unknown direction {other:?} (expected \"higher\" or \"lower\")"
+            )),
+        }
+    }
+}
+
+/// Tuning for regression / change-point detection.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionPolicy {
+    /// How many preceding runs form the baseline window.
+    pub window: usize,
+    /// Robust z-score threshold: flag when the run sits more than
+    /// `nsigma` scale units on the bad side of the baseline median.
+    pub nsigma: f64,
+    /// Relative noise floor: the detection scale is at least
+    /// `rel_floor * |median|`, so a window of identical measurements
+    /// (MAD = 0) does not flag sub-noise jitter.
+    pub rel_floor: f64,
+    /// Which direction of change is bad.
+    pub direction: Direction,
+}
+
+impl Default for RegressionPolicy {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            nsigma: 4.0,
+            rel_floor: 0.05,
+            direction: Direction::Higher,
+        }
+    }
+}
+
+impl RegressionPolicy {
+    /// The detection scale for a baseline window: normal-consistent MAD
+    /// (`1.4826 * mad`) floored at `rel_floor * |median|`.
+    fn scale(&self, baseline_median: f64, baseline_mad: f64) -> f64 {
+        let consistent = 1.4826 * baseline_mad;
+        let floor = self.rel_floor * baseline_median.abs();
+        consistent.max(floor)
+    }
+}
+
+/// The outcome of judging the latest run against its baseline window.
+#[derive(Debug, Clone, Copy)]
+pub struct Verdict {
+    /// Baseline window size actually used (≤ policy window).
+    pub n: usize,
+    /// Baseline median.
+    pub baseline: f64,
+    /// Baseline MAD (raw, not rescaled).
+    pub mad: f64,
+    /// Detection scale (consistent MAD with relative floor applied).
+    pub scale: f64,
+    /// The judged (latest) value.
+    pub latest: f64,
+    /// The acceptance bound the latest value was compared against:
+    /// `baseline - nsigma*scale` for [`Direction::Higher`],
+    /// `baseline + nsigma*scale` for [`Direction::Lower`].
+    pub bound: f64,
+    /// Did the latest value cross the bound on the bad side?
+    pub regressed: bool,
+}
+
+/// Judge the last value of `values` against the (up to) `policy.window`
+/// values preceding it. Returns `None` when there are fewer than two
+/// values (nothing to compare against).
+pub fn check_latest(values: &[f64], policy: &RegressionPolicy) -> Option<Verdict> {
+    let (&latest, history) = values.split_last()?;
+    if history.is_empty() {
+        return None;
+    }
+    let start = history.len().saturating_sub(policy.window);
+    let window = &history[start..];
+    let baseline = median(window)?;
+    let window_mad = mad(window)?;
+    let scale = policy.scale(baseline, window_mad);
+    let (bound, regressed) = match policy.direction {
+        Direction::Higher => {
+            let b = baseline - policy.nsigma * scale;
+            (b, latest < b)
+        }
+        Direction::Lower => {
+            let b = baseline + policy.nsigma * scale;
+            (b, latest > b)
+        }
+    };
+    Some(Verdict {
+        n: window.len(),
+        baseline,
+        mad: window_mad,
+        scale,
+        latest,
+        bound,
+        regressed,
+    })
+}
+
+/// A point in the series that departed from its trailing window.
+#[derive(Debug, Clone, Copy)]
+pub struct ChangePoint {
+    /// Index into the input series.
+    pub index: usize,
+    /// The departing value.
+    pub value: f64,
+    /// Median of the trailing window it departed from.
+    pub baseline: f64,
+    /// Robust z-score (signed: negative means below baseline).
+    pub z: f64,
+}
+
+/// Scan the whole series for values more than `policy.nsigma` scale
+/// units from the median of their trailing window (two-sided — a trend
+/// report wants to see improvements shift the level too, not just
+/// regressions). Each value needs at least two predecessors in-window
+/// to be judged.
+pub fn change_points(values: &[f64], policy: &RegressionPolicy) -> Vec<ChangePoint> {
+    let mut out = Vec::new();
+    for i in 2..values.len() {
+        let start = i.saturating_sub(policy.window);
+        let window = &values[start..i];
+        let (baseline, window_mad) = match (median(window), mad(window)) {
+            (Some(m), Some(d)) => (m, d),
+            _ => continue,
+        };
+        let scale = policy.scale(baseline, window_mad);
+        if scale <= 0.0 {
+            continue;
+        }
+        let z = (values[i] - baseline) / scale;
+        if z.abs() >= policy.nsigma {
+            out.push(ChangePoint {
+                index: i,
+                value: values[i],
+                baseline,
+                z,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), Some(0.0));
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 100.0]), Some(1.0));
+        // Non-finite entries are ignored, not poisonous.
+        assert_eq!(median(&[1.0, f64::INFINITY, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn clean_series_passes() {
+        let vals = [0.20, 0.21, 0.205, 0.198, 0.202, 0.207];
+        let v = check_latest(&vals, &RegressionPolicy::default()).expect("verdict");
+        assert!(!v.regressed, "steady series must not flag: {v:?}");
+    }
+
+    #[test]
+    fn collapse_is_flagged_for_higher_is_better() {
+        let vals = [0.20, 0.21, 0.205, 0.198, 0.202, 0.10];
+        let v = check_latest(&vals, &RegressionPolicy::default()).expect("verdict");
+        assert!(v.regressed, "50% throughput drop must flag: {v:?}");
+        assert_eq!(v.latest, 0.10);
+        assert_eq!(v.n, 5);
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let vals = [0.20, 0.21, 0.205, 0.198, 0.202, 0.40];
+        let v = check_latest(&vals, &RegressionPolicy::default()).expect("verdict");
+        assert!(!v.regressed, "doubling throughput is not a regression");
+    }
+
+    #[test]
+    fn lower_is_better_flags_rises() {
+        let policy = RegressionPolicy {
+            direction: Direction::Lower,
+            ..RegressionPolicy::default()
+        };
+        let steady = [1.0, 1.05, 0.98, 1.02, 1.01];
+        assert!(!check_latest(&steady, &policy).expect("verdict").regressed);
+        let spike = [1.0, 1.05, 0.98, 1.02, 2.5];
+        assert!(check_latest(&spike, &policy).expect("verdict").regressed);
+    }
+
+    #[test]
+    fn zero_mad_window_uses_relative_floor() {
+        // Identical history: MAD = 0. A 1% wobble sits inside the 5%
+        // relative floor; a 40% collapse does not.
+        let wobble = [0.2, 0.2, 0.2, 0.2, 0.202];
+        let policy = RegressionPolicy {
+            nsigma: 1.0,
+            ..RegressionPolicy::default()
+        };
+        assert!(!check_latest(&wobble, &policy).expect("verdict").regressed);
+        let crash = [0.2, 0.2, 0.2, 0.2, 0.12];
+        assert!(check_latest(&crash, &policy).expect("verdict").regressed);
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        // Old slow era outside the window must not mask a fresh drop.
+        let policy = RegressionPolicy {
+            window: 4,
+            ..RegressionPolicy::default()
+        };
+        let vals = [0.05, 0.05, 0.30, 0.31, 0.29, 0.30, 0.15];
+        let v = check_latest(&vals, &policy).expect("verdict");
+        assert_eq!(v.n, 4);
+        assert!(v.regressed, "drop vs recent window must flag: {v:?}");
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(check_latest(&[], &RegressionPolicy::default()).is_none());
+        assert!(check_latest(&[0.2], &RegressionPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn change_points_find_the_step() {
+        let vals = [0.20, 0.205, 0.198, 0.202, 0.31, 0.305, 0.31, 0.308];
+        let cps = change_points(&vals, &RegressionPolicy::default());
+        assert!(
+            cps.iter().any(|c| c.index == 4 && c.z > 0.0),
+            "step up at index 4 must appear: {cps:?}"
+        );
+        let flat = [0.20, 0.205, 0.198, 0.202, 0.201, 0.199];
+        assert!(change_points(&flat, &RegressionPolicy::default()).is_empty());
+    }
+}

@@ -5,7 +5,8 @@
 //! cargo run --release -p ifdk-examples --bin distributed_reconstruction -- \
 //!     --size 64 --np 64 --rows 4 --cols 4 [--trace trace.json] [--analyze] \
 //!     [--live metrics.jsonl] [--live-period-ms 100] [--stall-ms 30000] \
-//!     [--flight-dump flight.json] [--throttle-bp-ms 0]
+//!     [--flight-dump flight.json] [--throttle-bp-ms 0] \
+//!     [--record trajectory.jsonl]
 //! ```
 //!
 //! Launches `rows x cols` ranks (threads), each running the three-thread
@@ -37,6 +38,13 @@
 //! back-projection thread and `--ring-capacity` shrinks the circular
 //! buffers — together a fault injector for demonstrating back-pressure
 //! and a watchdog trip (see EXPERIMENTS.md).
+//!
+//! With `--record <path>` the run's outcome — end-to-end seconds, GUPS,
+//! communication traffic, NRMSE vs single-node, overlap efficiency
+//! (when `--analyze`), watchdog trips (when live) — is appended as one
+//! `ifdk-run/v1` record to the `ct-perfdb` trajectory store, keyed by
+//! kernel (`IFDK_KERNEL`), grid shape and problem size, so `perfscope`
+//! can trend distributed runs alongside the bench sweeps.
 
 use ct_core::forward::project_all_analytic;
 use ct_core::metrics::nrmse;
@@ -68,6 +76,7 @@ fn main() {
     let flight_dump = arg_str(&args, "flight-dump");
     let throttle_bp_ms = arg_usize(&args, "throttle-bp-ms", 0);
     let ring_capacity = arg_usize(&args, "ring-capacity", 0);
+    let record_path = arg_str(&args, "record");
 
     let geo = CbctGeometry::standard(Dims2::new(2 * n, 2 * n), np, Dims3::cube(n));
     let grid = RankGrid::new(rows, cols).expect("valid grid");
@@ -156,10 +165,12 @@ fn main() {
     println!("\nmodel (ABCI constants) vs. measured (this machine):");
     print!("{div}");
 
-    if analyze {
-        let a = report
+    let analysis = analyze.then(|| {
+        report
             .pipeline_analysis()
-            .expect("trace-mode capture analyzes");
+            .expect("trace-mode capture analyzes")
+    });
+    if let Some(a) = &analysis {
         println!("\ncritical-path & overlap analysis (offline, from the capture):");
         print!("{a}");
     }
@@ -212,6 +223,32 @@ fn main() {
             check.span_events,
             check.ranks.len()
         );
+    }
+
+    if let Some(db) = &record_path {
+        let mut r = ct_perfdb::RunRecord::new(
+            "distributed",
+            ct_obs::clock::unix_millis(),
+            ct_perfdb::MachineInfo::detect(),
+        );
+        r.config.kernel = ct_bp::lanes::KernelImpl::from_env().name().to_string();
+        r.config.threads = grid.n_ranks() as u64;
+        r.config.grid_rows = rows as u64;
+        r.config.grid_cols = cols as u64;
+        r.config.problem = format!("{n}^3 x {np}p");
+        r.set_metric("runtime_secs", report.runtime_secs)
+            .set_metric("gups", report.gups)
+            .set_metric("comm_messages", report.comm_messages as f64)
+            .set_metric("comm_bytes", report.comm_bytes as f64)
+            .set_metric("nrmse_vs_single", err);
+        if let Some(a) = &analysis {
+            r.set_metric("overlap_efficiency", a.overlap_efficiency);
+        }
+        if let Some(live) = &report.live {
+            r.set_metric("watchdog_trips", live.trips.len() as f64);
+        }
+        ct_perfdb::PerfDb::append(std::path::Path::new(db), &[r]).expect("append perf trajectory");
+        println!("\nrecorded run -> {db} (query: ifdk-bench --bin perfscope)");
     }
 
     println!("\ncentral slice of the distributed reconstruction:");
