@@ -166,7 +166,11 @@ impl<'a> LaneSampler<'a> {
 
     /// Wrap a whole batch of projections.
     pub fn wrap(projs: &'a [&TransposedProjection], mode: LaneMode) -> Vec<LaneSampler<'a>> {
-        projs.iter().map(|p| Self::new(p, mode)).collect()
+        // analyze: allow(alloc, reason = "batch setup: one sampler table per projection batch, built before the per-column sweep starts")
+        let mut out = Vec::with_capacity(projs.len());
+        // analyze: allow(alloc, reason = "bounded: capacity reserved above at projs.len(); extend fills exactly that many slots")
+        out.extend(projs.iter().map(|p| Self::new(p, mode)));
+        out
     }
 
     /// Blend one element exactly as the reference does (strict) or with

@@ -148,11 +148,17 @@ impl SweepBuffers {
     /// Buffers for a depth sweep of `len` voxel pairs.
     pub fn new(len: usize) -> Self {
         Self {
-            up: vec![0.0; len],
-            down: vec![0.0; len],
-            vs: vec![0.0; len],
-            vs_m: vec![0.0; len],
+            up: Self::column(len),
+            down: Self::column(len),
+            vs: Self::column(len),
+            vs_m: Self::column(len),
         }
+    }
+
+    /// One zeroed sweep column.
+    fn column(len: usize) -> Vec<f32> {
+        // analyze: allow(alloc, reason = "constructor: sweep buffers are allocated once per worker/tile and reused across every column")
+        vec![0.0; len]
     }
 
     /// Zero the accumulators for the next column.

@@ -584,6 +584,7 @@ pub mod json {
                 self.pos += 1;
                 Ok(())
             } else {
+                // analyze: allow(alloc, reason = "cold JSON parse-error path; reachable from the ring hot path only through `.expect` method-name over-approximation (DESIGN 6c)")
                 Err(format!(
                     "expected {:?} at byte {}, found {:?}",
                     b as char,

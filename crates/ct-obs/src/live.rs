@@ -910,6 +910,7 @@ impl FlightLane {
             ring.events.pop_front();
             ring.dropped += 1;
         }
+        // analyze: allow(alloc, reason = "bounded flight ring: capacity reserved in new() and the eviction above keeps len < capacity, so push_back never reallocates")
         ring.events.push_back(event);
     }
 

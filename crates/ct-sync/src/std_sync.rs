@@ -105,6 +105,7 @@ impl Condvar {
             .expect("guard slot is only empty inside Condvar::wait");
         let std_guard = self
             .inner
+            // analyze: allow(lock, reason = "facade primitive: this is the single release/reacquire point; the predicate re-check loop is the callers' contract and this same pass enforces it at every call site")
             .wait(std_guard)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
@@ -119,6 +120,7 @@ impl Condvar {
             .expect("guard slot is only empty inside Condvar::wait_timeout");
         let (std_guard, result) = self
             .inner
+            // analyze: allow(lock, reason = "facade primitive: single release/reacquire point for timed waits; callers re-check their predicate in a loop, which this pass enforces at call sites")
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);

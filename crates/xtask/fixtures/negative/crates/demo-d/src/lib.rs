@@ -1,0 +1,67 @@
+//! Negative control: the three lock-discipline defect classes. `Pair`
+//! seeds a lock-order cycle (`ab` acquires a then b, `ba` the reverse),
+//! `publish` calls the conf-declared blocking `ring::push` under a live
+//! guard, and `wait_once` parks on a condvar outside any loop.
+//!
+//! The stub sync types below are never compiled by CI; the analyzer only
+//! needs the `.lock()` / `.wait(..)` call shapes to exercise its guard
+//! tracking.
+
+pub struct Mutex;
+pub struct MutexGuard;
+pub struct Condvar;
+
+impl Mutex {
+    pub fn lock(&self) -> MutexGuard {
+        MutexGuard
+    }
+}
+
+impl Condvar {
+    pub fn wait(&self, _guard: &mut MutexGuard) {}
+}
+
+pub mod ring {
+    /// Declared `blocking` in the fixture conf.
+    pub fn push(x: u32) -> u32 {
+        x
+    }
+}
+
+pub struct Pair {
+    a: Mutex,
+    b: Mutex,
+    m: Mutex,
+    cv: Condvar,
+}
+
+impl Pair {
+    /// Seeded defect half 1: acquires `a` then `b`.
+    pub fn ab(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+        0
+    }
+
+    /// Seeded defect half 2: acquires `b` then `a`, closing the cycle.
+    pub fn ba(&self) -> u32 {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+        1
+    }
+
+    /// Seeded defect: a blocking call made while a guard is live.
+    pub fn publish(&self) -> u32 {
+        let _g = self.a.lock();
+        crate::ring::push(1)
+    }
+
+    /// Seeded defect: `Condvar::wait` guarded by an `if`, not a loop, so
+    /// a spurious wakeup proceeds with the predicate still false.
+    pub fn wait_once(&self, ready: bool) {
+        let mut g = self.m.lock();
+        if !ready {
+            self.cv.wait(&mut g);
+        }
+    }
+}

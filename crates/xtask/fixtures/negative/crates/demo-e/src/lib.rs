@@ -1,0 +1,19 @@
+//! Negative control: a heap allocation reachable from the conf-declared
+//! alloc root `demo_e::kernel::sweep`. The defect is one call edge away
+//! from the root, so catching it requires allocation reachability to
+//! traverse the call graph, not just scan the root body.
+
+pub mod kernel {
+    /// The alloc root: stands in for a hot inner sweep. Allocation-free
+    /// itself; the seeded defect hides in the helper it calls.
+    pub fn sweep(xs: &[f32]) -> f32 {
+        crate::scratch::copy_out(xs).iter().sum()
+    }
+}
+
+pub mod scratch {
+    /// Seeded defect: an owned copy taken on the hot path.
+    pub fn copy_out(xs: &[f32]) -> Vec<f32> {
+        xs.to_vec()
+    }
+}

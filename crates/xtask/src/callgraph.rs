@@ -15,7 +15,10 @@ use crate::workspace::Workspace;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 pub struct CallGraph {
-    /// `edges[f]` = call targets of fn `f`, with the call's 1-based line.
+    /// `edges[f]` = call targets of fn `f`, with the call site's byte
+    /// offset in the caller's masked source (so passes can test call
+    /// sites against byte ranges like guard scopes; [`line_of`] maps an
+    /// offset back to a 1-based line for reporting).
     pub edges: Vec<Vec<(usize, usize)>>,
 }
 
@@ -62,7 +65,6 @@ impl CallGraph {
             let masked = &file.lexed.masked;
             let mut out: BTreeSet<(usize, usize)> = BTreeSet::new();
             for call in extract_calls(masked, b0, b1) {
-                let line = line_of(masked, call.at);
                 match call.kind {
                     CallKind::Method { name, args } => {
                         // A method call in crate C can only dispatch to
@@ -74,13 +76,13 @@ impl CallGraph {
                             if ws.fns[t].arity == args
                                 && ws.dep_closure[caller_crate].contains(&callee_crate)
                             {
-                                out.insert((t, line));
+                                out.insert((t, call.at));
                             }
                         }
                     }
                     CallKind::Path { segs } => {
                         for t in resolve_path(ws, f.file, i, &segs, &by_qual, &assoc, &free) {
-                            out.insert((t, line));
+                            out.insert((t, call.at));
                         }
                     }
                 }

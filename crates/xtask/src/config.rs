@@ -8,6 +8,8 @@
 //! root ct_bp::tiled                  # panic-reachability root (prefix)
 //! layer ct-bp: ct-core ct-obs ct-par # declared dependency edges
 //! result-crate ct-obs               # determinism-checked crate
+//! alloc-root ct_bp::warp::Sampler    # alloc-reachability root (prefix)
+//! blocking ct_sync::ring::RingBuffer::push # blocking fn (prefix)
 //! ```
 
 use std::collections::BTreeMap;
@@ -20,6 +22,13 @@ pub struct Config {
     pub layers: BTreeMap<String, Vec<String>>,
     /// Crates whose exported values must not depend on hash-map order.
     pub result_crates: Vec<String>,
+    /// Qualified-name prefixes seeding allocation reachability
+    /// (hot-path entry points that must not touch the heap).
+    pub alloc_roots: Vec<String>,
+    /// Qualified-name prefixes of functions that may block the calling
+    /// thread (ring/channel ops, condvar waits, parallel-fs I/O); the
+    /// lock-discipline pass flags calls into them under a live guard.
+    pub blocking: Vec<String>,
     /// Where the config was read from (for diagnostics).
     pub path: std::path::PathBuf,
 }
@@ -37,6 +46,8 @@ impl Config {
             roots: Vec::new(),
             layers: BTreeMap::new(),
             result_crates: Vec::new(),
+            alloc_roots: Vec::new(),
+            blocking: Vec::new(),
             path,
         };
         for (idx, raw) in text.lines().enumerate() {
@@ -62,6 +73,8 @@ impl Config {
                     );
                 }
                 "result-crate" => conf.result_crates.push(rest.to_string()),
+                "alloc-root" => conf.alloc_roots.push(rest.to_string()),
+                "blocking" => conf.blocking.push(rest.to_string()),
                 other => {
                     return Err(format!(
                         "{}:{}: unknown directive {other:?}",
@@ -83,12 +96,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_all_three_directive_kinds() {
+    fn parses_every_directive_kind() {
         let dir = std::env::temp_dir().join("xtask-conf-fixture");
         std::fs::create_dir_all(dir.join("ci")).expect("fixture dir");
         std::fs::write(
             dir.join("ci/analyze.conf"),
-            "# comment\nroot ct_bp::tiled\nlayer ct-bp: ct-core ct-obs\nlayer ct-obs:\nresult-crate ct-obs\n",
+            "# comment\nroot ct_bp::tiled\nlayer ct-bp: ct-core ct-obs\nlayer ct-obs:\nresult-crate ct-obs\n\
+             alloc-root ct_bp::warp\nblocking ct_sync::ring::RingBuffer::push\n",
         )
         .expect("write conf");
         let conf = Config::load(&dir).expect("conf loads");
@@ -99,6 +113,8 @@ mod tests {
         );
         assert_eq!(conf.layers.get("ct-obs"), Some(&Vec::new()));
         assert_eq!(conf.result_crates, vec!["ct-obs"]);
+        assert_eq!(conf.alloc_roots, vec!["ct_bp::warp"]);
+        assert_eq!(conf.blocking, vec!["ct_sync::ring::RingBuffer::push"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,533 @@
+//! Guard-scope tracking over masked function bodies.
+//!
+//! The lock-discipline pass needs to know, for every byte of a function
+//! body, which lock guards are live there. A token-level analyzer
+//! cannot type expressions, so a *guard* is recognized syntactically: a
+//! zero-argument `.lock()`, `.read()` or `.write()` call (trailing
+//! adapters like `.unwrap_or_else(..)` are tolerated — the std mutex
+//! poison dance). Its liveness is:
+//!
+//! * **bound** (`let [mut] g = recv.lock();`): from the call to the
+//!   earliest of a `drop(g)` naming the *same* binding or the end of
+//!   the enclosing block. Shadowing (`let g = a.lock(); let g =
+//!   b.lock();`) does **not** end the first guard — both stay live, as
+//!   in Rust — and a later `drop(g)` closes only the latest shadow
+//!   whose scope contains it. An early `return` inside a branch does
+//!   not shorten the scope either: the branch may not execute, so
+//!   sites after it in the same block still run under the guard.
+//! * **temporary** (`recv.lock().field += 1;`): to the end of the
+//!   statement (the next `;` at bracket depth zero, bounded by the
+//!   enclosing block).
+//!
+//! Guards that escape their function — returned from guard-helper fns
+//! like `fn state(&self) -> MutexGuard<..> { self.m.lock() }` — are
+//! *not* tracked into the caller; that is a documented hole in the
+//! soundness envelope (DESIGN §6c).
+//!
+//! The module also extracts `Condvar` wait sites (`.wait(..)` /
+//! `.wait_timeout(..)` method calls) and answers the one question the
+//! wait-without-loop rule asks: is this site syntactically inside a
+//! `while` or `loop` block of the same function?
+
+/// One recognized guard acquisition and its live byte range.
+#[derive(Clone, Debug)]
+pub struct Guard {
+    /// Binding name (`let g = ..`), or `None` for a temporary guard.
+    pub name: Option<String>,
+    /// Normalized receiver of the lock call (`self.shared.state`).
+    pub receiver: String,
+    /// Byte offset of the `.lock()` / `.read()` / `.write()` dot.
+    pub at: usize,
+    /// Liveness range: `at .. end` (end exclusive).
+    pub end: usize,
+}
+
+impl Guard {
+    /// Is byte offset `pos` inside this guard's live range (strictly
+    /// after the acquisition itself)?
+    pub fn covers(&self, pos: usize) -> bool {
+        pos > self.at && pos < self.end
+    }
+}
+
+/// A `.wait(..)` / `.wait_timeout(..)` method-call site.
+#[derive(Debug)]
+pub struct WaitSite {
+    /// Byte offset of the `.wait` dot.
+    pub at: usize,
+    /// The raw argument text between the call's parentheses.
+    pub args: String,
+    /// Is the site syntactically inside a `while`/`loop` block?
+    pub in_loop: bool,
+}
+
+const GUARD_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Extract every guard scope in the body span `b0..b1` of `masked`.
+pub fn guard_scopes(masked: &str, b0: usize, b1: usize) -> Vec<Guard> {
+    let b = masked.as_bytes();
+    let end = b1.min(b.len());
+    let mut out: Vec<Guard> = Vec::new();
+    for needle in GUARD_CALLS {
+        let mut from = b0;
+        while let Some(p) = masked[from..end].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            let (recv_start, receiver) = receiver_before(masked, b0, at);
+            if receiver.is_empty() {
+                continue; // `..range` or stray text, not a method call
+            }
+            let name = binding_name(masked, b0, recv_start);
+            let scope_end = match name {
+                Some(_) => block_end(b, at, end),
+                None => statement_end(b, at, end),
+            };
+            out.push(Guard {
+                name,
+                receiver,
+                at,
+                end: scope_end,
+            });
+        }
+    }
+    // `drop(g)` closes the *latest* shadow of `g` whose scope contains
+    // the drop — matching Rust, where `drop` sees the visible binding.
+    let mut dp = b0;
+    while let Some(p) = masked[dp..end].find("drop") {
+        let at = dp + p;
+        dp = at + 4;
+        if at > b0 && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+            continue;
+        }
+        let Some(dropped) = drop_argument(masked, at + 4, end) else {
+            continue;
+        };
+        let mut best: Option<usize> = None;
+        for (i, g) in out.iter().enumerate() {
+            if g.name.as_deref() == Some(dropped.as_str())
+                && g.covers(at)
+                && best.is_none_or(|b| out[b].at < g.at)
+            {
+                best = Some(i);
+            }
+        }
+        if let Some(i) = best {
+            out[i].end = at;
+        }
+    }
+    out.sort_by_key(|g| g.at);
+    out
+}
+
+/// Extract `.wait(` / `.wait_timeout(` sites with their loop context.
+pub fn wait_sites(masked: &str, b0: usize, b1: usize) -> Vec<WaitSite> {
+    let b = masked.as_bytes();
+    let end = b1.min(b.len());
+    let mut out = Vec::new();
+    for needle in [".wait(", ".wait_timeout("] {
+        let mut from = b0;
+        while let Some(p) = masked[from..end].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            let open = at + needle.len() - 1;
+            let close = matching_close(b, open, end);
+            out.push(WaitSite {
+                at,
+                args: masked[open + 1..close.min(end)].to_string(),
+                in_loop: in_loop(masked, b0, at),
+            });
+        }
+    }
+    out.sort_by_key(|w| w.at);
+    out
+}
+
+/// Does `args` mention `name` as a standalone word? Used for the
+/// condvar exception: `cv.wait(&mut g)` releases `g`'s own mutex.
+pub fn args_name_guard(args: &str, name: &str) -> bool {
+    let b = args.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = args[from..].find(name) {
+        let at = from + p;
+        from = at + name.len();
+        let before = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let e = at + name.len();
+        let after = e >= args.len() || !(b[e].is_ascii_alphanumeric() || b[e] == b'_');
+        if before && after {
+            return true;
+        }
+    }
+    false
+}
+
+/// Walk the receiver expression backwards from the dot at `at`:
+/// identifier segments joined by `.`, whitespace between tokens
+/// tolerated (multi-line builder chains). Returns the receiver's start
+/// offset and its normalized (whitespace-free) text; empty when the
+/// receiver is not a plain place expression (e.g. ends with `)`).
+fn receiver_before(masked: &str, b0: usize, at: usize) -> (usize, String) {
+    let b = masked.as_bytes();
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = at;
+    loop {
+        while j > b0 && b[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        let e = j;
+        while j > b0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+            j -= 1;
+        }
+        if j == e {
+            return (at, String::new());
+        }
+        segs.push(&masked[j..e]);
+        let mut k = j;
+        while k > b0 && b[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > b0 && b[k - 1] == b'.' {
+            j = k - 1;
+            continue;
+        }
+        break;
+    }
+    segs.reverse();
+    (j, segs.join("."))
+}
+
+/// If the statement containing `recv_start` is `let [mut] name [: ty] =`
+/// with the `=` immediately preceding the receiver, return the binding
+/// name. Tuple patterns, `if let`/`while let` and plain assignments
+/// yield `None` (temporary-guard semantics, the conservative default).
+fn binding_name(masked: &str, b0: usize, recv_start: usize) -> Option<String> {
+    let b = masked.as_bytes();
+    let mut s = recv_start;
+    while s > b0 && !matches!(b[s - 1], b';' | b'{' | b'}') {
+        s -= 1;
+    }
+    let head = masked[s..recv_start].trim();
+    let rest = head.strip_prefix("let")?;
+    if !rest.starts_with(char::is_whitespace) {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if name_end == 0 {
+        return None; // `let (a, b) = ..` and friends
+    }
+    let name = &rest[..name_end];
+    // Everything between the name and the trailing `=` must be a type
+    // annotation or nothing; a second `=` or a `.` means this is not a
+    // simple `let name = <lock call>` head.
+    let tail = rest[name_end..].trim();
+    let tail = tail.strip_suffix('=')?;
+    if tail.contains('=') || tail.contains('.') {
+        return None;
+    }
+    if !tail.is_empty() && !tail.trim_start().starts_with(':') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Offset of the `}` closing the innermost block enclosing `at`.
+fn block_end(b: &[u8], at: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < end {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// End of the statement containing `at`: the next `;` at bracket depth
+/// zero, bounded by the enclosing block's close.
+fn statement_end(b: &[u8], at: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < end {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// The identifier inside `drop( .. )` starting right after the `drop`
+/// word at `from`, if the argument is a single identifier.
+fn drop_argument(masked: &str, from: usize, end: usize) -> Option<String> {
+    let b = masked.as_bytes();
+    let mut i = from;
+    while i < end && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= end || b[i] != b'(' {
+        return None;
+    }
+    i += 1;
+    while i < end && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let s = i;
+    while i < end && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    if i == s {
+        return None;
+    }
+    let name = &masked[s..i];
+    while i < end && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    (i < end && b[i] == b')').then(|| name.to_string())
+}
+
+/// Byte offset of the `)` matching the `(` at `open`.
+fn matching_close(b: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Is `at` syntactically inside a `while`/`loop` block within `b0..at`?
+///
+/// Walks outwards through the enclosing braces; each block is
+/// classified by the first token of the statement that opens it
+/// (`while ..{`, `loop {`, optionally behind a `'label:`). `for` is
+/// deliberately *not* accepted: the rule targets condvar re-check
+/// loops, which the codebase writes as `while`/`loop`.
+fn in_loop(masked: &str, b0: usize, at: usize) -> bool {
+    let b = masked.as_bytes();
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > b0 {
+        i -= 1;
+        match b[i] {
+            b'}' => depth += 1,
+            b'{' => {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                // Found an enclosing open brace; classify its statement.
+                let mut s = i;
+                while s > b0 && !matches!(b[s - 1], b';' | b'{' | b'}') {
+                    s -= 1;
+                }
+                let head = masked[s..i].trim_start();
+                if head_is_loop(head) {
+                    return true;
+                }
+                // Value-position loops: `let result = loop {`, match
+                // arms `Some(_) => loop {`.
+                if let Some(eq) = head.rfind('=') {
+                    let tail = head[eq + 1..].trim_start_matches('>').trim_start();
+                    if head_is_loop(tail) {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does this statement head (label stripped) start with `while`/`loop`?
+fn head_is_loop(head: &str) -> bool {
+    let mut head = head;
+    // Strip a loop label (`'outer: loop {`).
+    if let Some(rest) = head.strip_prefix('\'') {
+        if let Some(colon) = rest.find(':') {
+            head = rest[colon + 1..].trim_start();
+        }
+    }
+    let word_end = head
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(head.len());
+    matches!(&head[..word_end], "while" | "loop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scopes(src: &str) -> Vec<Guard> {
+        let lx = crate::lexer::lex(src);
+        guard_scopes(&lx.masked, 0, lx.masked.len())
+    }
+
+    #[test]
+    fn bound_guard_runs_to_block_end() {
+        let src = "{ let mut st = self.shared.state.lock(); st.x += 1; after(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].name.as_deref(), Some("st"));
+        assert_eq!(g[0].receiver, "self.shared.state");
+        assert!(g[0].covers(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn drop_ends_the_scope_early() {
+        let src = "{ let g = m.lock(); use_it(&g); drop(g); notify(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].covers(src.find("use_it").unwrap()));
+        assert!(!g[0].covers(src.find("notify").unwrap()));
+    }
+
+    #[test]
+    fn nested_block_binding_ends_at_its_own_brace() {
+        let src = "{ outer(); { let g = m.lock(); inner(); } tail(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].covers(src.find("inner").unwrap()));
+        assert!(!g[0].covers(src.find("tail").unwrap()));
+        assert!(!g[0].covers(src.find("outer").unwrap()));
+    }
+
+    #[test]
+    fn early_return_does_not_shorten_the_scope() {
+        // The branch may not execute, so the call after it still runs
+        // under the guard and must stay covered.
+        let src = "{ let g = m.lock(); if c { return; } blocking(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].covers(src.find("blocking").unwrap()));
+    }
+
+    #[test]
+    fn shadowed_guards_both_stay_live_and_drop_closes_the_shadow() {
+        let src = "{ let g = a.lock(); let g = bb.lock(); drop(g); tail(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 2);
+        let first = g.iter().find(|g| g.receiver == "a").expect("first guard");
+        let second = g.iter().find(|g| g.receiver == "bb").expect("shadow");
+        let tail = src.find("tail").unwrap();
+        // Shadowing does not drop the original: it lives to block end.
+        assert!(first.covers(tail), "original guard must outlive the drop");
+        assert!(!second.covers(tail), "drop(g) closes the latest shadow");
+    }
+
+    #[test]
+    fn temporary_guard_covers_one_statement() {
+        let src = "{ self.chan.st.lock().senders += 1; next(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].name.is_none());
+        assert_eq!(g[0].receiver, "self.chan.st");
+        assert!(g[0].covers(src.find("senders").unwrap()));
+        assert!(!g[0].covers(src.find("next").unwrap()));
+    }
+
+    #[test]
+    fn multiline_builder_chain_receiver_is_joined() {
+        let src = "{\n    let samples = self\n        .samples\n        .lock();\n    go();\n}";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].receiver, "self.samples");
+        assert_eq!(g[0].name.as_deref(), Some("samples"));
+    }
+
+    #[test]
+    fn poison_adapter_and_annotation_still_bind() {
+        let src =
+            "{ let mut g: MutexGuard<u32> = m.lock().unwrap_or_else(|p| p.into_inner()); t(); }";
+        let g = scopes(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].name.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn if_let_and_tuple_patterns_are_temporaries() {
+        let g = scopes("{ if let Some(v) = slot.lock().take() { use_it(v); } t(); }");
+        assert_eq!(g.len(), 1);
+        assert!(g[0].name.is_none());
+        let g2 = scopes("{ let (a, b) = pair.lock(); t(); }");
+        assert_eq!(g2.len(), 1);
+        assert!(g2[0].name.is_none());
+    }
+
+    #[test]
+    fn range_expressions_are_not_guards() {
+        assert!(scopes("{ let r = data.get(iu * nv..(iu + 2) * nv); }").is_empty());
+    }
+
+    #[test]
+    fn wait_sites_classify_loop_context() {
+        let src = "{\n    loop {\n        if c { return; }\n        cv.wait(&mut st);\n    }\n    cv2.wait(&mut g);\n}";
+        let lx = crate::lexer::lex(src);
+        let w = wait_sites(&lx.masked, 0, lx.masked.len());
+        assert_eq!(w.len(), 2);
+        assert!(w[0].in_loop);
+        assert!(args_name_guard(&w[0].args, "st"));
+        assert!(!w[1].in_loop);
+    }
+
+    #[test]
+    fn value_position_loop_counts_as_loop() {
+        let src = "{ let result = loop {\n    if done { break 1; }\n    cv.wait(&mut st);\n}; }";
+        let lx = crate::lexer::lex(src);
+        let w = wait_sites(&lx.masked, 0, lx.masked.len());
+        assert_eq!(w.len(), 1);
+        assert!(w[0].in_loop, "wait in `let r = loop {{..}}` is in a loop");
+    }
+
+    #[test]
+    fn while_header_and_labels_count_as_loops() {
+        let src = "{ while st.full() { cv.wait(&mut st); } }";
+        let lx = crate::lexer::lex(src);
+        let w = wait_sites(&lx.masked, 0, lx.masked.len());
+        assert!(w[0].in_loop);
+        let src2 = "{ 'outer: loop { cv.wait(&mut st); } }";
+        let lx2 = crate::lexer::lex(src2);
+        let w2 = wait_sites(&lx2.masked, 0, lx2.masked.len());
+        assert!(w2[0].in_loop);
+    }
+
+    #[test]
+    fn wait_inside_if_inside_loop_is_still_in_loop() {
+        let src = "{ loop { let stopping = { if !*g { g = cv.wait_timeout(g, p); } *g }; } }";
+        let lx = crate::lexer::lex(src);
+        let w = wait_sites(&lx.masked, 0, lx.masked.len());
+        assert_eq!(w.len(), 1);
+        assert!(w[0].in_loop);
+        assert!(args_name_guard(&w[0].args, "g"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Hand-rolled JSON for `cargo xtask analyze --format json`.
+//!
+//! Same zero-dependency idiom as `ct_obs::jsonw` (xtask is a standalone
+//! workspace and depends on nothing, so it carries its own copy): the
+//! schema is small and versioned, and the writer emits fields in call
+//! order with ASCII-only string escaping.
+//!
+//! Document shape, schema `ifdk-analyze/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "ifdk-analyze/v1",
+//!   "subcommand": "analyze",
+//!   "clean": false,
+//!   "count": 2,
+//!   "findings": [
+//!     {"path": "crates/x/src/a.rs", "line": 7, "rule": "lock-order",
+//!      "message": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! Errors (exit 3) become `{"schema": "ifdk-analyze/v1", "error": "..."}`
+//! so CI consumers always parse one object per run.
+
+use crate::rules::Violation;
+use std::fmt::Write as _;
+
+pub const SCHEMA: &str = "ifdk-analyze/v1";
+
+/// Render a finished analyze run.
+pub fn findings_doc(what: &str, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "{}:{},{}:{},{}:{},{}:{},{}:[",
+        str_lit("schema"),
+        str_lit(SCHEMA),
+        str_lit("subcommand"),
+        str_lit(what),
+        str_lit("clean"),
+        violations.is_empty(),
+        str_lit("count"),
+        violations.len(),
+        str_lit("findings"),
+    );
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{{}:{},{}:{},{}:{},{}:{}}}",
+            str_lit("path"),
+            str_lit(&v.path.to_string_lossy().replace('\\', "/")),
+            str_lit("line"),
+            v.line,
+            str_lit("rule"),
+            str_lit(v.rule),
+            str_lit("message"),
+            str_lit(&v.msg),
+        );
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+/// Render a usage / internal error (the exit-3 path).
+pub fn error_doc(message: &str) -> String {
+    format!(
+        "{{{}:{},{}:{}}}\n",
+        str_lit("schema"),
+        str_lit(SCHEMA),
+        str_lit("error"),
+        str_lit(message),
+    )
+}
+
+/// JSON string literal: quotes, backslashes and control bytes escaped,
+/// non-ASCII as `\uXXXX` so consumers never see raw multibyte output.
+fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || (c as u32) > 0x7e => {
+                let mut buf = [0u16; 2];
+                for unit in c.encode_utf16(&mut buf) {
+                    let _ = write!(out, "\\u{:04x}", unit);
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn clean_run_renders_empty_findings() {
+        let doc = findings_doc("analyze", &[]);
+        assert_eq!(
+            doc,
+            "{\"schema\":\"ifdk-analyze/v1\",\"subcommand\":\"analyze\",\
+             \"clean\":true,\"count\":0,\"findings\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn findings_and_escapes_round_trip() {
+        let v = Violation {
+            path: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            rule: "lock-order",
+            msg: "cycle \"a\" -> b\nsee §6c".to_string(),
+        };
+        let doc = findings_doc("analyze", &[v]);
+        assert!(doc.contains("\"clean\":false,\"count\":1"), "{doc}");
+        assert!(
+            doc.contains("\"path\":\"crates/x/src/a.rs\",\"line\":7"),
+            "{doc}"
+        );
+        assert!(doc.contains("\\\"a\\\" -> b\\n"), "{doc}");
+        assert!(doc.contains("\\u00a7"), "non-ASCII must be escaped: {doc}");
+    }
+
+    #[test]
+    fn error_doc_is_one_object() {
+        let doc = error_doc("read ci/analyze.conf: not found");
+        assert!(
+            doc.starts_with("{\"schema\":\"ifdk-analyze/v1\",\"error\":"),
+            "{doc}"
+        );
+    }
+}

@@ -8,13 +8,18 @@
 //!   See [`rules`] for the rule table.
 //! * `analyze` — the static analyzer: a recursive-descent item parser
 //!   ([`parser`]) over the masking lexer, a conservative workspace call
-//!   graph ([`callgraph`]), and three passes ([`passes`]):
+//!   graph ([`callgraph`]), and five passes ([`passes`]):
 //!   panic-reachability from the back-projection hot-path roots,
-//!   crate-layering DAG checks, and hash-order determinism lints.
-//!   Roots and the declared layering live in `ci/analyze.conf`;
-//!   `--roots a,b` overrides the roots for ad-hoc queries and
-//!   `--dir <path>` analyzes another tree (used by CI to assert the
-//!   negative-control fixtures still fail).
+//!   crate-layering DAG checks, hash-order determinism lints,
+//!   lock-discipline (order cycles, blocking under a guard, condvar
+//!   waits without a re-check loop) over the guard scopes extracted by
+//!   [`guards`], and allocation-reachability from the `alloc-root`
+//!   entries. Roots, blocking prefixes and the declared layering live
+//!   in `ci/analyze.conf`; `--roots a,b` overrides the roots for
+//!   ad-hoc queries, `--dir <path>` analyzes another tree (used by CI
+//!   to assert the negative-control fixtures still fail), and
+//!   `--format json` emits the `ifdk-analyze/v1` findings document for
+//!   CI artifacts.
 //!
 //! Exit codes follow the repo's gate contract for both subcommands:
 //! 0 = clean, 1 = violations found, 3 = usage / internal error.
@@ -23,6 +28,8 @@
 
 mod callgraph;
 mod config;
+mod guards;
+mod jsonout;
 mod lexer;
 mod parser;
 mod passes;
@@ -33,16 +40,27 @@ use rules::Violation;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint | analyze [--roots <qual,..>] [--dir <path>]>";
+const USAGE: &str =
+    "usage: cargo xtask <lint | analyze [--roots <qual,..>] [--dir <path>] [--format <text|json>]>";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") if args.len() == 1 => report("lint", lint(&repo_root())),
         Some("analyze") => match parse_analyze_args(&args[1..]) {
-            Ok((root_override, roots)) => {
+            Ok((root_override, roots, Format::Text)) => {
                 let root = root_override.unwrap_or_else(repo_root);
                 report("analyze", analyze(&root, roots.as_deref()))
+            }
+            Ok((root_override, roots, Format::Json)) => {
+                let root = root_override.unwrap_or_else(repo_root);
+                report_json("analyze", analyze(&root, roots.as_deref()))
             }
             Err(e) => {
                 eprintln!("xtask analyze: {e}");
@@ -78,11 +96,32 @@ fn report(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
     }
 }
 
-type AnalyzeArgs = (Option<PathBuf>, Option<Vec<String>>);
+/// `--format json`: one `ifdk-analyze/v1` object on stdout, same exit
+/// codes as the text reporter (CI archives the document as an artifact
+/// while the exit code still gates the job).
+fn report_json(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
+    match result {
+        Ok(violations) => {
+            print!("{}", jsonout::findings_doc(what, &violations));
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            print!("{}", jsonout::error_doc(&e));
+            ExitCode::from(3)
+        }
+    }
+}
+
+type AnalyzeArgs = (Option<PathBuf>, Option<Vec<String>>, Format);
 
 fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
     let mut dir = None;
     let mut roots = None;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -93,10 +132,18 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
             "--dir" => {
                 dir = Some(PathBuf::from(it.next().ok_or("--dir needs a value")?));
             }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => return Err(format!("unknown format {other:?}")),
+                    None => return Err("--format needs a value".to_string()),
+                };
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok((dir, roots))
+    Ok((dir, roots, format))
 }
 
 /// Run the static analyzer over the tree at `root`.
@@ -268,6 +315,30 @@ mod tests {
                 .iter()
                 .any(|v| v.contains("[determinism]") && v.contains("counts")),
             "seeded hash-order export not caught: {rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|v| v.contains("[lock-order]")
+                && v.contains("demo_d::Pair::self.a")
+                && v.contains("demo_d::Pair::self.b")),
+            "seeded ab/ba lock-order cycle not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[lock-blocking]") && v.contains("demo_d::ring::push")),
+            "seeded blocking-under-guard not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[lock-wait-loop]") && v.contains("demo_d::Pair::wait_once")),
+            "seeded wait-outside-loop not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[alloc-reachable]") && v.contains("demo_e::scratch::copy_out")),
+            "seeded reachable allocation not caught: {rendered:?}"
         );
     }
 

@@ -1,0 +1,288 @@
+//! Allocation reachability: keep the kernel hot path off the heap.
+//!
+//! From the `alloc-root` entries in `ci/analyze.conf` (the
+//! back-projection inner sweeps, the ring push/pop, the live-telemetry
+//! record path) the pass walks the conservative call graph and
+//! token-scans every reachable function body for heap-allocation
+//! sources:
+//!
+//! * allocating constructors and macros — `vec![..]`, `format!(..)`,
+//!   `String::from`/`with_capacity`, `Vec`/`VecDeque::with_capacity`,
+//!   `Box::new`, `Rc::new`, `Arc::new` (`Vec::new`/`String::new` are
+//!   exempt: empty containers do not allocate)
+//! * owned-copy adapters — `.to_vec()`, `.to_owned()`, `.to_string()`,
+//!   `.into_owned()`, `.collect()` / `.collect::<..>`
+//! * growth methods on receivers with owning-container evidence
+//!   (`Workspace::owning_idents`): `.push(..)`, `.insert(..)`,
+//!   `.extend(..)`, `.reserve(..)`, `.resize(..)`, `.clone()` and
+//!   friends — a `.push` on a fixed-size array-backed type stays
+//!   silent because the receiver never shows owning evidence
+//!
+//! Deliberate allocations (constructors the hot loop amortizes, error
+//! paths) are exempted with `analyze: allow(alloc, reason = "...")`;
+//! the reason is mandatory. Findings carry the shortest root→site call
+//! chain, like the panic pass.
+
+use super::{Analysis, Pass};
+use crate::callgraph;
+use crate::rules::Violation;
+use std::collections::BTreeSet;
+
+pub struct AllocReachability;
+
+/// Needles that allocate wherever they appear (word boundary on the
+/// left so `my_vec!` or `reformat!` do not match).
+const ALLOC_ALWAYS: &[&str] = &[
+    "vec!",
+    "format!(",
+    "String::from(",
+    "String::with_capacity(",
+    "Vec::with_capacity(",
+    "VecDeque::with_capacity(",
+    "Box::new(",
+    "Rc::new(",
+    "Arc::new(",
+];
+
+/// Method needles that allocate unconditionally.
+const ALLOC_METHODS: &[&str] = &[
+    ".to_vec()",
+    ".to_owned()",
+    ".to_string()",
+    ".into_owned()",
+    ".collect()",
+    ".collect::<",
+];
+
+/// Growth methods that allocate when the receiver is an owning
+/// container (amortized or not — the hot path must not grow anything).
+const GROWTH_METHODS: &[&str] = &[
+    ".push(",
+    ".push_back(",
+    ".push_front(",
+    ".insert(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".reserve(",
+    ".resize(",
+    ".append(",
+    ".clone()",
+];
+
+impl Pass for AllocReachability {
+    fn name(&self) -> &'static str {
+        "alloc-reachable"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+        let ws = cx.ws;
+        let roots: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                !f.is_test
+                    && !f.cfg_off
+                    && cx
+                        .conf
+                        .alloc_roots
+                        .iter()
+                        .any(|r| f.qual == *r || f.qual.starts_with(&format!("{r}::")))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pred = cx.graph.reach(&roots);
+
+        for &fi in pred.keys() {
+            let f = &ws.fns[fi];
+            let Some((b0, b1)) = f.body else { continue };
+            let file = &ws.files[f.file];
+            let masked = &file.lexed.masked;
+            for (at, what) in scan_allocs(masked, b0, b1, &ws.owning_idents) {
+                let line = callgraph::line_of(masked, at);
+                if file.test_lines.get(line).copied().unwrap_or(false) {
+                    continue;
+                }
+                match file.lexed.analyze_allowed(line, "alloc") {
+                    Some(a) if a.reason.is_some() => continue,
+                    Some(_) => out.push(Violation {
+                        path: file.rel.clone(),
+                        line,
+                        rule: "alloc-allow",
+                        msg: format!(
+                            "exemption for {what} is missing its reason — write \
+                             analyze: allow(alloc, reason = \"...\")"
+                        ),
+                    }),
+                    None => {
+                        let chain = callgraph::chain(ws, &pred, fi);
+                        out.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "alloc-reachable",
+                            msg: format!("{what} in `{}` ({})", f.qual, render_chain(&chain)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn render_chain(chain: &[String]) -> String {
+    if chain.len() <= 1 {
+        return "a declared alloc-root".to_string();
+    }
+    let shown: Vec<&str> = if chain.len() > 5 {
+        let mut v: Vec<&str> = chain[..2].iter().map(String::as_str).collect();
+        v.push("...");
+        v.push(chain[chain.len() - 1].as_str());
+        v
+    } else {
+        chain.iter().map(String::as_str).collect()
+    };
+    format!("via {}", shown.join(" -> "))
+}
+
+/// Token-scan one body span for allocation sources. Returns
+/// (offset, label), sorted by offset.
+pub fn scan_allocs(
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    owning_idents: &BTreeSet<String>,
+) -> Vec<(usize, String)> {
+    let b = masked.as_bytes();
+    let end = b1.min(b.len());
+    let body = &masked[b0..end];
+    let mut out = Vec::new();
+
+    for needle in ALLOC_ALWAYS {
+        let mut from = 0usize;
+        while let Some(p) = body[from..].find(needle) {
+            let at = b0 + from + p;
+            from += p + needle.len();
+            // Word boundary: also reject a preceding `.` so a method
+            // named like a constructor does not match.
+            if at > 0
+                && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_' || b[at - 1] == b'.')
+            {
+                continue;
+            }
+            out.push((at, format!("allocation `{}`", needle.trim_end_matches('('))));
+        }
+    }
+
+    for needle in ALLOC_METHODS {
+        let mut from = 0usize;
+        while let Some(p) = body[from..].find(needle) {
+            let at = b0 + from + p;
+            from += p + needle.len();
+            out.push((
+                at,
+                format!(
+                    "allocating call `{}`",
+                    needle.trim_end_matches([':', '<', '('])
+                ),
+            ));
+        }
+    }
+
+    for needle in GROWTH_METHODS {
+        let mut from = 0usize;
+        while let Some(p) = body[from..].find(needle) {
+            let at = b0 + from + p;
+            from += p + needle.len();
+            let recv = receiver_last_ident(masked, b0, at);
+            if owning_idents.contains(&recv) {
+                out.push((
+                    at,
+                    format!(
+                        "growth call `{}` on owning container `{recv}`",
+                        needle.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+
+    out.sort();
+    out
+}
+
+/// Last identifier of the receiver expression before the `.` at `at`
+/// (`self.shared.queue` → `queue`); empty when the receiver is not a
+/// plain place expression.
+fn receiver_last_ident(masked: &str, b0: usize, at: usize) -> String {
+    let b = masked.as_bytes();
+    let mut j = at;
+    while j > b0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let e = j;
+    while j > b0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+        j -= 1;
+    }
+    masked[j..e].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<String> {
+        let lx = crate::lexer::lex(src);
+        let mut owning = BTreeSet::new();
+        owning.insert("queue".to_string());
+        owning.insert("names".to_string());
+        scan_allocs(&lx.masked, 0, lx.masked.len(), &owning)
+            .into_iter()
+            .map(|(_, w)| w)
+            .collect()
+    }
+
+    #[test]
+    fn constructors_and_macros_are_flagged() {
+        let got = scan(
+            "fn f() { let a = vec![0.0; 8]; let b = Vec::with_capacity(4); \
+             let c = Box::new(1); let d = format!(\"x\"); }",
+        );
+        assert_eq!(got.len(), 4, "{got:?}");
+    }
+
+    #[test]
+    fn empty_container_constructors_are_exempt() {
+        let got = scan("fn f() { let a: Vec<u32> = Vec::new(); let s = String::new(); }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn owned_copy_adapters_are_flagged() {
+        let got = scan(
+            "fn f(s: &[u8]) { let a = s.to_vec(); let b: Vec<u8> = s.iter().copied().collect(); }",
+        );
+        assert_eq!(got.len(), 2, "{got:?}");
+        let got2 = scan("fn f(s: &[u8]) { let b = s.iter().copied().collect::<Vec<u8>>(); }");
+        assert_eq!(got2.len(), 1, "{got2:?}");
+    }
+
+    #[test]
+    fn growth_gated_on_owning_receiver_evidence() {
+        let got = scan("fn f(&mut self, x: u64) { self.queue.push(x); self.lanes.push(x); }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("queue"), "{got:?}");
+    }
+
+    #[test]
+    fn clone_on_owning_container_only() {
+        let got = scan("fn f(&self) { let a = self.names.clone(); let b = self.mask.clone(); }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("names"), "{got:?}");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let got = scan("fn f() { my_vec![1]; reformat!(x); }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

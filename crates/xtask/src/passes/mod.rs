@@ -6,8 +6,10 @@
 //! combined, location-sorted findings — the same reporting contract as
 //! `xtask lint`.
 
+pub mod alloc;
 pub mod determinism;
 pub mod layering;
+pub mod locks;
 pub mod panics;
 
 use crate::callgraph::CallGraph;
@@ -31,6 +33,8 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(panics::PanicReachability),
         Box::new(layering::CrateLayering),
         Box::new(determinism::Determinism),
+        Box::new(locks::LockDiscipline),
+        Box::new(alloc::AllocReachability),
     ]
 }
 
@@ -41,10 +45,13 @@ pub fn run_all(cx: &Analysis<'_>) -> Vec<Violation> {
     // would silently exempt nothing — reject it up front.
     for file in &cx.ws.files {
         for a in &file.lexed.analyze_allows {
-            if !passes
-                .iter()
-                .any(|p| p.name() == a.pass || (p.name() == "panic-reachable" && a.pass == "panic"))
-            {
+            let known = passes.iter().any(|p| {
+                p.name() == a.pass
+                    || (p.name() == "panic-reachable" && a.pass == "panic")
+                    || (p.name() == "lock-discipline" && a.pass == "lock")
+                    || (p.name() == "alloc-reachable" && a.pass == "alloc")
+            });
+            if !known {
                 out.push(Violation {
                     path: file.rel.clone(),
                     line: a.line,

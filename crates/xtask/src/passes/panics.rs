@@ -289,10 +289,7 @@ fn divisor_class(
         if i < end && b[i] == b'(' {
             return DivisorClass::Unproven(format!("{chain}(..)"));
         }
-        let last = chain
-            .rsplit(['.', ':'])
-            .next()
-            .unwrap_or(chain);
+        let last = chain.rsplit(['.', ':']).next().unwrap_or(chain);
         if nonzero_consts.contains(last) {
             return DivisorClass::ProvenNonzero;
         }

@@ -68,6 +68,13 @@ pub struct Workspace {
     /// evidence by the division check; name-based, not scoped, which is
     /// a documented envelope trade-off.
     pub float_idents: BTreeSet<String>,
+    /// Identifier names declared with an owning-container type
+    /// (`Vec`, `VecDeque`, `String`, `Box`, the map/set types) or
+    /// let-initialized from an allocating constructor. Used as
+    /// allocation evidence for receiver-gated methods (`.push(..)`,
+    /// `.clone()`) by the alloc-reachability pass; same name-based
+    /// trade-off as `float_idents`.
+    pub owning_idents: BTreeSet<String>,
     /// All workspace crate idents, for path resolution.
     pub crate_idents: BTreeSet<String>,
     /// `dep_closure[c]` = crate indices reachable from crate `c` over
@@ -114,6 +121,7 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
         fns: Vec::new(),
         nonzero_consts: BTreeSet::new(),
         float_idents: BTreeSet::new(),
+        owning_idents: BTreeSet::new(),
         crate_idents,
         dep_closure,
     };
@@ -151,6 +159,11 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
     for file in &ws.files {
         collect_float_idents(&file.lexed.masked, &mut ws.float_idents);
     }
+    let mut owning = BTreeSet::new();
+    for file in &ws.files {
+        collect_owning_idents(&file.lexed.masked, &mut owning);
+    }
+    ws.owning_idents = owning;
     // Out-of-line modules declared `#[cfg(loom)] mod name;` are compiled
     // out of normal builds; the files they own are parsed separately and
     // cannot see the parent's attribute, so mark their fns off here.
@@ -265,6 +278,99 @@ fn collect_float_idents(masked: &str, out: &mut BTreeSet<String>) {
             if start < head.len() && !head[start..].starts_with(|ch: char| ch.is_ascii_digit()) {
                 out.insert(head[start..].to_string());
             }
+        }
+    }
+}
+
+/// Owning-container type heads: declaring `name: Vec<..>` (etc.) or
+/// initializing `let name = vec![..]` marks `name` as allocation
+/// evidence for receiver-gated methods.
+const OWNING_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+const OWNING_INITS: &[&str] = &[
+    "vec!",
+    "format!",
+    "Vec::",
+    "VecDeque::",
+    "String::",
+    "Box::new",
+    "HashMap::",
+    "HashSet::",
+    "BTreeMap::",
+    "BTreeSet::",
+    "BinaryHeap::",
+];
+
+/// Record identifiers with owning-container evidence: `name: Vec<..>`
+/// declarations (fields, params, let annotations; optional `&` / `mut`
+/// skipped — a `&Vec` still owns its heap buffer through the reference)
+/// and `let [mut] name = <allocating constructor>` initializers.
+fn collect_owning_idents(masked: &str, out: &mut BTreeSet<String>) {
+    for line in masked.lines() {
+        let b = line.as_bytes();
+        for (i, &c) in b.iter().enumerate() {
+            if c != b':' {
+                continue;
+            }
+            if b.get(i + 1) == Some(&b':') || (i > 0 && b[i - 1] == b':') {
+                continue;
+            }
+            let mut tail = line[i + 1..].trim_start();
+            loop {
+                let t = tail
+                    .strip_prefix('&')
+                    .or_else(|| tail.strip_prefix("mut "))
+                    .or_else(|| tail.strip_prefix("'_ "));
+                match t {
+                    Some(t) => tail = t.trim_start(),
+                    None => break,
+                }
+            }
+            let ty_end = tail
+                .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                .unwrap_or(tail.len());
+            if !OWNING_TYPES.contains(&&tail[..ty_end]) {
+                continue;
+            }
+            let head = line[..i].trim_end();
+            let start = head
+                .rfind(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            if start < head.len() && !head[start..].starts_with(|ch: char| ch.is_ascii_digit()) {
+                out.insert(head[start..].to_string());
+            }
+        }
+        // `let [mut] name = vec![..];` and friends.
+        let Some(p) = line.find("let ") else { continue };
+        if p > 0 && (b[p - 1].is_ascii_alphanumeric() || b[p - 1] == b'_') {
+            continue;
+        }
+        let rest = line[p + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name_end = rest
+            .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+            .unwrap_or(rest.len());
+        if name_end == 0 {
+            continue;
+        }
+        let after = rest[name_end..].trim_start();
+        let Some(init) = after.strip_prefix('=') else {
+            continue;
+        };
+        let init = init.trim_start();
+        if OWNING_INITS.iter().any(|n| init.starts_with(n)) {
+            out.insert(rest[..name_end].to_string());
         }
     }
 }
@@ -527,6 +633,26 @@ mod tests {
             file_module(d, Path::new("/w/crates/ct-bp/src/bin/gups.rs")),
             vec!["bin", "gups"]
         );
+    }
+
+    #[test]
+    fn owning_idents_from_types_and_initializers() {
+        let mut got = BTreeSet::new();
+        collect_owning_idents(
+            "struct S { queue: VecDeque<u64>, name: String, n: usize }\n\
+             fn f(buf: &mut Vec<f32>, x: u32) {\n\
+                 let scratch = vec![0.0; 8];\n\
+                 let label = format!(\"{x}\");\n\
+                 let keep = x + 1;\n\
+             }\n",
+            &mut got,
+        );
+        for want in ["queue", "name", "buf", "scratch", "label"] {
+            assert!(got.contains(want), "missing {want}: {got:?}");
+        }
+        assert!(!got.contains("n"), "{got:?}");
+        assert!(!got.contains("x"), "{got:?}");
+        assert!(!got.contains("keep"), "{got:?}");
     }
 
     #[test]
