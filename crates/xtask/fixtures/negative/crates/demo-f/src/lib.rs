@@ -1,0 +1,28 @@
+//! Negative control: float-determinism defects. `merge::total` folds a
+//! float accumulator over hash-map iteration order, and `kernel::blend`
+//! contracts with `mul_add` on a path from the conf-declared strict-mode
+//! float root without ever consulting the FMA gate. A deliberately dead
+//! escape rides along so the stale-allow audit stays honest.
+
+pub mod merge {
+    use std::collections::HashMap;
+
+    /// Seeded defect: the summation walks the map in hash order, so the
+    /// f32 total is not bit-stable from run to run.
+    pub fn total(parts: HashMap<u64, f32>) -> f32 {
+        let mut total: f32 = 0.0;
+        for v in parts.values() {
+            total += *v;
+        }
+        total
+    }
+}
+
+pub mod kernel {
+    /// Seeded defect: contraction without an FMA-gate check anywhere on
+    /// the path from the `float-root`.
+    pub fn blend(x: f32, w: f32, acc: f32) -> f32 {
+        // analyze: allow(panic, reason = "stale on purpose: nothing here panics")
+        x.mul_add(w, acc)
+    }
+}

@@ -1,0 +1,28 @@
+//! Negative control: an off-by-one direct slice index inside the hot
+//! loop of the conf-declared bounds root `demo_g::kernel`. The sibling
+//! gather keeps one provable `.get` access around so the elidable
+//! checked-gather report always has a row to regress against.
+
+pub mod kernel {
+    /// Seeded defect: `i + 1` walks one past the end on the last trip.
+    pub fn shifted_sum(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut acc = 0.0f32;
+        for i in 0..n {
+            acc += xs[i + 1];
+        }
+        acc
+    }
+
+    /// Proven checked gather: the interval analysis shows `i` stays in
+    /// bounds, so the `.get` check is elidable (reported, not an error).
+    pub fn gather(xs: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for i in 0..xs.len() {
+            if let Some(v) = xs.get(i) {
+                acc += v;
+            }
+        }
+        acc
+    }
+}

@@ -1,0 +1,595 @@
+//! Generic forward fixpoint solver plus the interval domain.
+//!
+//! [`forward`] runs a worklist algorithm over a [`crate::cfg::Cfg`]:
+//! block in-states live in a join-semilattice ([`Lattice`]), the
+//! caller supplies a transfer function (block in-state → out-state)
+//! and an edge refinement (branch condition + polarity → narrowed
+//! state). Loop heads switch from `join` to `widen` after
+//! [`WIDEN_AFTER`] merges, which is what guarantees termination on
+//! domains with infinite ascending chains (intervals); a global
+//! iteration valve forces widening everywhere as a backstop against
+//! mislowered graphs.
+//!
+//! The interval half ([`Bound`], [`Interval`], [`Env`]) is the domain
+//! of the index-bounds pass: integer ranges whose endpoints are
+//! either literals or symbolic `len(base) + k` terms, so `i <
+//! xs.len()` refines `i` to a bound the access check can compare
+//! against `xs` directly. Slice lengths are only known non-negative —
+//! every comparison below leans on exactly that fact and nothing else.
+
+use crate::cfg::{Block, Cfg, Cond};
+use std::collections::BTreeMap;
+
+/// Join-semilattice interface for forward dataflow states.
+pub trait Lattice: Clone + PartialEq {
+    /// Merge `other` into `self`; true if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+    /// Widening merge used at loop heads once a state keeps growing;
+    /// must reach a fixpoint in finitely many steps. Domains with
+    /// finite height can keep the default (= join).
+    fn widen(&mut self, other: &Self) -> bool {
+        self.join(other)
+    }
+}
+
+/// Merges at a loop head before switching from join to widen.
+pub const WIDEN_AFTER: usize = 3;
+
+pub struct Solution<L> {
+    /// Per-block in-state; `None` = unreachable (bottom).
+    pub inputs: Vec<Option<L>>,
+    /// Blocks processed (worklist pops).
+    pub iterations: usize,
+    /// Widening merges applied.
+    pub widenings: usize,
+}
+
+/// Solve a forward dataflow problem to fixpoint.
+pub fn forward<L, T, R>(cfg: &Cfg, entry: L, mut transfer: T, mut refine: R) -> Solution<L>
+where
+    L: Lattice,
+    T: FnMut(usize, &Block, &L) -> L,
+    R: FnMut(&Cond, &L) -> L,
+{
+    let n = cfg.blocks.len();
+    let order = crate::cfg::rpo(cfg);
+    let mut pos = vec![0usize; n];
+    for (p, &b) in order.iter().enumerate() {
+        pos[b] = p;
+    }
+    let mut inputs: Vec<Option<L>> = vec![None; n];
+    inputs[cfg.entry] = Some(entry);
+    let mut merges = vec![0usize; n];
+    let mut iterations = 0usize;
+    let mut widenings = 0usize;
+    // Worklist keyed by RPO position for near-topological processing.
+    let mut work: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    work.insert(pos[cfg.entry]);
+    // Backstop: beyond this, widen on every merge, loop head or not.
+    let valve = n.saturating_mul(64).max(256);
+
+    while let Some(&p) = work.iter().next() {
+        work.remove(&p);
+        let blk = order[p];
+        iterations += 1;
+        let Some(in_state) = inputs[blk].clone() else {
+            continue;
+        };
+        let out = transfer(blk, &cfg.blocks[blk], &in_state);
+        for e in &cfg.blocks[blk].edges {
+            let val = match &e.cond {
+                Some(c) => refine(c, &out),
+                None => out.clone(),
+            };
+            let changed = match &mut inputs[e.to] {
+                None => {
+                    inputs[e.to] = Some(val);
+                    true
+                }
+                Some(cur) => {
+                    merges[e.to] += 1;
+                    let widen_here = (cfg.blocks[e.to].loop_head && merges[e.to] > WIDEN_AFTER)
+                        || iterations > valve;
+                    if widen_here {
+                        widenings += 1;
+                        cur.widen(&val)
+                    } else {
+                        cur.join(&val)
+                    }
+                }
+            };
+            if changed {
+                work.insert(pos[e.to]);
+            }
+        }
+    }
+    Solution {
+        inputs,
+        iterations,
+        widenings,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interval domain with symbolic slice-length bounds.
+// ---------------------------------------------------------------------
+
+/// An interval endpoint: -inf, a literal, `len(base) + off`, or +inf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bound {
+    NegInf,
+    Int(i128),
+    /// `len(base) + off` where `base` is a slice-valued place name and
+    /// `len(base) >= 0` is the only known fact about it.
+    Len {
+        base: String,
+        off: i128,
+    },
+    PosInf,
+}
+
+impl Bound {
+    /// Sound minimum usable as a lower bound of both.
+    fn lower_min(a: &Bound, b: &Bound) -> Bound {
+        use Bound::*;
+        match (a, b) {
+            (NegInf, _) | (_, NegInf) => NegInf,
+            (PosInf, x) | (x, PosInf) => x.clone(),
+            (Int(x), Int(y)) => Int(*x.min(y)),
+            (Len { base: ba, off: oa }, Len { base: bb, off: ob }) if ba == bb => Len {
+                base: ba.clone(),
+                off: *oa.min(ob),
+            },
+            // len >= 0, so min(k, len+o) >= min(k, o).
+            (Int(k), Len { off, .. }) | (Len { off, .. }, Int(k)) => Int(*k.min(off)),
+            _ => NegInf,
+        }
+    }
+
+    /// Sound maximum usable as an upper bound of both.
+    fn upper_max(a: &Bound, b: &Bound) -> Bound {
+        use Bound::*;
+        match (a, b) {
+            (PosInf, _) | (_, PosInf) => PosInf,
+            (NegInf, x) | (x, NegInf) => x.clone(),
+            (Int(x), Int(y)) => Int(*x.max(y)),
+            (Len { base: ba, off: oa }, Len { base: bb, off: ob }) if ba == bb => Len {
+                base: ba.clone(),
+                off: *oa.max(ob),
+            },
+            // len + max(o, k) >= len + o and >= k (len >= 0).
+            (Int(k), Len { base, off }) | (Len { base, off }, Int(k)) => Len {
+                base: base.clone(),
+                off: *off.max(k),
+            },
+            _ => PosInf,
+        }
+    }
+
+    /// Is `self <= other` provable? (Partial: false means "unknown".)
+    pub fn le(&self, other: &Bound) -> bool {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, _) | (_, PosInf) => true,
+            (Int(a), Int(b)) => a <= b,
+            (Len { base: ba, off: oa }, Len { base: bb, off: ob }) => ba == bb && oa <= ob,
+            // k <= len + o iff k <= o (len >= 0); len + o <= k is never
+            // provable (len is unbounded above).
+            (Int(k), Len { off, .. }) => k <= off,
+            _ => false,
+        }
+    }
+
+    pub fn add_const(&self, k: i128) -> Bound {
+        match self {
+            Bound::Int(x) => Bound::Int(x.saturating_add(k)),
+            Bound::Len { base, off } => Bound::Len {
+                base: base.clone(),
+                off: off.saturating_add(k),
+            },
+            b => b.clone(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: Bound,
+    pub hi: Bound,
+}
+
+impl Interval {
+    pub fn top() -> Interval {
+        Interval {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+        }
+    }
+
+    pub fn exact(n: i128) -> Interval {
+        Interval {
+            lo: Bound::Int(n),
+            hi: Bound::Int(n),
+        }
+    }
+
+    pub fn of_len(base: &str, off: i128) -> Interval {
+        Interval {
+            lo: Bound::Len {
+                base: base.to_string(),
+                off,
+            },
+            hi: Bound::Len {
+                base: base.to_string(),
+                off,
+            },
+        }
+    }
+
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Bound::lower_min(&self.lo, &other.lo),
+            hi: Bound::upper_max(&self.hi, &other.hi),
+        }
+    }
+
+    /// Standard interval widening: any endpoint still moving jumps to
+    /// its infinity.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        let lo = if Bound::lower_min(&self.lo, &next.lo) == self.lo {
+            self.lo.clone()
+        } else {
+            Bound::NegInf
+        };
+        let hi = if Bound::upper_max(&self.hi, &next.hi) == self.hi {
+            self.hi.clone()
+        } else {
+            Bound::PosInf
+        };
+        Interval { lo, hi }
+    }
+
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: bound_add(&self.lo, &other.lo, Bound::NegInf),
+            hi: bound_add(&self.hi, &other.hi, Bound::PosInf),
+        }
+    }
+
+    pub fn sub(&self, other: &Interval) -> Interval {
+        // [a, b] - [c, d] = [a - d, b - c].
+        Interval {
+            lo: bound_sub(&self.lo, &other.hi, Bound::NegInf),
+            hi: bound_sub(&self.hi, &other.lo, Bound::PosInf),
+        }
+    }
+
+    pub fn mul(&self, other: &Interval) -> Interval {
+        use Bound::Int;
+        // Only literal x literal is tracked; anything symbolic escapes.
+        if let (Int(a), Int(b), Int(c), Int(d)) = (&self.lo, &self.hi, &other.lo, &other.hi) {
+            let products = [
+                a.saturating_mul(*c),
+                a.saturating_mul(*d),
+                b.saturating_mul(*c),
+                b.saturating_mul(*d),
+            ];
+            Interval {
+                lo: Int(*products.iter().min().expect("nonempty")),
+                hi: Int(*products.iter().max().expect("nonempty")),
+            }
+        } else {
+            Interval::top()
+        }
+    }
+
+    /// Pointwise min (`x.min(y)`): sound on both endpoints.
+    pub fn clamp_min(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Bound::lower_min(&self.lo, &other.lo),
+            hi: match (&self.hi, &other.hi) {
+                (a, Bound::PosInf) => a.clone(),
+                (Bound::PosInf, b) => b.clone(),
+                (a, b) if a.le(b) => a.clone(),
+                (a, b) if b.le(a) => b.clone(),
+                // Incomparable: either is a sound upper bound of min().
+                (a, _) => a.clone(),
+            },
+        }
+    }
+
+    /// Pointwise max (`x.max(y)`).
+    pub fn clamp_max(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (&self.lo, &other.lo) {
+                (a, Bound::NegInf) => a.clone(),
+                (Bound::NegInf, b) => b.clone(),
+                (a, b) if a.le(b) => b.clone(),
+                (a, b) if b.le(a) => a.clone(),
+                (a, _) => a.clone(),
+            },
+            hi: Bound::upper_max(&self.hi, &other.hi),
+        }
+    }
+}
+
+fn bound_add(a: &Bound, b: &Bound, inf: Bound) -> Bound {
+    use Bound::*;
+    match (a, b) {
+        (Int(x), Int(y)) => Int(x.saturating_add(*y)),
+        (Len { base, off }, Int(k)) | (Int(k), Len { base, off }) => Len {
+            base: base.clone(),
+            off: off.saturating_add(*k),
+        },
+        _ => inf,
+    }
+}
+
+fn bound_sub(a: &Bound, b: &Bound, inf: Bound) -> Bound {
+    use Bound::*;
+    match (a, b) {
+        (Int(x), Int(y)) => Int(x.saturating_sub(*y)),
+        (Len { base, off }, Int(k)) => Len {
+            base: base.clone(),
+            off: off.saturating_sub(*k),
+        },
+        _ => inf,
+    }
+}
+
+/// Variable environment: tracked vars to intervals plus known constant
+/// lengths (`chunks_exact` bindings, fixed-size arrays). A variable
+/// absent from the map is untracked (top), so `join` intersects keys.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Env {
+    pub vars: BTreeMap<String, Interval>,
+    pub lens: BTreeMap<String, i128>,
+}
+
+impl Env {
+    pub fn get(&self, name: &str) -> Interval {
+        self.vars.get(name).cloned().unwrap_or_else(Interval::top)
+    }
+
+    pub fn set(&mut self, name: &str, iv: Interval) {
+        if iv == Interval::top() {
+            self.vars.remove(name);
+        } else {
+            self.vars.insert(name.to_string(), iv);
+        }
+    }
+
+    pub fn havoc(&mut self, name: &str) {
+        self.vars.remove(name);
+        self.lens.remove(name);
+    }
+
+    fn merge_with(&mut self, other: &Env, widen: bool) -> bool {
+        let mut changed = false;
+        let keys: Vec<String> = self.vars.keys().cloned().collect();
+        for k in keys {
+            match other.vars.get(&k) {
+                Some(o) => {
+                    let cur = &self.vars[&k];
+                    let merged = if widen { cur.widen(o) } else { cur.join(o) };
+                    if merged != *cur {
+                        changed = true;
+                        self.set(&k, merged);
+                    }
+                }
+                None => {
+                    self.vars.remove(&k);
+                    changed = true;
+                }
+            }
+        }
+        let lkeys: Vec<String> = self.lens.keys().cloned().collect();
+        for k in lkeys {
+            if other.lens.get(&k) != self.lens.get(&k) {
+                self.lens.remove(&k);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl Lattice for Env {
+    fn join(&mut self, other: &Self) -> bool {
+        self.merge_with(other, false)
+    }
+
+    fn widen(&mut self, other: &Self) -> bool {
+        self.merge_with(other, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+
+    fn lower_first_fn(src: &str) -> (String, cfg::Cfg) {
+        let lx = crate::lexer::lex(src);
+        let items = crate::parser::parse(&lx.masked);
+        for item in &items {
+            if let crate::parser::ItemKind::Fn(f) = &item.kind {
+                return (
+                    lx.masked.clone(),
+                    cfg::lower(&lx.masked, f.body.expect("body")),
+                );
+            }
+        }
+        panic!("no fn");
+    }
+
+    /// A transfer good enough for the tests: `let x = LIT;` assigns,
+    /// `x += LIT;` shifts.
+    fn toy_transfer(masked: &str) -> impl Fn(usize, &cfg::Block, &Env) -> Env + '_ {
+        move |_, blk, state| {
+            let mut env = state.clone();
+            for s in &blk.stmts {
+                let text = masked[s.span.0..s.span.1].trim();
+                if let Some(rest) = text.strip_prefix("let mut ") {
+                    if let Some((name, val)) = rest.split_once('=') {
+                        if let Ok(n) = val.trim().trim_end_matches(';').parse::<i128>() {
+                            env.set(name.trim(), Interval::exact(n));
+                        }
+                    }
+                } else if let Some((name, val)) = text.split_once("+=") {
+                    if let Ok(n) = val.trim().trim_end_matches(';').parse::<i128>() {
+                        let cur = env.get(name.trim());
+                        env.set(name.trim(), cur.add(&Interval::exact(n)));
+                    }
+                }
+            }
+            env
+        }
+    }
+
+    #[test]
+    fn termination_on_a_loop_carried_interval_requires_widening() {
+        // `i` grows by one each trip: without widening the chain
+        // [0,0] ⊑ [0,1] ⊑ [0,2] ⊑ ... never stabilizes. The solver
+        // must terminate, must widen, and must conclude hi = +inf.
+        let (m, g) = lower_first_fn("fn f() { let mut i = 0; loop { i += 1; } }");
+        let sol = forward(&g, Env::default(), toy_transfer(&m), |_, s| s.clone());
+        assert!(sol.widenings > 0, "widening never triggered");
+        assert!(
+            sol.iterations < g.blocks.len() * 64 + 256,
+            "runaway iteration: {}",
+            sol.iterations
+        );
+        let head = g.blocks.iter().position(|b| b.loop_head).expect("head");
+        let at_head = sol.inputs[head].as_ref().expect("head reachable");
+        let iv = at_head.get("i");
+        assert_eq!(iv.lo, Bound::Int(0), "{iv:?}");
+        assert_eq!(iv.hi, Bound::PosInf, "{iv:?}");
+    }
+
+    #[test]
+    fn branch_states_join_at_the_merge_point() {
+        let (m, g) = lower_first_fn(
+            "fn f(c: bool) { let mut i = 0; if c { i += 5; } else { i += 2; } g(i); }",
+        );
+        let sol = forward(&g, Env::default(), toy_transfer(&m), |_, s| s.clone());
+        // The block holding g(i) sees the join [2, 5].
+        let callsite = g
+            .blocks
+            .iter()
+            .position(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| m[s.span.0..s.span.1].contains("g(i)"))
+            })
+            .expect("callsite block");
+        let env = sol.inputs[callsite].as_ref().expect("reachable");
+        assert_eq!(env.get("i").lo, Bound::Int(2));
+        assert_eq!(env.get("i").hi, Bound::Int(5));
+    }
+
+    #[test]
+    fn refinement_narrows_along_edges() {
+        let (m, g) = lower_first_fn("fn f(c: bool) { let mut i = 0; if c { i += 1; } h(i); }");
+        // Refine polarity-true edges to i = [100, 100] to prove the
+        // refiner is consulted with the right polarity.
+        let sol = forward(&g, Env::default(), toy_transfer(&m), |cond, s: &Env| {
+            let mut e = s.clone();
+            if cond.polarity {
+                e.set("i", Interval::exact(100));
+            }
+            e
+        });
+        let then_block = g
+            .blocks
+            .iter()
+            .position(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| m[s.span.0..s.span.1].contains("i += 1"))
+            })
+            .expect("then block");
+        let env = sol.inputs[then_block].as_ref().expect("reachable");
+        assert_eq!(env.get("i"), Interval::exact(100));
+    }
+
+    #[test]
+    fn interval_arithmetic_and_symbolic_len_bounds() {
+        let n = Interval::of_len("xs", 0);
+        let i = Interval {
+            lo: Bound::Int(0),
+            hi: n.hi.add_const(-1),
+        };
+        // i + 1 has hi = len(xs): no longer <= len(xs) - 1.
+        let ip1 = i.add(&Interval::exact(1));
+        assert_eq!(
+            ip1.hi,
+            Bound::Len {
+                base: "xs".into(),
+                off: 0
+            }
+        );
+        assert!(i.hi.le(&Bound::Len {
+            base: "xs".into(),
+            off: -1
+        }));
+        assert!(!ip1.hi.le(&Bound::Len {
+            base: "xs".into(),
+            off: -1
+        }));
+        // Int vs len comparisons only go the provable direction.
+        assert!(Bound::Int(3).le(&Bound::Len {
+            base: "xs".into(),
+            off: 3
+        }));
+        assert!(!Bound::Int(4).le(&Bound::Len {
+            base: "xs".into(),
+            off: 3
+        }));
+        assert!(!Bound::Len {
+            base: "xs".into(),
+            off: 0
+        }
+        .le(&Bound::Int(1_000_000)));
+    }
+
+    #[test]
+    fn env_join_intersects_keys_and_len_facts() {
+        let mut a = Env::default();
+        a.set("i", Interval::exact(1));
+        a.set("j", Interval::exact(2));
+        a.lens.insert("c".into(), 8);
+        let mut b = Env::default();
+        b.set("i", Interval::exact(4));
+        b.lens.insert("c".into(), 8);
+        let changed = a.join(&b);
+        assert!(changed);
+        assert_eq!(a.get("i").lo, Bound::Int(1));
+        assert_eq!(a.get("i").hi, Bound::Int(4));
+        assert_eq!(a.get("j"), Interval::top(), "j dropped — absent in b");
+        assert_eq!(a.lens.get("c"), Some(&8));
+    }
+
+    #[test]
+    fn widen_jumps_moving_endpoints_to_infinity() {
+        let a = Interval::exact(0).join(&Interval::exact(3));
+        let grown = a.add(&Interval::exact(1));
+        let w = a.widen(&grown);
+        assert_eq!(w.lo, Bound::Int(0), "stable endpoint kept");
+        assert_eq!(w.hi, Bound::PosInf, "moving endpoint widened");
+    }
+
+    #[test]
+    fn min_max_clamps_are_sound() {
+        let big = Interval {
+            lo: Bound::Int(0),
+            hi: Bound::PosInf,
+        };
+        let cap = Interval::exact(7);
+        let clamped = big.clamp_min(&cap);
+        assert_eq!(clamped.hi, Bound::Int(7));
+        assert_eq!(clamped.lo, Bound::Int(0));
+        let floored = big.clamp_max(&Interval::exact(2));
+        assert_eq!(floored.lo, Bound::Int(2));
+    }
+}

@@ -5,31 +5,42 @@
 //! schema is small and versioned, and the writer emits fields in call
 //! order with ASCII-only string escaping.
 //!
-//! Document shape, schema `ifdk-analyze/v1`:
+//! Document shape, schema `ifdk-analyze/v2` (v1 plus per-pass stats and
+//! the elidable checked-gather report from the interval analysis):
 //!
 //! ```json
 //! {
-//!   "schema": "ifdk-analyze/v1",
+//!   "schema": "ifdk-analyze/v2",
 //!   "subcommand": "analyze",
 //!   "clean": false,
 //!   "count": 2,
 //!   "findings": [
 //!     {"path": "crates/x/src/a.rs", "line": 7, "rule": "lock-order",
 //!      "message": "..."}
+//!   ],
+//!   "passes": [
+//!     {"name": "index-bounds", "findings": 1, "wall_ms": 3.2,
+//!      "stats": [{"name": "cfg_blocks", "value": 412}]}
+//!   ],
+//!   "elidable_gathers": 1,
+//!   "gathers": [
+//!     {"path": "crates/x/src/a.rs", "line": 9, "fn": "ct_bp::warp::row",
+//!      "what": "`tex.get(i)`", "loop_depth": 2}
 //!   ]
 //! }
 //! ```
 //!
-//! Errors (exit 3) become `{"schema": "ifdk-analyze/v1", "error": "..."}`
+//! Errors (exit 3) become `{"schema": "ifdk-analyze/v2", "error": "..."}`
 //! so CI consumers always parse one object per run.
 
+use crate::passes::{AnalyzeReport, Gather, PassReport};
 use crate::rules::Violation;
 use std::fmt::Write as _;
 
-pub const SCHEMA: &str = "ifdk-analyze/v1";
+pub const SCHEMA: &str = "ifdk-analyze/v2";
 
 /// Render a finished analyze run.
-pub fn findings_doc(what: &str, violations: &[Violation]) -> String {
+pub fn findings_doc(what: &str, report: &AnalyzeReport) -> String {
     let mut out = String::new();
     out.push('{');
     let _ = write!(
@@ -40,31 +51,100 @@ pub fn findings_doc(what: &str, violations: &[Violation]) -> String {
         str_lit("subcommand"),
         str_lit(what),
         str_lit("clean"),
-        violations.is_empty(),
+        report.violations.is_empty(),
         str_lit("count"),
-        violations.len(),
+        report.violations.len(),
         str_lit("findings"),
     );
-    for (i, v) in violations.iter().enumerate() {
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_finding(&mut out, v);
+    }
+    let _ = write!(out, "],{}:[", str_lit("passes"));
+    for (i, p) in report.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_pass(&mut out, p);
+    }
+    let _ = write!(
+        out,
+        "],{}:{},{}:[",
+        str_lit("elidable_gathers"),
+        report.gathers.len(),
+        str_lit("gathers"),
+    );
+    for (i, g) in report.gathers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_gather(&mut out, g);
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+fn write_finding(out: &mut String, v: &Violation) {
+    let _ = write!(
+        out,
+        "{{{}:{},{}:{},{}:{},{}:{}}}",
+        str_lit("path"),
+        str_lit(&v.path.to_string_lossy().replace('\\', "/")),
+        str_lit("line"),
+        v.line,
+        str_lit("rule"),
+        str_lit(v.rule),
+        str_lit("message"),
+        str_lit(&v.msg),
+    );
+}
+
+fn write_pass(out: &mut String, p: &PassReport) {
+    let _ = write!(
+        out,
+        "{{{}:{},{}:{},{}:{},{}:[",
+        str_lit("name"),
+        str_lit(p.name),
+        str_lit("findings"),
+        p.findings,
+        str_lit("wall_ms"),
+        num_f64(p.wall_ms),
+        str_lit("stats"),
+    );
+    for (i, (name, value)) in p.stats.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{{}:{},{}:{},{}:{},{}:{}}}",
-            str_lit("path"),
-            str_lit(&v.path.to_string_lossy().replace('\\', "/")),
-            str_lit("line"),
-            v.line,
-            str_lit("rule"),
-            str_lit(v.rule),
-            str_lit("message"),
-            str_lit(&v.msg),
+            "{{{}:{},{}:{}}}",
+            str_lit("name"),
+            str_lit(name),
+            str_lit("value"),
+            value,
         );
     }
     out.push_str("]}");
-    out.push('\n');
-    out
+}
+
+fn write_gather(out: &mut String, g: &Gather) {
+    let _ = write!(
+        out,
+        "{{{}:{},{}:{},{}:{},{}:{},{}:{}}}",
+        str_lit("path"),
+        str_lit(&g.path.to_string_lossy().replace('\\', "/")),
+        str_lit("line"),
+        g.line,
+        str_lit("fn"),
+        str_lit(&g.qual),
+        str_lit("what"),
+        str_lit(&g.what),
+        str_lit("loop_depth"),
+        g.depth,
+    );
 }
 
 /// Render a usage / internal error (the exit-3 path).
@@ -78,9 +158,18 @@ pub fn error_doc(message: &str) -> String {
     )
 }
 
+/// JSON number, non-finite clamped to 0 (ct_obs::jsonw semantics).
+fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 /// JSON string literal: quotes, backslashes and control bytes escaped,
 /// non-ASCII as `\uXXXX` so consumers never see raw multibyte output.
-fn str_lit(s: &str) -> String {
+pub(crate) fn str_lit(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -108,13 +197,22 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
 
+    fn empty_report() -> AnalyzeReport {
+        AnalyzeReport {
+            violations: Vec::new(),
+            passes: Vec::new(),
+            gathers: Vec::new(),
+        }
+    }
+
     #[test]
     fn clean_run_renders_empty_findings() {
-        let doc = findings_doc("analyze", &[]);
+        let doc = findings_doc("analyze", &empty_report());
         assert_eq!(
             doc,
-            "{\"schema\":\"ifdk-analyze/v1\",\"subcommand\":\"analyze\",\
-             \"clean\":true,\"count\":0,\"findings\":[]}\n"
+            "{\"schema\":\"ifdk-analyze/v2\",\"subcommand\":\"analyze\",\
+             \"clean\":true,\"count\":0,\"findings\":[],\"passes\":[],\
+             \"elidable_gathers\":0,\"gathers\":[]}\n"
         );
     }
 
@@ -126,7 +224,9 @@ mod tests {
             rule: "lock-order",
             msg: "cycle \"a\" -> b\nsee §6c".to_string(),
         };
-        let doc = findings_doc("analyze", &[v]);
+        let mut report = empty_report();
+        report.violations.push(v);
+        let doc = findings_doc("analyze", &report);
         assert!(doc.contains("\"clean\":false,\"count\":1"), "{doc}");
         assert!(
             doc.contains("\"path\":\"crates/x/src/a.rs\",\"line\":7"),
@@ -137,10 +237,44 @@ mod tests {
     }
 
     #[test]
+    fn passes_and_gathers_are_emitted() {
+        let mut report = empty_report();
+        report.passes.push(PassReport {
+            name: "index-bounds",
+            findings: 1,
+            wall_ms: 3.25,
+            stats: vec![("cfg_blocks".to_string(), 412)],
+        });
+        report.gathers.push(Gather {
+            path: PathBuf::from("crates/x/src/a.rs"),
+            line: 9,
+            qual: "ct_bp::warp::row".to_string(),
+            what: "`tex.get(i)`".to_string(),
+            depth: 2,
+        });
+        let doc = findings_doc("analyze", &report);
+        assert!(
+            doc.contains(
+                "{\"name\":\"index-bounds\",\"findings\":1,\"wall_ms\":3.25,\
+                 \"stats\":[{\"name\":\"cfg_blocks\",\"value\":412}]}"
+            ),
+            "{doc}"
+        );
+        assert!(doc.contains("\"elidable_gathers\":1"), "{doc}");
+        assert!(
+            doc.contains(
+                "{\"path\":\"crates/x/src/a.rs\",\"line\":9,\"fn\":\"ct_bp::warp::row\",\
+                 \"what\":\"`tex.get(i)`\",\"loop_depth\":2}"
+            ),
+            "{doc}"
+        );
+    }
+
+    #[test]
     fn error_doc_is_one_object() {
         let doc = error_doc("read ci/analyze.conf: not found");
         assert!(
-            doc.starts_with("{\"schema\":\"ifdk-analyze/v1\",\"error\":"),
+            doc.starts_with("{\"schema\":\"ifdk-analyze/v2\",\"error\":"),
             "{doc}"
         );
     }

@@ -89,8 +89,12 @@ pub fn lex(src: &str) -> Lexed {
         match c {
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
                 let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
-                record_allows(&src[i..end], line, &mut allows);
-                record_analyze_allows(&src[i..end], line, &mut analyze_allows);
+                // Doc comments (`///`, `//!`) describe the directive
+                // syntax; only plain `//` comments carry live escapes.
+                if !matches!(b.get(i + 2), Some(b'/') | Some(b'!')) {
+                    record_allows(&src[i..end], line, &mut allows);
+                    record_analyze_allows(&src[i..end], line, &mut analyze_allows);
+                }
                 for &cc in &b[i..end] {
                     blank(&mut masked, &mut line, cc);
                 }
@@ -112,8 +116,10 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                record_allows(&src[start..i], line, &mut allows);
-                record_analyze_allows(&src[start..i], line, &mut analyze_allows);
+                if !matches!(b.get(start + 2), Some(b'*') | Some(b'!')) {
+                    record_allows(&src[start..i], line, &mut allows);
+                    record_analyze_allows(&src[start..i], line, &mut analyze_allows);
+                }
                 for &cc in &b[start..i] {
                     blank(&mut masked, &mut line, cc);
                 }

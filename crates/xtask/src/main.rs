@@ -8,18 +8,25 @@
 //!   See [`rules`] for the rule table.
 //! * `analyze` — the static analyzer: a recursive-descent item parser
 //!   ([`parser`]) over the masking lexer, a conservative workspace call
-//!   graph ([`callgraph`]), and five passes ([`passes`]):
-//!   panic-reachability from the back-projection hot-path roots,
-//!   crate-layering DAG checks, hash-order determinism lints,
+//!   graph ([`callgraph`]), a per-function control-flow graph ([`cfg`])
+//!   with a forward fixpoint solver ([`dataflow`]), and seven passes
+//!   ([`passes`]): panic-reachability from the back-projection hot-path
+//!   roots, crate-layering DAG checks, hash-order determinism lints,
 //!   lock-discipline (order cycles, blocking under a guard, condvar
 //!   waits without a re-check loop) over the guard scopes extracted by
-//!   [`guards`], and allocation-reachability from the `alloc-root`
-//!   entries. Roots, blocking prefixes and the declared layering live
-//!   in `ci/analyze.conf`; `--roots a,b` overrides the roots for
-//!   ad-hoc queries, `--dir <path>` analyzes another tree (used by CI
-//!   to assert the negative-control fixtures still fail), and
-//!   `--format json` emits the `ifdk-analyze/v1` findings document for
-//!   CI artifacts.
+//!   [`guards`], allocation-reachability from the `alloc-root` entries,
+//!   float-determinism (order-sensitive reductions, ungated FMA) from
+//!   the `float-root` entries, and index-bounds interval analysis from
+//!   the `bounds-root` entries. After the passes run, every
+//!   `analyze: allow(..)` / `lint: allow(..)` escape that no longer
+//!   suppresses a finding is reported as `stale-allow`. Roots, blocking
+//!   prefixes and the declared layering live in `ci/analyze.conf`;
+//!   `--roots a,b` overrides the roots for ad-hoc queries, `--dir
+//!   <path>` analyzes another tree (used by CI to assert the
+//!   negative-control fixtures still fail), `--format json` emits the
+//!   `ifdk-analyze/v2` findings document for CI artifacts, and
+//!   `--record <path>` appends per-pass wall time to an `ifdk-run/v1`
+//!   JSONL trajectory.
 //!
 //! Exit codes follow the repo's gate contract for both subcommands:
 //! 0 = clean, 1 = violations found, 3 = usage / internal error.
@@ -27,12 +34,15 @@
 #![forbid(unsafe_code)]
 
 mod callgraph;
+mod cfg;
 mod config;
+mod dataflow;
 mod guards;
 mod jsonout;
 mod lexer;
 mod parser;
 mod passes;
+mod recorder;
 mod rules;
 mod workspace;
 
@@ -40,8 +50,8 @@ use rules::Violation;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: cargo xtask <lint | analyze [--roots <qual,..>] [--dir <path>] [--format <text|json>]>";
+const USAGE: &str = "usage: cargo xtask <lint | analyze [--roots <qual,..>] [--dir <path>] \
+     [--format <text|json>] [--record <path>]>";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -54,13 +64,19 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") if args.len() == 1 => report("lint", lint(&repo_root())),
         Some("analyze") => match parse_analyze_args(&args[1..]) {
-            Ok((root_override, roots, Format::Text)) => {
-                let root = root_override.unwrap_or_else(repo_root);
-                report("analyze", analyze(&root, roots.as_deref()))
-            }
-            Ok((root_override, roots, Format::Json)) => {
-                let root = root_override.unwrap_or_else(repo_root);
-                report_json("analyze", analyze(&root, roots.as_deref()))
+            Ok(opts) => {
+                let root = opts.dir.unwrap_or_else(repo_root);
+                let result = analyze(&root, opts.roots.as_deref());
+                if let (Ok(rep), Some(path)) = (&result, &opts.record) {
+                    if let Err(e) = recorder::append(path, &rep.passes) {
+                        eprintln!("xtask analyze: --record: {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+                match opts.format {
+                    Format::Text => report("analyze", result.map(|r| r.violations)),
+                    Format::Json => report_json("analyze", result),
+                }
             }
             Err(e) => {
                 eprintln!("xtask analyze: {e}");
@@ -96,14 +112,14 @@ fn report(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
     }
 }
 
-/// `--format json`: one `ifdk-analyze/v1` object on stdout, same exit
+/// `--format json`: one `ifdk-analyze/v2` object on stdout, same exit
 /// codes as the text reporter (CI archives the document as an artifact
 /// while the exit code still gates the job).
-fn report_json(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
+fn report_json(what: &str, result: Result<passes::AnalyzeReport, String>) -> ExitCode {
     match result {
-        Ok(violations) => {
-            print!("{}", jsonout::findings_doc(what, &violations));
-            if violations.is_empty() {
+        Ok(report) => {
+            print!("{}", jsonout::findings_doc(what, &report));
+            if report.violations.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
@@ -116,24 +132,35 @@ fn report_json(what: &str, result: Result<Vec<Violation>, String>) -> ExitCode {
     }
 }
 
-type AnalyzeArgs = (Option<PathBuf>, Option<Vec<String>>, Format);
+struct AnalyzeArgs {
+    dir: Option<PathBuf>,
+    roots: Option<Vec<String>>,
+    format: Format,
+    record: Option<PathBuf>,
+}
 
 fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
-    let mut dir = None;
-    let mut roots = None;
-    let mut format = Format::Text;
+    let mut opts = AnalyzeArgs {
+        dir: None,
+        roots: None,
+        format: Format::Text,
+        record: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--roots" => {
                 let v = it.next().ok_or("--roots needs a value")?;
-                roots = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                opts.roots = Some(v.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--dir" => {
-                dir = Some(PathBuf::from(it.next().ok_or("--dir needs a value")?));
+                opts.dir = Some(PathBuf::from(it.next().ok_or("--dir needs a value")?));
+            }
+            "--record" => {
+                opts.record = Some(PathBuf::from(it.next().ok_or("--record needs a value")?));
             }
             "--format" => {
-                format = match it.next().map(String::as_str) {
+                opts.format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
                     Some(other) => return Err(format!("unknown format {other:?}")),
@@ -143,11 +170,14 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok((dir, roots, format))
+    Ok(opts)
 }
 
 /// Run the static analyzer over the tree at `root`.
-fn analyze(root: &Path, roots_override: Option<&[String]>) -> Result<Vec<Violation>, String> {
+fn analyze(
+    root: &Path,
+    roots_override: Option<&[String]>,
+) -> Result<passes::AnalyzeReport, String> {
     let mut conf = config::Config::load(root)?;
     if let Some(roots) = roots_override {
         conf.roots = roots.to_vec();
@@ -158,8 +188,41 @@ fn analyze(root: &Path, roots_override: Option<&[String]>) -> Result<Vec<Violati
         ws: &ws,
         graph: &graph,
         conf: &conf,
+        // Narrowed ad-hoc reachability must not make honest escapes
+        // look dead.
+        audit_escapes: roots_override.is_none(),
     };
-    Ok(passes::run_all(&cx))
+    let mut report = passes::run_all(&cx);
+    if cx.audit_escapes {
+        audit_lint_escapes(root, &mut report.violations)?;
+        report
+            .violations
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+    Ok(report)
+}
+
+/// The lint half of the stale-escape audit: re-derive the unfiltered
+/// lint candidates for every linted file and report `lint: allow(..)`
+/// directives that no candidate matches — a dead escape is a standing
+/// exemption waiting for a future defect to hide under.
+fn audit_lint_escapes(root: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
+    for (rel, lx, candidates) in lint_candidates(root)? {
+        for (l, rule) in &lx.allows {
+            let used = candidates
+                .iter()
+                .any(|v| v.rule == rule && (v.line == *l || v.line == *l + 1));
+            if !used {
+                out.push(Violation {
+                    path: rel.clone(),
+                    line: *l,
+                    rule: "stale-allow",
+                    msg: format!("escape `lint: allow({rule})` suppresses nothing — remove it"),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The repo root is two levels above this crate's manifest.
@@ -173,6 +236,18 @@ fn repo_root() -> PathBuf {
 
 /// Run every rule over the repo; returns violations sorted by location.
 fn lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    for (_, lx, candidates) in lint_candidates(root)? {
+        out.extend(rules::filter_allowed(&lx, candidates));
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+/// Unfiltered lint candidates per file — shared by `lint` (which drops
+/// the `lint: allow`-suppressed ones) and the analyzer's stale-escape
+/// audit (which needs to know what each directive suppresses).
+fn lint_candidates(root: &Path) -> Result<Vec<(PathBuf, lexer::Lexed, Vec<Violation>)>, String> {
     let mut files = Vec::new();
     for top in ["crates", "examples", "tests"] {
         collect_rs(&root.join(top), &mut files)?;
@@ -190,17 +265,18 @@ fn lint(root: &Path) -> Result<Vec<Violation>, String> {
         let lx = lexer::lex(&src);
         let test_flags = lexer::test_lines(&lx.masked);
 
+        let mut candidates = Vec::new();
         if is_lib_root(&rel) {
-            rules::check_forbid_unsafe(&rel, &lx, &mut out);
+            rules::check_forbid_unsafe(&rel, &lx, &mut candidates);
         }
-        rules::check_bench_exit(&rel, &lx, &mut out);
-        rules::check_obs_names(&rel, &lx, &mut out);
-        rules::check_raw_clock(&rel, &lx, &mut out);
+        rules::check_bench_exit(&rel, &lx, &mut candidates);
+        rules::check_obs_names(&rel, &lx, &mut candidates);
+        rules::check_raw_clock(&rel, &lx, &mut candidates);
         if in_library_scope(&rel) {
-            rules::check_no_unwrap(&rel, &lx, &test_flags, &mut out);
+            rules::check_no_unwrap(&rel, &lx, &test_flags, &mut candidates);
         }
+        out.push((rel, lx, candidates));
     }
-    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(out)
 }
 
@@ -297,7 +373,7 @@ mod tests {
     #[test]
     fn negative_control_fixture_trips_every_pass() {
         let found = analyze(&negative_fixture(), None).expect("analyze runs");
-        let rendered: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+        let rendered: Vec<String> = found.violations.iter().map(|v| v.to_string()).collect();
         assert!(
             rendered
                 .iter()
@@ -340,6 +416,57 @@ mod tests {
                 .any(|v| v.contains("[alloc-reachable]") && v.contains("demo_e::scratch::copy_out")),
             "seeded reachable allocation not caught: {rendered:?}"
         );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[float-order]") && v.contains("demo_f::merge::total")),
+            "seeded hash-order float reduction not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[float-fma]") && v.contains("demo_f::kernel::blend")),
+            "seeded ungated mul_add not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[index-bounds]") && v.contains("demo_g::kernel::shifted_sum")),
+            "seeded off-by-one hot-loop index not caught: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|v| v.contains("[stale-allow]") && v.contains("demo-f")),
+            "seeded stale escape not caught: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn negative_control_reports_pass_stats_and_gathers() {
+        let report = analyze(&negative_fixture(), None).expect("analyze runs");
+        assert_eq!(report.passes.len(), 7, "seven passes must report");
+        let bounds = report
+            .passes
+            .iter()
+            .find(|p| p.name == "index-bounds")
+            .expect("index-bounds pass reports");
+        assert!(
+            bounds
+                .stats
+                .iter()
+                .any(|(n, v)| n == "cfg_blocks" && *v > 0),
+            "{:?}",
+            bounds.stats
+        );
+        // demo-g's proven `.get` gather feeds the elidable report.
+        assert!(
+            report
+                .gathers
+                .iter()
+                .any(|g| g.qual.starts_with("demo_g::") && g.what.contains(".get(")),
+            "proven checked gather missing from the report"
+        );
     }
 
     #[test]
@@ -349,7 +476,7 @@ mod tests {
         // defects still fire, so the tree stays red either way.
         let roots = vec!["demo_b".to_string()];
         let found = analyze(&negative_fixture(), Some(&roots)).expect("analyze runs");
-        let rendered: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+        let rendered: Vec<String> = found.violations.iter().map(|v| v.to_string()).collect();
         assert!(
             !rendered.iter().any(|v| v.contains("[panic-reachable]")),
             "{rendered:?}"
@@ -373,6 +500,7 @@ mod tests {
         assert!(lint_found.is_empty(), "{lint_found:?}");
         let analyze_found: Vec<String> = analyze(&root, None)
             .expect("analyze runs")
+            .violations
             .iter()
             .map(|v| v.to_string())
             .collect();

@@ -23,7 +23,7 @@
 //! the reason is mandatory. Findings carry the shortest root→site call
 //! chain, like the panic pass.
 
-use super::{Analysis, Pass};
+use super::{Analysis, Pass, PassOutput};
 use crate::callgraph;
 use crate::rules::Violation;
 use std::collections::BTreeSet;
@@ -74,7 +74,7 @@ impl Pass for AllocReachability {
         "alloc-reachable"
     }
 
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
         let ws = cx.ws;
         let roots: Vec<usize> = ws
             .fns
@@ -104,19 +104,24 @@ impl Pass for AllocReachability {
                     continue;
                 }
                 match file.lexed.analyze_allowed(line, "alloc") {
-                    Some(a) if a.reason.is_some() => continue,
-                    Some(_) => out.push(Violation {
-                        path: file.rel.clone(),
-                        line,
-                        rule: "alloc-allow",
-                        msg: format!(
-                            "exemption for {what} is missing its reason — write \
-                             analyze: allow(alloc, reason = \"...\")"
-                        ),
-                    }),
+                    Some(a) => {
+                        out.used(&file.rel, a.line, "alloc");
+                        if a.reason.is_some() {
+                            continue;
+                        }
+                        out.violations.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "alloc-allow",
+                            msg: format!(
+                                "exemption for {what} is missing its reason — write \
+                                 analyze: allow(alloc, reason = \"...\")"
+                            ),
+                        });
+                    }
                     None => {
                         let chain = callgraph::chain(ws, &pred, fi);
-                        out.push(Violation {
+                        out.violations.push(Violation {
                             path: file.rel.clone(),
                             line,
                             rule: "alloc-reachable",

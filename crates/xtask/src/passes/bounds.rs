@@ -1,0 +1,1396 @@
+//! Index-bounds: interval analysis over the conf-declared hot roots.
+//!
+//! From the `bounds-root` entries in `ci/analyze.conf` (the
+//! back-projection kernels, the ring) the pass walks the call graph,
+//! lowers every reachable function body to a CFG ([`crate::cfg`]) and
+//! runs the forward interval solver ([`crate::dataflow`]): variables
+//! map to integer ranges whose endpoints may be symbolic `len(base)+k`
+//! terms, `for i in 0..xs.len()` seeds `i ∈ [0, len(xs)-1]`, branch
+//! conditions (`i < n`, `&&` conjunctions) refine along edges, and
+//! loop heads widen so loop-carried counters terminate.
+//!
+//! Every slice access is then classified:
+//!
+//! * **direct indexing** (`xs[i]`, `xs[a..b]`) — PROVEN when the index
+//!   interval sits inside `[0, len-1]` (symbolically or via a known
+//!   constant length from `chunks_exact`/fixed-size arrays). UNPROVEN
+//!   direct indexing inside a loop is an error: a latent panic on the
+//!   hot path. Outside loops it is only counted (the panic pass covers
+//!   the unwrap-shaped cases).
+//! * **checked gathers** (`.get(i)` / `.get_mut(i)`) — a PROVEN gather
+//!   is *elidable*: the bounds check the autovectorizer must keep can
+//!   be restructured away. These feed the ranked gather report in the
+//!   JSON document; they are never errors.
+//! * **`chunks_exact(k)`** — an error when `k` is provably zero;
+//!   a literal or conf-known nonzero const is PROVEN.
+//!
+//! Escapes: `// analyze: allow(bounds, reason = "...")` (the full pass
+//! name `index-bounds` works too). Soundness envelope in DESIGN §6d:
+//! intraprocedural only, last-ident place keys, widening can lose the
+//! upper bound a proof needs.
+
+use super::{Analysis, Gather, Pass, PassOutput};
+use crate::callgraph;
+use crate::cfg::{self, StmtKind};
+use crate::dataflow::{self, Bound, Env, Interval};
+use crate::rules::Violation;
+
+pub struct IndexBounds;
+
+impl Pass for IndexBounds {
+    fn name(&self) -> &'static str {
+        "index-bounds"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
+        let ws = cx.ws;
+        let roots: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                !f.is_test
+                    && !f.cfg_off
+                    && cx
+                        .conf
+                        .bounds_roots
+                        .iter()
+                        .any(|r| f.qual == *r || f.qual.starts_with(&format!("{r}::")))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pred = cx.graph.reach(&roots);
+
+        for &fi in pred.keys() {
+            let f = &ws.fns[fi];
+            let Some((b0, b1)) = f.body else { continue };
+            let file = &ws.files[f.file];
+            let masked = &file.lexed.masked;
+            let body = &masked[b0..b1.min(masked.len())];
+            if !(body.contains('[')
+                || body.contains(".get(")
+                || body.contains(".get_mut(")
+                || body.contains(".chunks_exact"))
+            {
+                continue;
+            }
+            out.stat("fns_analyzed", 1);
+
+            let g = cfg::lower(masked, (b0, b1));
+            out.stat("cfg_blocks", g.blocks.len() as u64);
+            let sol = dataflow::forward(
+                &g,
+                Env::default(),
+                |_, blk, state| {
+                    let mut env = state.clone();
+                    for s in &blk.stmts {
+                        apply_stmt(masked, s, &mut env);
+                    }
+                    env
+                },
+                |cond, state| refine(masked, (cond.span.0, cond.span.1), cond.polarity, state),
+            );
+            out.stat("solver_iterations", sol.iterations as u64);
+            out.stat("widenings", sol.widenings as u64);
+
+            for (bi, blk) in g.blocks.iter().enumerate() {
+                let Some(in_state) = &sol.inputs[bi] else {
+                    continue;
+                };
+                let mut env = in_state.clone();
+                for s in &blk.stmts {
+                    for acc in scan_accesses(masked, s.span, &env, cx) {
+                        report_access(out, file, f, blk.loop_depth, masked, &acc);
+                    }
+                    apply_stmt(masked, s, &mut env);
+                }
+                // Accesses inside branch conditions (`if let Some(v) =
+                // xs.get(i)`) live on the edges, not in the statements.
+                let mut seen: Vec<(usize, usize)> = Vec::new();
+                for e in &blk.edges {
+                    let Some(c) = &e.cond else { continue };
+                    if seen.contains(&c.span) {
+                        continue;
+                    }
+                    seen.push(c.span);
+                    for acc in scan_accesses(masked, c.span, &env, cx) {
+                        report_access(out, file, f, blk.loop_depth, masked, &acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classify one scanned access and emit the violation / gather / stat
+/// it calls for. Shared by the statement scan and the edge-cond scan.
+fn report_access(
+    out: &mut PassOutput,
+    file: &crate::workspace::FileInfo,
+    f: &crate::workspace::FnInfo,
+    loop_depth: usize,
+    masked: &str,
+    acc: &Access,
+) {
+    let line = callgraph::line_of(masked, acc.at);
+    if file.test_lines.get(line).copied().unwrap_or(false) {
+        return;
+    }
+    if acc.proven {
+        out.stat("proven_accesses", 1);
+        if acc.checked {
+            out.gathers.push(Gather {
+                path: file.rel.clone(),
+                line,
+                qual: f.qual.clone(),
+                what: acc.what.clone(),
+                depth: loop_depth,
+            });
+        }
+        return;
+    }
+    out.stat("unproven_accesses", 1);
+    if acc.checked || loop_depth == 0 {
+        return;
+    }
+    let allow = file
+        .lexed
+        .analyze_allowed(line, "bounds")
+        .map(|a| ("bounds", a))
+        .or_else(|| {
+            file.lexed
+                .analyze_allowed(line, "index-bounds")
+                .map(|a| ("index-bounds", a))
+        });
+    match allow {
+        Some((key, a)) => {
+            out.used(&file.rel, a.line, key);
+            if a.reason.is_none() {
+                out.violations.push(Violation {
+                    path: file.rel.clone(),
+                    line,
+                    rule: "bounds-allow",
+                    msg: format!(
+                        "exemption for {} is missing its reason — write \
+                         analyze: allow(bounds, reason = \"...\")",
+                        acc.what
+                    ),
+                });
+            }
+        }
+        None => out.violations.push(Violation {
+            path: file.rel.clone(),
+            line,
+            rule: "index-bounds",
+            msg: format!(
+                "{} not proven in bounds ({}) inside a hot loop of `{}`",
+                acc.what, acc.detail, f.qual
+            ),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transfer function: statement effects on the interval environment.
+// ---------------------------------------------------------------------
+
+fn apply_stmt(masked: &str, s: &cfg::Stmt, env: &mut Env) {
+    match &s.kind {
+        StmtKind::ForHead { pat, iter } => {
+            let pat_t = masked[pat.0..pat.1].trim();
+            let iter_t = masked[iter.0..iter.1].trim();
+            apply_for_binding(pat_t, iter_t, env);
+        }
+        StmtKind::BindOpaque { name } => {
+            env.havoc(masked[name.0..name.1].trim());
+        }
+        StmtKind::Plain => {
+            let text = masked[s.span.0..s.span.1].trim();
+            apply_plain(text, env);
+        }
+    }
+}
+
+/// Bind a `for` pattern from its iterator expression.
+fn apply_for_binding(pat: &str, iter: &str, env: &mut Env) {
+    // Every name the pattern binds goes opaque first; the precise
+    // cases below re-bind what they understand.
+    for name in pat_idents(pat) {
+        env.havoc(&name);
+    }
+    let iter = strip_parens(iter);
+    // `xs.iter().enumerate()` with `(i, x)`: i ∈ [0, len(xs)-1].
+    if let Some(prefix) = iter.strip_suffix(".enumerate()") {
+        let base = strip_iter_adapters(prefix);
+        if let Some(b) = simple_place(base) {
+            if let Some(i_name) = tuple_first(pat) {
+                env.set(
+                    &i_name,
+                    Interval {
+                        lo: Bound::Int(0),
+                        hi: Bound::Len { base: b, off: -1 },
+                    },
+                );
+            }
+            return;
+        }
+    }
+    // `xs.chunks_exact(K)`: the chunk binding has constant length K.
+    for m in [".chunks_exact(", ".chunks_exact_mut("] {
+        if let Some(p) = iter.find(m) {
+            let args = &iter[p + m.len()..];
+            if let Some(close) = args.find(')') {
+                if let Some(k) = parse_int(args[..close].trim()) {
+                    if k > 0 {
+                        if let Some(name) = single_ident(pat) {
+                            env.lens.insert(name, k);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+    }
+    // Range iterators, possibly behind `.rev()` / `.step_by(k)`.
+    let core = strip_range_adapters(iter);
+    if let Some((a, b, inclusive)) = split_range(core) {
+        let av = if a.is_empty() {
+            Interval::exact(0)
+        } else {
+            eval(a, env)
+        };
+        let bv = eval(b, env);
+        if let Some(name) = single_ident(pat) {
+            let hi = if inclusive {
+                bv.hi
+            } else {
+                bv.hi.add_const(-1)
+            };
+            env.set(&name, Interval { lo: av.lo, hi });
+        }
+    }
+}
+
+/// Leading assignment forms plus a havoc sweep for nested mutation.
+fn apply_plain(text: &str, env: &mut Env) {
+    let text = text.trim().trim_end_matches(';').trim_end();
+    let mut consumed = 0usize;
+    if let Some(rest) = strip_word(text, "let") {
+        let rest2 = strip_word(rest, "mut").unwrap_or(rest);
+        if let Some(name) = leading_ident(rest2) {
+            let after = rest2[name.len()..].trim_start();
+            // Optional `: [T; N]` annotation carries a length fact.
+            let (ann, init) = split_annotation(after);
+            if let Some(n) = ann.and_then(array_len_of_type) {
+                env.lens.insert(name.to_string(), n);
+            }
+            match init {
+                Some(rhs) => {
+                    let rhs = rhs.trim();
+                    consumed = text.len() - rhs.len();
+                    if let Some(n) = array_len_of_literal(rhs) {
+                        env.lens.insert(name.to_string(), n);
+                        env.set(name, Interval::top());
+                    } else {
+                        let v = eval(rhs, env);
+                        env.set(name, v);
+                    }
+                }
+                None => env.havoc(name),
+            }
+        }
+    } else if let Some((lhs, op, rhs)) = leading_assign(text) {
+        consumed = text.len() - rhs.len();
+        let key = last_ident(lhs);
+        if key.is_empty() {
+            // Not a place we track; fall through to the havoc sweep.
+        } else {
+            let rv = eval(rhs.trim(), env);
+            let nv = match op {
+                "=" => rv,
+                "+=" => env.get(&key).add(&rv),
+                "-=" => env.get(&key).sub(&rv),
+                "*=" => env.get(&key).mul(&rv),
+                _ => Interval::top(),
+            };
+            env.set(&key, nv);
+        }
+    }
+    havoc_nested(&text[consumed.min(text.len())..], env);
+}
+
+/// Havoc every variable a statement fragment mutates through nested
+/// syntax the leading-form parser cannot see: `&mut x` arguments and
+/// compound assignments inside closures.
+fn havoc_nested(frag: &str, env: &mut Env) {
+    let mut from = 0usize;
+    while let Some(p) = frag[from..].find("&mut ") {
+        let at = from + p + 5;
+        from = at;
+        if let Some(name) = leading_ident(frag[at..].trim_start()) {
+            env.havoc(name);
+        }
+    }
+    for op in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="] {
+        let mut from = 0usize;
+        while let Some(p) = frag[from..].find(op) {
+            let at = from + p;
+            from = at + op.len();
+            let key = last_ident(&frag[..at]);
+            if !key.is_empty() {
+                env.havoc(&key);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch refinement.
+// ---------------------------------------------------------------------
+
+fn refine(masked: &str, span: (usize, usize), polarity: bool, state: &Env) -> Env {
+    let mut env = state.clone();
+    let text = masked[span.0..span.1].trim();
+    if polarity {
+        for part in split_top(text, "&&") {
+            apply_cmp(part.trim(), true, &mut env);
+        }
+    } else if text.contains("||") && !text.contains("&&") {
+        // !(a || b) = !a && !b.
+        for part in split_top(text, "||") {
+            apply_cmp(part.trim(), false, &mut env);
+        }
+    } else if !text.contains("&&") && !text.contains("||") {
+        apply_cmp(text, false, &mut env);
+    }
+    env
+}
+
+fn apply_cmp(cond: &str, truth: bool, env: &mut Env) {
+    let Some((lhs, op, rhs)) = split_cmp(cond) else {
+        return;
+    };
+    let op = if truth { op } else { negate_op(op) };
+    if op == "!=" {
+        return;
+    }
+    let rv = eval(rhs, env);
+    constrain(lhs, op, &rv, env);
+    let lv = eval(lhs, env);
+    constrain(rhs, flip_op(op), &lv, env);
+}
+
+/// Narrow `place` by `place OP bound-interval`.
+fn constrain(place: &str, op: &str, against: &Interval, env: &mut Env) {
+    let place = place.trim();
+    if simple_place(place).is_none() {
+        return;
+    }
+    let key = last_ident(place);
+    if key.is_empty() {
+        return;
+    }
+    let mut cur = env.get(&key);
+    match op {
+        "<" => cur.hi = tighten_hi(&cur.hi, &against.hi.add_const(-1)),
+        "<=" => cur.hi = tighten_hi(&cur.hi, &against.hi),
+        ">" => cur.lo = tighten_lo(&cur.lo, &against.lo.add_const(1)),
+        ">=" => cur.lo = tighten_lo(&cur.lo, &against.lo),
+        "==" => {
+            cur.hi = tighten_hi(&cur.hi, &against.hi);
+            cur.lo = tighten_lo(&cur.lo, &against.lo);
+        }
+        _ => return,
+    }
+    env.set(&key, cur);
+}
+
+/// Prefer the smaller of two upper bounds; on incomparable bounds keep
+/// the refinement (both are sound — the symbolic one usually proves).
+fn tighten_hi(cur: &Bound, new: &Bound) -> Bound {
+    if matches!(new, Bound::PosInf) {
+        return cur.clone();
+    }
+    if new.le(cur) {
+        new.clone()
+    } else if cur.le(new) {
+        cur.clone()
+    } else {
+        new.clone()
+    }
+}
+
+fn tighten_lo(cur: &Bound, new: &Bound) -> Bound {
+    if matches!(new, Bound::NegInf) {
+        return cur.clone();
+    }
+    if cur.le(new) {
+        new.clone()
+    } else if new.le(cur) {
+        cur.clone()
+    } else {
+        new.clone()
+    }
+}
+
+fn negate_op(op: &str) -> &str {
+    match op {
+        "<" => ">=",
+        "<=" => ">",
+        ">" => "<=",
+        ">=" => "<",
+        "==" => "!=",
+        _ => "==",
+    }
+}
+
+fn flip_op(op: &str) -> &str {
+    match op {
+        "<" => ">",
+        "<=" => ">=",
+        ">" => "<",
+        ">=" => "<=",
+        other => other,
+    }
+}
+
+fn split_cmp(cond: &str) -> Option<(&str, &str, &str)> {
+    let b = cond.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'<' | b'>' | b'=' | b'!' if depth == 0 => {
+                let two = &cond[i..(i + 2).min(cond.len())];
+                if ["<<", ">>", "=>", "->"].contains(&two) {
+                    i += 2;
+                    continue;
+                }
+                let op = if ["<=", ">=", "==", "!="].contains(&two) {
+                    two
+                } else if b[i] == b'<' || b[i] == b'>' {
+                    &cond[i..i + 1]
+                } else {
+                    i += 1;
+                    continue;
+                };
+                let lhs = &cond[..i];
+                let rhs = &cond[i + op.len()..];
+                if lhs.trim().is_empty() || rhs.trim().is_empty() {
+                    return None;
+                }
+                return Some((lhs.trim(), op, rhs.trim()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation to intervals.
+// ---------------------------------------------------------------------
+
+/// Evaluate a (masked) expression to an interval. Anything outside the
+/// supported grammar is top — over-approximation is the safe direction.
+pub fn eval(text: &str, env: &Env) -> Interval {
+    let t = strip_parens(strip_cast(text.trim()));
+    if t.is_empty() {
+        return Interval::top();
+    }
+    // Unary minus.
+    if let Some(rest) = t.strip_prefix('-') {
+        if !rest.starts_with('-') {
+            return Interval::exact(0).sub(&eval(rest, env));
+        }
+    }
+    // Binary + / - (rightmost at depth 0).
+    if let Some((l, op, r)) = split_addsub(t) {
+        let lv = eval(l, env);
+        let rv = eval(r, env);
+        return if op == '+' { lv.add(&rv) } else { lv.sub(&rv) };
+    }
+    // Binary * / % / & (rightmost at depth 0).
+    if let Some((l, op, r)) = split_muldiv(t) {
+        let lv = eval(l, env);
+        let rv = eval(r, env);
+        return match op {
+            '*' => lv.mul(&rv),
+            '/' => div_interval(&lv, &rv),
+            '%' => rem_interval(&lv, &rv),
+            '&' => and_interval(&rv),
+            _ => Interval::top(),
+        };
+    }
+    // Method suffixes.
+    if let Some(iv) = eval_method(t, env) {
+        return iv;
+    }
+    if let Some(n) = parse_int(t) {
+        return Interval::exact(n);
+    }
+    if simple_place(t).is_some() {
+        let key = last_ident(t);
+        if !key.is_empty() {
+            return env.get(&key);
+        }
+    }
+    Interval::top()
+}
+
+fn eval_method(t: &str, env: &Env) -> Option<Interval> {
+    if !t.ends_with(')') {
+        return None;
+    }
+    // Find `.method(` whose argument list closes exactly at the end.
+    let open = matching_open(t)?;
+    let dot = t[..open].rfind('.')?;
+    let recv = &t[..dot];
+    let method = &t[dot + 1..open];
+    let arg = &t[open + 1..t.len() - 1];
+    match method {
+        "len" if arg.is_empty() => {
+            let base = simple_place(recv)?;
+            Some(Interval::of_len(&base, 0))
+        }
+        "min" => Some(eval(recv, env).clamp_min(&eval(arg, env))),
+        "max" => Some(eval(recv, env).clamp_max(&eval(arg, env))),
+        "saturating_sub" => Some(
+            eval(recv, env)
+                .sub(&eval(arg, env))
+                .clamp_max(&Interval::exact(0)),
+        ),
+        "saturating_add" => Some(eval(recv, env).add(&eval(arg, env))),
+        _ => None,
+    }
+}
+
+/// Byte offset of the `(` matching the final `)` of `t`.
+fn matching_open(t: &str) -> Option<usize> {
+    let b = t.as_bytes();
+    let mut depth = 0i32;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' | b']' | b'}' => depth += 1,
+            b'(' | b'[' | b'{' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (b[i] == b'(').then_some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn div_interval(l: &Interval, r: &Interval) -> Interval {
+    if let (Bound::Int(lo), Bound::Int(hi), Bound::Int(k1), Bound::Int(k2)) =
+        (&l.lo, &l.hi, &r.lo, &r.hi)
+    {
+        if k1 == k2 && *k1 > 0 && *lo >= 0 {
+            return Interval {
+                lo: Bound::Int(lo / k1),
+                hi: Bound::Int(hi / k1),
+            };
+        }
+    }
+    Interval::top()
+}
+
+/// `x % k` for constant `k`: `[0, k-1]` when x is known non-negative,
+/// `[-(k-1), k-1]` otherwise (Rust remainder takes the dividend sign).
+fn rem_interval(l: &Interval, r: &Interval) -> Interval {
+    if let (Bound::Int(k1), Bound::Int(k2)) = (&r.lo, &r.hi) {
+        if k1 == k2 && *k1 > 0 {
+            let nonneg = Bound::Int(0).le(&l.lo);
+            return Interval {
+                lo: Bound::Int(if nonneg { 0 } else { -(k1 - 1) }),
+                hi: Bound::Int(k1 - 1),
+            };
+        }
+    }
+    Interval::top()
+}
+
+/// `x & c` for a constant `c >= 0` is within `[0, c]` for every `x` in
+/// two's complement (each result bit is at most the mask bit).
+fn and_interval(r: &Interval) -> Interval {
+    if let (Bound::Int(k1), Bound::Int(k2)) = (&r.lo, &r.hi) {
+        if k1 == k2 && *k1 >= 0 {
+            return Interval {
+                lo: Bound::Int(0),
+                hi: Bound::Int(*k1),
+            };
+        }
+    }
+    Interval::top()
+}
+
+// ---------------------------------------------------------------------
+// Access extraction.
+// ---------------------------------------------------------------------
+
+struct Access {
+    at: usize,
+    /// True for `.get`-style checked access (never an error).
+    checked: bool,
+    proven: bool,
+    what: String,
+    detail: String,
+}
+
+fn scan_accesses(masked: &str, span: (usize, usize), env: &Env, cx: &Analysis<'_>) -> Vec<Access> {
+    let b = masked.as_bytes();
+    let (s0, s1) = (span.0, span.1.min(b.len()));
+    let text = &masked[s0..s1];
+    let mut out = Vec::new();
+
+    // Direct indexing: `base[expr]`.
+    let tb = text.as_bytes();
+    for (p, &c) in tb.iter().enumerate() {
+        if c != b'[' {
+            continue;
+        }
+        let base = place_ending_at(text, p);
+        if base.is_empty() {
+            // `= [..]` literals, attributes, types — or an index into a
+            // temporary (`f(x)[i]`), which stays unproven but is rare
+            // enough to skip rather than misreport.
+            continue;
+        }
+        let close = match_close(tb, p, b'[', b']');
+        let idx = text[p + 1..close].trim();
+        if idx.is_empty() {
+            continue;
+        }
+        let (proven, detail) = classify_index(idx, &base, env);
+        out.push(Access {
+            at: s0 + p,
+            checked: false,
+            proven,
+            what: format!("`{base}[{idx}]`"),
+            detail,
+        });
+    }
+
+    // Checked gathers: `.get(expr)` / `.get_mut(expr)`.
+    for needle in [".get(", ".get_mut("] {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            let base = place_ending_at(text, at);
+            if base.is_empty() {
+                continue;
+            }
+            let open = at + needle.len() - 1;
+            let close = match_close(tb, open, b'(', b')');
+            let idx = text[open + 1..close].trim();
+            if idx.is_empty() {
+                continue;
+            }
+            let (proven, detail) = classify_index(idx, &base, env);
+            out.push(Access {
+                at: s0 + at,
+                checked: true,
+                proven,
+                what: format!("`{base}{}{idx})`", needle),
+                detail,
+            });
+        }
+    }
+
+    // `chunks_exact(k)`: panics only on k == 0.
+    for needle in [".chunks_exact(", ".chunks_exact_mut("] {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            let base = place_ending_at(text, at);
+            let open = at + needle.len() - 1;
+            let close = match_close(tb, open, b'(', b')');
+            let arg = text[open + 1..close].trim();
+            let proven = parse_int(arg).map(|k| k > 0).unwrap_or_else(|| {
+                cx.ws.nonzero_consts.contains(last_ident(arg).as_str())
+                    || Bound::Int(1).le(&eval(arg, env).lo)
+            });
+            out.push(Access {
+                at: s0 + at,
+                checked: false,
+                proven,
+                what: format!("`{base}{needle}{arg})`"),
+                detail: "chunk size not provably nonzero".to_string(),
+            });
+        }
+    }
+
+    out.sort_by_key(|a| a.at);
+    out
+}
+
+/// Classify one index expression against `base`'s length.
+fn classify_index(idx: &str, base: &str, env: &Env) -> (bool, String) {
+    let len_hi = |off: i128| -> Bound {
+        Bound::Len {
+            base: base.to_string(),
+            off,
+        }
+    };
+    let const_len = env.lens.get(base).copied();
+    // Upper-bound check against len(base)+off, or a known const length.
+    let fits = |hi: &Bound, off: i128| -> bool {
+        hi.le(&len_hi(off)) || const_len.is_some_and(|n| hi.le(&Bound::Int(n.saturating_add(off))))
+    };
+    if let Some((a, b, inclusive)) = split_range(idx) {
+        let av = if a.is_empty() {
+            Interval::exact(0)
+        } else {
+            eval(a, env)
+        };
+        let lo_ok = Bound::Int(0).le(&av.lo);
+        let hi_ok = if b.is_empty() {
+            // `a..`: only the start must fit.
+            fits(&av.hi, 0)
+        } else {
+            let bv = eval(b, env);
+            fits(&bv.hi, if inclusive { -1 } else { 0 })
+        };
+        let proven = lo_ok && hi_ok;
+        (proven, describe_range(&av, b, inclusive))
+    } else {
+        let iv = eval(idx, env);
+        let proven = Bound::Int(0).le(&iv.lo) && fits(&iv.hi, -1);
+        (proven, format!("index ∈ {}", show(&iv)))
+    }
+}
+
+fn describe_range(av: &Interval, b: &str, inclusive: bool) -> String {
+    if b.is_empty() {
+        format!("start ∈ {}", show(av))
+    } else if inclusive {
+        format!("inclusive end `{b}` vs len")
+    } else {
+        format!("end `{b}` vs len")
+    }
+}
+
+fn show(iv: &Interval) -> String {
+    fn one(b: &Bound) -> String {
+        match b {
+            Bound::NegInf => "-inf".to_string(),
+            Bound::PosInf => "+inf".to_string(),
+            Bound::Int(n) => n.to_string(),
+            Bound::Len { base, off } => {
+                if *off == 0 {
+                    format!("len({base})")
+                } else if *off > 0 {
+                    format!("len({base})+{off}")
+                } else {
+                    format!("len({base}){off}")
+                }
+            }
+        }
+    }
+    format!("[{}, {}]", one(&iv.lo), one(&iv.hi))
+}
+
+// ---------------------------------------------------------------------
+// Micro-parsing helpers.
+// ---------------------------------------------------------------------
+
+/// The place expression ending just before byte `at` (`self.buf` before
+/// a `[`): its last identifier, or empty when the preceding token is
+/// not a plain place.
+fn place_ending_at(text: &str, at: usize) -> String {
+    let b = text.as_bytes();
+    let mut j = at;
+    while j > 0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let e = j;
+    while j > 0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+        j -= 1;
+    }
+    if j == e || b.get(j).is_some_and(|c| c.is_ascii_digit()) {
+        return String::new();
+    }
+    let word = &text[j..e];
+    // A keyword before `[` means a pattern or control construct
+    // (`let [a, b] = ..`, `match x[..]` arms), not an index expression.
+    const KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "if", "else", "in", "match", "return", "while", "loop", "for", "move",
+        "box",
+    ];
+    if KEYWORDS.contains(&word) {
+        return String::new();
+    }
+    word.to_string()
+}
+
+fn match_close(b: &[u8], open: usize, oc: u8, cc: u8) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == oc {
+            depth += 1;
+        } else if b[i] == cc {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// A dotted chain of plain identifiers (`self.shared.queue`, `xs`);
+/// returns the last identifier.
+fn simple_place(t: &str) -> Option<String> {
+    let t = t
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    let t = t.strip_prefix('*').unwrap_or(t);
+    if t.is_empty() {
+        return None;
+    }
+    let mut last = "";
+    for seg in t.split('.') {
+        let seg = seg.trim();
+        if seg.is_empty()
+            || !seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || seg.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return None;
+        }
+        last = seg;
+    }
+    Some(last.to_string())
+}
+
+pub fn last_ident(t: &str) -> String {
+    let t = t.trim().trim_end_matches('*');
+    let t = t.trim_end();
+    let start = t
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let s = &t[start..];
+    if s.is_empty() || s.starts_with(|c: char| c.is_ascii_digit()) {
+        String::new()
+    } else {
+        s.to_string()
+    }
+}
+
+fn leading_ident(t: &str) -> Option<&str> {
+    let end = t
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(t.len());
+    (end > 0 && !t.starts_with(|c: char| c.is_ascii_digit())).then(|| &t[..end])
+}
+
+fn strip_word<'a>(t: &'a str, w: &str) -> Option<&'a str> {
+    let rest = t.strip_prefix(w)?;
+    rest.starts_with(|c: char| c.is_whitespace())
+        .then(|| rest.trim_start())
+}
+
+/// Split `": ann = init"` / `"= init"` after a binding name.
+fn split_annotation(t: &str) -> (Option<&str>, Option<&str>) {
+    let t = t.trim_start();
+    if let Some(rest) = t.strip_prefix(':') {
+        // Annotation runs to the `=` at depth 0.
+        let b = rest.as_bytes();
+        let mut depth = 0i32;
+        for (i, &c) in b.iter().enumerate() {
+            match c {
+                b'(' | b'[' | b'<' => depth += 1,
+                b')' | b']' | b'>' => depth -= 1,
+                b'=' if depth <= 0 => {
+                    return (Some(rest[..i].trim()), Some(rest[i + 1..].trim()));
+                }
+                _ => {}
+            }
+        }
+        (Some(rest.trim()), None)
+    } else if let Some(rest) = t.strip_prefix('=') {
+        if rest.starts_with('=') {
+            (None, None)
+        } else {
+            (None, Some(rest.trim()))
+        }
+    } else {
+        (None, None)
+    }
+}
+
+/// `[T; N]` → N.
+fn array_len_of_type(ann: &str) -> Option<i128> {
+    let inner = ann.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let (_, n) = inner.rsplit_once(';')?;
+    parse_int(n.trim())
+}
+
+/// `[expr; N]` literal → N.
+fn array_len_of_literal(rhs: &str) -> Option<i128> {
+    let rhs = rhs.trim();
+    if !rhs.starts_with('[') {
+        return None;
+    }
+    let close = match_close(rhs.as_bytes(), 0, b'[', b']');
+    let inner = &rhs[1..close.min(rhs.len())];
+    let (_, n) = inner.rsplit_once(';')?;
+    parse_int(n.trim())
+}
+
+/// Leading `lhs OP rest` where OP is an assignment operator at depth 0.
+fn leading_assign(text: &str) -> Option<(&str, &str, &str)> {
+    let b = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b';' if depth == 0 => return None,
+            b'=' if depth == 0 => {
+                let prev = if i > 0 { b[i - 1] } else { b' ' };
+                let next = b.get(i + 1).copied().unwrap_or(b' ');
+                if next == b'=' || prev == b'!' || prev == b'<' || prev == b'>' {
+                    i += 2;
+                    continue;
+                }
+                let (lhs_end, op): (usize, &str) = match prev {
+                    b'+' => (i - 1, "+="),
+                    b'-' => (i - 1, "-="),
+                    b'*' => (i - 1, "*="),
+                    b'/' => (i - 1, "/="),
+                    b'%' => (i - 1, "%="),
+                    b'&' => (i - 1, "&="),
+                    b'|' => (i - 1, "|="),
+                    b'^' => (i - 1, "^="),
+                    _ => (i, "="),
+                };
+                let lhs = text[..lhs_end].trim();
+                if lhs.is_empty() || simple_place(lhs).is_none() {
+                    return None;
+                }
+                return Some((lhs, op, &text[i + 1..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn strip_cast(t: &str) -> &str {
+    let b = t.as_bytes();
+    let mut depth = 0i32;
+    for i in 0..b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'a' if depth == 0
+                && t[i..].starts_with("as ")
+                && i > 0
+                && b[i - 1].is_ascii_whitespace() =>
+            {
+                return t[..i].trim_end();
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+fn strip_parens(t: &str) -> &str {
+    let mut t = t.trim();
+    while t.starts_with('(') && t.ends_with(')') {
+        let b = t.as_bytes();
+        if match_close(b, 0, b'(', b')') != t.len() - 1 {
+            break;
+        }
+        t = t[1..t.len() - 1].trim();
+    }
+    t
+}
+
+fn split_addsub(t: &str) -> Option<(&str, char, &str)> {
+    let b = t.as_bytes();
+    let mut depth = 0i32;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' | b']' | b'}' => depth += 1,
+            b'(' | b'[' | b'{' => depth -= 1,
+            c @ (b'+' | b'-') if depth == 0 && i > 0 => {
+                // Binary only: the left side must end in an operand.
+                let prev = t[..i].trim_end().chars().last();
+                if matches!(prev, Some(p) if p.is_ascii_alphanumeric() || p == '_' || p == ')' || p == ']')
+                {
+                    // `..` ranges and `->` never reach here (split_range
+                    // and stmt forms run first); exclude `e-1` exponents
+                    // by requiring a non-digit-dot operand.
+                    return Some((&t[..i], c as char, &t[i + 1..]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn split_muldiv(t: &str) -> Option<(&str, char, &str)> {
+    let b = t.as_bytes();
+    let mut depth = 0i32;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' | b']' | b'}' => depth += 1,
+            b'(' | b'[' | b'{' => depth -= 1,
+            c @ (b'*' | b'/' | b'%' | b'&') if depth == 0 && i > 0 && i + 1 < b.len() => {
+                // Reject `&&`, `**` (not Rust), deref `*x`, `&x`.
+                if b[i + 1] == c || b[i - 1] == c {
+                    continue;
+                }
+                let prev = t[..i].trim_end().chars().last();
+                if matches!(prev, Some(p) if p.is_ascii_alphanumeric() || p == '_' || p == ')' || p == ']')
+                {
+                    return Some((&t[..i], c as char, &t[i + 1..]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `a..b` / `a..=b` at depth 0 → (a, b, inclusive).
+fn split_range(t: &str) -> Option<(&str, &str, bool)> {
+    let b = t.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i + 1 < b.len() || (i < b.len() && depth == 0) {
+        if i >= b.len() {
+            break;
+        }
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'.' if depth == 0 && b.get(i + 1) == Some(&b'.') => {
+                let inclusive = b.get(i + 2) == Some(&b'=');
+                let a = t[..i].trim();
+                let rest = &t[i + 2 + usize::from(inclusive)..];
+                return Some((a, rest.trim(), inclusive));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn split_top<'a>(t: &'a str, sep: &str) -> Vec<&'a str> {
+    let b = t.as_bytes();
+    let sb = sep.as_bytes();
+    let mut depth = 0i32;
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            _ if depth == 0 && b[i..].starts_with(sb) => {
+                parts.push(&t[start..i]);
+                i += sb.len();
+                start = i;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&t[start..]);
+    parts
+}
+
+/// Strip `.rev()` / `.step_by(..)` wrappers from a range iterator.
+fn strip_range_adapters(t: &str) -> &str {
+    let mut t = t.trim();
+    loop {
+        if let Some(p) = t.strip_suffix(".rev()") {
+            t = strip_parens(p);
+            continue;
+        }
+        if t.ends_with(')') {
+            if let Some(open) = matching_open(t) {
+                if let Some(dot) = t[..open].rfind(".step_by") {
+                    if dot + ".step_by".len() == open {
+                        t = strip_parens(&t[..dot]);
+                        continue;
+                    }
+                }
+            }
+        }
+        return t;
+    }
+}
+
+/// Strip `.iter()`-style adapters from a place chain.
+fn strip_iter_adapters(t: &str) -> &str {
+    let mut t = t.trim();
+    loop {
+        let mut changed = false;
+        for adapt in [".iter()", ".iter_mut()", ".copied()", ".cloned()"] {
+            if let Some(p) = t.strip_suffix(adapt) {
+                t = p.trim_end();
+                changed = true;
+            }
+        }
+        if !changed {
+            return strip_parens(t.strip_prefix('&').unwrap_or(t));
+        }
+    }
+}
+
+/// All identifiers a pattern binds (conservative word scan).
+fn pat_idents(pat: &str) -> Vec<String> {
+    pat.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|s| {
+            !s.is_empty()
+                && !s.starts_with(|c: char| c.is_ascii_digit())
+                && *s != "mut"
+                && *s != "ref"
+                && *s != "_"
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// The sole identifier a simple pattern binds (`i`, `&x`, `mut v`).
+fn single_ident(pat: &str) -> Option<String> {
+    let ids = pat_idents(pat);
+    (ids.len() == 1).then(|| ids[0].clone())
+}
+
+/// First element of a tuple pattern `(i, x)`.
+fn tuple_first(pat: &str) -> Option<String> {
+    let inner = pat.trim().strip_prefix('(')?;
+    let first = inner.split(',').next()?;
+    single_ident(first)
+}
+
+fn parse_int(t: &str) -> Option<i128> {
+    let t = t.trim().replace('_', "");
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, t.as_str()),
+    };
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x") {
+        (h, 16)
+    } else {
+        (t, 10)
+    };
+    let end = digits
+        .find(|c: char| !c.is_ascii_alphanumeric())
+        .unwrap_or(digits.len());
+    if end == 0 || digits[end..].starts_with('.') {
+        return None;
+    }
+    let (num, suffix) = digits.split_at(end);
+    // Allow `8usize`-style suffixes: digits then a type name.
+    let split = num.find(|c: char| !c.is_digit(radix)).unwrap_or(num.len());
+    if split == 0 {
+        return None;
+    }
+    let (core, tail) = num.split_at(split);
+    let ok_suffix = |s: &str| {
+        s.is_empty()
+            || [
+                "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+                "isize",
+            ]
+            .contains(&s)
+    };
+    if !ok_suffix(tail) || !suffix.is_empty() && !ok_suffix(suffix) {
+        return None;
+    }
+    let v = i128::from_str_radix(core, radix).ok()?;
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with(pairs: &[(&str, Interval)]) -> Env {
+        let mut e = Env::default();
+        for (k, v) in pairs {
+            e.set(k, v.clone());
+        }
+        e
+    }
+
+    #[test]
+    fn eval_handles_literals_places_and_arithmetic() {
+        let env = env_with(&[("i", Interval::exact(3))]);
+        assert_eq!(eval("7", &env), Interval::exact(7));
+        assert_eq!(eval("0x10", &env), Interval::exact(16));
+        assert_eq!(eval("8usize", &env), Interval::exact(8));
+        assert_eq!(eval("i + 1", &env), Interval::exact(4));
+        assert_eq!(eval("i - 1", &env), Interval::exact(2));
+        assert_eq!(eval("2 * i", &env), Interval::exact(6));
+        assert_eq!(eval("(i + 1) as usize", &env), Interval::exact(4));
+        assert_eq!(eval("self.i", &env), Interval::exact(3));
+        assert_eq!(eval("unknown", &env), Interval::top());
+    }
+
+    #[test]
+    fn eval_len_and_clamps() {
+        let env = Env::default();
+        let l = eval("xs.len()", &env);
+        assert_eq!(l, Interval::of_len("xs", 0));
+        let lm1 = eval("xs.len() - 1", &env);
+        assert_eq!(
+            lm1.hi,
+            Bound::Len {
+                base: "xs".into(),
+                off: -1
+            }
+        );
+        let clamped = eval("j.min(7)", &env_with(&[("j", Interval::top())]));
+        assert_eq!(clamped.hi, Bound::Int(7));
+        let sat = eval("n.saturating_sub(1)", &env);
+        assert_eq!(sat.lo, Bound::Int(0), "{sat:?}");
+    }
+
+    #[test]
+    fn eval_mask_and_rem() {
+        let env = env_with(&[("i", Interval::top())]);
+        let m = eval("i & 63", &env);
+        assert_eq!(m.lo, Bound::Int(0));
+        assert_eq!(m.hi, Bound::Int(63));
+        let nn = env_with(&[(
+            "i",
+            Interval {
+                lo: Bound::Int(0),
+                hi: Bound::PosInf,
+            },
+        )]);
+        let r = eval("i % 16", &nn);
+        assert_eq!(r.lo, Bound::Int(0));
+        assert_eq!(r.hi, Bound::Int(15));
+    }
+
+    #[test]
+    fn refinement_from_comparisons() {
+        let mut env = env_with(&[(
+            "i",
+            Interval {
+                lo: Bound::Int(0),
+                hi: Bound::PosInf,
+            },
+        )]);
+        env.set("n", Interval::of_len("xs", 0));
+        apply_cmp("i < n", true, &mut env);
+        assert_eq!(
+            env.get("i").hi,
+            Bound::Len {
+                base: "xs".into(),
+                off: -1
+            }
+        );
+        let mut env2 = env_with(&[("i", Interval::top())]);
+        apply_cmp("i >= 2", true, &mut env2);
+        assert_eq!(env2.get("i").lo, Bound::Int(2));
+        // Negated: else-branch of `i < 3` gives i >= 3.
+        let mut env3 = env_with(&[("i", Interval::top())]);
+        apply_cmp("i < 3", false, &mut env3);
+        assert_eq!(env3.get("i").lo, Bound::Int(3));
+    }
+
+    #[test]
+    fn for_bindings_cover_ranges_enumerate_chunks() {
+        let mut env = Env::default();
+        apply_for_binding("i", "0..xs.len()", &mut env);
+        let i = env.get("i");
+        assert_eq!(i.lo, Bound::Int(0));
+        assert_eq!(
+            i.hi,
+            Bound::Len {
+                base: "xs".into(),
+                off: -1
+            }
+        );
+        let mut env2 = Env::default();
+        apply_for_binding("(k, v)", "cols.iter().enumerate()", &mut env2);
+        assert_eq!(
+            env2.get("k").hi,
+            Bound::Len {
+                base: "cols".into(),
+                off: -1
+            }
+        );
+        let mut env3 = Env::default();
+        apply_for_binding("c", "data.chunks_exact(8)", &mut env3);
+        assert_eq!(env3.lens.get("c"), Some(&8));
+        let mut env4 = Env::default();
+        apply_for_binding("i", "(0..n).rev()", &mut env4);
+        assert_eq!(env4.get("i").lo, Bound::Int(0));
+    }
+
+    #[test]
+    fn classify_proves_and_rejects() {
+        let mut env = Env::default();
+        apply_for_binding("i", "0..xs.len()", &mut env);
+        let (ok, _) = classify_index("i", "xs", &env);
+        assert!(ok);
+        let (bad, _) = classify_index("i + 1", "xs", &env);
+        assert!(!bad);
+        // Constant-length chunk: c[7] proven, c[8] not.
+        let mut env2 = Env::default();
+        apply_for_binding("c", "data.chunks_exact(8)", &mut env2);
+        let (ok7, _) = classify_index("7", "c", &env2);
+        assert!(ok7);
+        let (bad8, _) = classify_index("8", "c", &env2);
+        assert!(!bad8);
+        // Range form: xs[0..n] with n = xs.len() is proven.
+        let mut env3 = Env::default();
+        apply_plain("let n = xs.len();", &mut env3);
+        let (okr, _) = classify_index("0..n", "xs", &env3);
+        assert!(okr);
+        let (badr, _) = classify_index("0..=n", "xs", &env3);
+        assert!(!badr, "inclusive end == len must fail");
+    }
+
+    #[test]
+    fn plain_statements_update_the_env() {
+        let mut env = Env::default();
+        apply_plain("let mut i = 0", &mut env);
+        assert_eq!(env.get("i"), Interval::exact(0));
+        apply_plain("i += 2", &mut env);
+        assert_eq!(env.get("i"), Interval::exact(2));
+        apply_plain("let a = [0.0f32; 16]", &mut env);
+        assert_eq!(env.lens.get("a"), Some(&16));
+        apply_plain("let b: [f32; 4] = frob()", &mut env);
+        assert_eq!(env.lens.get("b"), Some(&4));
+        // Nested mutation havocs.
+        apply_plain("take(&mut i)", &mut env);
+        assert_eq!(env.get("i"), Interval::top());
+    }
+
+    #[test]
+    fn closure_compound_assign_havocs() {
+        let mut env = Env::default();
+        apply_plain("let mut j = 1", &mut env);
+        apply_plain("xs.iter().for_each(|x| j += x)", &mut env);
+        assert_eq!(env.get("j"), Interval::top());
+    }
+}

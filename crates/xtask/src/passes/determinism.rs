@@ -11,7 +11,7 @@
 //! sites that sort after collecting can carry
 //! `// analyze: allow(determinism, reason = "...")`.
 
-use super::{Analysis, Pass};
+use super::{Analysis, Pass, PassOutput};
 use crate::rules::Violation;
 use std::collections::BTreeSet;
 
@@ -34,7 +34,7 @@ impl Pass for Determinism {
         "determinism"
     }
 
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
         let ws = cx.ws;
         for file in &ws.files {
             let crate_name = &ws.crates[file.crate_idx].name;
@@ -45,6 +45,7 @@ impl Pass for Determinism {
             if tracked.is_empty() {
                 continue;
             }
+            out.stat("files_scanned", 1);
             for (idx, text) in file.lexed.masked.lines().enumerate() {
                 let line = idx + 1;
                 if file.test_lines.get(line).copied().unwrap_or(false) {
@@ -54,14 +55,13 @@ impl Pass for Determinism {
                     let Some(what) = order_dependent_use(text, ident) else {
                         continue;
                     };
-                    if file
-                        .lexed
-                        .analyze_allowed(line, "determinism")
-                        .is_some_and(|a| a.reason.is_some())
-                    {
-                        continue;
+                    if let Some(a) = file.lexed.analyze_allowed(line, "determinism") {
+                        out.used(&file.rel, a.line, "determinism");
+                        if a.reason.is_some() {
+                            continue;
+                        }
                     }
-                    out.push(Violation {
+                    out.violations.push(Violation {
                         path: file.rel.clone(),
                         line,
                         rule: "determinism",
@@ -79,7 +79,7 @@ impl Pass for Determinism {
 /// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file:
 /// `let m = HashMap::new()`, `let m: HashMap<..>`, struct fields and
 /// params `m: HashMap<..>`.
-fn tracked_idents(masked: &str) -> BTreeSet<String> {
+pub(crate) fn tracked_idents(masked: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for text in masked.lines() {
         for marker in ["HashMap", "HashSet"] {
@@ -117,7 +117,7 @@ fn tracked_idents(masked: &str) -> BTreeSet<String> {
 }
 
 /// If `text` consumes `ident` in iteration order, name the consumer.
-fn order_dependent_use(text: &str, ident: &str) -> Option<String> {
+pub(crate) fn order_dependent_use(text: &str, ident: &str) -> Option<String> {
     let mut from = 0usize;
     while let Some(p) = text[from..].find(ident) {
         let at = from + p;

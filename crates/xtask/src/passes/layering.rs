@@ -13,7 +13,7 @@
 //!
 //! Dev-dependencies are exempt: tests may reach across layers.
 
-use super::{Analysis, Pass};
+use super::{Analysis, Pass, PassOutput};
 use crate::rules::Violation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -25,7 +25,7 @@ impl Pass for CrateLayering {
         "layering"
     }
 
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
         let ws = cx.ws;
         let conf = cx.conf;
         let conf_rel = conf
@@ -44,7 +44,7 @@ impl Pass for CrateLayering {
         for (layer, deps) in &conf.layers {
             for n in std::iter::once(layer).chain(deps) {
                 if !names.contains(n.as_str()) {
-                    out.push(Violation {
+                    out.violations.push(Violation {
                         path: conf_rel.clone(),
                         line: 1,
                         rule: "layering",
@@ -56,7 +56,7 @@ impl Pass for CrateLayering {
         // 1b. …every crate must have an entry…
         for c in &ws.crates {
             if !conf.layers.contains_key(&c.name) {
-                out.push(Violation {
+                out.violations.push(Violation {
                     path: conf_rel.clone(),
                     line: 1,
                     rule: "layering",
@@ -74,7 +74,7 @@ impl Pass for CrateLayering {
             .map(|(k, v)| (k.as_str(), v.iter().map(String::as_str).collect()))
             .collect();
         if let Some(cycle) = find_cycle(&declared) {
-            out.push(Violation {
+            out.violations.push(Violation {
                 path: conf_rel.clone(),
                 line: 1,
                 rule: "layering",
@@ -92,7 +92,7 @@ impl Pass for CrateLayering {
                 }
                 actual.entry(c.name.as_str()).or_default().push(dep);
                 if allowed.is_none_or(|a| !a.contains(dep)) {
-                    out.push(Violation {
+                    out.violations.push(Violation {
                         path: c.dir.join("Cargo.toml"),
                         line: 1,
                         rule: "layering",
@@ -130,7 +130,7 @@ impl Pass for CrateLayering {
                         .get(this.name.as_str())
                         .is_some_and(|v| v.contains(dep_name));
                     if !declared_edge {
-                        out.push(Violation {
+                        out.violations.push(Violation {
                             path: file.rel.clone(),
                             line,
                             rule: "layering",
@@ -141,7 +141,7 @@ impl Pass for CrateLayering {
                             ),
                         });
                     } else if !in_actual {
-                        out.push(Violation {
+                        out.violations.push(Violation {
                             path: file.rel.clone(),
                             line,
                             rule: "layering",
@@ -160,7 +160,7 @@ impl Pass for CrateLayering {
         // 2c. The actual edge set must itself be acyclic (a cycle built
         // from edges that are individually declared-in-error).
         if let Some(cycle) = find_cycle(&actual) {
-            out.push(Violation {
+            out.violations.push(Violation {
                 path: PathBuf::from("Cargo.toml"),
                 line: 1,
                 rule: "layering",

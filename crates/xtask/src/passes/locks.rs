@@ -26,7 +26,7 @@
 //! Exemptions: `analyze: allow(lock, reason = "...")`, reason
 //! mandatory.
 
-use super::{Analysis, Pass};
+use super::{Analysis, Pass, PassOutput};
 use crate::callgraph::line_of;
 use crate::guards;
 use crate::rules::Violation;
@@ -40,7 +40,7 @@ impl Pass for LockDiscipline {
         "lock-discipline"
     }
 
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
         let ws = cx.ws;
         let n = ws.fns.len();
 
@@ -166,11 +166,16 @@ impl Pass for LockDiscipline {
                         continue;
                     }
                     match file.lexed.analyze_allowed(line, "lock") {
-                        Some(a) if a.reason.is_some() => {}
-                        Some(_) => out.push(missing_reason(file, line, "blocking call")),
+                        Some(a) => {
+                            out.used(&file.rel, a.line, "lock");
+                            if a.reason.is_none() {
+                                out.violations
+                                    .push(missing_reason(file, line, "blocking call"));
+                            }
+                        }
                         None => {
                             let sink = blocking_chain(ws, &next, t);
-                            out.push(Violation {
+                            out.violations.push(Violation {
                                 path: file.rel.clone(),
                                 line,
                                 rule: "lock-blocking",
@@ -196,9 +201,14 @@ impl Pass for LockDiscipline {
                     continue;
                 }
                 match file.lexed.analyze_allowed(line, "lock") {
-                    Some(a) if a.reason.is_some() => {}
-                    Some(_) => out.push(missing_reason(file, line, "wait outside a loop")),
-                    None => out.push(Violation {
+                    Some(a) => {
+                        out.used(&file.rel, a.line, "lock");
+                        if a.reason.is_none() {
+                            out.violations
+                                .push(missing_reason(file, line, "wait outside a loop"));
+                        }
+                    }
+                    None => out.violations.push(Violation {
                         path: file.rel.clone(),
                         line,
                         rule: "lock-wait-loop",
@@ -223,15 +233,13 @@ impl Pass for LockDiscipline {
             if file.test_lines.get(line).copied().unwrap_or(false) {
                 continue;
             }
-            match file.lexed.analyze_allowed(line, "lock") {
-                Some(a) if a.reason.is_some() => continue,
-                Some(_) => {
-                    if reported.insert((site.0, line, "lock-allow")) {
-                        out.push(missing_reason(file, line, "lock-order edge"));
-                    }
-                    continue;
+            if let Some(a) = file.lexed.analyze_allowed(line, "lock") {
+                out.used(&file.rel, a.line, "lock");
+                if a.reason.is_none() && reported.insert((site.0, line, "lock-allow")) {
+                    out.violations
+                        .push(missing_reason(file, line, "lock-order edge"));
                 }
-                None => {}
+                continue;
             }
             adj.entry(edge.0.as_str())
                 .or_default()
@@ -250,7 +258,7 @@ impl Pass for LockDiscipline {
                 .min();
             if let Some((fi, at)) = site {
                 let file = &ws.files[fi];
-                out.push(Violation {
+                out.violations.push(Violation {
                     path: file.rel.clone(),
                     line: line_of(&file.lexed.masked, at),
                     rule: "lock-order",
@@ -415,6 +423,8 @@ mod tests {
             layers: BTreeMap::new(),
             result_crates: Vec::new(),
             alloc_roots: Vec::new(),
+            float_roots: Vec::new(),
+            bounds_roots: Vec::new(),
             blocking: blocking.iter().map(|s| s.to_string()).collect(),
             path: dir.join("ci/analyze.conf"),
         };
@@ -422,10 +432,11 @@ mod tests {
             ws: &ws,
             graph: &graph,
             conf: &conf,
+            audit_escapes: true,
         };
-        let mut out = Vec::new();
+        let mut out = PassOutput::default();
         LockDiscipline.run(&cx, &mut out);
-        out.iter().map(|v| v.to_string()).collect()
+        out.violations.iter().map(|v| v.to_string()).collect()
     }
 
     #[test]

@@ -1,13 +1,25 @@
 //! The analysis-pass framework behind `cargo xtask analyze`.
 //!
 //! A [`Pass`] sees the loaded [`Workspace`], the shared [`CallGraph`]
-//! and the declared [`Config`], and appends [`Violation`]s. Passes are
-//! independent; `run_all` runs every registered pass and returns the
-//! combined, location-sorted findings — the same reporting contract as
-//! `xtask lint`.
+//! and the declared [`Config`], and fills a [`PassOutput`]: violations,
+//! per-pass stats (CFG blocks lowered, solver iterations, accesses
+//! classified), the elidable checked-gather report, and the set of
+//! escape directives that actually suppressed something. Passes are
+//! independent, so [`run_all`] runs each on its own scoped thread and
+//! merges the outputs deterministically (registration order, then the
+//! location sort) — the same reporting contract as `xtask lint`, with
+//! per-pass wall time kept for `--record` and the JSON document.
+//!
+//! After the passes finish, `run_all` audits the escape directives:
+//! an `analyze: allow(..)` no pass consumed is dead weight that will
+//! silently exempt a future defect at that site, so it is reported as
+//! `stale-allow`. The audit is skipped under `--roots` overrides
+//! (narrowed reachability would make honest escapes look dead).
 
 pub mod alloc;
+pub mod bounds;
 pub mod determinism;
+pub mod floatdet;
 pub mod layering;
 pub mod locks;
 pub mod panics;
@@ -16,16 +28,77 @@ use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::rules::Violation;
 use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 pub struct Analysis<'a> {
     pub ws: &'a Workspace,
     pub graph: &'a CallGraph,
     pub conf: &'a Config,
+    /// False under `--roots` overrides: ad-hoc reachability queries
+    /// must not report honest escapes as stale.
+    pub audit_escapes: bool,
 }
 
-pub trait Pass {
+/// One entry in the elidable checked-gather report: a `.get`-based
+/// access the analyzer proved in bounds — a candidate for unchecked
+/// (slice-pattern or iterator) restructuring, ranked by loop depth.
+pub struct Gather {
+    pub path: PathBuf,
+    pub line: usize,
+    pub qual: String,
+    pub what: String,
+    pub depth: usize,
+}
+
+/// Everything one pass produced.
+#[derive(Default)]
+pub struct PassOutput {
+    pub violations: Vec<Violation>,
+    /// Escape directives that matched a finding: (file, directive line,
+    /// pass key as written). Anything not in here after all passes ran
+    /// is stale.
+    pub used_escapes: BTreeSet<(PathBuf, usize, String)>,
+    /// Accumulated counters, shown per pass in the JSON document.
+    pub stats: Vec<(String, u64)>,
+    pub gathers: Vec<Gather>,
+}
+
+impl PassOutput {
+    pub fn stat(&mut self, name: &str, add: u64) {
+        if let Some(s) = self.stats.iter_mut().find(|(n, _)| n == name) {
+            s.1 += add;
+        } else {
+            self.stats.push((name.to_string(), add));
+        }
+    }
+
+    /// Record that the directive at (`path`, `line`) for `pass` matched
+    /// a finding (suppressed or malformed — either way it is live).
+    pub fn used(&mut self, path: &Path, line: usize, pass: &str) {
+        self.used_escapes
+            .insert((path.to_path_buf(), line, pass.to_string()));
+    }
+}
+
+/// Per-pass summary surfaced in the v2 JSON document and `--record`.
+pub struct PassReport {
+    pub name: &'static str,
+    pub findings: usize,
+    pub wall_ms: f64,
+    pub stats: Vec<(String, u64)>,
+}
+
+/// The combined result of one analyzer run.
+pub struct AnalyzeReport {
+    pub violations: Vec<Violation>,
+    pub passes: Vec<PassReport>,
+    pub gathers: Vec<Gather>,
+}
+
+pub trait Pass: Sync {
     fn name(&self) -> &'static str;
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>);
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput);
 }
 
 pub fn default_passes() -> Vec<Box<dyn Pass>> {
@@ -35,24 +108,34 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(determinism::Determinism),
         Box::new(locks::LockDiscipline),
         Box::new(alloc::AllocReachability),
+        Box::new(floatdet::FloatDeterminism),
+        Box::new(bounds::IndexBounds),
     ]
 }
 
-pub fn run_all(cx: &Analysis<'_>) -> Vec<Violation> {
+/// Short escape keys accepted in `analyze: allow(<key>, ..)` and the
+/// pass each belongs to.
+const ESCAPE_ALIASES: &[(&str, &str)] = &[
+    ("panic", "panic-reachable"),
+    ("lock", "lock-discipline"),
+    ("alloc", "alloc-reachable"),
+    ("float", "float-determinism"),
+    ("bounds", "index-bounds"),
+];
+
+fn known_escape_key(passes: &[Box<dyn Pass>], key: &str) -> bool {
+    passes.iter().any(|p| p.name() == key) || ESCAPE_ALIASES.iter().any(|(short, _)| *short == key)
+}
+
+pub fn run_all(cx: &Analysis<'_>) -> AnalyzeReport {
     let passes = default_passes();
-    let mut out = Vec::new();
+    let mut violations = Vec::new();
     // An exemption naming a pass that does not exist is a typo that
     // would silently exempt nothing — reject it up front.
     for file in &cx.ws.files {
         for a in &file.lexed.analyze_allows {
-            let known = passes.iter().any(|p| {
-                p.name() == a.pass
-                    || (p.name() == "panic-reachable" && a.pass == "panic")
-                    || (p.name() == "lock-discipline" && a.pass == "lock")
-                    || (p.name() == "alloc-reachable" && a.pass == "alloc")
-            });
-            if !known {
-                out.push(Violation {
+            if !known_escape_key(&passes, &a.pass) {
+                violations.push(Violation {
                     path: file.rel.clone(),
                     line: a.line,
                     rule: "analyze-allow",
@@ -61,9 +144,76 @@ pub fn run_all(cx: &Analysis<'_>) -> Vec<Violation> {
             }
         }
     }
-    for pass in &passes {
-        pass.run(cx, &mut out);
+
+    // Passes are independent: one scoped worker each, merged in
+    // registration order so the report stays deterministic.
+    let timed: Vec<(PassOutput, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = passes
+            .iter()
+            .map(|p| {
+                s.spawn(move || {
+                    // lint: allow(raw-clock)
+                    let t0 = std::time::Instant::now();
+                    let mut out = PassOutput::default();
+                    p.run(cx, &mut out);
+                    (out, t0.elapsed().as_secs_f64() * 1e3)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis pass panicked"))
+            .collect()
+    });
+
+    let mut reports = Vec::new();
+    let mut used: BTreeSet<(PathBuf, usize, String)> = BTreeSet::new();
+    let mut gathers = Vec::new();
+    for (pass, (out, wall_ms)) in passes.iter().zip(timed) {
+        reports.push(PassReport {
+            name: pass.name(),
+            findings: out.violations.len(),
+            wall_ms,
+            stats: out.stats,
+        });
+        violations.extend(out.violations);
+        used.extend(out.used_escapes);
+        gathers.extend(out.gathers);
     }
-    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    out
+
+    if cx.audit_escapes {
+        for file in &cx.ws.files {
+            for a in &file.lexed.analyze_allows {
+                if !known_escape_key(&passes, &a.pass) {
+                    continue; // already reported as analyze-allow
+                }
+                if !used.contains(&(file.rel.clone(), a.line, a.pass.clone())) {
+                    violations.push(Violation {
+                        path: file.rel.clone(),
+                        line: a.line,
+                        rule: "stale-allow",
+                        msg: format!(
+                            "escape `analyze: allow({})` suppresses nothing — remove it",
+                            a.pass
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    // Elidable gathers ranked hottest (deepest loop) first.
+    gathers.sort_by(|a, b| {
+        (std::cmp::Reverse(a.depth), &a.path, a.line).cmp(&(
+            std::cmp::Reverse(b.depth),
+            &b.path,
+            b.line,
+        ))
+    });
+    AnalyzeReport {
+        violations,
+        passes: reports,
+        gathers,
+    }
 }

@@ -22,7 +22,7 @@
 //! violation. Each finding names the shortest root→site call chain so
 //! the report is actionable without re-running the graph by hand.
 
-use super::{Analysis, Pass};
+use super::{Analysis, Pass, PassOutput};
 use crate::callgraph;
 use crate::rules::Violation;
 use std::collections::BTreeSet;
@@ -46,7 +46,7 @@ impl Pass for PanicReachability {
         "panic-reachable"
     }
 
-    fn run(&self, cx: &Analysis<'_>, out: &mut Vec<Violation>) {
+    fn run(&self, cx: &Analysis<'_>, out: &mut PassOutput) {
         let ws = cx.ws;
         let roots: Vec<usize> = ws
             .fns
@@ -76,19 +76,24 @@ impl Pass for PanicReachability {
                     continue;
                 }
                 match file.lexed.analyze_allowed(line, "panic") {
-                    Some(a) if a.reason.is_some() => continue,
-                    Some(_) => out.push(Violation {
-                        path: file.rel.clone(),
-                        line,
-                        rule: "panic-allow",
-                        msg: format!(
-                            "exemption for {what} is missing its reason — write \
-                             analyze: allow(panic, reason = \"...\")"
-                        ),
-                    }),
+                    Some(a) => {
+                        out.used(&file.rel, a.line, "panic");
+                        if a.reason.is_some() {
+                            continue;
+                        }
+                        out.violations.push(Violation {
+                            path: file.rel.clone(),
+                            line,
+                            rule: "panic-allow",
+                            msg: format!(
+                                "exemption for {what} is missing its reason — write \
+                                 analyze: allow(panic, reason = \"...\")"
+                            ),
+                        });
+                    }
                     None => {
                         let chain = callgraph::chain(ws, &pred, fi);
-                        out.push(Violation {
+                        out.violations.push(Violation {
                             path: file.rel.clone(),
                             line,
                             rule: "panic-reachable",

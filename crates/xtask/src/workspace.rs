@@ -127,6 +127,7 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
     };
 
     let mut const_values: BTreeMap<String, Vec<Option<u128>>> = BTreeMap::new();
+    let mut work: Vec<(usize, PathBuf)> = Vec::new();
     for ci in 0..ws.crates.len() {
         let dir = ws.root.join(&ws.crates[ci].dir);
         let src = dir.join("src");
@@ -146,9 +147,37 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
             }
         }
         files.sort();
-        for path in files {
-            load_file(&mut ws, ci, &path, &mut const_values)?;
-        }
+        work.extend(files.into_iter().map(|p| (ci, p)));
+    }
+
+    // Read + lex + item-parse are pure per-file work, so they fan out
+    // over scoped threads; integration below stays sequential in the
+    // collected order so every derived table keeps its deterministic
+    // layout regardless of thread scheduling.
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+        .min(work.len())
+        .max(1);
+    let mut slots: Vec<Option<Result<ParsedFile, String>>> = Vec::new();
+    slots.resize_with(work.len(), || None);
+    {
+        let root_ref: &Path = &ws.root;
+        let crates_ref = &ws.crates;
+        let chunk = work.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (slot_chunk, work_chunk) in slots.chunks_mut(chunk).zip(work.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, (ci, path)) in slot_chunk.iter_mut().zip(work_chunk) {
+                        *slot = Some(parse_file(root_ref, crates_ref, *ci, path));
+                    }
+                });
+            }
+        });
+    }
+    for slot in slots {
+        let parsed = slot.ok_or_else(|| "internal: parse slot left unfilled".to_string())??;
+        integrate_file(&mut ws, parsed, &mut const_values);
     }
 
     ws.nonzero_consts = const_values
@@ -440,36 +469,66 @@ fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_file(
-    ws: &mut Workspace,
+/// The thread-portable result of the pure per-file stage: everything
+/// derived from one source file with no access to shared tables.
+struct ParsedFile {
+    crate_idx: usize,
+    rel: PathBuf,
+    lexed: lexer::Lexed,
+    test_lines: Vec<bool>,
+    items: Vec<Item>,
+    module_chain: Vec<String>,
+}
+
+fn parse_file(
+    root: &Path,
+    crates: &[CrateInfo],
     crate_idx: usize,
     path: &Path,
-    const_values: &mut BTreeMap<String, Vec<Option<u128>>>,
-) -> Result<(), String> {
+) -> Result<ParsedFile, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let lexed = lexer::lex(&src);
     let test_lines = lexer::test_lines(&lexed.masked);
     let items = parser::parse(&lexed.masked);
-
-    let crate_ident = ws.crates[crate_idx].ident.clone();
-    let module = file_module(&ws.root.join(&ws.crates[crate_idx].dir), path);
-    let rel = path.strip_prefix(&ws.root).unwrap_or(path).to_path_buf();
-
-    let file_idx = ws.files.len();
-    let mut file = FileInfo {
+    let module = file_module(&root.join(&crates[crate_idx].dir), path);
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let mut module_chain = vec![crates[crate_idx].ident.clone()];
+    module_chain.extend(module);
+    Ok(ParsedFile {
         crate_idx,
         rel,
         lexed,
         test_lines,
+        items,
+        module_chain,
+    })
+}
+
+/// Fold one parsed file into the workspace tables (sequential stage).
+fn integrate_file(
+    ws: &mut Workspace,
+    parsed: ParsedFile,
+    const_values: &mut BTreeMap<String, Vec<Option<u128>>>,
+) {
+    let file_idx = ws.files.len();
+    let mut file = FileInfo {
+        crate_idx: parsed.crate_idx,
+        rel: parsed.rel,
+        lexed: parsed.lexed,
+        test_lines: parsed.test_lines,
         imports: Vec::new(),
         globs: Vec::new(),
     };
-
-    let mut chain = vec![crate_ident];
-    chain.extend(module);
-    flatten(ws, &mut file, file_idx, &items, &chain, None, const_values);
+    flatten(
+        ws,
+        &mut file,
+        file_idx,
+        &parsed.items,
+        &parsed.module_chain,
+        None,
+        const_values,
+    );
     ws.files.push(file);
-    Ok(())
 }
 
 /// Module segments for a file within its crate (`src/foo/bar.rs` →
